@@ -1,0 +1,90 @@
+// Command opec-bench regenerates the paper's evaluation: every table
+// and figure of Section 6 plus the Section 6.1 case study.
+//
+// Usage:
+//
+//	opec-bench -exp all
+//	opec-bench -exp table1
+//	opec-bench -exp figure9 -quick
+//	opec-bench -exp casestudy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"opec"
+	"opec/internal/exper"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | all")
+	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	flag.Parse()
+
+	scale := exper.Full
+	if *quick {
+		scale = exper.Quick
+	}
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	ran := false
+
+	if want("table1") {
+		rows, err := opec.Table1(scale)
+		fail(err)
+		fmt.Println(opec.RenderTable1(rows))
+		ran = true
+	}
+	if want("figure9") {
+		rows, err := opec.Figure9(scale)
+		fail(err)
+		fmt.Println(opec.RenderFigure9(rows))
+		ran = true
+	}
+	if want("table2") {
+		rows, err := opec.Table2(scale)
+		fail(err)
+		fmt.Println(opec.RenderTable2(rows))
+		ran = true
+	}
+	if want("figure10") {
+		series, err := opec.Figure10(scale)
+		fail(err)
+		fmt.Println(opec.RenderFigure10(series))
+		ran = true
+	}
+	if want("figure11") {
+		series, err := opec.Figure11(scale)
+		fail(err)
+		fmt.Println(opec.RenderFigure11(series))
+		ran = true
+	}
+	if want("table3") {
+		rows, err := opec.Table3(scale)
+		fail(err)
+		fmt.Println(opec.RenderTable3(rows))
+		ran = true
+	}
+	if want("casestudy") {
+		res, err := opec.PinLockCaseStudy()
+		fail(err)
+		fmt.Println("Section 6.1 case study: arbitrary write to KEY from compromised Lock_Task")
+		fmt.Printf("  under OPEC: blocked=%v (%s)\n", res.OPECBlocked, res.OPECFault)
+		fmt.Printf("  under ACES: KEY overwritten=%v\n", res.ACESKeyOverwritten)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "opec-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opec-bench:", err)
+		os.Exit(1)
+	}
+}

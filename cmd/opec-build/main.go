@@ -1,0 +1,109 @@
+// Command opec-build runs OPEC-Compiler (or the ACES baseline's
+// compartment formation) on one of the evaluation workloads and prints
+// the resulting isolation policy: operations or compartments, their
+// member functions, resource dependencies, data-section layout and MPU
+// plans.
+//
+// Usage:
+//
+//	opec-build -app PinLock
+//	opec-build -app TCP-Echo -policy aces2
+//	opec-build -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"opec"
+)
+
+func main() {
+	appName := flag.String("app", "", "workload name (see -list)")
+	policy := flag.String("policy", "opec", "opec | aces1 | aces2 | aces3")
+	list := flag.Bool("list", false, "list available workloads")
+	verbose := flag.Bool("v", false, "print member functions per domain")
+	jsonOut := flag.Bool("json", false, "emit the OPEC policy file as JSON")
+	flag.Parse()
+
+	if *list {
+		for _, a := range opec.Apps() {
+			fmt.Println(a.Name)
+		}
+		return
+	}
+	if *appName == "" {
+		fmt.Fprintln(os.Stderr, "opec-build: -app is required (try -list)")
+		os.Exit(2)
+	}
+	app, err := opec.AppByName(*appName)
+	fail(err)
+	inst := app.New()
+
+	switch strings.ToLower(*policy) {
+	case "opec":
+		b, err := opec.CompileOPEC(inst)
+		fail(err)
+		if *jsonOut {
+			data, err := b.PolicyJSON()
+			fail(err)
+			fmt.Println(string(data))
+			return
+		}
+		printOPEC(b, *verbose)
+	case "aces1", "aces2", "aces3":
+		strat := map[string]opec.Strategy{"aces1": opec.ACES1, "aces2": opec.ACES2, "aces3": opec.ACES3}[strings.ToLower(*policy)]
+		ab, err := opec.CompileACES(inst, strat)
+		fail(err)
+		fmt.Printf("%s under %s: %d compartments, %d variable groups\n",
+			inst.Mod.Name, strat, len(ab.Comps), len(ab.Groups))
+		for _, c := range ab.Comps {
+			fmt.Printf("  compartment %-28s funcs=%-3d code=%-6d groups=%d priv=%v\n",
+				c.Name, len(c.Funcs), c.CodeBytes(), len(c.Groups), c.Privileged)
+			if *verbose {
+				for _, f := range c.Funcs {
+					fmt.Printf("    %s\n", f.Name)
+				}
+			}
+		}
+	default:
+		fail(fmt.Errorf("unknown policy %q", *policy))
+	}
+}
+
+func printOPEC(b *opec.Build, verbose bool) {
+	fmt.Printf("%s on %s: %d operations, %d external globals\n",
+		b.Mod.Name, b.Board.Name, len(b.Ops), len(b.ExternalList))
+	fmt.Printf("flash: code=%d monitor=%d rodata=%d metadata=%d (total %d)\n",
+		b.CodeBytes, b.MonitorCodeBytes, b.RODataBytes, b.MetadataBytes, b.FlashUsed)
+	fmt.Printf("sram:  public=%d reloc=%d heap=%d stack@%#x (total %d)\n\n",
+		b.PublicBytes, b.RelocBytes, b.HeapSize, b.StackBase, b.SRAMUsed)
+	for _, op := range b.Ops {
+		sec := b.OpSections[op.ID]
+		plan := b.MPUFor(op)
+		fmt.Printf("operation %-2d %-18s funcs=%-3d gvars=%-5dB section=[%#x +%d] periphRegions=%d virt=%v heap=%v core=%v\n",
+			op.ID, op.Name, len(op.Funcs), op.GlobalBytes(), sec.Addr, sec.RegionBytes(),
+			len(op.PeriphRegions), plan.Virtualized, op.UsesHeap, op.UsesCorePeriph)
+		if verbose {
+			for _, f := range op.Funcs {
+				fmt.Printf("    %s (%s)\n", f.Name, f.File)
+			}
+			for _, g := range op.Globals {
+				kind := "internal"
+				if b.External[g] {
+					kind = "external (shadowed)"
+				}
+				fmt.Printf("    @%-24s %4dB %s\n", g.Name, g.Size(), kind)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opec-build:", err)
+		os.Exit(1)
+	}
+}

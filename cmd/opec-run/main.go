@@ -1,0 +1,97 @@
+// Command opec-run executes one of the evaluation workloads on the
+// simulated board under a chosen build flavour, verifies the workload's
+// end-to-end correctness check, and reports cycles and isolation
+// statistics.
+//
+// Usage:
+//
+//	opec-run -app PinLock -mode opec
+//	opec-run -app TCP-Echo -mode vanilla
+//	opec-run -app FatFs-uSD -mode aces1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"opec"
+	"opec/internal/metrics"
+)
+
+func main() {
+	appName := flag.String("app", "", "workload name")
+	mode := flag.String("mode", "opec", "vanilla | opec | opec-pmp | aces1 | aces2 | aces3")
+	trace := flag.Bool("trace", false, "print the per-task executed-function trace (the GDB-substitute)")
+	flag.Parse()
+
+	if *appName == "" {
+		fmt.Fprintln(os.Stderr, "opec-run: -app is required")
+		os.Exit(2)
+	}
+	app, err := opec.AppByName(*appName)
+	fail(err)
+	inst := app.New()
+
+	if *trace {
+		tr, err := metrics.TraceTasks(inst)
+		fail(err)
+		for _, task := range tr.Order {
+			fmt.Printf("task %-18s executed %d functions:\n", task, len(tr.Executed[task]))
+			names := make([]string, 0, len(tr.Executed[task]))
+			for n := range tr.Executed[task] {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf("    %s\n", n)
+			}
+		}
+		return
+	}
+
+	var res *opec.Result
+	switch strings.ToLower(*mode) {
+	case "vanilla":
+		res, err = opec.RunVanilla(inst)
+	case "opec":
+		res, err = opec.RunOPEC(inst)
+	case "opec-pmp":
+		res, err = opec.RunOPECPMP(inst)
+	case "aces1":
+		res, err = opec.RunACES(inst, opec.ACES1)
+	case "aces2":
+		res, err = opec.RunACES(inst, opec.ACES2)
+	case "aces3":
+		res, err = opec.RunACES(inst, opec.ACES3)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	fail(err)
+
+	fmt.Printf("%s under %s on %s: %d cycles, %d instructions\n",
+		inst.Mod.Name, *mode, inst.Board.Name, res.Cycles, res.Machine.InstrCount)
+	if err := opec.Check(inst, res); err != nil {
+		fail(fmt.Errorf("correctness check FAILED: %w", err))
+	}
+	fmt.Println("correctness check passed")
+
+	if res.Mon != nil {
+		s := res.Mon.Stats
+		fmt.Printf("monitor: switches=%d wordsSynced=%d relocUpdates=%d stackRelocs=%d periphRemaps=%d emulations=%d\n",
+			s.Switches, s.WordsSynced, s.RelocUpdates, s.StackRelocs, s.PeriphRemaps, s.Emulations)
+	}
+	if res.ACES != nil {
+		fmt.Printf("aces: compartment switches=%d emulator hits=%d privileged code=%dB\n",
+			res.ACES.Switches, res.ACES.EmulatorHits, res.ABld.PrivilegedCodeBytes())
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opec-run:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module opec
+
+go 1.22

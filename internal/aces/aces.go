@@ -1,0 +1,535 @@
+// Package aces implements the ACES baseline (Clements et al., USENIX
+// Security 2018) that the paper compares against in Section 6.4: code-
+// module compartmentalization with three partitioning strategies —
+// filename with compartment-merging optimization (ACES1), filename
+// without optimization (ACES2), and peripheral (ACES3).
+//
+// The implementation reproduces the two properties OPEC's evaluation
+// measures:
+//
+//   - Partition-time over-privilege: every compartment's global
+//     variables must fit in a fixed number of MPU data regions, so
+//     variable groups with different user sets get merged, granting
+//     compartments access to variables they do not need (Figure 3).
+//   - Execution-time over-privilege: compartments are formed from code
+//     modules, not control flow, so executing one task drags in every
+//     function of every compartment it crosses (Figure 4) and switches
+//     domains at each cross-compartment call.
+//
+// Compartments that touch core peripherals on the PPB are lifted to the
+// privileged level (the PAC column of Table 2); stack protection uses a
+// micro-emulator abstraction (the stack stays one RW region, matching
+// ACES's profile-driven emulation rather than OPEC's precise
+// sub-region scheme).
+package aces
+
+import (
+	"fmt"
+	"sort"
+
+	"opec/internal/analysis"
+	"opec/internal/image"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// Strategy selects the compartment-formation policy.
+type Strategy int
+
+// The three strategies evaluated in the paper.
+const (
+	Filename      Strategy = iota // ACES1: per source file, then merge small compartments
+	FilenameNoOpt                 // ACES2: strictly one compartment per source file
+	Peripheral                    // ACES3: group functions by the peripherals they touch
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Filename:
+		return "ACES1"
+	case FilenameNoOpt:
+		return "ACES2"
+	case Peripheral:
+		return "ACES3"
+	}
+	return "?"
+}
+
+// DataRegionLimit is how many MPU regions a compartment has for global
+// variable groups. After the background map, code, stack, heap and the
+// merged peripheral window, two regions remain for data — the tight
+// budget that forces the group merging of Figure 3.
+const DataRegionLimit = 2
+
+// VarGroup is one MPU-protected group of global variables.
+type VarGroup struct {
+	ID   int
+	Vars []*ir.Global
+	// Users are the compartments that need at least one variable of the
+	// group (and therefore can access all of them).
+	Users map[int]bool
+
+	section image.Section
+}
+
+// Bytes returns the group payload size.
+func (g *VarGroup) Bytes() int {
+	n := 0
+	for _, v := range g.Vars {
+		n += (v.Size() + 3) &^ 3
+	}
+	return n
+}
+
+// Compartment is one isolated code module.
+type Compartment struct {
+	ID    int
+	Name  string
+	Funcs []*ir.Function
+	Deps  *analysis.FuncDeps
+	// Groups are the variable groups the compartment can access.
+	Groups []*VarGroup
+	// Privileged marks compartments lifted to the privileged level
+	// because they access core peripherals.
+	Privileged bool
+	// PeriphWindow is the single merged MPU region covering all the
+	// compartment's peripherals (over-sized when they are scattered).
+	PeriphWindow *mach.Region
+}
+
+// CodeBytes is the compartment code footprint.
+func (c *Compartment) CodeBytes() int {
+	n := 0
+	for _, f := range c.Funcs {
+		n += f.CodeSize()
+	}
+	return n
+}
+
+// NeededVars returns the globals the compartment's functions actually
+// depend on (non-const, non-heap).
+func (c *Compartment) NeededVars() []*ir.Global {
+	var out []*ir.Global
+	for _, g := range c.Deps.SortedGlobals() {
+		if !g.Const && !g.HeapPool {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// AccessibleVars returns every global the compartment can touch at
+// runtime: the union of its groups. The difference against NeededVars
+// is exactly the partition-time over-privilege.
+func (c *Compartment) AccessibleVars() []*ir.Global {
+	var out []*ir.Global
+	for _, gr := range c.Groups {
+		out = append(out, gr.Vars...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Build is a compiled ACES image.
+type Build struct {
+	Mod      *ir.Module
+	Board    *mach.Board
+	Analysis *analysis.Result
+	Strategy Strategy
+
+	Comps  []*Compartment
+	CompOf map[*ir.Function]*Compartment
+	Groups []*VarGroup
+
+	GlobalAddr map[*ir.Global]uint32
+
+	HeapBase   uint32
+	HeapSize   uint32
+	StackTop   uint32
+	StackLimit uint32
+
+	CodeBytes        int
+	RuntimeCodeBytes int
+	RODataBytes      int
+	MetadataBytes    int
+	FlashUsed        int
+	SRAMUsed         int
+}
+
+// Compile partitions m into ACES compartments under the strategy and
+// lays out the image. Unlike OPEC, no module instrumentation happens:
+// the runtime interposes on every cross-compartment call.
+func Compile(m *ir.Module, board *mach.Board, strat Strategy) (*Build, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("aces: verify: %w", err)
+	}
+	res := analysis.Analyze(m, board)
+	b := &Build{Mod: m, Board: board, Analysis: res, Strategy: strat}
+
+	switch strat {
+	case Filename, FilenameNoOpt:
+		b.partitionByFile()
+		if strat == Filename {
+			b.mergeSmallCompartments()
+		}
+	case Peripheral:
+		b.partitionByPeripheral()
+	default:
+		return nil, fmt.Errorf("aces: unknown strategy %d", strat)
+	}
+
+	b.finishCompartments()
+	b.groupVariables()
+	b.layout()
+	return b, nil
+}
+
+// partitionByFile creates one compartment per source file.
+func (b *Build) partitionByFile() {
+	byFile := make(map[string][]*ir.Function)
+	for _, f := range b.Mod.Functions {
+		byFile[f.File] = append(byFile[f.File], f)
+	}
+	for _, file := range b.Mod.SourceFiles() {
+		c := &Compartment{ID: len(b.Comps), Name: file, Funcs: byFile[file]}
+		b.Comps = append(b.Comps, c)
+	}
+}
+
+// mergeSmallCompartments is the ACES1 "lowering" optimization: a
+// compartment with few functions merges into the compartment that calls
+// it most, reducing switch pressure at the cost of larger domains.
+func (b *Build) mergeSmallCompartments() {
+	const smallFuncs = 4
+	b.rebuildCompOf()
+	for changed := true; changed; {
+		changed = false
+		for _, small := range b.Comps {
+			if small == nil || len(small.Funcs) >= smallFuncs || len(b.Comps) <= 1 {
+				continue
+			}
+			// Count static call edges from each other compartment.
+			votes := make(map[*Compartment]int)
+			for _, f := range b.Mod.Functions {
+				caller := b.CompOf[f]
+				for _, callee := range b.Analysis.CG.Callees[f] {
+					if b.CompOf[callee] == small && caller != small {
+						votes[caller]++
+					}
+				}
+			}
+			var best *Compartment
+			for c, n := range votes {
+				if best == nil || n > votes[best] || (n == votes[best] && c.Name < best.Name) {
+					best = c
+				}
+			}
+			if best == nil {
+				continue
+			}
+			best.Funcs = append(best.Funcs, small.Funcs...)
+			small.Funcs = nil
+			b.removeCompartment(small)
+			b.rebuildCompOf()
+			changed = true
+			break
+		}
+	}
+}
+
+// partitionByPeripheral groups functions by the set of peripherals they
+// access directly; peripheral-free functions form the "core"
+// compartment, and functions touching only PPB core peripherals get
+// their own "ppb" compartment so privilege lifting stays confined to
+// them.
+func (b *Build) partitionByPeripheral() {
+	byKey := make(map[string][]*ir.Function)
+	var keys []string
+	for _, f := range b.Mod.Functions {
+		deps := b.Analysis.Deps[f]
+		ps := deps.SortedPeriphs()
+		key := "core"
+		if len(ps) == 0 && len(deps.CorePeriphs) > 0 {
+			key = "ppb"
+		}
+		if len(ps) > 0 {
+			key = ""
+			for i, p := range ps {
+				if i > 0 {
+					key += "+"
+				}
+				key += p
+			}
+		}
+		if _, seen := byKey[key]; !seen {
+			keys = append(keys, key)
+		}
+		byKey[key] = append(byKey[key], f)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.Comps = append(b.Comps, &Compartment{ID: len(b.Comps), Name: k, Funcs: byKey[k]})
+	}
+}
+
+func (b *Build) removeCompartment(dead *Compartment) {
+	out := b.Comps[:0]
+	for _, c := range b.Comps {
+		if c != dead {
+			c.ID = len(out)
+			out = append(out, c)
+		}
+	}
+	b.Comps = out
+}
+
+func (b *Build) rebuildCompOf() {
+	b.CompOf = make(map[*ir.Function]*Compartment, len(b.Mod.Functions))
+	for _, c := range b.Comps {
+		for _, f := range c.Funcs {
+			b.CompOf[f] = c
+		}
+	}
+}
+
+// finishCompartments sorts members, merges dependencies, decides
+// privilege lifting and builds the merged peripheral window.
+func (b *Build) finishCompartments() {
+	b.rebuildCompOf()
+	for _, c := range b.Comps {
+		sort.Slice(c.Funcs, func(i, j int) bool { return c.Funcs[i].Name < c.Funcs[j].Name })
+		deps := make([]*analysis.FuncDeps, 0, len(c.Funcs))
+		for _, f := range c.Funcs {
+			deps = append(deps, b.Analysis.Deps[f])
+		}
+		c.Deps = analysis.MergeDeps(deps...)
+		// ACES lifts compartments that need core peripherals to the
+		// privileged level (Section 6.2, Privileged Code).
+		c.Privileged = len(c.Deps.CorePeriphs) > 0
+		c.PeriphWindow = periphWindow(b.Board, c.Deps.SortedPeriphs())
+	}
+}
+
+// periphWindow builds one MPU region covering every named peripheral —
+// ACES's region economy: scattered peripherals force an over-sized
+// window that also exposes everything in between.
+func periphWindow(board *mach.Board, names []string) *mach.Region {
+	var lo, hi uint32
+	for _, n := range names {
+		p := board.PeriphByName(n)
+		if p == nil {
+			continue
+		}
+		if lo == 0 || p.Base < lo {
+			lo = p.Base
+		}
+		if p.Base+p.Size > hi {
+			hi = p.Base + p.Size
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	// Grow to a legal region: power-of-two size, size-aligned base.
+	sz := mach.RegionSizeFor(int(hi - lo))
+	for lo&(1<<sz-1) != 0 || lo&^(1<<sz-1)+1<<sz < hi {
+		base := lo &^ (1<<sz - 1)
+		if base+1<<sz >= hi {
+			lo = base
+			break
+		}
+		sz++
+	}
+	lo &^= 1<<sz - 1
+	return &mach.Region{Enabled: true, Base: lo, SizeLog2: sz, Perm: mach.APRW}
+}
+
+// groupVariables implements Figure 3(a): variables start in groups keyed
+// by their exact user set; then any compartment needing more groups
+// than DataRegionLimit has its two smallest groups merged until it
+// fits — the merge is what grants unneeded variables.
+func (b *Build) groupVariables() {
+	users := make(map[*ir.Global]map[int]bool)
+	for _, c := range b.Comps {
+		for _, g := range c.NeededVars() {
+			if users[g] == nil {
+				users[g] = make(map[int]bool)
+			}
+			users[g][c.ID] = true
+		}
+	}
+
+	// Initial groups: one per distinct user set.
+	byKey := make(map[string]*VarGroup)
+	var order []string
+	var gs []*ir.Global
+	for g := range users {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Name < gs[j].Name })
+	for _, g := range gs {
+		key := userKey(users[g])
+		grp := byKey[key]
+		if grp == nil {
+			grp = &VarGroup{Users: users[g]}
+			byKey[key] = grp
+			order = append(order, key)
+		}
+		grp.Vars = append(grp.Vars, g)
+	}
+	var groups []*VarGroup
+	for _, k := range order {
+		groups = append(groups, byKey[k])
+	}
+
+	groupsOf := func(c *Compartment) []*VarGroup {
+		var out []*VarGroup
+		for _, gr := range groups {
+			if gr.Users[c.ID] {
+				out = append(out, gr)
+			}
+		}
+		return out
+	}
+
+	// Merge until every compartment fits its region budget.
+	for {
+		over := false
+		for _, c := range b.Comps {
+			mine := groupsOf(c)
+			if len(mine) <= DataRegionLimit {
+				continue
+			}
+			over = true
+			// Merge the two smallest groups this compartment uses.
+			sort.Slice(mine, func(i, j int) bool {
+				if mine[i].Bytes() != mine[j].Bytes() {
+					return mine[i].Bytes() < mine[j].Bytes()
+				}
+				return mine[i].Vars[0].Name < mine[j].Vars[0].Name
+			})
+			a, bb := mine[0], mine[1]
+			a.Vars = append(a.Vars, bb.Vars...)
+			sort.Slice(a.Vars, func(i, j int) bool { return a.Vars[i].Name < a.Vars[j].Name })
+			for u := range bb.Users {
+				a.Users[u] = true
+			}
+			kept := groups[:0]
+			for _, gr := range groups {
+				if gr != bb {
+					kept = append(kept, gr)
+				}
+			}
+			groups = kept
+			break
+		}
+		if !over {
+			break
+		}
+	}
+
+	for i, gr := range groups {
+		gr.ID = i
+	}
+	b.Groups = groups
+	for _, c := range b.Comps {
+		c.Groups = groupsOf(c)
+	}
+}
+
+func userKey(us map[int]bool) string {
+	ids := make([]int, 0, len(us))
+	for id := range us {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	key := ""
+	for _, id := range ids {
+		key += fmt.Sprintf("%d,", id)
+	}
+	return key
+}
+
+// layout places the variable groups (each an MPU region), heap and
+// stack, and accounts footprints. ACES relocates variables into group
+// regions but keeps a single copy of each (no shadowing), so its SRAM
+// cost is alignment fragmentation only.
+func (b *Build) layout() {
+	m := b.Mod
+	b.GlobalAddr = make(map[*ir.Global]uint32, len(m.Globals))
+
+	b.CodeBytes = m.CodeBytes()
+	b.RuntimeCodeBytes = 5120 + 32*len(b.Comps)
+	roBase := mach.FlashBase + uint32(b.CodeBytes+b.RuntimeCodeBytes)
+	for _, g := range m.Globals {
+		if g.Const {
+			b.GlobalAddr[g] = roBase
+			sz := uint32((g.Size() + 3) &^ 3)
+			roBase += sz
+			b.RODataBytes += int(sz)
+		}
+	}
+	b.MetadataBytes = 48*len(b.Comps) + 16*len(b.Groups)
+
+	names := make([]string, len(b.Groups))
+	sizes := make([]int, len(b.Groups))
+	for i, gr := range b.Groups {
+		names[i] = fmt.Sprintf("group%d", i)
+		sizes[i] = gr.Bytes()
+	}
+	sections, next := image.PlaceMPUSections(mach.SRAMBase, names, sizes)
+	for i, gr := range b.Groups {
+		gr.section = sections[i]
+		cur := sections[i].Addr
+		for _, g := range gr.Vars {
+			b.GlobalAddr[g] = cur
+			cur += uint32((g.Size() + 3) &^ 3)
+		}
+	}
+
+	// Globals no compartment needs, plus heap pools.
+	addr := next
+	for _, g := range m.Globals {
+		if _, placed := b.GlobalAddr[g]; placed || g.HeapPool {
+			continue
+		}
+		b.GlobalAddr[g] = addr
+		addr += uint32((g.Size() + 3) &^ 3)
+	}
+	heapLog2 := mach.RegionSizeFor(image.HeapBytes)
+	b.HeapBase = mach.AlignUp(addr, heapLog2)
+	b.HeapSize = image.HeapBytes
+	h := b.HeapBase
+	for _, g := range m.Globals {
+		if g.HeapPool {
+			b.GlobalAddr[g] = h
+			h += uint32((g.Size() + 3) &^ 3)
+		}
+	}
+
+	b.StackTop = mach.SRAMBase + uint32(b.Board.SRAMSize)
+	b.StackLimit = b.StackTop - image.StackBytes
+
+	b.FlashUsed = b.CodeBytes + b.RuntimeCodeBytes + b.RODataBytes + b.MetadataBytes
+	sram := 0
+	for _, s := range sections {
+		sram += int(s.RegionBytes())
+	}
+	sram += int(addr-next) + int(b.HeapSize) + image.StackBytes
+	b.SRAMUsed = sram
+}
+
+// Section returns the placed MPU section of a group (tests).
+func (g *VarGroup) Section() image.Section { return g.section }
+
+// PrivilegedCodeBytes sums the code of lifted compartments — Table 2's
+// PAC numerator.
+func (b *Build) PrivilegedCodeBytes() int {
+	n := 0
+	for _, c := range b.Comps {
+		if c.Privileged {
+			n += c.CodeBytes()
+		}
+	}
+	return n
+}

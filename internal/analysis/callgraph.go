@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"sort"
+
+	"opec/internal/ir"
+)
+
+// ICallStats are the Table 3 metrics of the indirect-call analysis.
+type ICallStats struct {
+	NumICalls    int     // #Icall
+	ResolvedSVF  int     // resolved by the points-to analysis
+	ResolvedType int     // resolved by the type-based fallback
+	Unresolved   int     // no targets found by either
+	AvgTargets   float64 // average targets per resolved icall
+	MaxTargets   int
+	SolveSeconds float64 // wall time of the points-to solve
+}
+
+// CallGraph is the module call graph with indirect edges added from the
+// points-to analysis or, where that fails, the type-based fallback
+// (Section 4.1).
+type CallGraph struct {
+	// Callees maps each function to its deduplicated, name-sorted
+	// possible callees (direct and indirect).
+	Callees map[*ir.Function][]*ir.Function
+	// Callers is the reverse relation.
+	Callers map[*ir.Function][]*ir.Function
+	// ICallTargets records per-icall-site resolution.
+	ICallTargets map[*ir.Instr][]*ir.Function
+
+	Stats ICallStats
+}
+
+// BuildCallGraph constructs the call graph using pts for icall
+// resolution. addrTaken must hold the functions whose address escapes;
+// the type-based fallback only proposes those (a function whose address
+// is never taken cannot be an icall target).
+func BuildCallGraph(m *ir.Module, pts *PointsTo) *CallGraph {
+	cg := &CallGraph{
+		Callees:      make(map[*ir.Function][]*ir.Function),
+		Callers:      make(map[*ir.Function][]*ir.Function),
+		ICallTargets: make(map[*ir.Instr][]*ir.Function),
+	}
+
+	addrTaken := AddressTakenFuncs(m)
+
+	edges := make(map[*ir.Function]map[*ir.Function]bool)
+	addEdge := func(from, to *ir.Function) {
+		if edges[from] == nil {
+			edges[from] = make(map[*ir.Function]bool)
+		}
+		edges[from][to] = true
+	}
+
+	for _, f := range m.Functions {
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpCall, ir.OpSvc:
+				if in.Fn != nil {
+					addEdge(f, in.Fn)
+				}
+			case ir.OpICall:
+				cg.Stats.NumICalls++
+				targets := pts.FuncsPointedBy(in.Args[0])
+				if len(targets) > 0 {
+					cg.Stats.ResolvedSVF++
+				} else {
+					// Type-based fallback: every address-taken function
+					// with an identical signature.
+					for _, cand := range m.Functions {
+						if addrTaken[cand] && ir.SameSignature(cand.Signature(), in.Sig) {
+							targets = append(targets, cand)
+						}
+					}
+					if len(targets) > 0 {
+						cg.Stats.ResolvedType++
+					} else {
+						cg.Stats.Unresolved++
+					}
+				}
+				sort.Slice(targets, func(i, j int) bool { return targets[i].Name < targets[j].Name })
+				cg.ICallTargets[in] = targets
+				if n := len(targets); n > cg.Stats.MaxTargets {
+					cg.Stats.MaxTargets = n
+				}
+				for _, t := range targets {
+					addEdge(f, t)
+				}
+			}
+		})
+	}
+
+	if resolved := cg.Stats.ResolvedSVF + cg.Stats.ResolvedType; resolved > 0 {
+		total := 0
+		for _, ts := range cg.ICallTargets {
+			total += len(ts)
+		}
+		cg.Stats.AvgTargets = float64(total) / float64(resolved)
+	}
+
+	for from, tos := range edges {
+		for to := range tos {
+			cg.Callees[from] = append(cg.Callees[from], to)
+			cg.Callers[to] = append(cg.Callers[to], from)
+		}
+	}
+	for _, f := range m.Functions {
+		sortFuncs(cg.Callees[f])
+		sortFuncs(cg.Callers[f])
+	}
+	return cg
+}
+
+func sortFuncs(fs []*ir.Function) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+}
+
+// AddressTakenFuncs returns the set of functions whose address appears
+// as a non-callee operand anywhere in the module.
+func AddressTakenFuncs(m *ir.Module) map[*ir.Function]bool {
+	taken := make(map[*ir.Function]bool)
+	for _, f := range m.Functions {
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			for i, a := range in.Args {
+				if fn, ok := a.(*ir.Function); ok {
+					// The pointer operand of an icall is a use, not a
+					// direct reference; everything else escapes.
+					if in.Op == ir.OpICall && i == 0 {
+						continue
+					}
+					taken[fn] = true
+				}
+			}
+			if in.Op == ir.OpICall {
+				if fn, ok := in.Args[0].(*ir.Function); ok {
+					taken[fn] = true
+				}
+			}
+		})
+		for _, b := range f.Blocks {
+			if b.Term.Val != nil {
+				if fn, ok := b.Term.Val.(*ir.Function); ok {
+					taken[fn] = true
+				}
+			}
+		}
+	}
+	return taken
+}
+
+// Reachable returns every function reachable from root in the call
+// graph, including root, stopping the descent (with backtracking) at
+// any function in stopAt — the partitioner uses stopAt to keep other
+// operations' entry functions out of an operation (Section 4.3).
+func (cg *CallGraph) Reachable(root *ir.Function, stopAt map[*ir.Function]bool) []*ir.Function {
+	seen := map[*ir.Function]bool{root: true}
+	var order []*ir.Function
+	var dfs func(f *ir.Function)
+	dfs = func(f *ir.Function) {
+		order = append(order, f)
+		for _, c := range cg.Callees[f] {
+			if seen[c] || (stopAt != nil && stopAt[c]) {
+				continue
+			}
+			seen[c] = true
+			dfs(c)
+		}
+	}
+	dfs(root)
+	return order
+}

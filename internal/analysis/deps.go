@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// FuncDeps is the per-function resource dependency of Section 4.2:
+// global variables accessed directly or through pointers, and the
+// general/core peripherals the function touches.
+type FuncDeps struct {
+	Globals     map[*ir.Global]bool // direct ∪ indirect
+	Direct      map[*ir.Global]bool
+	Indirect    map[*ir.Global]bool
+	Periphs     map[string]bool // general peripherals (by datasheet name)
+	CorePeriphs map[uint32]bool // PPB register addresses
+}
+
+func newFuncDeps() *FuncDeps {
+	return &FuncDeps{
+		Globals:     make(map[*ir.Global]bool),
+		Direct:      make(map[*ir.Global]bool),
+		Indirect:    make(map[*ir.Global]bool),
+		Periphs:     make(map[string]bool),
+		CorePeriphs: make(map[uint32]bool),
+	}
+}
+
+// SortedGlobals returns the dependency's globals in name order.
+func (d *FuncDeps) SortedGlobals() []*ir.Global {
+	gs := make([]*ir.Global, 0, len(d.Globals))
+	for g := range d.Globals {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Name < gs[j].Name })
+	return gs
+}
+
+// SortedPeriphs returns the peripheral names in sorted order.
+func (d *FuncDeps) SortedPeriphs() []string {
+	ps := make([]string, 0, len(d.Periphs))
+	for p := range d.Periphs {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	return ps
+}
+
+// Result bundles every compiler-side analysis of a module.
+type Result struct {
+	Module *ir.Module
+	Board  *mach.Board
+	PTS    *PointsTo
+	CG     *CallGraph
+	Deps   map[*ir.Function]*FuncDeps
+}
+
+// Analyze runs the full Section 4 pipeline: points-to solve, call-graph
+// construction with icall resolution, and per-function resource
+// dependency analysis against the board's peripheral datasheet.
+func Analyze(m *ir.Module, board *mach.Board) *Result {
+	start := time.Now()
+	pts := SolvePointsTo(m)
+	solveTime := time.Since(start)
+
+	cg := BuildCallGraph(m, pts)
+	cg.Stats.SolveSeconds = solveTime.Seconds()
+
+	res := &Result{Module: m, Board: board, PTS: pts, CG: cg,
+		Deps: make(map[*ir.Function]*FuncDeps, len(m.Functions))}
+
+	for _, f := range m.Functions {
+		res.Deps[f] = analyzeFunc(f, board, pts)
+	}
+	return res
+}
+
+// analyzeFunc computes the resource dependency of one function:
+//   - direct global access: load/store address operands that resolve to
+//     a global by forward slicing;
+//   - indirect global access: pointer operands whose points-to set
+//     contains globals (local targets filtered out);
+//   - peripheral access: address operands that resolve to a constant in
+//     a datasheet peripheral range (general) or on the PPB (core).
+func analyzeFunc(f *ir.Function, board *mach.Board, pts *PointsTo) *FuncDeps {
+	d := newFuncDeps()
+
+	recordAddr := func(addrOp ir.Value) {
+		base := ResolveStaticBase(addrOp)
+		switch {
+		case base.Global != nil:
+			d.Direct[base.Global] = true
+			d.Globals[base.Global] = true
+		case base.IsConst:
+			if mach.IsCorePeriphAddr(base.Const) {
+				d.CorePeriphs[base.Const] = true
+			} else if p := board.FindPeriph(base.Const); p != nil {
+				d.Periphs[p.Name] = true
+			}
+		default:
+			for _, g := range pts.GlobalsPointedBy(addrOp) {
+				d.Indirect[g] = true
+				d.Globals[g] = true
+			}
+		}
+	}
+
+	f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpLoad:
+			recordAddr(in.Args[0])
+		case ir.OpStore:
+			recordAddr(in.Args[0])
+		}
+	})
+	return d
+}
+
+// MergeDeps unions per-function dependencies — used when an operation
+// or compartment merges the dependencies of its member functions.
+func MergeDeps(ds ...*FuncDeps) *FuncDeps {
+	out := newFuncDeps()
+	for _, d := range ds {
+		if d == nil {
+			continue
+		}
+		for g := range d.Direct {
+			out.Direct[g] = true
+			out.Globals[g] = true
+		}
+		for g := range d.Indirect {
+			out.Indirect[g] = true
+			out.Globals[g] = true
+		}
+		for p := range d.Periphs {
+			out.Periphs[p] = true
+		}
+		for a := range d.CorePeriphs {
+			out.CorePeriphs[a] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+// Package analysis implements the compiler-side static analyses of
+// Section 4: call-graph construction with Andersen-style points-to
+// resolution of indirect calls (the role SVF plays in the paper's
+// prototype) plus a type-based fallback, forward slicing for global
+// variable dependencies, and backward slicing for memory-mapped
+// peripheral identification.
+//
+// Following the paper, all analyses are conservative: points-to results
+// are over-approximated (may contain false positives, never false
+// negatives for the constructs the IR can express), because an unsound
+// call graph would cause dependency misses and runtime MPU faults.
+package analysis
+
+import (
+	"math/bits"
+	"sort"
+
+	"opec/internal/ir"
+)
+
+// bitset is a dense set of object indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) add(i int) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b[w]&m != 0 {
+		return false
+	}
+	b[w] |= m
+	return true
+}
+
+// unionFrom merges o into b; reports whether b changed.
+func (b bitset) unionFrom(o bitset) bool {
+	changed := false
+	for i, w := range o {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) each(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			f(wi*64 + i)
+			w &^= 1 << i
+		}
+	}
+}
+
+// objKind classifies abstract memory objects.
+type objKind uint8
+
+const (
+	objGlobal objKind = iota
+	objAlloca
+	objFunc
+)
+
+// object is an abstract memory location the solver tracks.
+type object struct {
+	kind objKind
+	g    *ir.Global
+	f    *ir.Function
+	a    *ir.Instr // the alloca
+}
+
+// node keys: pointer variables are instructions, parameters, per-function
+// return slots, and per-object "contents" slots.
+type retKey struct{ f *ir.Function }
+type objContentsKey struct{ obj int }
+
+// constraint kinds of the inclusion-based solver.
+type consKind uint8
+
+const (
+	consAddr  consKind = iota // pts(dst) ∋ obj(src index)
+	consCopy                  // pts(dst) ⊇ pts(src)
+	consLoad                  // ∀ o ∈ pts(src): pts(dst) ⊇ contents(o)
+	consStore                 // ∀ o ∈ pts(dst): contents(o) ⊇ pts(src)
+)
+
+type constraint struct {
+	kind     consKind
+	dst, src int
+}
+
+// PointsTo holds the solved inclusion-based (Andersen) points-to
+// relation over a module.
+type PointsTo struct {
+	objects []object
+	objIdx  map[interface{}]int // *ir.Global | *ir.Function | *ir.Instr(alloca) -> object index
+
+	nodes   map[interface{}]int // value key -> node id
+	pts     []bitset
+	numObjs int
+
+	// Iterations the solver took to reach the fixpoint (observability).
+	Iterations int
+}
+
+// SolvePointsTo builds and solves the constraint system for m. The
+// icallTargets callback, when non-nil, is invoked during constraint
+// generation grows for on-the-fly indirect call wiring — but for
+// simplicity and determinism we instead wire icalls iteratively in the
+// outer solve loop (see below).
+func SolvePointsTo(m *ir.Module) *PointsTo {
+	p := &PointsTo{
+		objIdx: make(map[interface{}]int),
+		nodes:  make(map[interface{}]int),
+	}
+
+	// Enumerate abstract objects: globals, functions, allocas.
+	for _, g := range m.Globals {
+		p.objIdx[g] = len(p.objects)
+		p.objects = append(p.objects, object{kind: objGlobal, g: g})
+	}
+	for _, f := range m.Functions {
+		p.objIdx[f] = len(p.objects)
+		p.objects = append(p.objects, object{kind: objFunc, f: f})
+	}
+	for _, f := range m.Functions {
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpAlloca {
+				p.objIdx[in] = len(p.objects)
+				p.objects = append(p.objects, object{kind: objAlloca, a: in, f: f})
+			}
+		})
+	}
+	p.numObjs = len(p.objects)
+
+	// Allocate nodes lazily via nodeID.
+	var cons []constraint
+
+	// operandNode returns the node whose pts represents the operand's
+	// possible pointer values, adding address constraints for address
+	// constants (globals, functions).
+	operandNode := func(v ir.Value) (int, bool) {
+		switch v := v.(type) {
+		case *ir.Global:
+			n := p.nodeID(addrOfKey{p.objIdx[v]})
+			cons = append(cons, constraint{kind: consAddr, dst: n, src: p.objIdx[v]})
+			return n, true
+		case *ir.Function:
+			n := p.nodeID(addrOfKey{p.objIdx[v]})
+			cons = append(cons, constraint{kind: consAddr, dst: n, src: p.objIdx[v]})
+			return n, true
+		case *ir.Instr:
+			return p.nodeID(v), true
+		case *ir.Param:
+			return p.nodeID(v), true
+		default: // constants carry no pointers
+			return 0, false
+		}
+	}
+
+	var icalls []*ir.Instr
+
+	for _, f := range m.Functions {
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpAlloca:
+				cons = append(cons, constraint{kind: consAddr, dst: p.nodeID(in), src: p.objIdx[in]})
+			case ir.OpFieldAddr, ir.OpIndexAddr:
+				if src, ok := operandNode(in.Args[0]); ok {
+					cons = append(cons, constraint{kind: consCopy, dst: p.nodeID(in), src: src})
+				}
+			case ir.OpBin:
+				// Conservative pointer arithmetic: result may point to
+				// whatever either operand points to.
+				for _, a := range in.Args {
+					if src, ok := operandNode(a); ok {
+						cons = append(cons, constraint{kind: consCopy, dst: p.nodeID(in), src: src})
+					}
+				}
+			case ir.OpLoad:
+				if src, ok := operandNode(in.Args[0]); ok {
+					cons = append(cons, constraint{kind: consLoad, dst: p.nodeID(in), src: src})
+				}
+			case ir.OpStore:
+				dst, ok1 := operandNode(in.Args[0])
+				src, ok2 := operandNode(in.Args[1])
+				if ok1 && ok2 {
+					cons = append(cons, constraint{kind: consStore, dst: dst, src: src})
+				}
+			case ir.OpCall:
+				cons = append(cons, p.callConstraints(in, in.Fn, in.Args, operandNode)...)
+			case ir.OpSvc:
+				if in.Fn != nil {
+					cons = append(cons, p.callConstraints(in, in.Fn, in.Args, operandNode)...)
+				}
+			case ir.OpICall:
+				// Create nodes for the pointer and every argument now;
+				// target wiring happens iteratively below once pts of
+				// the pointer is known.
+				if _, ok := operandNode(in.Args[0]); ok {
+					icalls = append(icalls, in)
+				}
+				for _, a := range in.Args[1:] {
+					operandNode(a)
+				}
+			}
+		})
+		// Return values flow into a per-function return slot.
+		for _, b := range f.Blocks {
+			if b.Term.Op == ir.TermRet && b.Term.Val != nil {
+				if src, ok := operandNode(b.Term.Val); ok {
+					cons = append(cons, constraint{kind: consCopy, dst: p.nodeID(retKey{f}), src: src})
+				}
+			}
+		}
+	}
+
+	// Iterate: solve, wire newly-discovered icall targets, re-solve.
+	wired := make(map[*ir.Instr]map[*ir.Function]bool)
+	for {
+		p.solve(cons)
+		added := false
+		for _, ic := range icalls {
+			ptr, _ := p.lookupNode(ic.Args[0])
+			if ptr < 0 {
+				continue
+			}
+			p.pts[ptr].each(func(oi int) {
+				o := p.objects[oi]
+				if o.kind != objFunc {
+					return
+				}
+				if wired[ic] == nil {
+					wired[ic] = make(map[*ir.Function]bool)
+				}
+				if wired[ic][o.f] {
+					return
+				}
+				wired[ic][o.f] = true
+				added = true
+				cons = append(cons, p.callConstraints(ic, o.f, ic.Args[1:], func(v ir.Value) (int, bool) {
+					switch v := v.(type) {
+					case *ir.Global, *ir.Function:
+						// Address operands were already given nodes
+						// during the first pass.
+						n, ok := p.lookupValueNode(v)
+						return n, ok
+					case *ir.Instr:
+						return p.nodeID(v), true
+					case *ir.Param:
+						return p.nodeID(v), true
+					}
+					return 0, false
+				})...)
+			})
+		}
+		if !added {
+			break
+		}
+	}
+	return p
+}
+
+// addrOfKey identifies the synthetic node holding {obj}.
+type addrOfKey struct{ obj int }
+
+func (p *PointsTo) callConstraints(site *ir.Instr, callee *ir.Function, args []ir.Value, operandNode func(ir.Value) (int, bool)) []constraint {
+	var cons []constraint
+	for i, a := range args {
+		if i >= len(callee.Params) {
+			break
+		}
+		if src, ok := operandNode(a); ok {
+			cons = append(cons, constraint{kind: consCopy, dst: p.nodeID(callee.Params[i]), src: src})
+		}
+	}
+	if callee.Ret != nil {
+		cons = append(cons, constraint{kind: consCopy, dst: p.nodeID(site), src: p.nodeID(retKey{callee})})
+	}
+	return cons
+}
+
+// nodeID interns a node key.
+func (p *PointsTo) nodeID(key interface{}) int {
+	if id, ok := p.nodes[key]; ok {
+		return id
+	}
+	id := len(p.pts)
+	p.nodes[key] = id
+	p.pts = append(p.pts, newBitset(p.numObjs))
+	return id
+}
+
+func (p *PointsTo) lookupNode(v ir.Value) (int, bool) {
+	n, ok := p.lookupValueNode(v)
+	if !ok {
+		return -1, false
+	}
+	return n, true
+}
+
+func (p *PointsTo) lookupValueNode(v ir.Value) (int, bool) {
+	switch v := v.(type) {
+	case *ir.Global:
+		id, ok := p.nodes[addrOfKey{p.objIdx[v]}]
+		return id, ok
+	case *ir.Function:
+		id, ok := p.nodes[addrOfKey{p.objIdx[v]}]
+		return id, ok
+	default:
+		id, ok := p.nodes[v]
+		return id, ok
+	}
+}
+
+// contentsNode returns the node modeling the pointer contents of an
+// abstract object (field-insensitive: one slot per object).
+func (p *PointsTo) contentsNode(obj int) int {
+	return p.nodeID(objContentsKey{obj})
+}
+
+// solve runs the inclusion constraints to a fixpoint.
+func (p *PointsTo) solve(cons []constraint) {
+	for {
+		p.Iterations++
+		changed := false
+		for _, c := range cons {
+			switch c.kind {
+			case consAddr:
+				if p.pts[c.dst].add(c.src) {
+					changed = true
+				}
+			case consCopy:
+				if p.pts[c.dst].unionFrom(p.pts[c.src]) {
+					changed = true
+				}
+			case consLoad:
+				var objs []int
+				p.pts[c.src].each(func(o int) { objs = append(objs, o) })
+				for _, o := range objs {
+					cn := p.contentsNode(o)
+					if p.pts[c.dst].unionFrom(p.pts[cn]) {
+						changed = true
+					}
+				}
+			case consStore:
+				var objs []int
+				p.pts[c.dst].each(func(o int) { objs = append(objs, o) })
+				for _, o := range objs {
+					cn := p.contentsNode(o)
+					if p.pts[cn].unionFrom(p.pts[c.src]) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// GlobalsPointedBy returns the global variables the operand may point
+// to, filtering out locals per Section 4.2.
+func (p *PointsTo) GlobalsPointedBy(v ir.Value) []*ir.Global {
+	n, ok := p.lookupNode(v)
+	if !ok {
+		return nil
+	}
+	var gs []*ir.Global
+	p.pts[n].each(func(oi int) {
+		if o := p.objects[oi]; o.kind == objGlobal {
+			gs = append(gs, o.g)
+		}
+	})
+	return gs
+}
+
+// FuncsPointedBy returns the functions the operand may point to
+// (indirect-call target candidates).
+func (p *PointsTo) FuncsPointedBy(v ir.Value) []*ir.Function {
+	n, ok := p.lookupNode(v)
+	if !ok {
+		return nil
+	}
+	var fs []*ir.Function
+	p.pts[n].each(func(oi int) {
+		if o := p.objects[oi]; o.kind == objFunc {
+			fs = append(fs, o.f)
+		}
+	})
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+	return fs
+}

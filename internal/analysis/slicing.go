@@ -1,0 +1,97 @@
+package analysis
+
+import "opec/internal/ir"
+
+// StaticBase is the result of the backward slice over an address
+// operand: either a global variable, a constant address (peripheral
+// MMIO candidate), or unknown (a genuine runtime pointer).
+type StaticBase struct {
+	Global  *ir.Global
+	Const   uint32
+	IsConst bool
+}
+
+// ResolveStaticBase performs the backward slicing of Section 4.2 at the
+// IR level: it walks the address computation of a load/store operand
+// through field/index arithmetic and constant folding to decide whether
+// the access targets a statically-known global or a constant
+// (memory-mapped peripheral) address.
+//
+// The walk is bounded by construction — address chains in the IR are
+// acyclic because operands must be defined before use.
+func ResolveStaticBase(v ir.Value) StaticBase {
+	switch v := v.(type) {
+	case *ir.Global:
+		return StaticBase{Global: v}
+	case ir.Const:
+		return StaticBase{Const: v.V, IsConst: true}
+	case *ir.Instr:
+		switch v.Op {
+		case ir.OpFieldAddr:
+			base := ResolveStaticBase(v.Args[0])
+			if base.IsConst {
+				base.Const += uint32(v.Off)
+			}
+			return base
+		case ir.OpIndexAddr:
+			base := ResolveStaticBase(v.Args[0])
+			if !base.IsConst {
+				return base
+			}
+			idx := ResolveStaticBase(v.Args[1])
+			if idx.IsConst {
+				base.Const += idx.Const * uint32(v.Off)
+				return base
+			}
+			// Constant base with a runtime index still identifies the
+			// peripheral block (indices stay within a register bank).
+			return base
+		case ir.OpBin:
+			a := ResolveStaticBase(v.Args[0])
+			b := ResolveStaticBase(v.Args[1])
+			if a.IsConst && b.IsConst {
+				return StaticBase{Const: foldBin(v.Kind, a.Const, b.Const), IsConst: true}
+			}
+			// base-plus-offset peripheral addressing: keep the constant
+			// side as the block identity for Add/Or.
+			if v.Kind == ir.Add || v.Kind == ir.Or {
+				if a.IsConst && a.Const >= 0x40000000 {
+					return a
+				}
+				if b.IsConst && b.Const >= 0x40000000 {
+					return b
+				}
+				if a.Global != nil {
+					return a
+				}
+				if b.Global != nil {
+					return b
+				}
+			}
+			return StaticBase{}
+		}
+	}
+	return StaticBase{}
+}
+
+func foldBin(k ir.BinKind, a, b uint32) uint32 {
+	switch k {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return a << (b & 31)
+	case ir.Shr:
+		return a >> (b & 31)
+	}
+	return 0
+}

@@ -1,0 +1,227 @@
+package apps
+
+import (
+	"fmt"
+
+	"opec/internal/core"
+	"opec/internal/dev"
+	"opec/internal/hal"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// AnimationPictures is the number of pictures the profiling window
+// shows (the paper's SD card holds 11).
+const AnimationPictures = 11
+
+// PictureBytes is the size of one stored picture (4 SD blocks).
+const PictureBytes = 2048
+
+// Animation builds the moving-butterfly workload on the STM32479I-EVAL
+// board: pictures are read from a FAT16 SD card and pushed to the LCD
+// one by one. Eight operations: main (default), Storage_Init,
+// Display_Init, Open_Task, Load_Task, Draw_Task, Delay_Task and
+// Frame_Task.
+func Animation() *App {
+	return &App{Name: "Animation", New: func() *Instance { return newAnimation(AnimationPictures) }}
+}
+
+// AnimationN shows a custom picture count.
+func AnimationN(pics int) *App {
+	return &App{Name: "Animation", New: func() *Instance { return newAnimation(pics) }}
+}
+
+// pictureData generates the deterministic content of picture i.
+func pictureData(i int) []byte {
+	b := make([]byte, PictureBytes)
+	for j := range b {
+		b[j] = byte(i*31 + j*7)
+	}
+	return b
+}
+
+// picName returns the 8.3 name of picture i ("PIC0    BMP" …).
+func picName(i int) string {
+	return fmt.Sprintf("PIC%-5dBMP", i)
+}
+
+func newAnimation(pics int) *Instance {
+	m := ir.NewModule("animation")
+	l := hal.New(m)
+	hal.InstallLibc(l)
+	hal.InstallLL(l)
+	hal.InstallCallbacks(l)
+	hal.InstallSystem(l)
+	hal.InstallRCC(l)
+	hal.InstallGPIO(l)
+	hal.InstallSD(l)
+	hal.InstallFatFs(l)
+	hal.InstallLCD(l)
+
+	frameBuf := m.AddGlobal(&ir.Global{Name: "frame_buffer", Typ: ir.Array(ir.I8, PictureBytes)})
+	picIndex := m.AddGlobal(&ir.Global{Name: "pic_index", Typ: ir.I32})
+	picsShown := m.AddGlobal(&ir.Global{Name: "pics_shown", Typ: ir.I32})
+	nameBuf := m.AddGlobal(&ir.Global{Name: "name_buffer", Typ: ir.Array(ir.I8, 11)})
+	openErrs := m.AddGlobal(&ir.Global{Name: "open_errors", Typ: ir.I32})
+
+	framesDone := m.AddGlobal(&ir.Global{Name: "frame_cb_count", Typ: ir.I32})
+
+	// on_frame_done: registered LCD frame-complete callback.
+	fcb := ir.NewFunc(m, "on_frame_done", "display.c", nil, ir.P("arg", ir.I32))
+	fn := fcb.Load(ir.I32, framesDone)
+	fcb.Store(ir.I32, framesDone, fcb.Add(fn, ir.CI(1)))
+	fcb.RetVoid()
+
+	// Storage_Init: SDIO + mount.
+	sti := ir.NewFunc(m, "Storage_Init", "sd_diskio.c", nil)
+	sti.Call(l.Fn("RCC_EnableSDIO"))
+	sti.Call(l.Fn("HAL_SD_Init"))
+	sti.Call(l.Fn("FATFS_LinkDriver"))
+	sti.Call(l.Fn("f_mount"))
+	sti.RetVoid()
+
+	// Display_Init.
+	dsi := ir.NewFunc(m, "Display_Init", "display.c", nil)
+	dsi.Call(l.Fn("RCC_EnableLTDC"))
+	dsi.Call(l.Fn("LCD_Init"))
+	dsi.Call(l.Fn("LCD_SetWindow"), ir.CI(0), ir.CI(0), ir.CI(32), ir.CI(32))
+	dsi.Call(l.Fn("HAL_Register_lcd_frame_Callback"), fcb.F)
+	dsi.RetVoid()
+
+	// build_name: write "PIC<i>   BMP" into name_buffer (digits up to
+	// two characters, space-padded like the card's 8.3 entries).
+	bn := ir.NewFunc(m, "build_name", "display.c", nil, ir.P("i", ir.I32))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 0), ir.CI('P'))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 1), ir.CI('I'))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 2), ir.CI('C'))
+	// digits
+	tens := bn.Div(bn.Arg("i"), ir.CI(10))
+	ones := bn.Bin(ir.Rem, bn.Arg("i"), ir.CI(10))
+	two := bn.NewBlock("two")
+	one := bn.NewBlock("one")
+	rest := bn.NewBlock("rest")
+	bn.CondBr(tens, two, one)
+	bn.SetBlock(two)
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 3), bn.Add(tens, ir.CI('0')))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 4), bn.Add(ones, ir.CI('0')))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 5), ir.CI(' '))
+	bn.Br(rest)
+	bn.SetBlock(one)
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 3), bn.Add(ones, ir.CI('0')))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 4), ir.CI(' '))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 5), ir.CI(' '))
+	bn.Br(rest)
+	bn.SetBlock(rest)
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 6), ir.CI(' '))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 7), ir.CI(' '))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 8), ir.CI('B'))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 9), ir.CI('M'))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 10), ir.CI('P'))
+	bn.RetVoid()
+
+	// Open_Task: open picture pic_index.
+	ot := ir.NewFunc(m, "Open_Task", "display.c", nil)
+	idx := ot.Load(ir.I32, picIndex)
+	ot.Call(bn.F, idx)
+	r := ot.Call(l.Fn("f_open"), nameBuf, ir.CI(hal.FARead))
+	bad := ot.NewBlock("bad")
+	ok := ot.NewBlock("ok")
+	ot.CondBr(r, bad, ok)
+	ot.SetBlock(bad)
+	e := ot.Load(ir.I32, openErrs)
+	ot.Store(ir.I32, openErrs, ot.Add(e, ir.CI(1)))
+	ot.RetVoid()
+	ot.SetBlock(ok)
+	ot.RetVoid()
+
+	// Load_Task: read the picture into the frame buffer.
+	ldt := ir.NewFunc(m, "Load_Task", "display.c", nil)
+	ldt.Call(l.Fn("f_read"), frameBuf, ir.CI(PictureBytes))
+	ldt.RetVoid()
+
+	// Draw_Task: push the frame to the panel.
+	dt := ir.NewFunc(m, "Draw_Task", "display.c", nil)
+	dt.Call(l.Fn("LCD_DrawImage"), frameBuf, ir.CI(PictureBytes/4))
+	dt.Call(l.Fn("HAL_Dispatch_lcd_frame"), ir.CI(1))
+	n := dt.Load(ir.I32, picsShown)
+	dt.Store(ir.I32, picsShown, dt.Add(n, ir.CI(1)))
+	dt.RetVoid()
+
+	// Delay_Task: wait for the panel refresh to settle.
+	dly := ir.NewFunc(m, "Delay_Task", "display.c", nil)
+	dly.Call(l.Fn("LCD_WaitReady"))
+	dly.RetVoid()
+
+	// Frame_Task: advance the animation index.
+	ft := ir.NewFunc(m, "Frame_Task", "display.c", nil)
+	i2 := ft.Load(ir.I32, picIndex)
+	ft.Store(ir.I32, picIndex, ft.Add(i2, ir.CI(1)))
+	ft.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	mb.Call(l.Fn("HAL_Init"))
+	mb.Call(sti.F)
+	mb.Call(dsi.F)
+	loop := mb.NewBlock("loop")
+	body := mb.NewBlock("body")
+	done := mb.NewBlock("done")
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	shown := mb.Load(ir.I32, picsShown)
+	mb.CondBr(mb.Lt(shown, ir.CI(uint32(pics))), body, done)
+	mb.SetBlock(body)
+	mb.Call(ot.F)
+	mb.Call(ldt.F)
+	mb.Call(dt.F)
+	mb.Call(dly.F)
+	mb.Call(ft.F)
+	mb.Br(loop)
+	mb.SetBlock(done)
+	mb.Halt()
+	mb.RetVoid()
+
+	// Devices: FAT16 card holding the pictures, the LCD panel.
+	clk := &mach.Clock{}
+	img := dev.NewFatImage(1024)
+	var wantChecksum uint32
+	for i := 0; i < pics; i++ {
+		data := pictureData(i)
+		if err := img.AddFile(picName(i), data); err != nil {
+			panic(err)
+		}
+		for j := 0; j+3 < len(data); j += 4 {
+			w := uint32(data[j]) | uint32(data[j+1])<<8 | uint32(data[j+2])<<16 | uint32(data[j+3])<<24
+			wantChecksum = wantChecksum*16777619 ^ w
+		}
+	}
+	sd := dev.NewSDCard(clk, img.Bytes(), 168_000)
+	lcd := dev.NewLCD(clk)
+	rcc := dev.NewRCC()
+
+	return &Instance{
+		Mod:   m,
+		Board: mach.STM32479IEval(),
+		Cfg: core.Config{Entries: []string{
+			"Storage_Init", "Display_Init", "Open_Task", "Load_Task",
+			"Draw_Task", "Delay_Task", "Frame_Task",
+		}},
+		Clk:       clk,
+		Devices:   []mach.Device{sd, lcd, rcc},
+		MaxCycles: 600_000_000,
+		Check: func(read ReadGlobal) error {
+			if err := checkEq("pictures shown", lcd.Frames, uint64(pics)); err != nil {
+				return err
+			}
+			if err := checkEq("pixels", lcd.Pixels, uint64(pics)*PictureBytes/4); err != nil {
+				return err
+			}
+			if got := read("open_errors", 0, 4); got != 0 {
+				return fmt.Errorf("open_errors = %d", got)
+			}
+			if lcd.Checksum != wantChecksum {
+				return fmt.Errorf("LCD checksum %#x, want %#x (pictures corrupted in flight)", lcd.Checksum, wantChecksum)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,162 @@
+package apps_test
+
+import (
+	"testing"
+
+	"opec/internal/aces"
+	"opec/internal/apps"
+	"opec/internal/run"
+)
+
+// quick returns reduced-size instances for the slow workloads so the
+// full vanilla×OPEC×ACES matrix stays fast.
+func quickApps() []*apps.App {
+	return []*apps.App{
+		apps.PinLockN(5),
+		apps.AnimationN(3),
+		apps.FatFsUSD(),
+		apps.LCDuSDN(2),
+		apps.TCPEchoN(3, 9),
+		apps.Camera(),
+		apps.CoreMarkN(3),
+	}
+}
+
+func TestAllAppsVanilla(t *testing.T) {
+	for _, app := range quickApps() {
+		t.Run(app.Name, func(t *testing.T) {
+			inst := app.New()
+			res, err := run.Vanilla(inst)
+			if err != nil {
+				t.Fatalf("vanilla run: %v", err)
+			}
+			if err := run.AndCheck(inst, res); err != nil {
+				t.Errorf("check: %v", err)
+			}
+			if res.Cycles == 0 {
+				t.Error("no cycles recorded")
+			}
+		})
+	}
+}
+
+func TestAllAppsOPEC(t *testing.T) {
+	for _, app := range quickApps() {
+		t.Run(app.Name, func(t *testing.T) {
+			inst := app.New()
+			res, err := run.OPEC(inst)
+			if err != nil {
+				t.Fatalf("OPEC run: %v", err)
+			}
+			if err := run.AndCheck(inst, res); err != nil {
+				t.Errorf("check: %v", err)
+			}
+			if res.Mon.Stats.Switches == 0 {
+				t.Error("no operation switches under OPEC")
+			}
+			if res.Machine.Privileged {
+				t.Error("application finished privileged")
+			}
+		})
+	}
+}
+
+func TestAllAppsACES(t *testing.T) {
+	for _, app := range quickApps() {
+		for _, strat := range []aces.Strategy{aces.Filename, aces.FilenameNoOpt, aces.Peripheral} {
+			t.Run(app.Name+"/"+strat.String(), func(t *testing.T) {
+				inst := app.New()
+				res, err := run.ACES(inst, strat)
+				if err != nil {
+					t.Fatalf("ACES run: %v", err)
+				}
+				if err := run.AndCheck(inst, res); err != nil {
+					t.Errorf("check: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// The three builds must compute identical results: protection must not
+// change functional behaviour.
+func TestCoreMarkResultInvariant(t *testing.T) {
+	get := func(r *run.Result) uint32 { return r.Read("benchmark_result", 0, 4) }
+
+	iv := apps.CoreMarkN(2).New()
+	rv, err := run.Vanilla(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io := apps.CoreMarkN(2).New()
+	ro, err := run.OPEC(io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia := apps.CoreMarkN(2).New()
+	ra, err := run.ACES(ia, aces.FilenameNoOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, o, a := get(rv), get(ro), get(ra)
+	if v != o || v != a {
+		t.Errorf("results diverge: vanilla=%#x opec=%#x aces=%#x", v, o, a)
+	}
+}
+
+// OPEC must cost more cycles than vanilla, but within a sane factor for
+// the I/O-bound workloads.
+func TestOverheadOrdering(t *testing.T) {
+	iv := apps.PinLockN(5).New()
+	rv, err := run.Vanilla(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io := apps.PinLockN(5).New()
+	ro, err := run.OPEC(io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Cycles <= rv.Cycles {
+		t.Errorf("OPEC cycles %d <= vanilla %d", ro.Cycles, rv.Cycles)
+	}
+	ratio := float64(ro.Cycles) / float64(rv.Cycles)
+	if ratio > 2.0 {
+		t.Errorf("PinLock OPEC overhead ratio %.2f; expected close to 1 (I/O-bound)", ratio)
+	}
+}
+
+// Operation counts must match the workloads' design (Table 1 #OPs).
+func TestOperationCounts(t *testing.T) {
+	want := map[string]int{
+		"PinLock":   6,
+		"Animation": 8,
+		"FatFs-uSD": 10,
+		"LCD-uSD":   11,
+		"TCP-Echo":  9,
+		"Camera":    9,
+		"CoreMark":  9,
+	}
+	for _, app := range quickApps() {
+		inst := app.New()
+		res, err := run.OPEC(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if got := len(res.Build.Ops); got != want[app.Name] {
+			t.Errorf("%s: %d operations, want %d", app.Name, got, want[app.Name])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := apps.ByName("PinLock"); err != nil {
+		t.Error(err)
+	}
+	if _, err := apps.ByName("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if got := len(apps.All()); got != 7 {
+		t.Errorf("All() = %d apps", got)
+	}
+}

@@ -1,0 +1,175 @@
+package apps
+
+import (
+	"fmt"
+
+	"opec/internal/core"
+	"opec/internal/dev"
+	"opec/internal/hal"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// CameraFrameBytes is the synthetic photo size (dev.FrameWords words).
+const CameraFrameBytes = dev.FrameWords * 4
+
+// Camera builds the photo workload on the STM32479I-EVAL board: wait
+// for the user button, capture a frame over DCMI, save it to the USB
+// flash disk sector by sector. Nine operations: main plus eight
+// entries.
+func Camera() *App {
+	return &App{Name: "Camera", New: newCamera}
+}
+
+func newCamera() *Instance {
+	m := ir.NewModule("camera")
+	l := hal.New(m)
+	hal.InstallLibc(l)
+	hal.InstallLL(l)
+	hal.InstallCallbacks(l)
+	hal.InstallSystem(l)
+	hal.InstallCrypto(l)
+	hal.InstallRCC(l)
+	hal.InstallGPIO(l)
+	hal.InstallDCMI(l)
+	hal.InstallUSB(l)
+
+	frame := m.AddGlobal(&ir.Global{Name: "frame_buffer", Typ: ir.Array(ir.I8, CameraFrameBytes)})
+	saved := m.AddGlobal(&ir.Global{Name: "photos_saved", Typ: ir.I32})
+	frameSum := m.AddGlobal(&ir.Global{Name: "frame_hash", Typ: ir.I32})
+	camState := m.AddGlobal(&ir.Global{Name: "camera_state", Typ: ir.I32,
+		Critical: &ir.ValueRange{Min: 0, Max: 3}})
+
+	// Camera_Init_Task.
+	cit := ir.NewFunc(m, "Camera_Init_Task", "camera_app.c", nil)
+	cit.Call(l.Fn("RCC_EnableDCMI"))
+	cit.Store(ir.I32, camState, ir.CI(1))
+	cit.RetVoid()
+
+	// Usb_Init_Task.
+	uit := ir.NewFunc(m, "Usb_Init_Task", "usbh_conf.c", nil)
+	uit.Call(l.Fn("RCC_EnableUSB"))
+	uit.RetVoid()
+
+	// Button_Task: poll the user button (GPIOA pin 0).
+	bt := ir.NewFunc(m, "Button_Task", "camera_app.c", nil)
+	wait := bt.NewBlock("wait")
+	pressed := bt.NewBlock("pressed")
+	bt.Br(wait)
+	bt.SetBlock(wait)
+	v := bt.Call(l.Fn("GPIOA_ReadPin"), ir.CI(0))
+	bt.CondBr(v, pressed, wait)
+	bt.SetBlock(pressed)
+	bt.RetVoid()
+
+	// Capture_Task: shoot one frame into the buffer.
+	cpt := ir.NewFunc(m, "Capture_Task", "camera_app.c", nil)
+	cpt.Store(ir.I32, camState, ir.CI(2))
+	cpt.Call(l.Fn("DCMI_StartCapture"))
+	cpt.Call(l.Fn("DCMI_WaitFrame"))
+	cpt.Call(l.Fn("DCMI_ReadFrame"), frame, ir.CI(dev.FrameWords))
+	cpt.RetVoid()
+
+	// Hash_Task: fingerprint the frame (integrity telemetry).
+	ht := ir.NewFunc(m, "Hash_Task", "camera_app.c", nil)
+	h := ht.Call(l.Fn("hash_buf"), frame, ir.CI(256))
+	ht.Store(ir.I32, frameSum, h)
+	ht.RetVoid()
+
+	// Save_Task: stream the frame to the USB disk, 512 B per sector.
+	svt := ir.NewFunc(m, "Save_Task", "usbh_msc_app.c", nil)
+	svt.Store(ir.I32, camState, ir.CI(3))
+	sectors := CameraFrameBytes / 512
+	iSlot := svt.Alloca(ir.I32)
+	svt.Store(ir.I32, iSlot, ir.CI(0))
+	loop := svt.NewBlock("loop")
+	body := svt.NewBlock("body")
+	done := svt.NewBlock("done")
+	svt.Br(loop)
+	svt.SetBlock(loop)
+	iv := svt.Load(ir.I32, iSlot)
+	svt.CondBr(svt.Lt(iv, ir.CI(uint32(sectors))), body, done)
+	svt.SetBlock(body)
+	iv2 := svt.Load(ir.I32, iSlot)
+	src := svt.Index(frame, ir.I8, svt.Mul(iv2, ir.CI(512)))
+	svt.Call(l.Fn("MSC_WriteSector"), iv2, src, ir.CI(128))
+	svt.Store(ir.I32, iSlot, svt.Add(iv2, ir.CI(1)))
+	svt.Br(loop)
+	svt.SetBlock(done)
+	s := svt.Load(ir.I32, saved)
+	svt.Store(ir.I32, saved, svt.Add(s, ir.CI(1)))
+	svt.RetVoid()
+
+	// Led_Task: blink on completion.
+	ledt := ir.NewFunc(m, "Led_Task", "camera_app.c", nil)
+	ledt.Call(l.Fn("GPIOD_WritePin"), ir.CI(13), ir.CI(1))
+	ledt.RetVoid()
+
+	// Error_Task: camera fault recovery (dead in a clean run).
+	et := ir.NewFunc(m, "Error_Task", "camera_app.c", nil)
+	st := et.Load(ir.I32, camState)
+	badB := et.NewBlock("bad")
+	okB := et.NewBlock("ok")
+	et.CondBr(et.Gt(st, ir.CI(3)), badB, okB)
+	et.SetBlock(badB)
+	et.Call(l.Fn("DCMI_StartCapture")) // re-arm
+	et.Br(okB)
+	et.SetBlock(okB)
+	et.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	mb.Call(l.Fn("HAL_Init"))
+	mb.Call(l.Fn("RCC_EnableGPIO"))
+	mb.Call(l.Fn("GPIO_InitPorts"))
+	mb.Call(cit.F)
+	mb.Call(uit.F)
+	mb.Call(bt.F)
+	mb.Call(cpt.F)
+	mb.Call(ht.F)
+	mb.Call(svt.F)
+	mb.Call(ledt.F)
+	mb.Call(et.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	clk := &mach.Clock{}
+	cam := dev.NewCamera(clk, 1_000_000)
+	usb := dev.NewUSBMSC(clk, 50_000)
+	gpioa := dev.NewGPIO(mach.GPIOABase, clk)
+	gpioa.SchedulePress(0, 500_000) // user presses the button
+	gpiod := dev.NewGPIO(mach.GPIODBase, clk)
+	rcc := dev.NewRCC()
+
+	return &Instance{
+		Mod:   m,
+		Board: mach.STM32479IEval(),
+		Cfg: core.Config{Entries: []string{
+			"Camera_Init_Task", "Usb_Init_Task", "Button_Task", "Capture_Task",
+			"Hash_Task", "Save_Task", "Led_Task", "Error_Task",
+		}},
+		Clk:       clk,
+		Devices:   []mach.Device{cam, usb, gpioa, gpiod, rcc},
+		MaxCycles: 300_000_000,
+		Check: func(read ReadGlobal) error {
+			if got := read("photos_saved", 0, 4); got != 1 {
+				return fmt.Errorf("photos_saved = %d", got)
+			}
+			if err := checkEq("USB sectors", uint64(len(usb.Sectors)), uint64(CameraFrameBytes/512)); err != nil {
+				return err
+			}
+			// Spot-check the saved photo against the deterministic
+			// camera pattern.
+			sec0 := usb.Sectors[0]
+			if len(sec0) != 512 {
+				return fmt.Errorf("sector 0 length %d", len(sec0))
+			}
+			for w := 0; w < 128; w++ {
+				got := uint32(sec0[4*w]) | uint32(sec0[4*w+1])<<8 | uint32(sec0[4*w+2])<<16 | uint32(sec0[4*w+3])<<24
+				if got != dev.PixelAt(1, w) {
+					return fmt.Errorf("saved pixel %d = %#x, want %#x", w, got, dev.PixelAt(1, w))
+				}
+			}
+			return nil
+		},
+	}
+}

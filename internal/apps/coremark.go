@@ -1,0 +1,362 @@
+package apps
+
+import (
+	"fmt"
+
+	"opec/internal/core"
+	"opec/internal/dev"
+	"opec/internal/hal"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// CoreMark workload dimensions. Each task repeats its kernel several
+// times per outer iteration (the real benchmark runs thousands of
+// iterations; the inner repeats keep the per-task compute large
+// relative to one operation switch, as on hardware).
+const (
+	cmListLen    = 64
+	cmMatrixN    = 10
+	cmIterations = 10
+	cmStateLen   = 32
+	cmListReps   = 8
+	cmStateReps  = 12
+	cmMatrixReps = 2
+)
+
+// CoreMark builds the benchmark workload on the STM32F4-Discovery
+// board: the three CoreMark kernels — linked-list processing, matrix
+// manipulation and a state machine — iterated under a CRC whose final
+// value is the benchmark result. Nine operations: main plus eight
+// entries. Unlike the I/O workloads, CoreMark is compute-bound, so the
+// monitor's switch cost is not hidden behind device waits.
+func CoreMark() *App {
+	return &App{Name: "CoreMark", New: func() *Instance { return newCoreMark(cmIterations) }}
+}
+
+// CoreMarkN runs a custom iteration count.
+func CoreMarkN(iters int) *App {
+	return &App{Name: "CoreMark", New: func() *Instance { return newCoreMark(iters) }}
+}
+
+func newCoreMark(iters int) *Instance {
+	m := ir.NewModule("coremark")
+	l := hal.New(m)
+	hal.InstallLibc(l)
+	hal.InstallLL(l)
+	hal.InstallCallbacks(l)
+	hal.InstallSystem(l)
+
+	// Benchmark state. list_data/list_next form an index-linked list;
+	// the matrices and the state-machine input string are the other two
+	// kernels' working sets; crc_acc threads the validation CRC.
+	listData := m.AddGlobal(&ir.Global{Name: "list_data", Typ: ir.Array(ir.I32, cmListLen)})
+	listNext := m.AddGlobal(&ir.Global{Name: "list_next", Typ: ir.Array(ir.I32, cmListLen)})
+	listHead := m.AddGlobal(&ir.Global{Name: "list_head", Typ: ir.I32})
+	matA := m.AddGlobal(&ir.Global{Name: "mat_a", Typ: ir.Array(ir.I32, cmMatrixN*cmMatrixN)})
+	matB := m.AddGlobal(&ir.Global{Name: "mat_b", Typ: ir.Array(ir.I32, cmMatrixN*cmMatrixN)})
+	matC := m.AddGlobal(&ir.Global{Name: "mat_c", Typ: ir.Array(ir.I32, cmMatrixN*cmMatrixN)})
+	stInput := m.AddGlobal(&ir.Global{Name: "state_input", Typ: ir.Array(ir.I8, cmStateLen),
+		Init: []byte("012x4+67.9a12345,7890+-x.0,12345")})
+	stCounts := m.AddGlobal(&ir.Global{Name: "state_counts", Typ: ir.Array(ir.I32, 4)})
+	crcAcc := m.AddGlobal(&ir.Global{Name: "crc_acc", Typ: ir.I32})
+	seed := m.AddGlobal(&ir.Global{Name: "seed", Typ: ir.I32, Init: []byte{0x34, 0x12, 0, 0}})
+	iterDone := m.AddGlobal(&ir.Global{Name: "iterations_done", Typ: ir.I32})
+	result := m.AddGlobal(&ir.Global{Name: "benchmark_result", Typ: ir.I32})
+
+	// crc16 step ("core_util.c"): CoreMark's crcu8 over one byte.
+	crc8 := ir.NewFunc(m, "crcu8", "core_util.c", ir.I32, ir.P("data", ir.I32), ir.P("crc", ir.I32))
+	dSlot := crc8.Alloca(ir.I32)
+	cSlot := crc8.Alloca(ir.I32)
+	crc8.Store(ir.I32, dSlot, crc8.Arg("data"))
+	crc8.Store(ir.I32, cSlot, crc8.Arg("crc"))
+	iS := crc8.Alloca(ir.I32)
+	crc8.Store(ir.I32, iS, ir.CI(0))
+	cl := crc8.NewBlock("loop")
+	cb := crc8.NewBlock("body")
+	cx := crc8.NewBlock("xor")
+	cn := crc8.NewBlock("noxor")
+	cj := crc8.NewBlock("join")
+	ce := crc8.NewBlock("end")
+	crc8.Br(cl)
+	crc8.SetBlock(cl)
+	iv := crc8.Load(ir.I32, iS)
+	crc8.CondBr(crc8.Lt(iv, ir.CI(8)), cb, ce)
+	crc8.SetBlock(cb)
+	dv := crc8.Load(ir.I32, dSlot)
+	cv := crc8.Load(ir.I32, cSlot)
+	x16 := crc8.And(crc8.Xor(dv, cv), ir.CI(1))
+	crc8.Store(ir.I32, dSlot, crc8.Shr(dv, ir.CI(1)))
+	crc8.CondBr(x16, cx, cn)
+	crc8.SetBlock(cx)
+	cv2 := crc8.Load(ir.I32, cSlot)
+	crc8.Store(ir.I32, cSlot, crc8.Xor(crc8.Shr(cv2, ir.CI(1)), ir.CI(0xA001)))
+	crc8.Br(cj)
+	crc8.SetBlock(cn)
+	cv3 := crc8.Load(ir.I32, cSlot)
+	crc8.Store(ir.I32, cSlot, crc8.Shr(cv3, ir.CI(1)))
+	crc8.Br(cj)
+	crc8.SetBlock(cj)
+	iv2 := crc8.Load(ir.I32, iS)
+	crc8.Store(ir.I32, iS, crc8.Add(iv2, ir.CI(1)))
+	crc8.Br(cl)
+	crc8.SetBlock(ce)
+	crc8.Ret(crc8.Load(ir.I32, cSlot))
+
+	// crcu32: fold a 32-bit value into the CRC.
+	crc32f := ir.NewFunc(m, "crcu32", "core_util.c", ir.I32, ir.P("v", ir.I32), ir.P("crc", ir.I32))
+	c0 := crc32f.Call(crc8.F, crc32f.And(crc32f.Arg("v"), ir.CI(0xFF)), crc32f.Arg("crc"))
+	c1 := crc32f.Call(crc8.F, crc32f.And(crc32f.Shr(crc32f.Arg("v"), ir.CI(8)), ir.CI(0xFF)), c0)
+	c2 := crc32f.Call(crc8.F, crc32f.And(crc32f.Shr(crc32f.Arg("v"), ir.CI(16)), ir.CI(0xFF)), c1)
+	crc32f.Ret(crc32f.Call(crc8.F, crc32f.Shr(crc32f.Arg("v"), ir.CI(24)), c2))
+
+	idx32 := func(fb *ir.FuncBuilder, base *ir.Global, i ir.Value) *ir.Instr {
+		return fb.Index(base, ir.I32, i)
+	}
+
+	// List_Init_Task ("core_list_join.c").
+	lit := ir.NewFunc(m, "List_Init_Task", "core_list_join.c", nil)
+	sv := lit.Load(ir.I32, seed)
+	litLoop(lit, func(fb *ir.FuncBuilder, i ir.Value) {
+		v := fb.Add(fb.Mul(i, ir.CI(7)), sv)
+		fb.Store(ir.I32, idx32(fb, listData, i), v)
+		fb.Store(ir.I32, idx32(fb, listNext, i), fb.Add(i, ir.CI(1)))
+	})
+	// Terminate the list and set the head.
+	lit.Store(ir.I32, lit.Index(listNext, ir.I32, ir.CI(cmListLen-1)), ir.CI(0xFFFFFFFF))
+	lit.Store(ir.I32, listHead, ir.CI(0))
+	lit.RetVoid()
+
+	// List_Task: reverse the index-linked list, then CRC a walk,
+	// repeated cmListReps times per activation.
+	lt := ir.NewFunc(m, "List_Task", "core_list_join.c", nil)
+	prev := lt.Alloca(ir.I32)
+	cur := lt.Alloca(ir.I32)
+	rep := lt.Alloca(ir.I32)
+	lt.Store(ir.I32, rep, ir.CI(0))
+	repLoop := lt.NewBlock("reploop")
+	repBody := lt.NewBlock("repbody")
+	repEnd := lt.NewBlock("repend")
+	lt.Br(repLoop)
+	lt.SetBlock(repLoop)
+	rv := lt.Load(ir.I32, rep)
+	lt.CondBr(lt.Lt(rv, ir.CI(cmListReps)), repBody, repEnd)
+	lt.SetBlock(repBody)
+	lt.Store(ir.I32, prev, ir.CI(0xFFFFFFFF))
+	lt.Store(ir.I32, cur, lt.Load(ir.I32, listHead))
+	rl := lt.NewBlock("rev")
+	rb := lt.NewBlock("revbody")
+	re := lt.NewBlock("revend")
+	lt.Br(rl)
+	lt.SetBlock(rl)
+	cv4 := lt.Load(ir.I32, cur)
+	lt.CondBr(lt.Eq(cv4, ir.CI(0xFFFFFFFF)), re, rb)
+	lt.SetBlock(rb)
+	cv5 := lt.Load(ir.I32, cur)
+	nx := lt.Load(ir.I32, lt.Index(listNext, ir.I32, cv5))
+	pv := lt.Load(ir.I32, prev)
+	lt.Store(ir.I32, lt.Index(listNext, ir.I32, cv5), pv)
+	lt.Store(ir.I32, prev, cv5)
+	lt.Store(ir.I32, cur, nx)
+	lt.Br(rl)
+	lt.SetBlock(re)
+	lt.Store(ir.I32, listHead, lt.Load(ir.I32, prev))
+	// CRC the data in (new) list order.
+	lt.Store(ir.I32, cur, lt.Load(ir.I32, listHead))
+	wl := lt.NewBlock("walk")
+	wb := lt.NewBlock("walkbody")
+	we := lt.NewBlock("walkend")
+	lt.Br(wl)
+	lt.SetBlock(wl)
+	cv6 := lt.Load(ir.I32, cur)
+	lt.CondBr(lt.Eq(cv6, ir.CI(0xFFFFFFFF)), we, wb)
+	lt.SetBlock(wb)
+	cv7 := lt.Load(ir.I32, cur)
+	d2 := lt.Load(ir.I32, lt.Index(listData, ir.I32, cv7))
+	acc := lt.Load(ir.I32, crcAcc)
+	lt.Store(ir.I32, crcAcc, lt.Call(crc32f.F, d2, acc))
+	lt.Store(ir.I32, cur, lt.Load(ir.I32, lt.Index(listNext, ir.I32, cv7)))
+	lt.Br(wl)
+	lt.SetBlock(we)
+	rv2 := lt.Load(ir.I32, rep)
+	lt.Store(ir.I32, rep, lt.Add(rv2, ir.CI(1)))
+	lt.Br(repLoop)
+	lt.SetBlock(repEnd)
+	lt.RetVoid()
+
+	// Matrix_Init_Task ("core_matrix.c").
+	mit := ir.NewFunc(m, "Matrix_Init_Task", "core_matrix.c", nil)
+	msv := mit.Load(ir.I32, seed)
+	litLoopN(mit, cmMatrixN*cmMatrixN, func(fb *ir.FuncBuilder, i ir.Value) {
+		fb.Store(ir.I32, idx32(fb, matA, i), fb.And(fb.Add(i, msv), ir.CI(0xFF)))
+		fb.Store(ir.I32, idx32(fb, matB, i), fb.And(fb.Mul(i, ir.CI(3)), ir.CI(0xFF)))
+	})
+	mit.RetVoid()
+
+	// Matrix_Task: C = A×B then CRC C's diagonal, cmMatrixReps times.
+	mt := ir.NewFunc(m, "Matrix_Task", "core_matrix.c", nil)
+	litLoopN(mt, cmMatrixReps, func(_ *ir.FuncBuilder, _ ir.Value) {
+		litLoopN(mt, cmMatrixN, func(fb *ir.FuncBuilder, i ir.Value) {
+			litLoopN(fb, cmMatrixN, func(fb2 *ir.FuncBuilder, j ir.Value) {
+				accS := fb2.Alloca(ir.I32)
+				fb2.Store(ir.I32, accS, ir.CI(0))
+				litLoopN(fb2, cmMatrixN, func(fb3 *ir.FuncBuilder, k ir.Value) {
+					a := fb3.Load(ir.I32, idx32(fb3, matA, fb3.Add(fb3.Mul(i, ir.CI(cmMatrixN)), k)))
+					b := fb3.Load(ir.I32, idx32(fb3, matB, fb3.Add(fb3.Mul(k, ir.CI(cmMatrixN)), j)))
+					s := fb3.Load(ir.I32, accS)
+					fb3.Store(ir.I32, accS, fb3.Add(s, fb3.Mul(a, b)))
+				})
+				fb2.Store(ir.I32, idx32(fb2, matC, fb2.Add(fb2.Mul(i, ir.CI(cmMatrixN)), j)),
+					fb2.Load(ir.I32, accS))
+			})
+		})
+		litLoopN(mt, cmMatrixN, func(fb *ir.FuncBuilder, i ir.Value) {
+			d := fb.Load(ir.I32, idx32(fb, matC, fb.Mul(i, ir.CI(cmMatrixN+1))))
+			acc := fb.Load(ir.I32, crcAcc)
+			fb.Store(ir.I32, crcAcc, fb.Call(crc32f.F, d, acc))
+		})
+	})
+	mt.RetVoid()
+
+	// State_Task ("core_state.c"): CoreMark-style scanner over the
+	// input string classifying int / float / operator / invalid runs.
+	st := ir.NewFunc(m, "State_Task", "core_state.c", nil)
+	stateS := st.Alloca(ir.I32) // 0 start, 1 int, 2 float, 3 invalid
+	st.Store(ir.I32, stateS, ir.CI(0))
+	litLoopN(st, cmStateReps, func(_ *ir.FuncBuilder, _ ir.Value) {
+		litLoopN(st, cmStateLen, func(fb *ir.FuncBuilder, i ir.Value) {
+			ch := fb.Load(ir.I8, fb.Index(stInput, ir.I8, i))
+			isDigit := fb.And(fb.Ge(ch, ir.CI('0')), fb.Le(ch, ir.CI('9')))
+			isDot := fb.Eq(ch, ir.CI('.'))
+			isOp := fb.Or(fb.Eq(ch, ir.CI('+')), fb.Eq(ch, ir.CI('-')))
+			dig := fb.NewBlock("dig")
+			dot := fb.NewBlock("dot")
+			op := fb.NewBlock("op")
+			inv := fb.NewBlock("inv")
+			join := fb.NewBlock("join")
+			tryDot := fb.NewBlock("trydot")
+			tryOp := fb.NewBlock("tryop")
+			fb.CondBr(isDigit, dig, tryDot)
+			fb.SetBlock(tryDot)
+			fb.CondBr(isDot, dot, tryOp)
+			fb.SetBlock(tryOp)
+			fb.CondBr(isOp, op, inv)
+			fb.SetBlock(dig)
+			fb.Store(ir.I32, stateS, ir.CI(1))
+			c := fb.Load(ir.I32, fb.Index(stCounts, ir.I32, ir.CI(1)))
+			fb.Store(ir.I32, fb.Index(stCounts, ir.I32, ir.CI(1)), fb.Add(c, ir.CI(1)))
+			fb.Br(join)
+			fb.SetBlock(dot)
+			fb.Store(ir.I32, stateS, ir.CI(2))
+			c2 := fb.Load(ir.I32, fb.Index(stCounts, ir.I32, ir.CI(2)))
+			fb.Store(ir.I32, fb.Index(stCounts, ir.I32, ir.CI(2)), fb.Add(c2, ir.CI(1)))
+			fb.Br(join)
+			fb.SetBlock(op)
+			fb.Store(ir.I32, stateS, ir.CI(0))
+			c3 := fb.Load(ir.I32, fb.Index(stCounts, ir.I32, ir.CI(0)))
+			fb.Store(ir.I32, fb.Index(stCounts, ir.I32, ir.CI(0)), fb.Add(c3, ir.CI(1)))
+			fb.Br(join)
+			fb.SetBlock(inv)
+			fb.Store(ir.I32, stateS, ir.CI(3))
+			c4 := fb.Load(ir.I32, fb.Index(stCounts, ir.I32, ir.CI(3)))
+			fb.Store(ir.I32, fb.Index(stCounts, ir.I32, ir.CI(3)), fb.Add(c4, ir.CI(1)))
+			fb.Br(join)
+			fb.SetBlock(join)
+			sv2 := fb.Load(ir.I32, stateS)
+			acc := fb.Load(ir.I32, crcAcc)
+			fb.Store(ir.I32, crcAcc, fb.Call(crc8.F, sv2, acc))
+		})
+	})
+	st.RetVoid()
+
+	// Crc_Task ("core_util.c"): fold the per-kernel state counters in.
+	ct := ir.NewFunc(m, "Crc_Task", "core_util.c", nil)
+	litLoopN(ct, 4, func(fb *ir.FuncBuilder, i ir.Value) {
+		c := fb.Load(ir.I32, fb.Index(stCounts, ir.I32, i))
+		acc := fb.Load(ir.I32, crcAcc)
+		fb.Store(ir.I32, crcAcc, fb.Call(crc32f.F, c, acc))
+	})
+	ct.RetVoid()
+
+	// Report_Task ("core_main.c"): publish the benchmark result.
+	rt := ir.NewFunc(m, "Report_Task", "core_main.c", nil)
+	rt.Store(ir.I32, result, rt.Load(ir.I32, crcAcc))
+	rt.RetVoid()
+
+	// Iterate_Task: bookkeeping between rounds.
+	it := ir.NewFunc(m, "Iterate_Task", "core_main.c", nil)
+	n := it.Load(ir.I32, iterDone)
+	it.Store(ir.I32, iterDone, it.Add(n, ir.CI(1)))
+	s2 := it.Load(ir.I32, seed)
+	it.Store(ir.I32, seed, it.Add(it.Mul(s2, ir.CI(1103515245)), ir.CI(12345)))
+	it.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "core_main.c", nil)
+	mb.Call(l.Fn("HAL_Init"))
+	loop := mb.NewBlock("loop")
+	body := mb.NewBlock("body")
+	done := mb.NewBlock("done")
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	nv := mb.Load(ir.I32, iterDone)
+	mb.CondBr(mb.Lt(nv, ir.CI(uint32(iters))), body, done)
+	mb.SetBlock(body)
+	mb.Call(lit.F)
+	mb.Call(mit.F)
+	mb.Call(lt.F)
+	mb.Call(mt.F)
+	mb.Call(st.F)
+	mb.Call(ct.F)
+	mb.Call(it.F)
+	mb.Br(loop)
+	mb.SetBlock(done)
+	mb.Call(rt.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	clk := &mach.Clock{}
+
+	return &Instance{
+		Mod:   m,
+		Board: mach.STM32F4Discovery(),
+		Cfg: core.Config{Entries: []string{
+			"List_Init_Task", "Matrix_Init_Task", "List_Task", "Matrix_Task",
+			"State_Task", "Crc_Task", "Iterate_Task", "Report_Task",
+		}},
+		Clk:       clk,
+		Devices:   []mach.Device{dev.NewRCC()},
+		MaxCycles: 80_000_000 + uint64(iters)*3_000_000,
+		Check: func(read ReadGlobal) error {
+			if got := read("iterations_done", 0, 4); got != uint32(iters) {
+				return fmt.Errorf("iterations_done = %d, want %d", got, iters)
+			}
+			if got := read("benchmark_result", 0, 4); got == 0 {
+				return fmt.Errorf("benchmark_result is zero")
+			}
+			return nil
+		},
+	}
+}
+
+// litLoop iterates cmListLen times; litLoopN a custom count.
+func litLoop(fb *ir.FuncBuilder, body func(fb *ir.FuncBuilder, i ir.Value)) {
+	litLoopN(fb, cmListLen, body)
+}
+
+func litLoopN(fb *ir.FuncBuilder, n int, body func(fb *ir.FuncBuilder, i ir.Value)) {
+	iSlot := fb.Alloca(ir.I32)
+	fb.Store(ir.I32, iSlot, ir.CI(0))
+	loop := fb.NewBlock("lloop")
+	bodyB := fb.NewBlock("lbody")
+	done := fb.NewBlock("ldone")
+	fb.Br(loop)
+	fb.SetBlock(loop)
+	iv := fb.Load(ir.I32, iSlot)
+	fb.CondBr(fb.Lt(iv, ir.CI(uint32(n))), bodyB, done)
+	fb.SetBlock(bodyB)
+	body(fb, fb.Load(ir.I32, iSlot))
+	iv2 := fb.Load(ir.I32, iSlot)
+	fb.Store(ir.I32, iSlot, fb.Add(iv2, ir.CI(1)))
+	fb.Br(loop)
+	fb.SetBlock(done)
+}

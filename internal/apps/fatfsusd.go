@@ -1,0 +1,184 @@
+package apps
+
+import (
+	"fmt"
+
+	"opec/internal/core"
+	"opec/internal/dev"
+	"opec/internal/hal"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// fatfsMessage is the fixed content FatFs-uSD writes and reads back.
+const fatfsMessage = "This is STM32 working with FatFs + OPEC isolation over a FAT16 volume on uSD."
+
+// FatFsUSD builds the filesystem workload on the STM32479I-EVAL board:
+// it creates a file on the FAT16 SD card, writes a fixed message,
+// re-opens and reads the file, and verifies the content. Ten
+// operations: main plus nine entries covering init, mount, create,
+// write, sync, open, read, verify and the LED status task.
+func FatFsUSD() *App {
+	return &App{Name: "FatFs-uSD", New: newFatFsUSD}
+}
+
+func newFatFsUSD() *Instance {
+	m := ir.NewModule("fatfs-usd")
+	l := hal.New(m)
+	hal.InstallLibc(l)
+	hal.InstallLL(l)
+	hal.InstallCallbacks(l)
+	hal.InstallSystem(l)
+	hal.InstallRCC(l)
+	hal.InstallGPIO(l)
+	hal.InstallSD(l)
+	hal.InstallFatFs(l)
+
+	msg := m.AddGlobal(&ir.Global{Name: "wtext", Typ: ir.Array(ir.I8, len(fatfsMessage)),
+		Init: []byte(fatfsMessage), Const: true})
+	fname := m.AddGlobal(&ir.Global{Name: "file_name", Typ: ir.Array(ir.I8, 11),
+		Init: []byte("STM32   TXT"), Const: true})
+	rbuf := m.AddGlobal(&ir.Global{Name: "rtext", Typ: ir.Array(ir.I8, 128)})
+	bytesWritten := m.AddGlobal(&ir.Global{Name: "byteswritten", Typ: ir.I32})
+	bytesRead := m.AddGlobal(&ir.Global{Name: "bytesread", Typ: ir.I32})
+	appStatus := m.AddGlobal(&ir.Global{Name: "app_status", Typ: ir.I32,
+		Critical: &ir.ValueRange{Min: 0, Max: 8}})
+
+	setErr := func(fb *ir.FuncBuilder, code uint32, cond ir.Value) {
+		bad := fb.NewBlock("err")
+		ok := fb.NewBlock("ok")
+		fb.CondBr(cond, bad, ok)
+		fb.SetBlock(bad)
+		fb.Store(ir.I32, appStatus, ir.CI(code))
+		fb.Br(ok)
+		fb.SetBlock(ok)
+	}
+
+	xferCount := m.AddGlobal(&ir.Global{Name: "sd_xfer_count", Typ: ir.I32})
+
+	// on_sd_xfer: registered block-transfer-complete callback, fired by
+	// HAL_SD_ReadBlock/WriteBlock through the indirect dispatch.
+	xcb := ir.NewFunc(m, "on_sd_xfer", "app_fatfs.c", nil, ir.P("blk", ir.I32))
+	xn := xcb.Load(ir.I32, xferCount)
+	xcb.Store(ir.I32, xferCount, xcb.Add(xn, ir.CI(1)))
+	xcb.RetVoid()
+
+	// SDCard_Init_Task.
+	sit := ir.NewFunc(m, "SDCard_Init_Task", "sd_diskio.c", nil)
+	sit.Call(l.Fn("RCC_EnableSDIO"))
+	sit.Call(l.Fn("HAL_SD_Init"))
+	sit.Call(l.Fn("FATFS_LinkDriver"))
+	sit.Call(l.Fn("HAL_Register_sd_xfer_Callback"), xcb.F)
+	sit.RetVoid()
+
+	// Mount_Task.
+	mt := ir.NewFunc(m, "Mount_Task", "app_fatfs.c", nil)
+	r := mt.Call(l.Fn("f_mount"))
+	setErr(mt, 1, r)
+	mt.RetVoid()
+
+	// Create_Task: open for writing.
+	ct := ir.NewFunc(m, "Create_Task", "app_fatfs.c", nil)
+	r2 := ct.Call(l.Fn("f_open"), fname, ir.CI(hal.FACreate))
+	setErr(ct, 2, r2)
+	ct.RetVoid()
+
+	// Write_Task.
+	wt := ir.NewFunc(m, "Write_Task", "app_fatfs.c", nil)
+	n := wt.Call(l.Fn("f_write"), msg, ir.CI(uint32(len(fatfsMessage))))
+	wt.Store(ir.I32, bytesWritten, n)
+	setErr(wt, 3, wt.Ne(n, ir.CI(uint32(len(fatfsMessage)))))
+	wt.RetVoid()
+
+	// Sync_Task: persist the directory entry.
+	st := ir.NewFunc(m, "Sync_Task", "app_fatfs.c", nil)
+	r3 := st.Call(l.Fn("f_close"))
+	setErr(st, 4, r3)
+	st.RetVoid()
+
+	// Open_Task: re-open for reading.
+	ot := ir.NewFunc(m, "Open_Read_Task", "app_fatfs.c", nil)
+	r4 := ot.Call(l.Fn("f_open"), fname, ir.CI(hal.FARead))
+	setErr(ot, 5, r4)
+	ot.RetVoid()
+
+	// Read_Task.
+	rt := ir.NewFunc(m, "Read_Task", "app_fatfs.c", nil)
+	n2 := rt.Call(l.Fn("f_read"), rbuf, ir.CI(uint32(len(fatfsMessage))))
+	rt.Store(ir.I32, bytesRead, n2)
+	setErr(rt, 6, rt.Ne(n2, ir.CI(uint32(len(fatfsMessage)))))
+	rt.RetVoid()
+
+	// Verify_Task: compare what came back with what went out.
+	vt := ir.NewFunc(m, "Verify_Task", "app_fatfs.c", nil)
+	d := vt.Call(l.Fn("memcmp"), rbuf, msg, ir.CI(uint32(len(fatfsMessage))))
+	setErr(vt, 7, d)
+	vt.RetVoid()
+
+	// Led_Task: success/failure indication on the LED.
+	ledt := ir.NewFunc(m, "Led_Task", "app_fatfs.c", nil)
+	sv := ledt.Load(ir.I32, appStatus)
+	okB := ledt.NewBlock("ok")
+	errB := ledt.NewBlock("err")
+	out := ledt.NewBlock("out")
+	ledt.CondBr(sv, errB, okB)
+	ledt.SetBlock(okB)
+	ledt.Call(l.Fn("GPIOD_WritePin"), ir.CI(13), ir.CI(1))
+	ledt.Br(out)
+	ledt.SetBlock(errB)
+	ledt.Call(l.Fn("GPIOD_WritePin"), ir.CI(14), ir.CI(1))
+	ledt.Br(out)
+	ledt.SetBlock(out)
+	ledt.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	mb.Call(l.Fn("HAL_Init"))
+	mb.Call(l.Fn("RCC_EnableGPIO"))
+	mb.Call(l.Fn("GPIO_InitPorts"))
+	mb.Call(sit.F)
+	mb.Call(mt.F)
+	mb.Call(ct.F)
+	mb.Call(wt.F)
+	mb.Call(st.F)
+	mb.Call(ot.F)
+	mb.Call(rt.F)
+	mb.Call(vt.F)
+	mb.Call(ledt.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	clk := &mach.Clock{}
+	img := dev.NewFatImage(256)
+	sd := dev.NewSDCard(clk, img.Bytes(), 168_000)
+	gpioa := dev.NewGPIO(mach.GPIOABase, clk)
+	gpiod := dev.NewGPIO(mach.GPIODBase, clk)
+	rcc := dev.NewRCC()
+
+	return &Instance{
+		Mod:   m,
+		Board: mach.STM32479IEval(),
+		Cfg: core.Config{Entries: []string{
+			"SDCard_Init_Task", "Mount_Task", "Create_Task", "Write_Task",
+			"Sync_Task", "Open_Read_Task", "Read_Task", "Verify_Task", "Led_Task",
+		}},
+		Clk:       clk,
+		Devices:   []mach.Device{sd, gpioa, gpiod, rcc},
+		MaxCycles: 300_000_000,
+		Check: func(read ReadGlobal) error {
+			if got := read("app_status", 0, 4); got != 0 {
+				return fmt.Errorf("app_status = %d, want 0", got)
+			}
+			if got := read("byteswritten", 0, 4); got != uint32(len(fatfsMessage)) {
+				return fmt.Errorf("byteswritten = %d", got)
+			}
+			data, ok := dev.ReadFileFromImage(sd.Data(), "STM32   TXT")
+			if !ok || string(data) != fatfsMessage {
+				return fmt.Errorf("file on card = %q, %v", data, ok)
+			}
+			if gpiod.Load(0x14, 4)&(1<<13) == 0 {
+				return fmt.Errorf("success LED not lit")
+			}
+			return nil
+		},
+	}
+}

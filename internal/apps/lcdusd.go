@@ -1,0 +1,248 @@
+package apps
+
+import (
+	"fmt"
+
+	"opec/internal/core"
+	"opec/internal/dev"
+	"opec/internal/hal"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// LCDuSDPictures is the number of pictures the profiling window shows
+// (the paper's card holds 6).
+const LCDuSDPictures = 6
+
+// LCDuSD builds the slideshow-with-fades workload on the STM32479I-EVAL
+// board: pictures come off the FAT16 SD card and are faded in and out
+// on the panel using the DMA2D blitter. Eleven operations: main plus
+// ten entries.
+func LCDuSD() *App {
+	return &App{Name: "LCD-uSD", New: func() *Instance { return newLCDuSD(LCDuSDPictures) }}
+}
+
+// LCDuSDN shows a custom picture count.
+func LCDuSDN(pics int) *App {
+	return &App{Name: "LCD-uSD", New: func() *Instance { return newLCDuSD(pics) }}
+}
+
+func newLCDuSD(pics int) *Instance {
+	m := ir.NewModule("lcd-usd")
+	l := hal.New(m)
+	hal.InstallLibc(l)
+	hal.InstallLL(l)
+	hal.InstallCallbacks(l)
+	hal.InstallSystem(l)
+	hal.InstallRCC(l)
+	hal.InstallGPIO(l)
+	hal.InstallSD(l)
+	hal.InstallFatFs(l)
+	hal.InstallLCD(l)
+	hal.InstallDMA2D(l)
+
+	imgBuf := m.AddGlobal(&ir.Global{Name: "image_buffer", Typ: ir.Array(ir.I8, PictureBytes)})
+	fadeBuf := m.AddGlobal(&ir.Global{Name: "fade_buffer", Typ: ir.Array(ir.I8, PictureBytes)})
+	blackBuf := m.AddGlobal(&ir.Global{Name: "black_buffer", Typ: ir.Array(ir.I8, PictureBytes)})
+	picIndex := m.AddGlobal(&ir.Global{Name: "pic_index", Typ: ir.I32})
+	picsShown := m.AddGlobal(&ir.Global{Name: "pics_shown", Typ: ir.I32})
+	nameBuf := m.AddGlobal(&ir.Global{Name: "name_buffer", Typ: ir.Array(ir.I8, 11)})
+	errCount := m.AddGlobal(&ir.Global{Name: "error_count", Typ: ir.I32})
+
+	// SDMMC1_IRQHandler ("stm32f4xx_it.c"): the transfer-complete ISR
+	// with dispatch through never-populated handler slots — the paper's
+	// Table 3 notes LCD-uSD's unresolved icalls sit in an IRQ handler
+	// running privileged, where they cannot affect unprivileged
+	// operations. The handler is statically linked (analyzed) but this
+	// polling build never binds it to a device.
+	irqSlots := m.AddGlobal(&ir.Global{Name: "sdmmc_irq_handlers", Typ: ir.Array(ir.Ptr(ir.I16), 2)})
+	isr := ir.NewFunc(m, "SDMMC1_IRQHandler", "stm32f4xx_it.c", nil)
+	isr.F.IRQHandler = true
+	isrSig := ir.FuncType{Params: []ir.Type{ir.Ptr(ir.I16), ir.I32}, Ret: ir.I32}
+	for slot := 0; slot < 2; slot++ {
+		h := isr.Load(ir.I32, isr.Index(irqSlots, ir.Ptr(ir.I16), ir.CI(uint32(slot))))
+		have := isr.NewBlock("have")
+		skip := isr.NewBlock("skip")
+		isr.CondBr(h, have, skip)
+		isr.SetBlock(have)
+		isr.ICall(isrSig, h, irqSlots, ir.CI(uint32(slot)))
+		isr.Br(skip)
+		isr.SetBlock(skip)
+	}
+	isr.RetVoid()
+
+	sti := ir.NewFunc(m, "Storage_Init", "sd_diskio.c", nil)
+	sti.Call(l.Fn("RCC_EnableSDIO"))
+	sti.Call(l.Fn("HAL_SD_Init"))
+	sti.Call(l.Fn("FATFS_LinkDriver"))
+	sti.Call(l.Fn("f_mount"))
+	sti.RetVoid()
+
+	dsi := ir.NewFunc(m, "Display_Init", "display.c", nil)
+	dsi.Call(l.Fn("RCC_EnableLTDC"))
+	dsi.Call(l.Fn("RCC_EnableDMA2D"))
+	dsi.Call(l.Fn("LCD_Init"))
+	dsi.RetVoid()
+
+	// build_name (same 8.3 scheme as Animation, file display.c).
+	bn := ir.NewFunc(m, "build_name", "display.c", nil, ir.P("i", ir.I32))
+	for j, ch := range "PIC" {
+		bn.Store(ir.I8, bn.FieldOff(nameBuf, j), ir.CI(uint32(ch)))
+	}
+	tens := bn.Div(bn.Arg("i"), ir.CI(10))
+	ones := bn.Bin(ir.Rem, bn.Arg("i"), ir.CI(10))
+	two := bn.NewBlock("two")
+	one := bn.NewBlock("one")
+	rest := bn.NewBlock("rest")
+	bn.CondBr(tens, two, one)
+	bn.SetBlock(two)
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 3), bn.Add(tens, ir.CI('0')))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 4), bn.Add(ones, ir.CI('0')))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 5), ir.CI(' '))
+	bn.Br(rest)
+	bn.SetBlock(one)
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 3), bn.Add(ones, ir.CI('0')))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 4), ir.CI(' '))
+	bn.Store(ir.I8, bn.FieldOff(nameBuf, 5), ir.CI(' '))
+	bn.Br(rest)
+	bn.SetBlock(rest)
+	for j, ch := range "  BMP" {
+		bn.Store(ir.I8, bn.FieldOff(nameBuf, 6+j), ir.CI(uint32(ch)))
+	}
+	bn.RetVoid()
+
+	ot := ir.NewFunc(m, "Open_Task", "display.c", nil)
+	idx := ot.Load(ir.I32, picIndex)
+	ot.Call(bn.F, idx)
+	r := ot.Call(l.Fn("f_open"), nameBuf, ir.CI(hal.FARead))
+	bad := ot.NewBlock("bad")
+	ok := ot.NewBlock("ok")
+	ot.CondBr(r, bad, ok)
+	ot.SetBlock(bad)
+	e := ot.Load(ir.I32, errCount)
+	ot.Store(ir.I32, errCount, ot.Add(e, ir.CI(1)))
+	ot.RetVoid()
+	ot.SetBlock(ok)
+	ot.RetVoid()
+
+	ldt := ir.NewFunc(m, "Load_Task", "display.c", nil)
+	ldt.Call(l.Fn("f_read"), imgBuf, ir.CI(PictureBytes))
+	ldt.RetVoid()
+
+	// FadeIn_Task: blend the image into the fade buffer with rising
+	// alpha, pushing each step to the panel.
+	fin := ir.NewFunc(m, "FadeIn_Task", "effects.c", nil)
+	for _, alpha := range []uint32{64, 128, 192, 255} {
+		fin.Call(l.Fn("DMA2D_Blend"), imgBuf, fadeBuf, ir.CI(PictureBytes/4), ir.CI(alpha))
+		fin.Call(l.Fn("LCD_DrawImage"), fadeBuf, ir.CI(PictureBytes/4))
+		fin.Call(l.Fn("LCD_WaitReady"))
+	}
+	fin.RetVoid()
+
+	// Show_Task: hold the fully-visible picture.
+	sht := ir.NewFunc(m, "Show_Task", "display.c", nil)
+	sht.Call(l.Fn("DMA2D_Copy"), imgBuf, fadeBuf, ir.CI(PictureBytes/4))
+	sht.Call(l.Fn("LCD_DrawImage"), fadeBuf, ir.CI(PictureBytes/4))
+	n := sht.Load(ir.I32, picsShown)
+	sht.Store(ir.I32, picsShown, sht.Add(n, ir.CI(1)))
+	sht.RetVoid()
+
+	// FadeOut_Task: blend toward black.
+	fot := ir.NewFunc(m, "FadeOut_Task", "effects.c", nil)
+	for _, alpha := range []uint32{128, 255} {
+		fot.Call(l.Fn("DMA2D_Blend"), blackBuf, fadeBuf, ir.CI(PictureBytes/4), ir.CI(alpha))
+		fot.Call(l.Fn("LCD_DrawImage"), fadeBuf, ir.CI(PictureBytes/4))
+		fot.Call(l.Fn("LCD_WaitReady"))
+	}
+	fot.RetVoid()
+
+	// Next_Task: advance the slideshow.
+	nt := ir.NewFunc(m, "Next_Task", "display.c", nil)
+	i2 := nt.Load(ir.I32, picIndex)
+	nt.Store(ir.I32, picIndex, nt.Add(i2, ir.CI(1)))
+	nt.RetVoid()
+
+	// Delay_Task.
+	dly := ir.NewFunc(m, "Delay_Task", "display.c", nil)
+	dly.Call(l.Fn("LCD_WaitReady"))
+	dly.RetVoid()
+
+	// Error_Task: resets the card on accumulated errors (dead branch in
+	// healthy runs — an execution-time over-privilege source).
+	et := ir.NewFunc(m, "Error_Task", "sd_diskio.c", nil)
+	ec := et.Load(ir.I32, errCount)
+	badB := et.NewBlock("bad")
+	okB := et.NewBlock("ok")
+	et.CondBr(et.Gt(ec, ir.CI(3)), badB, okB)
+	et.SetBlock(badB)
+	et.Call(l.Fn("SD_ErrorHandler"))
+	et.Call(l.Fn("HAL_SD_Init"))
+	et.Br(okB)
+	et.SetBlock(okB)
+	et.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	mb.Call(l.Fn("HAL_Init"))
+	mb.Call(sti.F)
+	mb.Call(dsi.F)
+	loop := mb.NewBlock("loop")
+	body := mb.NewBlock("body")
+	done := mb.NewBlock("done")
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	shown := mb.Load(ir.I32, picsShown)
+	mb.CondBr(mb.Lt(shown, ir.CI(uint32(pics))), body, done)
+	mb.SetBlock(body)
+	mb.Call(ot.F)
+	mb.Call(ldt.F)
+	mb.Call(fin.F)
+	mb.Call(sht.F)
+	mb.Call(fot.F)
+	mb.Call(nt.F)
+	mb.Call(dly.F)
+	mb.Call(et.F)
+	mb.Br(loop)
+	mb.SetBlock(done)
+	mb.Halt()
+	mb.RetVoid()
+
+	clk := &mach.Clock{}
+	img := dev.NewFatImage(512)
+	for i := 0; i < pics; i++ {
+		if err := img.AddFile(picName(i), pictureData(i)); err != nil {
+			panic(err)
+		}
+	}
+	sd := dev.NewSDCard(clk, img.Bytes(), 168_000)
+	lcd := dev.NewLCD(clk)
+	rcc := dev.NewRCC()
+
+	inst := &Instance{
+		Mod:   m,
+		Board: mach.STM32479IEval(),
+		Cfg: core.Config{Entries: []string{
+			"Storage_Init", "Display_Init", "Open_Task", "Load_Task", "FadeIn_Task",
+			"Show_Task", "FadeOut_Task", "Next_Task", "Delay_Task", "Error_Task",
+		}},
+		Clk:       clk,
+		MaxCycles: 900_000_000,
+	}
+	inst.Check = func(read ReadGlobal) error {
+		if got := read("pics_shown", 0, 4); got != uint32(pics) {
+			return fmt.Errorf("pics_shown = %d, want %d", got, pics)
+		}
+		// Each picture: 4 fade-in frames + 1 show + 2 fade-out.
+		if err := checkEq("LCD frames", lcd.Frames, uint64(pics)*7); err != nil {
+			return err
+		}
+		if got := read("error_count", 0, 4); got != 0 {
+			return fmt.Errorf("error_count = %d", got)
+		}
+		return nil
+	}
+	// DMA2D is created at run time because it masters the bus; the
+	// runner wires it via NeedsDMA2D.
+	inst.Devices = []mach.Device{sd, lcd, rcc}
+	inst.NeedsDMA2D = true
+	return inst
+}

@@ -1,0 +1,201 @@
+package apps
+
+import (
+	"fmt"
+
+	"opec/internal/core"
+	"opec/internal/dev"
+	"opec/internal/hal"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// PinLockRounds is the number of successful unlock/lock pairs the
+// profiling window covers (the paper uses 100).
+const PinLockRounds = 100
+
+// PinLock builds the smart-lock workload of Listing 1 on the
+// STM32F4-Discovery board: six operations (System_Init stays in the
+// default main operation; Uart_Init, Key_Init, Init_Lock, Unlock_Task
+// and Lock_Task are entries). The UART alternates correct and wrong
+// pins; profiling stops after PinLockRounds successful unlocks and
+// locks.
+func PinLock() *App {
+	return &App{Name: "PinLock", New: func() *Instance { return newPinLock(PinLockRounds) }}
+}
+
+// PinLockN is PinLock with a custom round count (quick tests).
+func PinLockN(rounds int) *App {
+	return &App{Name: "PinLock", New: func() *Instance { return newPinLock(rounds) }}
+}
+
+func newPinLock(rounds int) *Instance {
+	m := ir.NewModule("pinlock")
+	l := hal.New(m)
+	hal.InstallLibc(l)
+	hal.InstallLL(l)
+	hal.InstallCallbacks(l)
+	hal.InstallSystem(l)
+	hal.InstallCrypto(l)
+	hal.InstallRCC(l)
+	hal.InstallGPIO(l)
+	hal.InstallUART(l)
+
+	pinRx := m.AddGlobal(&ir.Global{Name: "PinRxBuffer", Typ: ir.Array(ir.I8, 16)})
+	key := m.AddGlobal(&ir.Global{Name: "KEY", Typ: ir.I32})
+	lockState := m.AddGlobal(&ir.Global{Name: "lock_state", Typ: ir.I32,
+		Critical: &ir.ValueRange{Min: 0, Max: 1}})
+	unlockCount := m.AddGlobal(&ir.Global{Name: "unlock_count", Typ: ir.I32})
+	lockCount := m.AddGlobal(&ir.Global{Name: "lock_count", Typ: ir.I32})
+	correctPin := m.AddGlobal(&ir.Global{Name: "correct_pin", Typ: ir.Array(ir.I8, 4), Init: []byte("1234"), Const: true})
+	msgOK := m.AddGlobal(&ir.Global{Name: "msg_ok", Typ: ir.Array(ir.I8, 3), Init: []byte("OK\n"), Const: true})
+	msgNO := m.AddGlobal(&ir.Global{Name: "msg_no", Typ: ir.Array(ir.I8, 3), Init: []byte("NO\n"), Const: true})
+
+	// do_unlock / do_lock ("lock.c"): drive the lock solenoid GPIO and
+	// the critical state variable.
+	du := ir.NewFunc(m, "do_unlock", "lock.c", nil)
+	du.Store(ir.I32, lockState, ir.CI(1))
+	du.Call(l.Fn("GPIOD_WritePin"), ir.CI(12), ir.CI(1))
+	du.RetVoid()
+
+	dl := ir.NewFunc(m, "do_lock", "lock.c", nil)
+	dl.Store(ir.I32, lockState, ir.CI(0))
+	dl.Call(l.Fn("GPIOD_WritePin"), ir.CI(12), ir.CI(0))
+	dl.RetVoid()
+
+	rxBytes := m.AddGlobal(&ir.Global{Name: "rx_byte_count", Typ: ir.I32})
+
+	// on_pin_byte: the application's registered rx-complete callback —
+	// reached only through the HAL's indirect dispatch.
+	cb := ir.NewFunc(m, "on_pin_byte", "main.c", nil, ir.P("b", ir.I32))
+	n := cb.Load(ir.I32, rxBytes)
+	cb.Store(ir.I32, rxBytes, cb.Add(n, ir.CI(1)))
+	cb.RetVoid()
+
+	// System_Init ("main.c"): core clock + SysTick + DWT + ports; stays
+	// in main's default operation. The SysTick/DWT programming touches
+	// the PPB, which OPEC emulates and ACES lifts.
+	si := ir.NewFunc(m, "System_Init", "main.c", nil)
+	si.Call(l.Fn("HAL_Init"))
+	si.Call(l.Fn("RCC_EnableGPIO"))
+	si.Call(l.Fn("GPIO_InitPorts"))
+	si.RetVoid()
+
+	// Uart_Init ("main.c"): operation 1.
+	ui := ir.NewFunc(m, "Uart_Init", "main.c", nil)
+	ui.Call(l.Fn("RCC_EnableUART"))
+	ui.Call(l.Fn("HAL_UART_Init"))
+	ui.Call(l.Fn("HAL_Register_uart_rx_Callback"), cb.F)
+	ui.RetVoid()
+
+	// Key_Init ("main.c"): hash the correct pin into KEY (operation 2).
+	ki := ir.NewFunc(m, "Key_Init", "main.c", nil)
+	h := ki.Call(l.Fn("hash_buf"), correctPin, ir.CI(4))
+	ki.Store(ir.I32, key, h)
+	ki.RetVoid()
+
+	// Init_Lock ("main.c"): operation 3.
+	il := ir.NewFunc(m, "Init_Lock", "main.c", nil)
+	il.Call(dl.F)
+	il.RetVoid()
+
+	// Unlock_Task ("main.c"): operation 4.
+	ut := ir.NewFunc(m, "Unlock_Task", "main.c", nil)
+	ut.Call(l.Fn("HAL_UART_Receive_IT"), pinRx) // the "buggy" HAL entry
+	ut.Call(l.Fn("HAL_UART_Receive"), ut.FieldOff(pinRx, 1), ir.CI(3))
+	got := ut.Call(l.Fn("hash_buf"), pinRx, ir.CI(4))
+	want := ut.Load(ir.I32, key)
+	okB := ut.NewBlock("ok")
+	noB := ut.NewBlock("no")
+	out := ut.NewBlock("out")
+	ut.CondBr(ut.Eq(got, want), okB, noB)
+	ut.SetBlock(okB)
+	ut.Call(du.F)
+	u := ut.Load(ir.I32, unlockCount)
+	ut.Store(ir.I32, unlockCount, ut.Add(u, ir.CI(1)))
+	ut.Call(l.Fn("HAL_UART_Transmit"), msgOK, ir.CI(3))
+	ut.Br(out)
+	ut.SetBlock(noB)
+	ut.Call(l.Fn("HAL_UART_Transmit"), msgNO, ir.CI(3))
+	ut.Br(out)
+	ut.SetBlock(out)
+	ut.RetVoid()
+
+	// Lock_Task ("main.c"): operation 5.
+	lt := ir.NewFunc(m, "Lock_Task", "main.c", nil)
+	lt.Call(l.Fn("HAL_UART_Receive_IT"), pinRx)
+	lt.Call(l.Fn("HAL_UART_Receive"), lt.FieldOff(pinRx, 1), ir.CI(3))
+	b0 := lt.Load(ir.I8, pinRx)
+	yes := lt.NewBlock("yes")
+	lout := lt.NewBlock("out")
+	lt.CondBr(lt.Eq(b0, ir.CI('0')), yes, lout)
+	lt.SetBlock(yes)
+	lt.Call(dl.F)
+	lc := lt.Load(ir.I32, lockCount)
+	lt.Store(ir.I32, lockCount, lt.Add(lc, ir.CI(1)))
+	lt.Br(lout)
+	lt.SetBlock(lout)
+	lt.RetVoid()
+
+	// main ("main.c").
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	mb.Call(si.F)
+	mb.Call(ui.F)
+	mb.Call(ki.F)
+	mb.Call(il.F)
+	loop := mb.NewBlock("loop")
+	body := mb.NewBlock("body")
+	done := mb.NewBlock("done")
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	uc := mb.Load(ir.I32, unlockCount)
+	mlc := mb.Load(ir.I32, lockCount)
+	enough := mb.And(mb.Ge(uc, ir.CI(uint32(rounds))), mb.Ge(mlc, ir.CI(uint32(rounds))))
+	mb.CondBr(enough, done, body)
+	mb.SetBlock(body)
+	mb.Call(ut.F)
+	mb.Call(lt.F)
+	mb.Br(loop)
+	mb.SetBlock(done)
+	mb.Halt()
+	mb.RetVoid()
+
+	// Devices: UART scripted with alternating correct/wrong pins for
+	// Unlock and always-lock commands for Lock.
+	// 115200 baud at a 168 MHz core: ~15k cycles per byte.
+	clk := &mach.Clock{}
+	uart := dev.NewUART(mach.USART2Base, clk, 15_000)
+	for i := 0; i < rounds; i++ {
+		uart.QueueRx([]byte("1234")) // unlock: correct
+		uart.QueueRx([]byte("0---")) // lock
+		uart.QueueRx([]byte("9999")) // unlock: wrong
+		uart.QueueRx([]byte("0---")) // lock
+	}
+	gpioa := dev.NewGPIO(mach.GPIOABase, clk)
+	gpiod := dev.NewGPIO(mach.GPIODBase, clk)
+	rcc := dev.NewRCC()
+
+	return &Instance{
+		Mod:   m,
+		Board: mach.STM32F4Discovery(),
+		Cfg: core.Config{
+			Entries: []string{"Uart_Init", "Key_Init", "Init_Lock", "Unlock_Task", "Lock_Task"},
+		},
+		Clk:       clk,
+		Devices:   []mach.Device{uart, gpioa, gpiod, rcc},
+		MaxCycles: 80_000_000 + uint64(rounds)*2_000_000,
+		Check: func(read ReadGlobal) error {
+			if got := read("unlock_count", 0, 4); got != uint32(rounds) {
+				return fmt.Errorf("unlock_count = %d, want %d", got, rounds)
+			}
+			if got := read("lock_count", 0, 4); got < uint32(rounds) {
+				return fmt.Errorf("lock_count = %d, want >= %d", got, rounds)
+			}
+			// The loop exits once the rounds-th unlock succeeds, on
+			// iteration 2*rounds-1; each iteration transmits one
+			// 3-byte status message.
+			wantTx := uint64(3 * (2*rounds - 1))
+			return checkEq("uart TX bytes", uint64(len(uart.TX)), wantTx)
+		},
+	}
+}

@@ -1,0 +1,204 @@
+package apps
+
+import (
+	"fmt"
+
+	"opec/internal/core"
+	"opec/internal/dev"
+	"opec/internal/hal"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// TCP-Echo traffic mix (the paper's profiling window: 5 valid TCP
+// packets and 45 invalid ones).
+const (
+	TCPEchoValid   = 5
+	TCPEchoInvalid = 45
+)
+
+// TCPEcho builds the echo-server workload on the STM32479I-EVAL board
+// over the miniature TCP/IP stack. Nine operations: main plus eight
+// entries spanning link bring-up, frame reception, IP dispatch, echo
+// transmission and housekeeping.
+func TCPEcho() *App {
+	return &App{Name: "TCP-Echo", New: func() *Instance { return newTCPEcho(TCPEchoValid, TCPEchoInvalid) }}
+}
+
+// TCPEchoN scales the traffic mix (the 1000-packet variant of
+// Section 6.3's footnote).
+func TCPEchoN(valid, invalid int) *App {
+	return &App{Name: "TCP-Echo", New: func() *Instance { return newTCPEcho(valid, invalid) }}
+}
+
+func newTCPEcho(valid, invalid int) *Instance {
+	m := ir.NewModule("tcp-echo")
+	l := hal.New(m)
+	hal.InstallLibc(l)
+	hal.InstallLL(l)
+	hal.InstallCallbacks(l)
+	hal.InstallSystem(l)
+	hal.InstallRCC(l)
+	hal.InstallGPIO(l)
+	hal.InstallNet(l)
+
+	framesDone := m.AddGlobal(&ir.Global{Name: "frames_done", Typ: ir.I32})
+	linkUp := m.AddGlobal(&ir.Global{Name: "link_up", Typ: ir.I32,
+		Critical: &ir.ValueRange{Min: 0, Max: 1}})
+
+	// Netif_Init_Task: MAC bring-up.
+	nit := ir.NewFunc(m, "Netif_Init_Task", "ethernetif.c", nil)
+	nit.Call(l.Fn("RCC_EnableETH"))
+	nit.Store(ir.I32, linkUp, ir.CI(1))
+	nit.RetVoid()
+
+	// Link_Task: link supervision (no-op while up; reset path dead).
+	lkt := ir.NewFunc(m, "Link_Task", "ethernetif.c", nil)
+	up := lkt.Load(ir.I32, linkUp)
+	down := lkt.NewBlock("down")
+	fine := lkt.NewBlock("fine")
+	lkt.CondBr(up, fine, down)
+	lkt.SetBlock(down)
+	lkt.Call(l.Fn("RCC_EnableETH"))
+	lkt.Store(ir.I32, linkUp, ir.CI(1))
+	lkt.Br(fine)
+	lkt.SetBlock(fine)
+	lkt.RetVoid()
+
+	// Rx_Task: wait for and pull in one frame.
+	rxt := ir.NewFunc(m, "Rx_Task", "ethernetif.c", ir.I32)
+	wait := rxt.NewBlock("wait")
+	get := rxt.NewBlock("get")
+	rxt.Br(wait)
+	rxt.SetBlock(wait)
+	rdy := rxt.Call(l.Fn("ETH_FrameReady"))
+	rxt.CondBr(rdy, get, wait)
+	rxt.SetBlock(get)
+	rxt.Ret(rxt.Call(l.Fn("ETH_ReadFrame")))
+
+	// Ip_Task: run the stack over the received frame.
+	ipt := ir.NewFunc(m, "Ip_Task", "ip.c", nil, ir.P("len", ir.I32))
+	ipt.Call(l.Fn("ip_input"), ipt.Arg("len"))
+	ipt.RetVoid()
+
+	// Ack_Task: release the MAC buffer.
+	akt := ir.NewFunc(m, "Ack_Task", "ethernetif.c", nil)
+	akt.Call(l.Fn("ETH_AckFrame"))
+	n := akt.Load(ir.I32, framesDone)
+	akt.Store(ir.I32, framesDone, akt.Add(n, ir.CI(1)))
+	akt.RetVoid()
+
+	// Stats_Task: roll-up counters (reads the stack's shared state).
+	stt := ir.NewFunc(m, "Stats_Task", "tcp.c", ir.I32)
+	e := stt.Load(ir.I32, m.Global("tcp_echo_count"))
+	d := stt.Load(ir.I32, m.Global("ip_drop_count"))
+	stt.Ret(stt.Add(e, d))
+
+	// Timeout_Task: TCP timer housekeeping (dead path in this window).
+	tmt := ir.NewFunc(m, "Timeout_Task", "tcp.c", nil)
+	ec := tmt.Load(ir.I32, m.Global("tcp_echo_count"))
+	deadB := tmt.NewBlock("retransmit")
+	okB := tmt.NewBlock("ok")
+	tmt.CondBr(tmt.Gt(ec, ir.CI(1_000_000)), deadB, okB)
+	tmt.SetBlock(deadB)
+	tmt.Call(l.Fn("tcp_output"), ir.CI(54))
+	tmt.Br(okB)
+	tmt.SetBlock(okB)
+	tmt.RetVoid()
+
+	// Pool_Task: pre-warm the pbuf pool (heap section user).
+	plt := ir.NewFunc(m, "Pool_Task", "pbuf.c", nil)
+	p := plt.Call(l.Fn("pbuf_alloc"), ir.CI(64))
+	plt.Call(l.Fn("pbuf_free"), p)
+	plt.RetVoid()
+
+	total := valid + invalid + 1 // +1: the opening SYN
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	mb.Call(l.Fn("HAL_Init"))
+	mb.Call(nit.F)
+	mb.Call(plt.F)
+	loop := mb.NewBlock("loop")
+	body := mb.NewBlock("body")
+	done := mb.NewBlock("done")
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	fd := mb.Load(ir.I32, framesDone)
+	mb.CondBr(mb.Lt(fd, ir.CI(uint32(total))), body, done)
+	mb.SetBlock(body)
+	mb.Call(lkt.F)
+	ln := mb.Call(rxt.F)
+	mb.Call(ipt.F, ln)
+	mb.Call(akt.F)
+	mb.Call(tmt.F)
+	mb.Br(loop)
+	mb.SetBlock(done)
+	mb.Call(stt.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	// Devices: MAC with the scripted traffic mix — valid PSH segments
+	// interleaved among corrupted-checksum and UDP frames.
+	// ~1 ms inter-packet gap at a 168 MHz core clock: the echo server
+	// is I/O-bound, as on the paper's testbed.
+	clk := &mach.Clock{}
+	mac := dev.NewEthMAC(clk, 168_000)
+	const peerIP, ourIP = 0x0A000001, 0x0A000002
+	// The peer opens with a SYN; the stack must answer SYN-ACK before
+	// the data exchange.
+	mac.QueueFrame(dev.BuildTCPFrame(peerIP, ourIP, 40000, 7, 1000, 0, dev.TCPSyn, nil))
+	vi, ii := 0, 0
+	for i := 0; i < total; i++ {
+		if vi < valid && (ii >= invalid || i%(total/valid+1) == 0) {
+			payload := []byte(fmt.Sprintf("echo packet %02d payload", vi))
+			mac.QueueFrame(dev.BuildTCPFrame(peerIP, ourIP, 40000+uint16(vi), 7,
+				uint32(100*vi), 1, dev.TCPPsh|dev.TCPAck, payload))
+			vi++
+			continue
+		}
+		ii++
+		if ii%2 == 0 {
+			f := dev.BuildTCPFrame(peerIP, ourIP, 40000, 7, 0, 0, dev.TCPAck, nil)
+			mac.QueueFrame(dev.CorruptChecksum(f))
+		} else {
+			mac.QueueFrame(dev.BuildUDPFrame(peerIP, ourIP, []byte("not tcp")))
+		}
+	}
+	rcc := dev.NewRCC()
+
+	return &Instance{
+		Mod:   m,
+		Board: mach.STM32479IEval(),
+		Cfg: core.Config{Entries: []string{
+			"Netif_Init_Task", "Link_Task", "Rx_Task", "Ip_Task",
+			"Ack_Task", "Stats_Task", "Timeout_Task", "Pool_Task",
+		}},
+		Clk:       clk,
+		Devices:   []mach.Device{mac, rcc},
+		MaxCycles: 200_000_000 + uint64(total)*2_000_000,
+		Check: func(read ReadGlobal) error {
+			// One SYN-ACK plus one echo per valid PSH segment.
+			if err := checkEq("transmitted frames", uint64(len(mac.TxFrames)), uint64(valid+1)); err != nil {
+				return err
+			}
+			if len(mac.TxFrames[0]) < 48 || mac.TxFrames[0][47] != 0x12 {
+				return fmt.Errorf("first reply is not a SYN-ACK")
+			}
+			if got := read("tcp_synack_count", 0, 4); got != 1 {
+				return fmt.Errorf("tcp_synack_count = %d", got)
+			}
+			for i, f := range mac.TxFrames[1:] {
+				payload, ok := dev.ParseEchoPayload(f)
+				if !ok || string(payload) != fmt.Sprintf("echo packet %02d payload", i) {
+					return fmt.Errorf("echo %d payload = %q, %v", i, payload, ok)
+				}
+			}
+			if got := read("frames_done", 0, 4); got != uint32(valid+invalid+1) {
+				return fmt.Errorf("frames_done = %d", got)
+			}
+			if got := read("tcp_echo_count", 0, 4); got != uint32(valid) {
+				return fmt.Errorf("tcp_echo_count = %d, want %d", got, valid)
+			}
+			return nil
+		},
+	}
+}

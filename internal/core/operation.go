@@ -1,0 +1,312 @@
+// Package core implements OPEC-Compiler, the compile-time half of the
+// paper's contribution (Sections 4 and 5.2's static parts): partitioning
+// a program into operations from a developer-provided entry-function
+// list, computing each operation's resource dependency, laying out the
+// global-data-shadowing image (operation data sections, the public data
+// section, the variables relocation table), merging peripheral ranges
+// into MPU regions, generating per-operation metadata/policy, and
+// instrumenting operation-entry call sites with supervisor calls.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"opec/internal/analysis"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// ArgSpec is the developer-provided "stack information" (Figure 5) for
+// one argument of an operation entry function: whether it is a pointer
+// and how many bytes it points at, so the monitor can relocate the
+// pointed-to buffer across stack sub-regions at an operation switch
+// (Figure 8). When deep copy is enabled (Config.EnableDeepCopy, the
+// paper's Section 5.2 future-work extension), Elem carries the pointee
+// type so the monitor can relocate nested pointer fields too.
+type ArgSpec struct {
+	Name         string
+	IsPtr        bool
+	PointeeBytes int
+	Elem         ir.Type
+}
+
+// PeriphRegion is one MPU region covering (part of) a peripheral range
+// an operation needs. Base is aligned to 1<<SizeLog2.
+type PeriphRegion struct {
+	Names    []string // datasheet peripherals the region grants
+	Base     uint32
+	SizeLog2 uint8
+}
+
+// End returns the first address past the region.
+func (p PeriphRegion) End() uint32 { return p.Base + 1<<p.SizeLog2 }
+
+// Operation is one isolated domain: a logically independent task
+// composed of an entry function and all functions reachable from it
+// (stopping, with backtracking, at other operations' entries).
+type Operation struct {
+	ID    int
+	Name  string
+	Entry *ir.Function
+	// Funcs are the member functions, name-sorted, entry first.
+	Funcs []*ir.Function
+	// Deps is the merged resource dependency of all members.
+	Deps *analysis.FuncDeps
+	// Globals is the operation's accessible global set (non-const,
+	// non-heap), name-sorted: the contents of its operation data
+	// section.
+	Globals []*ir.Global
+	// PeriphRegions covers the operation's general peripherals with
+	// MPU regions after adjacent-merge (Section 4.3). May exceed the
+	// four reserved regions; the monitor then virtualizes.
+	PeriphRegions []PeriphRegion
+	// UsesHeap grants the whole heap section (Section 5.2, Heap).
+	UsesHeap bool
+	// UsesCorePeriph marks PPB accesses that the monitor must emulate.
+	UsesCorePeriph bool
+	// StackArgs annotates the entry function's arguments.
+	StackArgs []ArgSpec
+}
+
+// GlobalBytes returns the total size of the operation's accessible
+// globals — the numerator of Table 1's #Avg. GVars metric.
+func (o *Operation) GlobalBytes() int {
+	n := 0
+	for _, g := range o.Globals {
+		n += g.Size()
+	}
+	return n
+}
+
+// SectionBytes returns the operation data section payload: every
+// accessible global, word-aligned (internal globals live here; external
+// ones have their shadow copy here).
+func (o *Operation) SectionBytes() int {
+	n := 0
+	for _, g := range o.Globals {
+		n += (g.Size() + 3) &^ 3
+	}
+	return n
+}
+
+// Config is the developer input to Compile: the operation entry list
+// plus optional stack-information overrides ("entry.param" -> pointee
+// bytes) for pointer arguments whose buffer length the type alone does
+// not determine.
+type Config struct {
+	Entries       []string
+	StackArgBytes map[string]int
+
+	// EnableDeepCopy accepts entry functions with nested pointer-type
+	// arguments and relocates the nested buffers too — the deep-copy
+	// extension the paper's Section 5.2 leaves as future work. Off by
+	// default, matching the paper's prototype (such entries are
+	// rejected at compile time).
+	EnableDeepCopy bool
+}
+
+// Partition splits the module into operations per Section 4.3: one
+// operation per entry function plus the function main as the default
+// operation, members found by DFS over the call graph with backtracking
+// at other entries, resources merged over members.
+func Partition(res *analysis.Result, cfg Config) ([]*Operation, error) {
+	m := res.Module
+	mainFn := m.Func("main")
+	if mainFn == nil {
+		return nil, fmt.Errorf("core: module %s has no main", m.Name)
+	}
+
+	entries := make([]*ir.Function, 0, len(cfg.Entries)+1)
+	entrySet := make(map[*ir.Function]bool)
+	for _, name := range cfg.Entries {
+		f := m.Func(name)
+		if f == nil {
+			return nil, fmt.Errorf("core: entry function %q not found", name)
+		}
+		if f.Variadic {
+			return nil, fmt.Errorf("core: entry %s is variadic (Section 4.3 forbids variadic entries)", name)
+		}
+		if f.IRQHandler || reachableOnlyFromIRQ(res.CG, f) {
+			return nil, fmt.Errorf("core: entry %s is within an interrupt handling routine", name)
+		}
+		if entrySet[f] {
+			return nil, fmt.Errorf("core: duplicate entry %s", name)
+		}
+		entries = append(entries, f)
+		entrySet[f] = true
+	}
+	if entrySet[mainFn] {
+		return nil, fmt.Errorf("core: main is the default operation and cannot be listed as an entry")
+	}
+
+	ops := make([]*Operation, 0, len(entries)+1)
+
+	// The default operation: main and everything it reaches without
+	// entering another operation.
+	defaultOp := &Operation{ID: 0, Name: "main", Entry: mainFn}
+	defaultOp.Funcs = res.CG.Reachable(mainFn, entrySet)
+	ops = append(ops, defaultOp)
+
+	for i, e := range entries {
+		stop := make(map[*ir.Function]bool, len(entrySet))
+		for f := range entrySet {
+			if f != e {
+				stop[f] = true
+			}
+		}
+		op := &Operation{ID: i + 1, Name: e.Name, Entry: e}
+		op.Funcs = res.CG.Reachable(e, stop)
+		ops = append(ops, op)
+	}
+
+	for _, op := range ops {
+		sortMembers(op)
+		deps := make([]*analysis.FuncDeps, 0, len(op.Funcs))
+		for _, f := range op.Funcs {
+			deps = append(deps, res.Deps[f])
+		}
+		op.Deps = analysis.MergeDeps(deps...)
+
+		for _, g := range op.Deps.SortedGlobals() {
+			switch {
+			case g.Const:
+				// Read-only data is covered by the global RO region.
+			case g.HeapPool:
+				op.UsesHeap = true
+			default:
+				op.Globals = append(op.Globals, g)
+			}
+		}
+		op.UsesCorePeriph = len(op.Deps.CorePeriphs) > 0
+		op.PeriphRegions = mergePeriphRegions(res.Board, op.Deps.SortedPeriphs())
+
+		var err error
+		op.StackArgs, err = stackArgs(op.Entry, cfg.StackArgBytes, cfg.EnableDeepCopy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ops, nil
+}
+
+// sortMembers orders an operation's functions entry-first then by name;
+// deterministic output keeps policies and layouts reproducible.
+func sortMembers(op *Operation) {
+	sort.Slice(op.Funcs, func(i, j int) bool {
+		a, b := op.Funcs[i], op.Funcs[j]
+		if (a == op.Entry) != (b == op.Entry) {
+			return a == op.Entry
+		}
+		return a.Name < b.Name
+	})
+}
+
+// reachableOnlyFromIRQ reports whether every caller chain of f roots in
+// an interrupt handler.
+func reachableOnlyFromIRQ(cg *analysis.CallGraph, f *ir.Function) bool {
+	callers := cg.Callers[f]
+	if len(callers) == 0 {
+		return false // a root (or unused) function is not IRQ-confined
+	}
+	seen := map[*ir.Function]bool{f: true}
+	work := append([]*ir.Function(nil), callers...)
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if !c.IRQHandler {
+			up := cg.Callers[c]
+			if len(up) == 0 {
+				return false // reachable from a non-IRQ root
+			}
+			work = append(work, up...)
+		}
+	}
+	return true
+}
+
+// stackArgs derives the entry function's stack information from its
+// parameter types, applying developer overrides. Nested pointer-type
+// arguments are rejected unless deep copy is enabled, matching the
+// paper's prototype limitation and its proposed extension.
+func stackArgs(entry *ir.Function, overrides map[string]int, deepCopy bool) ([]ArgSpec, error) {
+	specs := make([]ArgSpec, len(entry.Params))
+	for i, p := range entry.Params {
+		spec := ArgSpec{Name: p.Name}
+		if pt, ok := p.Typ.(ir.PtrType); ok {
+			if !deepCopy && len(ir.PointerFieldOffsets(pt.Elem)) > 0 {
+				return nil, fmt.Errorf(
+					"core: entry %s argument %s is a nested pointer-type argument, which the prototype cannot handle (set Config.EnableDeepCopy)",
+					entry.Name, p.Name)
+			}
+			spec.IsPtr = true
+			spec.PointeeBytes = pt.Elem.Size()
+			spec.Elem = pt.Elem
+		}
+		if ov, ok := overrides[entry.Name+"."+p.Name]; ok {
+			spec.PointeeBytes = ov
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+// mergePeriphRegions implements Section 4.3's region economy: sort the
+// needed peripherals by ascending start address, merge adjacent ranges,
+// then cover each merged range with the minimal sequence of legal
+// (power-of-two-sized, size-aligned) MPU regions. Splitting rather than
+// over-covering keeps neighbouring peripherals out of reach.
+func mergePeriphRegions(board *mach.Board, names []string) []PeriphRegion {
+	type rng struct {
+		names []string
+		base  uint32
+		end   uint32
+	}
+	var ranges []rng
+	for _, n := range names {
+		p := board.PeriphByName(n)
+		if p == nil {
+			continue
+		}
+		ranges = append(ranges, rng{names: []string{n}, base: p.Base, end: p.Base + p.Size})
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].base < ranges[j].base })
+
+	var merged []rng
+	for _, r := range ranges {
+		if n := len(merged); n > 0 && merged[n-1].end == r.base {
+			merged[n-1].end = r.end
+			merged[n-1].names = append(merged[n-1].names, r.names...)
+		} else {
+			merged = append(merged, r)
+		}
+	}
+
+	var regions []PeriphRegion
+	for _, r := range merged {
+		base := r.base
+		for base < r.end {
+			// Largest legal region aligned at base and within the range.
+			var sz uint8
+			for s := uint8(mach.MinRegionSizeLog2); s < 32; s++ {
+				if base&(1<<s-1) != 0 || base+(1<<s) > r.end {
+					break
+				}
+				sz = s
+			}
+			if sz == 0 {
+				// Range smaller than the minimum region or misaligned
+				// base: a 32-byte region (minimum) must over-cover.
+				sz = mach.MinRegionSizeLog2
+				base &^= 1<<sz - 1
+			}
+			regions = append(regions, PeriphRegion{Names: r.names, Base: base, SizeLog2: sz})
+			base += 1 << sz
+		}
+	}
+	return regions
+}

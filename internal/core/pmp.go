@@ -1,0 +1,72 @@
+package core
+
+import "opec/internal/mach"
+
+// PMP entry roles for the RISC-V plan (the paper's Section 7
+// portability target). PMP priority is lowest-entry-wins, so specific
+// grants come first and the read-only background map last.
+const (
+	PMPOpData   = 0 // operation data section, NAPOT RW
+	PMPStackLo  = 1 // TOR base marker (stack bottom)
+	PMPStackHi  = 2 // TOR top: the dynamic stack boundary, RW
+	PMPPool0    = 3 // 3..9: heap + peripheral windows, NAPOT RW
+	PMPPoolLast = 9
+	PMPFlash    = 10 // code + rodata + metadata, R+X
+	PMPBackgrnd = 11 // whole address space, unprivileged read-only
+)
+
+// OpPMP is the compile-time PMP plan for one operation — the RISC-V
+// counterpart of OpMPU. PMP has no sub-regions, so the stack scheme is
+// a TOR range whose top the monitor moves to the switch boundary:
+// strictly more precise than the MPU's eight-sub-region granularity.
+type OpPMP struct {
+	Static      [mach.NumPMPEntries]mach.PMPEntry
+	Pool        []mach.PMPEntry
+	Virtualized bool
+}
+
+// PMPFor assembles the PMP plan for op, mirroring MPUFor's Section 5.2
+// region assignment on the RISC-V layout.
+func (b *Build) PMPFor(op *Operation) OpPMP {
+	var p OpPMP
+	if sec := b.OpSections[op.ID]; sec.Size > 0 {
+		p.Static[PMPOpData] = mach.PMPEntry{
+			Mode: mach.PMPNAPOT, Perm: mach.PMPR | mach.PMPW,
+			Addr: sec.Addr, SizeLog2: sec.RegionLog2,
+		}
+	}
+	// TOR pair: [stack base, boundary). The boundary starts at the top
+	// of the stack (everything accessible); the monitor lowers it at
+	// each operation switch.
+	p.Static[PMPStackLo] = mach.PMPEntry{Mode: mach.PMPOff, Addr: b.StackBase}
+	p.Static[PMPStackHi] = mach.PMPEntry{
+		Mode: mach.PMPTOR, Perm: mach.PMPR | mach.PMPW, Addr: b.StackTop,
+	}
+
+	if op.UsesHeap {
+		p.Pool = append(p.Pool, mach.PMPEntry{
+			Mode: mach.PMPNAPOT, Perm: mach.PMPR | mach.PMPW,
+			Addr: b.HeapBase, SizeLog2: mach.NAPOTFor(int(b.HeapSize)),
+		})
+	}
+	for _, pr := range op.PeriphRegions {
+		p.Pool = append(p.Pool, mach.PMPEntry{
+			Mode: mach.PMPNAPOT, Perm: mach.PMPR | mach.PMPW,
+			Addr: pr.Base, SizeLog2: pr.SizeLog2,
+		})
+	}
+	nres := PMPPoolLast - PMPPool0 + 1
+	p.Virtualized = len(p.Pool) > nres
+	for i := 0; i < nres && i < len(p.Pool); i++ {
+		p.Static[PMPPool0+i] = p.Pool[i]
+	}
+
+	p.Static[PMPFlash] = mach.PMPEntry{
+		Mode: mach.PMPNAPOT, Perm: mach.PMPR | mach.PMPX,
+		Addr: mach.FlashBase, SizeLog2: mach.NAPOTFor(b.FlashUsed),
+	}
+	p.Static[PMPBackgrnd] = mach.PMPEntry{
+		Mode: mach.PMPNAPOT, Perm: mach.PMPR, Addr: 0, SizeLog2: 32,
+	}
+	return p
+}

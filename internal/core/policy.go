@@ -1,0 +1,127 @@
+package core
+
+import (
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// MPU region roles (Section 5.2): region 0 is the background read-only
+// map, 1 the application code, 2 the stack, 3 the operation data
+// section, and 4–7 the rotating peripheral windows.
+const (
+	RegionBackground = 0
+	RegionCode       = 1
+	RegionStack      = 2
+	RegionOpData     = 3
+	RegionPeriph0    = 4
+)
+
+// OpMPU is the compile-time MPU plan for one operation. Static holds
+// regions 0–3 plus the initial contents of 4–7; Pool is the full list
+// of peripheral (and heap) regions the operation may need — when it
+// exceeds the four reserved registers, the monitor virtualizes them
+// with round-robin replacement on MemManage faults (Section 5.2,
+// Peripherals).
+type OpMPU struct {
+	Static      [mach.NumRegions]mach.Region
+	Pool        []mach.Region
+	Virtualized bool
+}
+
+// MPUFor assembles the Section 5.2 region assignment for op.
+func (b *Build) MPUFor(op *Operation) OpMPU {
+	var p OpMPU
+	p.Static[RegionBackground] = mach.Region{
+		Enabled: true, Base: 0, SizeLog2: 32, Perm: mach.APPrivRWUnprivRO,
+	}
+	p.Static[RegionCode] = mach.Region{
+		Enabled: true, Base: mach.FlashBase,
+		SizeLog2: mach.RegionSizeFor(b.FlashUsed), Perm: mach.APRO,
+	}
+	p.Static[RegionStack] = mach.Region{
+		Enabled: true, Base: b.StackBase, SizeLog2: b.StackRegionLog2, Perm: mach.APRW,
+	}
+	if sec := b.OpSections[op.ID]; sec.Size > 0 {
+		p.Static[RegionOpData] = mach.Region{
+			Enabled: true, Base: sec.Addr, SizeLog2: sec.RegionLog2, Perm: mach.APRW,
+		}
+	}
+
+	if op.UsesHeap {
+		p.Pool = append(p.Pool, mach.Region{
+			Enabled: true, Base: b.HeapBase,
+			SizeLog2: mach.RegionSizeFor(int(b.HeapSize)), Perm: mach.APRW,
+		})
+	}
+	for _, pr := range op.PeriphRegions {
+		p.Pool = append(p.Pool, mach.Region{
+			Enabled: true, Base: pr.Base, SizeLog2: pr.SizeLog2, Perm: mach.APRW,
+		})
+	}
+	nres := mach.NumRegions - RegionPeriph0
+	p.Virtualized = len(p.Pool) > nres
+	for i := 0; i < nres && i < len(p.Pool); i++ {
+		p.Static[RegionPeriph0+i] = p.Pool[i]
+	}
+	return p
+}
+
+// SyncList returns the external globals op accesses — the shadow copies
+// the monitor synchronizes at every switch into or out of op
+// (Section 5.3). The list is in the operation's section order.
+func (b *Build) SyncList(op *Operation) []*ir.Global {
+	var out []*ir.Global
+	for _, g := range op.Globals {
+		if b.External[g] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// SanitizeList returns op's critical external globals: before the
+// monitor propagates their shadow value across a switch it checks the
+// developer-provided valid range and aborts on violation.
+func (b *Build) SanitizeList(op *Operation) []*ir.Global {
+	var out []*ir.Global
+	for _, g := range b.SyncList(op) {
+		if g.Critical != nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// AllowsPeriphAddr reports whether the operation's peripheral allow
+// list covers addr — the monitor's legitimacy check before mapping a
+// peripheral window on a MemManage fault.
+func (op *Operation) AllowsPeriphAddr(board *mach.Board, addr uint32) bool {
+	p := board.FindPeriph(addr)
+	if p == nil {
+		return false
+	}
+	return op.Deps.Periphs[p.Name]
+}
+
+// AllowsCoreAddr reports whether the operation may touch the PPB
+// register at addr — the monitor's check before emulating a faulted
+// core-peripheral load/store.
+func (op *Operation) AllowsCoreAddr(addr uint32) bool {
+	return op.Deps.CorePeriphs[addr]
+}
+
+// OpFor returns the operation owning fn, preferring the operation whose
+// entry is fn; shared member functions report the lowest-ID owner.
+func (b *Build) OpFor(fn *ir.Function) *Operation {
+	if op, ok := b.EntryOps[fn]; ok {
+		return op
+	}
+	for _, op := range b.Ops {
+		for _, f := range op.Funcs {
+			if f == fn {
+				return op
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// The paper's OPEC-Compiler "generates a policy file that contains
+// accessible resources of each operation" (Section 4.3). PolicyFile is
+// that artifact: a serializable description of the whole isolation
+// policy — operations, members, resources, memory layout and MPU plans
+// — suitable for inspection, diffing and external tooling.
+
+// PolicyFile is the serializable isolation policy.
+type PolicyFile struct {
+	Module string `json:"module"`
+	Board  string `json:"board"`
+
+	Operations []PolicyOperation `json:"operations"`
+	Externals  []PolicyExternal  `json:"external_globals"`
+
+	Flash PolicyFlash `json:"flash"`
+	SRAM  PolicySRAM  `json:"sram"`
+}
+
+// PolicyOperation is one operation's accessible resources.
+type PolicyOperation struct {
+	ID        int      `json:"id"`
+	Name      string   `json:"name"`
+	Entry     string   `json:"entry"`
+	Functions []string `json:"functions"`
+
+	Globals     []PolicyGlobal `json:"globals"`
+	Peripherals []string       `json:"peripherals"`
+	CoreRegs    []string       `json:"core_peripheral_regs,omitempty"`
+	UsesHeap    bool           `json:"uses_heap"`
+
+	DataSection PolicyRange `json:"data_section"`
+	MPURegions  []PolicyMPU `json:"mpu_regions"`
+	Virtualized bool        `json:"mpu_virtualized"`
+	StackArgs   []PolicyArg `json:"stack_args,omitempty"`
+}
+
+// PolicyGlobal is one accessible global of an operation.
+type PolicyGlobal struct {
+	Name     string `json:"name"`
+	Bytes    int    `json:"bytes"`
+	External bool   `json:"external"` // shadow copy (shared) vs internal
+	Critical bool   `json:"critical,omitempty"`
+}
+
+// PolicyExternal is one shared variable with its relocation slot.
+type PolicyExternal struct {
+	Name      string `json:"name"`
+	Bytes     int    `json:"bytes"`
+	RelocSlot string `json:"reloc_slot"`
+	Public    string `json:"public_copy"`
+	Sanitize  string `json:"sanitize_range,omitempty"`
+}
+
+// PolicyRange is an address range.
+type PolicyRange struct {
+	Base  string `json:"base"`
+	Bytes uint32 `json:"bytes"`
+}
+
+// PolicyMPU is one programmed MPU region.
+type PolicyMPU struct {
+	Index int    `json:"index"`
+	Base  string `json:"base"`
+	Size  uint64 `json:"size"`
+	Perm  string `json:"perm"`
+}
+
+// PolicyArg is the stack information of one entry argument.
+type PolicyArg struct {
+	Name    string `json:"name"`
+	Pointer bool   `json:"pointer"`
+	Bytes   int    `json:"pointee_bytes,omitempty"`
+}
+
+// PolicyFlash is the Flash footprint breakdown.
+type PolicyFlash struct {
+	Code     int `json:"code_bytes"`
+	Monitor  int `json:"monitor_bytes"`
+	ROData   int `json:"rodata_bytes"`
+	Metadata int `json:"metadata_bytes"`
+	Total    int `json:"total_bytes"`
+}
+
+// PolicySRAM is the SRAM footprint breakdown.
+type PolicySRAM struct {
+	Public    int    `json:"public_bytes"`
+	Reloc     int    `json:"reloc_bytes"`
+	Heap      uint32 `json:"heap_bytes"`
+	StackBase string `json:"stack_base"`
+	Total     int    `json:"total_bytes"`
+}
+
+// Policy assembles the policy-file view of a build.
+func (b *Build) Policy() *PolicyFile {
+	pf := &PolicyFile{
+		Module: b.Mod.Name,
+		Board:  b.Board.Name,
+		Flash: PolicyFlash{
+			Code: b.CodeBytes, Monitor: b.MonitorCodeBytes,
+			ROData: b.RODataBytes, Metadata: b.MetadataBytes, Total: b.FlashUsed,
+		},
+		SRAM: PolicySRAM{
+			Public: b.PublicBytes, Reloc: b.RelocBytes, Heap: b.HeapSize,
+			StackBase: hex(b.StackBase), Total: b.SRAMUsed,
+		},
+	}
+	for _, g := range b.ExternalList {
+		e := PolicyExternal{
+			Name: g.Name, Bytes: g.Size(),
+			RelocSlot: hex(b.RelocSlot[g]), Public: hex(b.PublicAddr[g]),
+		}
+		if g.Critical != nil {
+			e.Sanitize = fmt.Sprintf("[%d,%d]", g.Critical.Min, g.Critical.Max)
+		}
+		pf.Externals = append(pf.Externals, e)
+	}
+	for _, op := range b.Ops {
+		po := PolicyOperation{
+			ID: op.ID, Name: op.Name, Entry: op.Entry.Name,
+			Peripherals: op.Deps.SortedPeriphs(),
+			UsesHeap:    op.UsesHeap,
+		}
+		for _, f := range op.Funcs {
+			po.Functions = append(po.Functions, f.Name)
+		}
+		for _, g := range op.Globals {
+			po.Globals = append(po.Globals, PolicyGlobal{
+				Name: g.Name, Bytes: g.Size(),
+				External: b.External[g], Critical: g.Critical != nil,
+			})
+		}
+		for addr := range op.Deps.CorePeriphs {
+			po.CoreRegs = append(po.CoreRegs, hex(addr))
+		}
+		sort.Strings(po.CoreRegs)
+		sec := b.OpSections[op.ID]
+		po.DataSection = PolicyRange{Base: hex(sec.Addr), Bytes: sec.RegionBytes()}
+		plan := b.MPUFor(op)
+		po.Virtualized = plan.Virtualized
+		for i, r := range plan.Static {
+			if !r.Enabled {
+				continue
+			}
+			po.MPURegions = append(po.MPURegions, PolicyMPU{
+				Index: i, Base: hex(r.Base), Size: uint64(1) << r.SizeLog2, Perm: r.Perm.String(),
+			})
+		}
+		for _, a := range op.StackArgs {
+			po.StackArgs = append(po.StackArgs, PolicyArg{Name: a.Name, Pointer: a.IsPtr, Bytes: a.PointeeBytes})
+		}
+		pf.Operations = append(pf.Operations, po)
+	}
+	return pf
+}
+
+// PolicyJSON serializes the policy file.
+func (b *Build) PolicyJSON() ([]byte, error) {
+	return json.MarshalIndent(b.Policy(), "", "  ")
+}
+
+func hex(v uint32) string { return fmt.Sprintf("%#08x", v) }

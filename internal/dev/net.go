@@ -1,0 +1,210 @@
+package dev
+
+import (
+	"encoding/binary"
+
+	"opec/internal/mach"
+)
+
+// Ethernet MAC register offsets (simplified descriptor-free MAC).
+const (
+	EthRXSTA  = 0x00 // bit0: frame available
+	EthRXLEN  = 0x04 // current frame length in bytes
+	EthRXFIFO = 0x08 // pop next 32-bit word of the frame
+	EthRXACK  = 0x0C // write 1: frame consumed, advance
+	EthTXLEN  = 0x10 // set outgoing frame length
+	EthTXFIFO = 0x14 // push next word
+	EthTXGO   = 0x18 // write 1: transmit
+)
+
+// EthMAC models the MAC with a scripted receive queue (cycle-paced
+// frame arrival) and captured transmit frames.
+type EthMAC struct {
+	Clk      *mach.Clock
+	Interval uint64 // cycles between frame arrivals
+
+	rxQueue   [][]byte
+	rxReadyAt uint64
+	rxPos     int
+
+	txLen int
+	txBuf []byte
+	// TxFrames collects every transmitted frame.
+	TxFrames [][]byte
+}
+
+// NewEthMAC creates the MAC with the given inter-frame pacing.
+func NewEthMAC(clk *mach.Clock, interval uint64) *EthMAC {
+	return &EthMAC{Clk: clk, Interval: interval}
+}
+
+// QueueFrame schedules an incoming frame.
+func (e *EthMAC) QueueFrame(frame []byte) {
+	if len(e.rxQueue) == 0 {
+		e.rxReadyAt = e.Clk.Now() + e.Interval
+	}
+	e.rxQueue = append(e.rxQueue, frame)
+}
+
+// Name, Base, Size implement mach.Device.
+func (e *EthMAC) Name() string { return "ETH" }
+func (e *EthMAC) Base() uint32 { return mach.ETHBase }
+func (e *EthMAC) Size() uint32 { return 0x1400 }
+
+func (e *EthMAC) rxReady() bool {
+	return len(e.rxQueue) > 0 && e.Clk.Now() >= e.rxReadyAt
+}
+
+// Load implements the register file.
+func (e *EthMAC) Load(off uint32, _ int) uint32 {
+	switch off {
+	case EthRXSTA:
+		if e.rxReady() {
+			return 1
+		}
+		return 0
+	case EthRXLEN:
+		if e.rxReady() {
+			return uint32(len(e.rxQueue[0]))
+		}
+		return 0
+	case EthRXFIFO:
+		if !e.rxReady() {
+			return 0
+		}
+		f := e.rxQueue[0]
+		var w uint32
+		for i := 0; i < 4 && e.rxPos+i < len(f); i++ {
+			w |= uint32(f[e.rxPos+i]) << (8 * i)
+		}
+		e.rxPos += 4
+		return w
+	}
+	return 0
+}
+
+// Store implements the register file.
+func (e *EthMAC) Store(off uint32, _ int, v uint32) {
+	switch off {
+	case EthRXACK:
+		if v&1 != 0 && len(e.rxQueue) > 0 {
+			e.rxQueue = e.rxQueue[1:]
+			e.rxPos = 0
+			e.rxReadyAt = e.Clk.Now() + e.Interval
+		}
+	case EthTXLEN:
+		e.txLen = int(v)
+		e.txBuf = e.txBuf[:0]
+	case EthTXFIFO:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		e.txBuf = append(e.txBuf, b[:]...)
+	case EthTXGO:
+		if v&1 != 0 {
+			frame := make([]byte, e.txLen)
+			copy(frame, e.txBuf)
+			e.TxFrames = append(e.TxFrames, frame)
+		}
+	}
+}
+
+// ---- Host-side packet construction for the TCP-Echo workload ----
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPAck = 1 << 4
+	TCPPsh = 1 << 3
+)
+
+// EthHeaderLen, IPHeaderLen and TCPHeaderLen are the fixed header sizes
+// the IR network stack parses.
+const (
+	EthHeaderLen = 14
+	IPHeaderLen  = 20
+	TCPHeaderLen = 20
+)
+
+// BuildTCPFrame assembles a valid Ethernet+IPv4+TCP frame with a
+// correct IP header checksum. The IR stack validates the checksum and
+// echoes the payload of PSH segments.
+func BuildTCPFrame(srcIP, dstIP uint32, srcPort, dstPort uint16, seq, ack uint32, flags byte, payload []byte) []byte {
+	f := make([]byte, EthHeaderLen+IPHeaderLen+TCPHeaderLen+len(payload))
+	// Ethernet.
+	copy(f[0:6], []byte{2, 0, 0, 0, 0, 2})  // dst MAC (device)
+	copy(f[6:12], []byte{2, 0, 0, 0, 0, 1}) // src MAC (peer)
+	binary.BigEndian.PutUint16(f[12:], 0x0800)
+	// IPv4.
+	ip := f[EthHeaderLen:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:], uint16(IPHeaderLen+TCPHeaderLen+len(payload)))
+	ip[8] = 64
+	ip[9] = 6 // TCP
+	binary.BigEndian.PutUint32(ip[12:], srcIP)
+	binary.BigEndian.PutUint32(ip[16:], dstIP)
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:IPHeaderLen]))
+	// TCP.
+	tcp := ip[IPHeaderLen:]
+	binary.BigEndian.PutUint16(tcp[0:], srcPort)
+	binary.BigEndian.PutUint16(tcp[2:], dstPort)
+	binary.BigEndian.PutUint32(tcp[4:], seq)
+	binary.BigEndian.PutUint32(tcp[8:], ack)
+	tcp[12] = 5 << 4 // data offset
+	tcp[13] = flags
+	binary.BigEndian.PutUint16(tcp[14:], 0x2000) // window
+	copy(tcp[TCPHeaderLen:], payload)
+	return f
+}
+
+// CorruptChecksum flips the IP checksum, producing an invalid packet.
+func CorruptChecksum(frame []byte) []byte {
+	out := make([]byte, len(frame))
+	copy(out, frame)
+	out[EthHeaderLen+10] ^= 0xFF
+	return out
+}
+
+// BuildUDPFrame builds a non-TCP packet (the stack must drop it).
+func BuildUDPFrame(srcIP, dstIP uint32, payload []byte) []byte {
+	f := BuildTCPFrame(srcIP, dstIP, 9, 9, 0, 0, 0, payload)
+	f[EthHeaderLen+9] = 17 // proto = UDP
+	ip := f[EthHeaderLen:]
+	binary.BigEndian.PutUint16(ip[10:], 0)
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:IPHeaderLen]))
+	return f
+}
+
+// ipChecksum is the ones-complement header checksum (checksum field
+// must be zero on entry).
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ParseEchoPayload extracts the TCP payload from a transmitted frame
+// (host-side verification of the echo).
+func ParseEchoPayload(frame []byte) ([]byte, bool) {
+	if len(frame) < EthHeaderLen+IPHeaderLen+TCPHeaderLen {
+		return nil, false
+	}
+	if binary.BigEndian.Uint16(frame[12:]) != 0x0800 || frame[EthHeaderLen+9] != 6 {
+		return nil, false
+	}
+	total := binary.BigEndian.Uint16(frame[EthHeaderLen+2:])
+	payloadLen := int(total) - IPHeaderLen - TCPHeaderLen
+	if payloadLen < 0 || EthHeaderLen+int(total) > len(frame) {
+		return nil, false
+	}
+	start := EthHeaderLen + IPHeaderLen + TCPHeaderLen
+	return frame[start : start+payloadLen], true
+}

@@ -1,0 +1,365 @@
+// Package exper regenerates every table and figure of the paper's
+// evaluation (Section 6): Table 1 (security metrics), Figure 9
+// (performance overheads), Table 2 (comparison to ACES), Figure 10
+// (partition-time over-privilege CDFs), Figure 11 (execution-time
+// over-privilege per task) and Table 3 (icall analysis efficiency).
+//
+// Each experiment builds fresh workload instances (compilation mutates
+// modules) and returns typed rows; render.go turns them into the
+// console tables and series the artifact's experiment scripts print.
+package exper
+
+import (
+	"fmt"
+
+	"opec/internal/aces"
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/metrics"
+	"opec/internal/run"
+)
+
+// AppSet selects workload sizes.
+type AppSet int
+
+// Full matches the paper's profiling windows; Quick shrinks rounds for
+// tests and benchmarks.
+const (
+	Full AppSet = iota
+	Quick
+)
+
+// appsFor returns the seven workloads at the requested scale.
+func appsFor(s AppSet) []*apps.App {
+	if s == Full {
+		return apps.All()
+	}
+	return []*apps.App{
+		apps.PinLockN(5),
+		apps.AnimationN(3),
+		apps.FatFsUSD(),
+		apps.LCDuSDN(2),
+		apps.TCPEchoN(3, 9),
+		apps.Camera(),
+		apps.CoreMarkN(3),
+	}
+}
+
+// acesAppsFor returns the five ACES-comparison workloads (Section 6.4).
+func acesAppsFor(s AppSet) []*apps.App {
+	all := appsFor(s)
+	return []*apps.App{all[0], all[1], all[2], all[3], all[4]}
+}
+
+// Strategies is the evaluated ACES policy order.
+var Strategies = []aces.Strategy{aces.Filename, aces.FilenameNoOpt, aces.Peripheral}
+
+// ---- Table 1 ----
+
+// Table1Row is one application's security metrics.
+type Table1Row struct {
+	App         string
+	Ops         int
+	AvgFuncs    float64
+	PriCode     int     // privileged (monitor) code bytes
+	PriCodePct  float64 // vs baseline application code
+	AvgGVars    float64 // average accessible global bytes per operation
+	AvgGVarsPct float64 // vs total writable global bytes
+}
+
+// Table1 computes the Table 1 metrics for every workload.
+func Table1(s AppSet) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, app := range appsFor(s) {
+		inst := app.New()
+		b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", app.Name, err)
+		}
+		row := Table1Row{App: app.Name, Ops: len(b.Ops), PriCode: b.MonitorCodeBytes}
+		funcs, gbytes := 0, 0
+		for _, op := range b.Ops {
+			funcs += len(op.Funcs)
+			gbytes += op.GlobalBytes()
+		}
+		row.AvgFuncs = float64(funcs) / float64(len(b.Ops))
+		row.AvgGVars = float64(gbytes) / float64(len(b.Ops))
+		row.PriCodePct = 100 * float64(b.MonitorCodeBytes) / float64(b.CodeBytes+b.RODataBytes)
+		total := b.Mod.DataBytes()
+		if total > 0 {
+			row.AvgGVarsPct = 100 * row.AvgGVars / float64(total)
+		}
+		rows = append(rows, row)
+	}
+	rows = append(rows, averageTable1(rows))
+	return rows, nil
+}
+
+func averageTable1(rows []Table1Row) Table1Row {
+	avg := Table1Row{App: "Average"}
+	n := float64(len(rows))
+	for _, r := range rows {
+		avg.Ops += r.Ops
+		avg.AvgFuncs += r.AvgFuncs / n
+		avg.PriCode += r.PriCode
+		avg.PriCodePct += r.PriCodePct / n
+		avg.AvgGVars += r.AvgGVars / n
+		avg.AvgGVarsPct += r.AvgGVarsPct / n
+	}
+	avg.Ops = int(float64(avg.Ops)/n + 0.5)
+	avg.PriCode = int(float64(avg.PriCode)/n + 0.5)
+	return avg
+}
+
+// ---- Figure 9 ----
+
+// Figure9Row is one application's OPEC-vs-vanilla overheads.
+type Figure9Row struct {
+	App        string
+	RuntimePct float64
+	FlashPct   float64
+	SRAMPct    float64
+
+	VanillaCycles uint64
+	OPECCycles    uint64
+}
+
+// Figure9 measures runtime, Flash and SRAM overheads for every
+// workload.
+func Figure9(s AppSet) ([]Figure9Row, error) {
+	var rows []Figure9Row
+	for _, app := range appsFor(s) {
+		row, err := figure9One(app)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	avg := Figure9Row{App: "Average"}
+	n := float64(len(rows))
+	for _, r := range rows {
+		avg.RuntimePct += r.RuntimePct / n
+		avg.FlashPct += r.FlashPct / n
+		avg.SRAMPct += r.SRAMPct / n
+	}
+	rows = append(rows, avg)
+	return rows, nil
+}
+
+func figure9One(app *apps.App) (Figure9Row, error) {
+	iv := app.New()
+	rv, err := run.Vanilla(iv)
+	if err != nil {
+		return Figure9Row{}, fmt.Errorf("figure9 %s vanilla: %w", app.Name, err)
+	}
+	if err := run.AndCheck(iv, rv); err != nil {
+		return Figure9Row{}, fmt.Errorf("figure9 %s vanilla check: %w", app.Name, err)
+	}
+	io := app.New()
+	ro, err := run.OPEC(io)
+	if err != nil {
+		return Figure9Row{}, fmt.Errorf("figure9 %s OPEC: %w", app.Name, err)
+	}
+	if err := run.AndCheck(io, ro); err != nil {
+		return Figure9Row{}, fmt.Errorf("figure9 %s OPEC check: %w", app.Name, err)
+	}
+	board := iv.Board
+	return Figure9Row{
+		App:           app.Name,
+		RuntimePct:    100 * (float64(ro.Cycles)/float64(rv.Cycles) - 1),
+		FlashPct:      100 * float64(ro.Build.FlashUsed-rv.Van.FlashUsed) / float64(board.FlashSize),
+		SRAMPct:       100 * float64(ro.Build.SRAMUsed-rv.Van.SRAMUsed) / float64(board.SRAMSize),
+		VanillaCycles: rv.Cycles,
+		OPECCycles:    ro.Cycles,
+	}, nil
+}
+
+// ---- Table 2 ----
+
+// Table2Row compares one policy on one application.
+type Table2Row struct {
+	App    string
+	Policy string  // "OPEC", "ACES-1", "ACES-2", "ACES-3"
+	RO     float64 // runtime overhead factor vs vanilla (X)
+	FO     float64 // Flash overhead %
+	SO     float64 // SRAM overhead %
+	PAC    float64 // privileged application code %
+}
+
+// Table2 runs the five ACES applications under OPEC and all three ACES
+// strategies.
+func Table2(s AppSet) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, app := range acesAppsFor(s) {
+		iv := app.New()
+		rv, err := run.Vanilla(iv)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s vanilla: %w", app.Name, err)
+		}
+		board := iv.Board
+
+		io := app.New()
+		ro, err := run.OPEC(io)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s OPEC: %w", app.Name, err)
+		}
+		rows = append(rows, Table2Row{
+			App: app.Name, Policy: "OPEC",
+			RO:  float64(ro.Cycles) / float64(rv.Cycles),
+			FO:  100 * float64(ro.Build.FlashUsed-rv.Van.FlashUsed) / float64(board.FlashSize),
+			SO:  100 * float64(ro.Build.SRAMUsed-rv.Van.SRAMUsed) / float64(board.SRAMSize),
+			PAC: 0, // OPEC keeps all application code unprivileged
+		})
+
+		for i, strat := range Strategies {
+			ia := app.New()
+			ra, err := run.ACES(ia, strat)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s %v: %w", app.Name, strat, err)
+			}
+			rows = append(rows, Table2Row{
+				App: app.Name, Policy: fmt.Sprintf("ACES-%d", i+1),
+				RO:  float64(ra.Cycles) / float64(rv.Cycles),
+				FO:  100 * float64(ra.ABld.FlashUsed-rv.Van.FlashUsed) / float64(board.FlashSize),
+				SO:  100 * float64(ra.ABld.SRAMUsed-rv.Van.SRAMUsed) / float64(board.SRAMSize),
+				PAC: 100 * float64(ra.ABld.PrivilegedCodeBytes()) / float64(ra.ABld.CodeBytes),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ---- Figure 10 ----
+
+// Figure10Series is the PT CDF of one app under one strategy.
+type Figure10Series struct {
+	App      string
+	Strategy string
+	PTs      []float64 // raw per-compartment PT values
+	// Thresholds/CDF are the plotted cumulative-ratio points.
+	Thresholds []float64
+	CDF        []float64
+}
+
+// Figure10Thresholds are the plot's x-axis points.
+var Figure10Thresholds = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Figure10 computes the PT CDFs of the five ACES applications under the
+// three strategies (plus OPEC's, which is identically zero — included
+// so the claim is produced by measurement, not assumption).
+func Figure10(s AppSet) ([]Figure10Series, error) {
+	var out []Figure10Series
+	for _, app := range acesAppsFor(s) {
+		for i, strat := range Strategies {
+			inst := app.New()
+			b, err := aces.Compile(inst.Mod, inst.Board, strat)
+			if err != nil {
+				return nil, fmt.Errorf("figure10 %s %v: %w", app.Name, strat, err)
+			}
+			pts := metrics.PTsForACES(b)
+			out = append(out, Figure10Series{
+				App: app.Name, Strategy: fmt.Sprintf("ACES%d", i+1),
+				PTs:        pts,
+				Thresholds: Figure10Thresholds,
+				CDF:        metrics.CumulativeRatio(pts, Figure10Thresholds),
+			})
+		}
+		inst := app.New()
+		ob, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure10 %s OPEC: %w", app.Name, err)
+		}
+		pts := metrics.PTsForOPEC(ob)
+		out = append(out, Figure10Series{
+			App: app.Name, Strategy: "OPEC",
+			PTs:        pts,
+			Thresholds: Figure10Thresholds,
+			CDF:        metrics.CumulativeRatio(pts, Figure10Thresholds),
+		})
+	}
+	return out, nil
+}
+
+// ---- Figure 11 ----
+
+// Figure11Series is the per-task ET of one app under one policy.
+type Figure11Series struct {
+	App      string
+	Strategy string
+	Tasks    []string
+	ET       []float64
+}
+
+// Figure11 traces each of the five applications once and evaluates the
+// per-task execution-time over-privilege under OPEC and the three ACES
+// strategies.
+func Figure11(s AppSet) ([]Figure11Series, error) {
+	var out []Figure11Series
+	for _, app := range acesAppsFor(s) {
+		ti := app.New()
+		tr, err := metrics.TraceTasks(ti)
+		if err != nil {
+			return nil, fmt.Errorf("figure11 %s trace: %w", app.Name, err)
+		}
+
+		oi := app.New()
+		ob, err := core.Compile(oi.Mod, oi.Board, oi.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		names, ets := metrics.ETForOPEC(ob, tr)
+		out = append(out, Figure11Series{App: app.Name, Strategy: "OPEC", Tasks: names, ET: ets})
+
+		for i, strat := range Strategies {
+			ai := app.New()
+			ab, err := aces.Compile(ai.Mod, ai.Board, strat)
+			if err != nil {
+				return nil, err
+			}
+			anames, aets := metrics.ETForACES(ab, tr)
+			out = append(out, Figure11Series{
+				App: app.Name, Strategy: fmt.Sprintf("ACES%d", i+1),
+				Tasks: anames, ET: aets,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---- Table 3 ----
+
+// Table3Row is one application's icall-analysis efficiency.
+type Table3Row struct {
+	App        string
+	ICalls     int
+	SVF        int
+	Seconds    float64
+	TypeBased  int
+	Unresolved int
+	AvgTargets float64
+	MaxTargets int
+}
+
+// Table3 reports the indirect-call resolution statistics per workload.
+func Table3(s AppSet) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, app := range appsFor(s) {
+		inst := app.New()
+		b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", app.Name, err)
+		}
+		st := b.Analysis.CG.Stats
+		rows = append(rows, Table3Row{
+			App:        app.Name,
+			ICalls:     st.NumICalls,
+			SVF:        st.ResolvedSVF,
+			Seconds:    st.SolveSeconds,
+			TypeBased:  st.ResolvedType,
+			Unresolved: st.Unresolved,
+			AvgTargets: st.AvgTargets,
+			MaxTargets: st.MaxTargets,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,93 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable1 prints Table 1 in the paper's column layout.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: security evaluation metrics\n")
+	fmt.Fprintf(&sb, "%-11s %6s %12s %18s %22s\n",
+		"Application", "#OPs", "#Avg.Funcs", "#Pri.Code(%)", "#Avg.GVars(%)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11s %6d %12.2f %10d(%5.2f) %14.2f(%5.2f)\n",
+			r.App, r.Ops, r.AvgFuncs, r.PriCode, r.PriCodePct, r.AvgGVars, r.AvgGVarsPct)
+	}
+	return sb.String()
+}
+
+// RenderFigure9 prints the Figure 9 data series.
+func RenderFigure9(rows []Figure9Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: performance overhead of OPEC (percent)\n")
+	fmt.Fprintf(&sb, "%-11s %10s %9s %9s %14s %14s\n",
+		"Application", "Runtime%", "Flash%", "SRAM%", "vanilla(cyc)", "OPEC(cyc)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11s %10.2f %9.2f %9.2f %14d %14d\n",
+			r.App, r.RuntimePct, r.FlashPct, r.SRAMPct, r.VanillaCycles, r.OPECCycles)
+	}
+	return sb.String()
+}
+
+// RenderTable2 prints the OPEC-vs-ACES comparison.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: comparison of OPEC and ACES\n")
+	fmt.Fprintf(&sb, "%-11s %-8s %8s %8s %8s %8s\n",
+		"Application", "Policy", "RO(X)", "FO(%)", "SO(%)", "PAC(%)")
+	last := ""
+	for _, r := range rows {
+		app := r.App
+		if app == last {
+			app = ""
+		} else {
+			last = r.App
+		}
+		fmt.Fprintf(&sb, "%-11s %-8s %8.2f %8.2f %8.2f %8.2f\n",
+			app, r.Policy, r.RO, r.FO, r.SO, r.PAC)
+	}
+	return sb.String()
+}
+
+// RenderFigure10 prints the PT CDF series.
+func RenderFigure10(series []Figure10Series) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: cumulative ratio of PT (partition-time over-privilege)\n")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "%-11s %-6s ", s.App, s.Strategy)
+		for i, t := range s.Thresholds {
+			fmt.Fprintf(&sb, "%.1f:%.2f ", t, s.CDF[i])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderFigure11 prints the per-task ET series.
+func RenderFigure11(series []Figure11Series) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: per-task ET (execution-time over-privilege)\n")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "%-11s %-6s ", s.App, s.Strategy)
+		for i, et := range s.ET {
+			fmt.Fprintf(&sb, "task%d:%.2f ", i+1, et)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderTable3 prints the icall analysis statistics.
+func RenderTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: efficiency of the icall analysis\n")
+	fmt.Fprintf(&sb, "%-11s %7s %6s %9s %6s %7s %6s %5s\n",
+		"Application", "#Icall", "#SVF", "Time(s)", "#Type", "#Unres", "#Avg.", "#Max")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11s %7d %6d %9.4f %6d %7d %6.2f %5d\n",
+			r.App, r.ICalls, r.SVF, r.Seconds, r.TypeBased, r.Unresolved, r.AvgTargets, r.MaxTargets)
+	}
+	return sb.String()
+}

@@ -1,0 +1,471 @@
+package hal
+
+import "opec/internal/ir"
+
+// FATFSType is the filesystem object: window-sector cache plus the
+// parsed geometry. SDFatFs (a global of this type) is the large shared
+// structure Section 6.2 calls out for FatFs-uSD.
+var FATFSType = ir.Struct("FATFS",
+	ir.Field{Name: "winSect", Typ: ir.I32}, // sector currently in win; ~0 = none
+	ir.Field{Name: "fatStart", Typ: ir.I32},
+	ir.Field{Name: "rootStart", Typ: ir.I32},
+	ir.Field{Name: "dataStart", Typ: ir.I32},
+	ir.Field{Name: "rootEnts", Typ: ir.I32},
+	ir.Field{Name: "win", Typ: ir.Array(ir.I8, 512)},
+)
+
+// FILType is the file object (MyFile).
+var FILType = ir.Struct("FIL",
+	ir.Field{Name: "sclust", Typ: ir.I32},
+	ir.Field{Name: "fsize", Typ: ir.I32},
+	ir.Field{Name: "pos", Typ: ir.I32},
+	ir.Field{Name: "dirIdx", Typ: ir.I32},
+	ir.Field{Name: "wclust", Typ: ir.I32},
+)
+
+// File-open modes.
+const (
+	FARead   = 0
+	FACreate = 1
+)
+
+// InstallFatFs adds the FAT16 filesystem driver (file "ff.c") operating
+// on the shared globals SDFatFs and MyFile, on top of the SDIO block
+// driver. It parses the real on-disk FAT16 structures the host-side
+// dev.FatImage builder writes: boot sector geometry, the FAT, 8.3 root
+// directory entries and cluster chains.
+//
+// Requires InstallLibc and InstallSD.
+func InstallFatFs(l *Lib) {
+	m := l.M
+	fs := m.AddGlobal(&ir.Global{Name: "SDFatFs", Typ: FATFSType})
+	fil := m.AddGlobal(&ir.Global{Name: "MyFile", Typ: FILType})
+	memcpy := l.Fn("memcpy")
+	memcmp := l.Fn("memcmp")
+	memset := l.Fn("memset")
+
+	// The diskio dispatch layer ("diskio.c"): FatFs reaches its medium
+	// through a registered driver table of function pointers, so every
+	// sector transfer is an indirect call the icall analyses resolve.
+	rdSlot := m.AddGlobal(&ir.Global{Name: "diskio_read_fn", Typ: ir.Ptr(ir.I32)})
+	wrSlot := m.AddGlobal(&ir.Global{Name: "diskio_write_fn", Typ: ir.Ptr(ir.I32)})
+	diskSig := ir.FuncType{Params: []ir.Type{ir.Ptr(ir.I8), ir.I32}, Ret: nil}
+
+	lnk := ir.NewFunc(m, "disk_register", "diskio.c", nil,
+		ir.P("rd", ir.Ptr(ir.I32)), ir.P("wr", ir.Ptr(ir.I32)))
+	lnk.Store(ir.I32, rdSlot, lnk.Arg("rd"))
+	lnk.Store(ir.I32, wrSlot, lnk.Arg("wr"))
+	lnk.RetVoid()
+
+	dRead := ir.NewFunc(m, "disk_read", "diskio.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("sector", ir.I32))
+	dp := dRead.Load(ir.I32, rdSlot)
+	dRead.ICall(diskSig, dp, dRead.Arg("buf"), dRead.Arg("sector"))
+	dRead.RetVoid()
+
+	dWrite := ir.NewFunc(m, "disk_write", "diskio.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("sector", ir.I32))
+	wp := dWrite.Load(ir.I32, wrSlot)
+	dWrite.ICall(diskSig, wp, dWrite.Arg("buf"), dWrite.Arg("sector"))
+	dWrite.RetVoid()
+
+	// The SD medium driver ("sd_diskio.c"): the icall targets, plus the
+	// FATFS_LinkDriver registration the applications call at storage
+	// init (exactly FatFs's real architecture).
+	sdDR := ir.NewFunc(m, "sd_disk_read", "sd_diskio.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("sector", ir.I32))
+	sdDR.Call(l.Fn("HAL_SD_ReadBlock"), sdDR.Arg("buf"), sdDR.Arg("sector"))
+	sdDR.RetVoid()
+	sdDW := ir.NewFunc(m, "sd_disk_write", "sd_diskio.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("sector", ir.I32))
+	sdDW.Call(l.Fn("HAL_SD_WriteBlock"), sdDW.Arg("buf"), sdDW.Arg("sector"))
+	sdDW.RetVoid()
+	lnk2 := ir.NewFunc(m, "FATFS_LinkDriver", "sd_diskio.c", nil)
+	lnk2.Call(lnk.F, sdDR.F, sdDW.F)
+	lnk2.RetVoid()
+
+	sdRead := dRead
+	sdWrite := dWrite
+
+	winOf := func(fb *ir.FuncBuilder) *ir.Instr { return fb.Field(fs, FATFSType, "win") }
+	fld := func(fb *ir.FuncBuilder, name string) *ir.Instr { return fb.Field(fs, FATFSType, name) }
+	ffl := func(fb *ir.FuncBuilder, name string) *ir.Instr { return fb.Field(fil, FILType, name) }
+
+	// move_window(sect): load sector into the cache unless present.
+	mw := ir.NewFunc(m, "move_window", "ff.c", nil, ir.P("sect", ir.I32))
+	hit := mw.NewBlock("hit")
+	miss := mw.NewBlock("miss")
+	cur := mw.Load(ir.I32, fld(mw, "winSect"))
+	mw.CondBr(mw.Eq(cur, mw.Arg("sect")), hit, miss)
+	mw.SetBlock(miss)
+	mw.Call(sdRead.F, winOf(mw), mw.Arg("sect"))
+	mw.Store(ir.I32, fld(mw, "winSect"), mw.Arg("sect"))
+	mw.Br(hit)
+	mw.SetBlock(hit)
+	mw.RetVoid()
+	_ = mw
+
+	// flush_window(sect): write the cache back to the card.
+	fw := ir.NewFunc(m, "flush_window", "ff.c", nil, ir.P("sect", ir.I32))
+	fw.Call(sdWrite.F, winOf(fw), fw.Arg("sect"))
+	fw.Store(ir.I32, fld(fw, "winSect"), fw.Arg("sect"))
+	fw.RetVoid()
+
+	// f_mount: parse the boot sector into SDFatFs.
+	fm := ir.NewFunc(m, "f_mount", "ff.c", ir.I32)
+	fm.Store(ir.I32, fld(fm, "winSect"), ir.CI(0xFFFFFFFF))
+	fm.Call(mw.F, ir.CI(0))
+	win := winOf(fm)
+	// Validate 0x55AA signature.
+	sig := fm.Load(ir.I16, fm.Index(win, ir.I8, ir.CI(510)))
+	bad := fm.NewBlock("badfs")
+	ok := fm.NewBlock("okfs")
+	fm.CondBr(fm.Eq(sig, ir.CI(0xAA55)), ok, bad)
+	fm.SetBlock(bad)
+	fm.Ret(ir.CI(1))
+	fm.SetBlock(ok)
+	win2 := winOf(fm)
+	reserved := fm.Load(ir.I16, fm.Index(win2, ir.I8, ir.CI(14)))
+	fatSz := fm.Load(ir.I16, fm.Index(win2, ir.I8, ir.CI(22)))
+	rootEnts := fm.Load(ir.I16, fm.Index(win2, ir.I8, ir.CI(17)))
+	fm.Store(ir.I32, fld(fm, "fatStart"), reserved)
+	rootStart := fm.Add(reserved, fatSz)
+	fm.Store(ir.I32, fld(fm, "rootStart"), rootStart)
+	rootSects := fm.Div(fm.Mul(rootEnts, ir.CI(32)), ir.CI(512))
+	fm.Store(ir.I32, fld(fm, "dataStart"), fm.Add(rootStart, rootSects))
+	fm.Store(ir.I32, fld(fm, "rootEnts"), rootEnts)
+	fm.Ret(ir.CI(0))
+
+	// clust2sect(c) = dataStart + c - 2.
+	cs := ir.NewFunc(m, "clust2sect", "ff.c", ir.I32, ir.P("c", ir.I32))
+	ds := cs.Load(ir.I32, fld(cs, "dataStart"))
+	cs.Ret(cs.Sub(cs.Add(ds, cs.Arg("c")), ir.CI(2)))
+
+	// get_fat(c): FAT16 entry of cluster c.
+	gf := ir.NewFunc(m, "get_fat", "ff.c", ir.I32, ir.P("c", ir.I32))
+	off := gf.Mul(gf.Arg("c"), ir.CI(2))
+	fsect := gf.Add(gf.Load(ir.I32, fld(gf, "fatStart")), gf.Div(off, ir.CI(512)))
+	gf.Call(mw.F, fsect)
+	inOff := gf.Bin(ir.Rem, off, ir.CI(512))
+	gf.Ret(gf.Load(ir.I16, gf.Index(winOf(gf), ir.I8, inOff)))
+
+	// put_fat(c, val): write-through FAT update.
+	pf := ir.NewFunc(m, "put_fat", "ff.c", nil, ir.P("c", ir.I32), ir.P("val", ir.I32))
+	poff := pf.Mul(pf.Arg("c"), ir.CI(2))
+	psect := pf.Add(pf.Load(ir.I32, fld(pf, "fatStart")), pf.Div(poff, ir.CI(512)))
+	pf.Call(mw.F, psect)
+	pin := pf.Bin(ir.Rem, poff, ir.CI(512))
+	pf.Store(ir.I16, pf.Index(winOf(pf), ir.I8, pin), pf.Arg("val"))
+	pf.Call(fw.F, psect)
+	pf.RetVoid()
+
+	// fat_alloc(): first free cluster, marked end-of-chain.
+	fa := ir.NewFunc(m, "fat_alloc", "ff.c", ir.I32)
+	cslot := fa.Alloca(ir.I32)
+	fa.Store(ir.I32, cslot, ir.CI(2))
+	loop := fa.NewBlock("scan")
+	found := fa.NewBlock("found")
+	next := fa.NewBlock("next")
+	fa.Br(loop)
+	fa.SetBlock(loop)
+	cv := fa.Load(ir.I32, cslot)
+	e := fa.Call(gf.F, cv)
+	fa.CondBr(fa.Eq(e, ir.CI(0)), found, next)
+	fa.SetBlock(next)
+	cv2 := fa.Load(ir.I32, cslot)
+	fa.Store(ir.I32, cslot, fa.Add(cv2, ir.CI(1)))
+	fa.Br(loop)
+	fa.SetBlock(found)
+	cv3 := fa.Load(ir.I32, cslot)
+	fa.Call(pf.F, cv3, ir.CI(0xFFFF))
+	fa.Ret(cv3)
+
+	// dir_sect(idx) / dir_off(idx): root entry location helpers.
+	dsec := ir.NewFunc(m, "dir_sect", "ff.c", ir.I32, ir.P("idx", ir.I32))
+	rs := dsec.Load(ir.I32, fld(dsec, "rootStart"))
+	dsec.Ret(dsec.Add(rs, dsec.Div(dsec.Mul(dsec.Arg("idx"), ir.CI(32)), ir.CI(512))))
+	doff := ir.NewFunc(m, "dir_off", "ff.c", ir.I32, ir.P("idx", ir.I32))
+	doff.Ret(doff.Bin(ir.Rem, doff.Mul(doff.Arg("idx"), ir.CI(32)), ir.CI(512)))
+
+	// dir_find(name): root entry index, or ~0 when absent.
+	df := ir.NewFunc(m, "dir_find", "ff.c", ir.I32, ir.P("name", ir.Ptr(ir.I8)))
+	islot := df.Alloca(ir.I32)
+	df.Store(ir.I32, islot, ir.CI(0))
+	dfl := df.NewBlock("scan")
+	dfb := df.NewBlock("check")
+	dfm := df.NewBlock("match")
+	dfn := df.NewBlock("next")
+	dfe := df.NewBlock("notfound")
+	df.Br(dfl)
+	df.SetBlock(dfl)
+	iv := df.Load(ir.I32, islot)
+	ents := df.Load(ir.I32, fld(df, "rootEnts"))
+	df.CondBr(df.Lt(iv, ents), dfb, dfe)
+	df.SetBlock(dfb)
+	iv2 := df.Load(ir.I32, islot)
+	df.Call(mw.F, df.Call(dsec.F, iv2))
+	ent := df.Index(winOf(df), ir.I8, df.Call(doff.F, iv2))
+	first := df.Load(ir.I8, ent)
+	empty := df.NewBlock("empty")
+	cmpb := df.NewBlock("cmp")
+	df.CondBr(df.Eq(first, ir.CI(0)), empty, cmpb)
+	df.SetBlock(empty)
+	df.Ret(ir.CI(0xFFFFFFFF))
+	df.SetBlock(cmpb)
+	d := df.Call(memcmp, ent, df.Arg("name"), ir.CI(11))
+	df.CondBr(df.Eq(d, ir.CI(0)), dfm, dfn)
+	df.SetBlock(dfm)
+	df.Ret(df.Load(ir.I32, islot))
+	df.SetBlock(dfn)
+	iv3 := df.Load(ir.I32, islot)
+	df.Store(ir.I32, islot, df.Add(iv3, ir.CI(1)))
+	df.Br(dfl)
+	df.SetBlock(dfe)
+	df.Ret(ir.CI(0xFFFFFFFF))
+
+	// dir_free(): first free root slot (first byte 0 or 0xE5).
+	dfr := ir.NewFunc(m, "dir_free", "ff.c", ir.I32)
+	fslot := dfr.Alloca(ir.I32)
+	dfr.Store(ir.I32, fslot, ir.CI(0))
+	frl := dfr.NewBlock("scan")
+	frb := dfr.NewBlock("check")
+	frf := dfr.NewBlock("free")
+	frn := dfr.NewBlock("next")
+	fre := dfr.NewBlock("full")
+	dfr.Br(frl)
+	dfr.SetBlock(frl)
+	fv := dfr.Load(ir.I32, fslot)
+	fents := dfr.Load(ir.I32, fld(dfr, "rootEnts"))
+	dfr.CondBr(dfr.Lt(fv, fents), frb, fre)
+	dfr.SetBlock(frb)
+	fv2 := dfr.Load(ir.I32, fslot)
+	dfr.Call(mw.F, dfr.Call(dsec.F, fv2))
+	fent := dfr.Index(winOf(dfr), ir.I8, dfr.Call(doff.F, fv2))
+	fb0 := dfr.Load(ir.I8, fent)
+	isFree := dfr.Or(dfr.Eq(fb0, ir.CI(0)), dfr.Eq(fb0, ir.CI(0xE5)))
+	dfr.CondBr(isFree, frf, frn)
+	dfr.SetBlock(frf)
+	dfr.Ret(dfr.Load(ir.I32, fslot))
+	dfr.SetBlock(frn)
+	fv3 := dfr.Load(ir.I32, fslot)
+	dfr.Store(ir.I32, fslot, dfr.Add(fv3, ir.CI(1)))
+	dfr.Br(frl)
+	dfr.SetBlock(fre)
+	dfr.Ret(ir.CI(0xFFFFFFFF))
+
+	// f_open(name, mode): fills MyFile. Returns 0 on success.
+	fo := ir.NewFunc(m, "f_open", "ff.c", ir.I32, ir.P("name", ir.Ptr(ir.I8)), ir.P("mode", ir.I32))
+	idx := fo.Call(df.F, fo.Arg("name"))
+	rd := fo.NewBlock("read")
+	cr := fo.NewBlock("create")
+	fo.CondBr(fo.Eq(fo.Arg("mode"), ir.CI(FARead)), rd, cr)
+	{
+		fo.SetBlock(rd)
+		missing := fo.NewBlock("missing")
+		have := fo.NewBlock("have")
+		fo.CondBr(fo.Eq(idx, ir.CI(0xFFFFFFFF)), missing, have)
+		fo.SetBlock(missing)
+		fo.Ret(ir.CI(1))
+		fo.SetBlock(have)
+		fo.Call(mw.F, fo.Call(dsec.F, idx))
+		ent := fo.Index(winOf(fo), ir.I8, fo.Call(doff.F, idx))
+		scl := fo.Load(ir.I16, fo.Index(ent, ir.I8, ir.CI(26)))
+		siz := fo.Load(ir.I32, fo.Index(ent, ir.I8, ir.CI(28)))
+		fo.Store(ir.I32, ffl(fo, "sclust"), scl)
+		fo.Store(ir.I32, ffl(fo, "fsize"), siz)
+		fo.Store(ir.I32, ffl(fo, "pos"), ir.CI(0))
+		fo.Store(ir.I32, ffl(fo, "dirIdx"), idx)
+		fo.Store(ir.I32, ffl(fo, "wclust"), scl)
+		fo.Ret(ir.CI(0))
+	}
+	{
+		fo.SetBlock(cr)
+		slotV := fo.Alloca(ir.I32)
+		fo.Store(ir.I32, slotV, idx)
+		useFree := fo.NewBlock("alloc_slot")
+		haveSlot := fo.NewBlock("have_slot")
+		fo.CondBr(fo.Eq(idx, ir.CI(0xFFFFFFFF)), useFree, haveSlot)
+		fo.SetBlock(useFree)
+		fo.Store(ir.I32, slotV, fo.Call(dfr.F))
+		fo.Br(haveSlot)
+		fo.SetBlock(haveSlot)
+		sv := fo.Load(ir.I32, slotV)
+		full := fo.NewBlock("full")
+		doCreate := fo.NewBlock("do_create")
+		fo.CondBr(fo.Eq(sv, ir.CI(0xFFFFFFFF)), full, doCreate)
+		fo.SetBlock(full)
+		fo.Ret(ir.CI(2))
+		fo.SetBlock(doCreate)
+		c := fo.Call(fa.F) // first cluster
+		sv2 := fo.Load(ir.I32, slotV)
+		fo.Call(mw.F, fo.Call(dsec.F, sv2))
+		ent := fo.Index(winOf(fo), ir.I8, fo.Call(doff.F, sv2))
+		fo.Call(memcpy, ent, fo.Arg("name"), ir.CI(11))
+		fo.Store(ir.I8, fo.Index(ent, ir.I8, ir.CI(11)), ir.CI(0x20))
+		fo.Store(ir.I16, fo.Index(ent, ir.I8, ir.CI(26)), c)
+		fo.Store(ir.I32, fo.Index(ent, ir.I8, ir.CI(28)), ir.CI(0))
+		fo.Call(fw.F, fo.Call(dsec.F, sv2))
+		fo.Store(ir.I32, ffl(fo, "sclust"), c)
+		fo.Store(ir.I32, ffl(fo, "fsize"), ir.CI(0))
+		fo.Store(ir.I32, ffl(fo, "pos"), ir.CI(0))
+		fo.Store(ir.I32, ffl(fo, "dirIdx"), sv2)
+		fo.Store(ir.I32, ffl(fo, "wclust"), c)
+		fo.Ret(ir.CI(0))
+	}
+
+	// f_read(buf, btr): sequential read from pos. Returns bytes read.
+	fr := ir.NewFunc(m, "f_read", "ff.c", ir.I32, ir.P("buf", ir.Ptr(ir.I8)), ir.P("btr", ir.I32))
+	done := fr.Alloca(ir.I32)
+	clu := fr.Alloca(ir.I32)
+	fr.Store(ir.I32, done, ir.CI(0))
+	fr.Store(ir.I32, clu, fr.Load(ir.I32, ffl(fr, "wclust")))
+	frLoop := fr.NewBlock("loop")
+	frBody := fr.NewBlock("body")
+	frEnd := fr.NewBlock("end")
+	fr.Br(frLoop)
+	fr.SetBlock(frLoop)
+	dv := fr.Load(ir.I32, done)
+	remain := fr.Sub(fr.Arg("btr"), dv)
+	fsz := fr.Load(ir.I32, ffl(fr, "fsize"))
+	pos := fr.Load(ir.I32, ffl(fr, "pos"))
+	left := fr.Sub(fsz, pos)
+	more := fr.And(fr.Gt(remain, ir.CI(0)), fr.Gt(left, ir.CI(0)))
+	fr.CondBr(more, frBody, frEnd)
+	fr.SetBlock(frBody)
+	rdClu := fr.Load(ir.I32, clu)
+	fr.Call(mw.F, fr.Call(cs.F, rdClu))
+	pos2 := fr.Load(ir.I32, ffl(fr, "pos"))
+	inSec := fr.Bin(ir.Rem, pos2, ir.CI(512))
+	// n = min(512 - inSec, remain, left)
+	n := fr.Alloca(ir.I32)
+	fr.Store(ir.I32, n, fr.Sub(ir.CI(512), inSec))
+	capTo := func(limit ir.Value) {
+		smaller := fr.NewBlock("cap")
+		after := fr.NewBlock("after")
+		nv := fr.Load(ir.I32, n)
+		fr.CondBr(fr.Gt(nv, limit), smaller, after)
+		fr.SetBlock(smaller)
+		fr.Store(ir.I32, n, limit)
+		fr.Br(after)
+		fr.SetBlock(after)
+	}
+	dv2 := fr.Load(ir.I32, done)
+	capTo(fr.Sub(fr.Arg("btr"), dv2))
+	fsz2 := fr.Load(ir.I32, ffl(fr, "fsize"))
+	pos3 := fr.Load(ir.I32, ffl(fr, "pos"))
+	capTo(fr.Sub(fsz2, pos3))
+	nv := fr.Load(ir.I32, n)
+	dv3 := fr.Load(ir.I32, done)
+	src := fr.Index(winOf(fr), ir.I8, fr.Bin(ir.Rem, fr.Load(ir.I32, ffl(fr, "pos")), ir.CI(512)))
+	fr.Call(memcpy, fr.Index(fr.Arg("buf"), ir.I8, dv3), src, nv)
+	fr.Store(ir.I32, done, fr.Add(dv3, nv))
+	newPos := fr.Add(fr.Load(ir.I32, ffl(fr, "pos")), nv)
+	fr.Store(ir.I32, ffl(fr, "pos"), newPos)
+	// Crossed a sector boundary? advance the cluster chain.
+	crossed := fr.Eq(fr.Bin(ir.Rem, newPos, ir.CI(512)), ir.CI(0))
+	adv := fr.NewBlock("advance")
+	fr.CondBr(crossed, adv, frLoop)
+	fr.SetBlock(adv)
+	advClu := fr.Load(ir.I32, clu)
+	nxt := fr.Call(gf.F, advClu)
+	fr.Store(ir.I32, clu, nxt)
+	fr.Store(ir.I32, ffl(fr, "wclust"), nxt)
+	fr.Br(frLoop)
+	fr.SetBlock(frEnd)
+	fr.Ret(fr.Load(ir.I32, done))
+
+	// f_write(buf, btw): sequential write at pos (whole file streamed
+	// from the start in our workloads). Returns bytes written.
+	fwr := ir.NewFunc(m, "f_write", "ff.c", ir.I32, ir.P("buf", ir.Ptr(ir.I8)), ir.P("btw", ir.I32))
+	wdone := fwr.Alloca(ir.I32)
+	fwr.Store(ir.I32, wdone, ir.CI(0))
+	wl := fwr.NewBlock("loop")
+	wb := fwr.NewBlock("body")
+	we := fwr.NewBlock("end")
+	fwr.Br(wl)
+	fwr.SetBlock(wl)
+	wd := fwr.Load(ir.I32, wdone)
+	fwr.CondBr(fwr.Lt(wd, fwr.Arg("btw")), wb, we)
+	fwr.SetBlock(wb)
+	// If pos is at a sector boundary past the start, chain a cluster.
+	wpos := fwr.Load(ir.I32, ffl(fwr, "pos"))
+	atBoundary := fwr.And(fwr.Eq(fwr.Bin(ir.Rem, wpos, ir.CI(512)), ir.CI(0)), fwr.Gt(wpos, ir.CI(0)))
+	chain := fwr.NewBlock("chain")
+	fill := fwr.NewBlock("fill")
+	fwr.CondBr(atBoundary, chain, fill)
+	fwr.SetBlock(chain)
+	oldC := fwr.Load(ir.I32, ffl(fwr, "wclust"))
+	newC := fwr.Call(fa.F)
+	fwr.Call(pf.F, oldC, newC)
+	fwr.Call(pf.F, newC, ir.CI(0xFFFF))
+	fwr.Store(ir.I32, ffl(fwr, "wclust"), newC)
+	fwr.Br(fill)
+	fwr.SetBlock(fill)
+	// n = min(512 - pos%512, btw - done)
+	wpos2 := fwr.Load(ir.I32, ffl(fwr, "pos"))
+	win0 := fwr.Bin(ir.Rem, wpos2, ir.CI(512))
+	wn := fwr.Alloca(ir.I32)
+	fwr.Store(ir.I32, wn, fwr.Sub(ir.CI(512), win0))
+	wd2 := fwr.Load(ir.I32, wdone)
+	rem := fwr.Sub(fwr.Arg("btw"), wd2)
+	capB := fwr.NewBlock("capw")
+	aftB := fwr.NewBlock("aftw")
+	wnv := fwr.Load(ir.I32, wn)
+	fwr.CondBr(fwr.Gt(wnv, rem), capB, aftB)
+	fwr.SetBlock(capB)
+	fwr.Store(ir.I32, wn, rem)
+	fwr.Br(aftB)
+	fwr.SetBlock(aftB)
+	// Load the sector (read-modify-write for partial sectors), copy in,
+	// flush.
+	wc := fwr.Load(ir.I32, ffl(fwr, "wclust"))
+	wsect := fwr.Call(cs.F, wc)
+	partial := fwr.Ne(fwr.Load(ir.I32, wn), ir.CI(512))
+	rmw := fwr.NewBlock("rmw")
+	zero := fwr.NewBlock("zero")
+	copyIn := fwr.NewBlock("copyin")
+	fwr.CondBr(partial, rmw, zero)
+	fwr.SetBlock(rmw)
+	fwr.Call(mw.F, wsect)
+	fwr.Br(copyIn)
+	fwr.SetBlock(zero)
+	fwr.Call(memset, winOf(fwr), ir.CI(0), ir.CI(512))
+	fwr.Br(copyIn)
+	fwr.SetBlock(copyIn)
+	wd3 := fwr.Load(ir.I32, wdone)
+	wn2 := fwr.Load(ir.I32, wn)
+	dst := fwr.Index(winOf(fwr), ir.I8, fwr.Bin(ir.Rem, fwr.Load(ir.I32, ffl(fwr, "pos")), ir.CI(512)))
+	fwr.Call(memcpy, dst, fwr.Index(fwr.Arg("buf"), ir.I8, wd3), wn2)
+	fwr.Call(fw.F, wsect)
+	fwr.Store(ir.I32, wdone, fwr.Add(wd3, wn2))
+	np := fwr.Add(fwr.Load(ir.I32, ffl(fwr, "pos")), wn2)
+	fwr.Store(ir.I32, ffl(fwr, "pos"), np)
+	// fsize = max(fsize, pos)
+	grow := fwr.NewBlock("grow")
+	after2 := fwr.NewBlock("after2")
+	fsz3 := fwr.Load(ir.I32, ffl(fwr, "fsize"))
+	fwr.CondBr(fwr.Gt(np, fsz3), grow, after2)
+	fwr.SetBlock(grow)
+	fwr.Store(ir.I32, ffl(fwr, "fsize"), np)
+	fwr.Br(after2)
+	fwr.SetBlock(after2)
+	fwr.Br(wl)
+	fwr.SetBlock(we)
+	fwr.Ret(fwr.Load(ir.I32, wdone))
+
+	// f_close: persist the directory entry (size + first cluster).
+	fc := ir.NewFunc(m, "f_close", "ff.c", ir.I32)
+	di := fc.Load(ir.I32, ffl(fc, "dirIdx"))
+	fc.Call(mw.F, fc.Call(dsec.F, di))
+	cent := fc.Index(winOf(fc), ir.I8, fc.Call(doff.F, di))
+	fc.Store(ir.I16, fc.Index(cent, ir.I8, ir.CI(26)), fc.Load(ir.I32, ffl(fc, "sclust")))
+	fc.Store(ir.I32, fc.Index(cent, ir.I8, ir.CI(28)), fc.Load(ir.I32, ffl(fc, "fsize")))
+	fc.Call(fw.F, fc.Call(dsec.F, di))
+	fc.Ret(ir.CI(0))
+
+	// f_rewind: reset the read cursor to the file start.
+	frw := ir.NewFunc(m, "f_rewind", "ff.c", nil)
+	frw.Store(ir.I32, ffl(frw, "pos"), ir.CI(0))
+	frw.Store(ir.I32, ffl(frw, "wclust"), frw.Load(ir.I32, ffl(frw, "sclust")))
+	frw.RetVoid()
+}

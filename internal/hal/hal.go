@@ -1,0 +1,304 @@
+// Package hal is the vendor-HAL-style firmware library the workloads
+// link against, authored in the project IR. It mirrors the role of
+// STM32Cube HAL + FatFs + lwIP in the paper's applications: realistic
+// source-file structure (ACES partitions by these file names), shared
+// global state, polling drivers against the internal/dev peripheral
+// models, a FAT16 filesystem driver that parses real on-disk
+// structures, and a miniature TCP/IP stack that parses real frames.
+//
+// Each Install* function adds one HAL module to an ir.Module and
+// returns nothing; callers look functions up by name via Lib.
+package hal
+
+import (
+	"fmt"
+
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// Lib wraps a module under construction with lookup helpers.
+type Lib struct {
+	M *ir.Module
+}
+
+// New creates a library wrapper for m.
+func New(m *ir.Module) *Lib { return &Lib{M: m} }
+
+// Fn returns an installed function by name, panicking on a missing
+// dependency (a build-wiring bug, not a runtime condition).
+func (l *Lib) Fn(name string) *ir.Function {
+	f := l.M.Func(name)
+	if f == nil {
+		panic(fmt.Sprintf("hal: function %q not installed", name))
+	}
+	return f
+}
+
+// reg returns the operand for a memory-mapped register, keeping the
+// address a compile-time constant so the peripheral-identification
+// backward slice resolves it.
+func reg(base, off uint32) ir.Value { return ir.CI(base + off) }
+
+// pollBitSet emits a busy-wait loop: spin until *(addr) & mask != 0.
+// This is how all drivers wait on device readiness; the spinning burns
+// simulated cycles until the device's scheduled readiness time passes.
+func pollBitSet(fb *ir.FuncBuilder, addr ir.Value, mask uint32) {
+	loop := fb.NewBlock("poll")
+	done := fb.NewBlock("ready")
+	fb.Br(loop)
+	fb.SetBlock(loop)
+	v := fb.Load(ir.I32, addr)
+	fb.CondBr(fb.And(v, ir.CI(mask)), done, loop)
+	fb.SetBlock(done)
+}
+
+// countLoop emits for(i=0; i<n; i++) { body(i) } where n is a Value.
+// body receives the loop counter value and emits into the current
+// block; it must not terminate blocks itself.
+func countLoop(fb *ir.FuncBuilder, n ir.Value, body func(i ir.Value)) {
+	iSlot := fb.Alloca(ir.I32)
+	fb.Store(ir.I32, iSlot, ir.CI(0))
+	loop := fb.NewBlock("loop")
+	bodyB := fb.NewBlock("body")
+	done := fb.NewBlock("done")
+	fb.Br(loop)
+	fb.SetBlock(loop)
+	iv := fb.Load(ir.I32, iSlot)
+	fb.CondBr(fb.Lt(iv, n), bodyB, done)
+	fb.SetBlock(bodyB)
+	body(fb.Load(ir.I32, iSlot))
+	iv2 := fb.Load(ir.I32, iSlot)
+	fb.Store(ir.I32, iSlot, fb.Add(iv2, ir.CI(1)))
+	fb.Br(loop)
+	fb.SetBlock(done)
+}
+
+// InstallLibc adds memset/memcpy/memcmp (file "libc.c").
+func InstallLibc(l *Lib) {
+	m := l.M
+
+	ms := ir.NewFunc(m, "memset", "libc.c", nil,
+		ir.P("dst", ir.Ptr(ir.I8)), ir.P("val", ir.I32), ir.P("len", ir.I32))
+	countLoop(ms, ms.Arg("len"), func(i ir.Value) {
+		ms.Store(ir.I8, ms.Index(ms.Arg("dst"), ir.I8, i), ms.Arg("val"))
+	})
+	ms.RetVoid()
+
+	mc := ir.NewFunc(m, "memcpy", "libc.c", nil,
+		ir.P("dst", ir.Ptr(ir.I8)), ir.P("src", ir.Ptr(ir.I8)), ir.P("len", ir.I32))
+	countLoop(mc, mc.Arg("len"), func(i ir.Value) {
+		v := mc.Load(ir.I8, mc.Index(mc.Arg("src"), ir.I8, i))
+		mc.Store(ir.I8, mc.Index(mc.Arg("dst"), ir.I8, i), v)
+	})
+	mc.RetVoid()
+
+	cmp := ir.NewFunc(m, "memcmp", "libc.c", ir.I32,
+		ir.P("a", ir.Ptr(ir.I8)), ir.P("b", ir.Ptr(ir.I8)), ir.P("len", ir.I32))
+	diff := cmp.Alloca(ir.I32)
+	cmp.Store(ir.I32, diff, ir.CI(0))
+	countLoop(cmp, cmp.Arg("len"), func(i ir.Value) {
+		av := cmp.Load(ir.I8, cmp.Index(cmp.Arg("a"), ir.I8, i))
+		bv := cmp.Load(ir.I8, cmp.Index(cmp.Arg("b"), ir.I8, i))
+		ne := cmp.Ne(av, bv)
+		old := cmp.Load(ir.I32, diff)
+		cmp.Store(ir.I32, diff, cmp.Or(old, ne))
+	})
+	cmp.Ret(cmp.Load(ir.I32, diff))
+}
+
+// InstallCrypto adds the pin-hash helpers (file "crypto.c").
+func InstallCrypto(l *Lib) {
+	m := l.M
+	// hash_byte: one FNV-1a step.
+	hb := ir.NewFunc(m, "hash_byte", "crypto.c", ir.I32, ir.P("h", ir.I32), ir.P("b", ir.I32))
+	x := hb.Xor(hb.Arg("h"), hb.Arg("b"))
+	hb.Ret(hb.Mul(x, ir.CI(16777619)))
+
+	// hash_buf: FNV-1a over a buffer.
+	hf := ir.NewFunc(m, "hash_buf", "crypto.c", ir.I32, ir.P("buf", ir.Ptr(ir.I8)), ir.P("len", ir.I32))
+	acc := hf.Alloca(ir.I32)
+	hf.Store(ir.I32, acc, ir.CI(2166136261))
+	countLoop(hf, hf.Arg("len"), func(i ir.Value) {
+		b := hf.Load(ir.I8, hf.Index(hf.Arg("buf"), ir.I8, i))
+		h := hf.Load(ir.I32, acc)
+		hf.Store(ir.I32, acc, hf.Call(hb.F, h, b))
+	})
+	hf.Ret(hf.Load(ir.I32, acc))
+}
+
+// InstallRCC adds the clock-control module (file "stm32f4xx_hal_rcc.c").
+func InstallRCC(l *Lib) {
+	m := l.M
+	en := func(name string, regOff uint32, bit uint32) {
+		f := ir.NewFunc(m, name, "stm32f4xx_hal_rcc.c", nil)
+		cur := f.Load(ir.I32, reg(mach.RCCBase, regOff))
+		f.Store(ir.I32, reg(mach.RCCBase, regOff), f.Or(cur, ir.CI(bit)))
+		f.RetVoid()
+	}
+	en("RCC_EnableGPIO", 0x30, 0xF)
+	en("RCC_EnableUART", 0x40, 1<<17)
+	en("RCC_EnableSDIO", 0x44, 1<<11)
+	en("RCC_EnableLTDC", 0x44, 1<<26)
+	en("RCC_EnableETH", 0x30, 1<<25)
+	en("RCC_EnableDCMI", 0x38, 1<<0)
+	en("RCC_EnableUSB", 0x38, 1<<7)
+	en("RCC_EnableDMA2D", 0x30, 1<<23)
+
+	// RCC_ClockConfig: the system-init PLL dance.
+	cc := ir.NewFunc(m, "RCC_ClockConfig", "stm32f4xx_hal_rcc.c", nil)
+	cc.Store(ir.I32, reg(mach.RCCBase, 0x00), ir.CI(1<<16)) // HSEON
+	cc.Store(ir.I32, reg(mach.RCCBase, 0x04), ir.CI(0x24003010))
+	cc.Store(ir.I32, reg(mach.RCCBase, 0x08), ir.CI(0x2))
+	cc.RetVoid()
+}
+
+// InstallGPIO adds the pin driver (file "stm32f4xx_hal_gpio.c").
+// Register addresses are constants per port so the compiler attributes
+// each function to exactly the ports it touches.
+func InstallGPIO(l *Lib) {
+	m := l.M
+
+	setPin := func(name string, base uint32) {
+		f := ir.NewFunc(m, name, "stm32f4xx_hal_gpio.c", nil, ir.P("pin", ir.I32), ir.P("on", ir.I32))
+		set := f.NewBlock("set")
+		clr := f.NewBlock("clr")
+		out := f.NewBlock("out")
+		bit := f.Shl(ir.CI(1), f.Arg("pin"))
+		f.CondBr(f.Arg("on"), set, clr)
+		f.SetBlock(set)
+		f.Store(ir.I32, reg(base, devGpioBSRR), bit)
+		f.Br(out)
+		f.SetBlock(clr)
+		f.Store(ir.I32, reg(base, devGpioBSRR), f.Shl(bit, ir.CI(16)))
+		f.Br(out)
+		f.SetBlock(out)
+		f.RetVoid()
+	}
+	setPin("GPIOD_WritePin", mach.GPIODBase)
+	setPin("GPIOA_WritePin", mach.GPIOABase)
+
+	rd := ir.NewFunc(m, "GPIOA_ReadPin", "stm32f4xx_hal_gpio.c", ir.I32, ir.P("pin", ir.I32))
+	idr := rd.Load(ir.I32, reg(mach.GPIOABase, devGpioIDR))
+	rd.Ret(rd.And(rd.Shr(idr, rd.Arg("pin")), ir.CI(1)))
+
+	// GPIO_InitPorts: the board support pin-mux table, programmed pin
+	// by pin through the LL layer (requires InstallLL).
+	ini := ir.NewFunc(m, "GPIO_InitPorts", "stm32f4xx_hal_gpio.c", nil)
+	ini.Call(l.Fn("LL_AHB1_EnableClock"))
+	// PA0: user button input.
+	ini.Call(l.Fn("LL_GPIOA_InitPin"), ir.CI(0), ir.CI(0), ir.CI(0), ir.CI(2), ir.CI(0))
+	// PA2/PA3: USART2 TX/RX alternate function 7.
+	ini.Call(l.Fn("LL_GPIOA_InitPin"), ir.CI(2), ir.CI(2), ir.CI(3), ir.CI(0), ir.CI(7))
+	ini.Call(l.Fn("LL_GPIOA_InitPin"), ir.CI(3), ir.CI(2), ir.CI(3), ir.CI(0), ir.CI(7))
+	// PD12..PD15: LEDs.
+	ini.Call(l.Fn("LL_GPIOD_InitPin"), ir.CI(12), ir.CI(1), ir.CI(1), ir.CI(0), ir.CI(0))
+	ini.Call(l.Fn("LL_GPIOD_InitPin"), ir.CI(13), ir.CI(1), ir.CI(1), ir.CI(0), ir.CI(0))
+	ini.Call(l.Fn("LL_GPIOD_InitPin"), ir.CI(14), ir.CI(1), ir.CI(1), ir.CI(0), ir.CI(0))
+	ini.Call(l.Fn("LL_GPIOD_InitPin"), ir.CI(15), ir.CI(1), ir.CI(1), ir.CI(0), ir.CI(0))
+	// PC8..PC12 + PD2: SDIO pins.
+	ini.Call(l.Fn("LL_GPIOC_InitPin"), ir.CI(8), ir.CI(2), ir.CI(3), ir.CI(1), ir.CI(12))
+	ini.Call(l.Fn("LL_GPIOC_InitPin"), ir.CI(9), ir.CI(2), ir.CI(3), ir.CI(1), ir.CI(12))
+	ini.Call(l.Fn("LL_GPIOC_InitPin"), ir.CI(10), ir.CI(2), ir.CI(3), ir.CI(1), ir.CI(12))
+	ini.Call(l.Fn("LL_GPIOC_InitPin"), ir.CI(11), ir.CI(2), ir.CI(3), ir.CI(1), ir.CI(12))
+	ini.Call(l.Fn("LL_GPIOC_InitPin"), ir.CI(12), ir.CI(2), ir.CI(3), ir.CI(1), ir.CI(12))
+	ini.Call(l.Fn("LL_GPIOD_InitPin"), ir.CI(2), ir.CI(2), ir.CI(3), ir.CI(1), ir.CI(12))
+	ini.RetVoid()
+}
+
+// Device register offsets duplicated as constants here so the HAL layer
+// has no Go-level dependency on internal/dev (firmware only knows the
+// datasheet).
+const (
+	devGpioMODER = 0x00
+	devGpioIDR   = 0x10
+	devGpioBSRR  = 0x18
+	devUartSR    = 0x00
+	devUartDR    = 0x04
+	devUartBRR   = 0x08
+	devUartCR1   = 0x0C
+	devUartRXNE  = 1 << 5
+	devUartTXE   = 1 << 7
+)
+
+// InstallUART adds the USART2 driver (file "stm32f4xx_hal_uart.c") on
+// top of the LL layer. Globals: uart_error_count records framing
+// errors (error-path code contributes untaken branches, one of the ET
+// sources the paper calls out).
+//
+// Requires InstallLL.
+func InstallUART(l *Lib) {
+	m := l.M
+	errCount := m.AddGlobal(&ir.Global{Name: "uart_error_count", Typ: ir.I32})
+
+	cfg := ir.NewFunc(m, "UART_SetConfig", "stm32f4xx_hal_uart.c", nil, ir.P("brr", ir.I32))
+	cfg.Call(l.Fn("LL_USART_Disable"))
+	cfg.Call(l.Fn("LL_USART_SetBaudRate"), cfg.Arg("brr"))
+	cfg.Call(l.Fn("LL_USART_Enable"))
+	cfg.RetVoid()
+
+	ini := ir.NewFunc(m, "HAL_UART_Init", "stm32f4xx_hal_uart.c", nil)
+	ini.Call(l.Fn("LL_APB1_EnableClock"))
+	ini.Call(cfg.F, ir.CI(0x2D9))
+	ini.RetVoid()
+
+	// UART_WaitOnFlag: spin through the LL flag accessor.
+	wof := ir.NewFunc(m, "UART_WaitOnFlag", "stm32f4xx_hal_uart.c", nil, ir.P("mask", ir.I32))
+	loop := wof.NewBlock("poll")
+	done := wof.NewBlock("ready")
+	wof.Br(loop)
+	wof.SetBlock(loop)
+	f := wof.Call(l.Fn("LL_USART_IsActiveFlag"), wof.Arg("mask"))
+	wof.CondBr(f, done, loop)
+	wof.SetBlock(done)
+	wof.RetVoid()
+
+	// HAL_UART_Receive_IT: receive a single byte into buf (Listing 1's
+	// "buggy" routine), then fire the registered rx-complete callback.
+	rit := ir.NewFunc(m, "HAL_UART_Receive_IT", "stm32f4xx_hal_uart.c", nil, ir.P("buf", ir.Ptr(ir.I8)))
+	rit.Call(wof.F, ir.CI(devUartRXNE))
+	b := rit.Call(l.Fn("LL_USART_ReceiveData8"))
+	rit.Store(ir.I8, rit.Arg("buf"), b)
+	rit.Call(l.Fn("HAL_Dispatch_uart_rx"), b)
+	rit.RetVoid()
+
+	// HAL_UART_Receive: n bytes.
+	rcv := ir.NewFunc(m, "HAL_UART_Receive", "stm32f4xx_hal_uart.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("len", ir.I32))
+	countLoop(rcv, rcv.Arg("len"), func(i ir.Value) {
+		rcv.Call(rit.F, rcv.Index(rcv.Arg("buf"), ir.I8, i))
+	})
+	rcv.RetVoid()
+
+	// HAL_UART_Transmit: n bytes out through the LL layer, then the
+	// tx-complete callback.
+	tx := ir.NewFunc(m, "HAL_UART_Transmit", "stm32f4xx_hal_uart.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("len", ir.I32))
+	countLoop(tx, tx.Arg("len"), func(i ir.Value) {
+		tx.Call(wof.F, ir.CI(devUartTXE))
+		v := tx.Load(ir.I8, tx.Index(tx.Arg("buf"), ir.I8, i))
+		tx.Call(l.Fn("LL_USART_TransmitData8"), v)
+	})
+	tx.Call(l.Fn("HAL_Dispatch_uart_tx"), tx.Arg("len"))
+	tx.RetVoid()
+
+	// HAL_UART_ErrorHandler: untaken in normal runs.
+	eh := ir.NewFunc(m, "HAL_UART_ErrorHandler", "stm32f4xx_hal_uart.c", nil)
+	c := eh.Load(ir.I32, errCount)
+	eh.Store(ir.I32, errCount, eh.Add(c, ir.CI(1)))
+	eh.Call(l.Fn("LL_USART_Disable"))
+	eh.RetVoid()
+
+	// HAL_UART_GetState checks the error counter and invokes the error
+	// handler on overflow — dead branch in healthy runs.
+	gs := ir.NewFunc(m, "HAL_UART_GetState", "stm32f4xx_hal_uart.c", ir.I32)
+	bad := gs.NewBlock("bad")
+	ok := gs.NewBlock("ok")
+	cv := gs.Load(ir.I32, errCount)
+	gs.CondBr(gs.Gt(cv, ir.CI(16)), bad, ok)
+	gs.SetBlock(bad)
+	gs.Call(eh.F)
+	gs.Ret(ir.CI(1))
+	gs.SetBlock(ok)
+	gs.Ret(ir.CI(0))
+}

@@ -1,0 +1,179 @@
+package hal
+
+import (
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// LCD and DMA2D register constants (datasheet values).
+const (
+	devLcdCMD       = 0x00
+	devLcdDATA      = 0x04
+	devLcdSTA       = 0x08
+	devLcdCmdWindow = 0x2A
+	devLcdCmdPixels = 0x2C
+	devLcdCmdOn     = 0x29
+
+	devDma2dCR   = 0x00
+	devDma2dSRC  = 0x04
+	devDma2dDST  = 0x08
+	devDma2dLEN  = 0x0C
+	devDma2dSTA  = 0x10
+	devDma2dALPH = 0x14
+)
+
+// InstallLCD adds the panel driver (file "stm32f4xx_hal_ltdc.c") and
+// the BSP font assets + text renderer ("stm32_fonts.c" / "lcd_text.c").
+// The font bitmaps are const flash residents, like the STM32 BSP's
+// Font12..Font24 tables.
+func InstallLCD(l *Lib) {
+	m := l.M
+
+	fonts := map[string]*ir.Global{}
+	for _, f := range []struct {
+		name string
+		h, w int
+	}{{"Font12", 12, 7}, {"Font16", 16, 11}, {"Font20", 20, 14}, {"Font24", 24, 17}} {
+		size := 95 * f.h * ((f.w + 7) / 8) // printable ASCII bitmaps
+		init := make([]byte, size)
+		for i := range init {
+			init[i] = byte(i*31 + f.h) // deterministic glyph pattern
+		}
+		fonts[f.name] = m.AddGlobal(&ir.Global{
+			Name: f.name + "_Table", Typ: ir.Array(ir.I8, size), Init: init, Const: true,
+		})
+	}
+
+	ini := ir.NewFunc(m, "LCD_Init", "stm32f4xx_hal_ltdc.c", nil)
+	ini.Store(ir.I32, reg(mach.LTDCBase, devLcdCMD), ir.CI(devLcdCmdOn))
+	ini.RetVoid()
+
+	wait := ir.NewFunc(m, "LCD_WaitReady", "stm32f4xx_hal_ltdc.c", nil)
+	pollBitSet(wait, reg(mach.LTDCBase, devLcdSTA), 1)
+	wait.RetVoid()
+
+	// LCD_DrawImage(buf, words): stream a frame to the panel.
+	di := ir.NewFunc(m, "LCD_DrawImage", "stm32f4xx_hal_ltdc.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("words", ir.I32))
+	di.Call(wait.F)
+	di.Store(ir.I32, reg(mach.LTDCBase, devLcdCMD), ir.CI(devLcdCmdPixels))
+	countLoop(di, di.Arg("words"), func(i ir.Value) {
+		w := di.Load(ir.I32, di.Index(di.Arg("buf"), ir.I8, di.Mul(i, ir.CI(4))))
+		di.Store(ir.I32, reg(mach.LTDCBase, devLcdDATA), w)
+	})
+	di.RetVoid()
+
+	// LCD_DrawChar: blit one Font16 glyph ("lcd_text.c").
+	dc := ir.NewFunc(m, "LCD_DrawChar", "lcd_text.c", nil, ir.P("ch", ir.I32))
+	glyphBytes := ir.CI(16 * 2)
+	base := dc.Mul(dc.Sub(dc.Arg("ch"), ir.CI(32)), glyphBytes)
+	dc.Store(ir.I32, reg(mach.LTDCBase, devLcdCMD), ir.CI(devLcdCmdPixels))
+	countLoop(dc, glyphBytes, func(i ir.Value) {
+		b := dc.Load(ir.I8, dc.Index(fonts["Font16"], ir.I8, dc.Add(base, i)))
+		dc.Store(ir.I32, reg(mach.LTDCBase, devLcdDATA), b)
+	})
+	dc.RetVoid()
+
+	// LCD_DrawString: render a NUL-terminated string ("lcd_text.c").
+	dsf := ir.NewFunc(m, "LCD_DrawString", "lcd_text.c", nil, ir.P("str", ir.Ptr(ir.I8)), ir.P("len", ir.I32))
+	countLoop(dsf, dsf.Arg("len"), func(i ir.Value) {
+		ch := dsf.Load(ir.I8, dsf.Index(dsf.Arg("str"), ir.I8, i))
+		dsf.Call(dc.F, ch)
+	})
+	dsf.RetVoid()
+
+	// LCD_SetWindow: panel window configuration (parameter bytes).
+	sw := ir.NewFunc(m, "LCD_SetWindow", "stm32f4xx_hal_ltdc.c", nil,
+		ir.P("x", ir.I32), ir.P("y", ir.I32), ir.P("w", ir.I32), ir.P("h", ir.I32))
+	sw.Store(ir.I32, reg(mach.LTDCBase, devLcdCMD), ir.CI(devLcdCmdWindow))
+	sw.Store(ir.I32, reg(mach.LTDCBase, devLcdDATA), sw.Arg("x"))
+	sw.Store(ir.I32, reg(mach.LTDCBase, devLcdDATA), sw.Arg("y"))
+	sw.Store(ir.I32, reg(mach.LTDCBase, devLcdDATA), sw.Arg("w"))
+	sw.Store(ir.I32, reg(mach.LTDCBase, devLcdDATA), sw.Arg("h"))
+	sw.RetVoid()
+}
+
+// InstallDMA2D adds the blitter driver (file "stm32f4xx_hal_dma2d.c").
+func InstallDMA2D(l *Lib) {
+	m := l.M
+
+	wait := ir.NewFunc(m, "DMA2D_Wait", "stm32f4xx_hal_dma2d.c", nil)
+	pollBitSet(wait, reg(mach.DMA2DBase, devDma2dSTA), 1)
+	wait.RetVoid()
+
+	// DMA2D_Copy(src, dst, words): memory-to-memory transfer.
+	cp := ir.NewFunc(m, "DMA2D_Copy", "stm32f4xx_hal_dma2d.c", nil,
+		ir.P("src", ir.I32), ir.P("dst", ir.I32), ir.P("words", ir.I32))
+	cp.Store(ir.I32, reg(mach.DMA2DBase, devDma2dSRC), cp.Arg("src"))
+	cp.Store(ir.I32, reg(mach.DMA2DBase, devDma2dDST), cp.Arg("dst"))
+	cp.Store(ir.I32, reg(mach.DMA2DBase, devDma2dLEN), cp.Arg("words"))
+	cp.Store(ir.I32, reg(mach.DMA2DBase, devDma2dCR), ir.CI(1))
+	cp.Call(wait.F)
+	cp.RetVoid()
+
+	// DMA2D_Blend(src, dst, words, alpha): alpha blend for the fade
+	// effects of LCD-uSD.
+	bl := ir.NewFunc(m, "DMA2D_Blend", "stm32f4xx_hal_dma2d.c", nil,
+		ir.P("src", ir.I32), ir.P("dst", ir.I32), ir.P("words", ir.I32), ir.P("alpha", ir.I32))
+	bl.Store(ir.I32, reg(mach.DMA2DBase, devDma2dSRC), bl.Arg("src"))
+	bl.Store(ir.I32, reg(mach.DMA2DBase, devDma2dDST), bl.Arg("dst"))
+	bl.Store(ir.I32, reg(mach.DMA2DBase, devDma2dLEN), bl.Arg("words"))
+	bl.Store(ir.I32, reg(mach.DMA2DBase, devDma2dALPH), bl.Arg("alpha"))
+	bl.Store(ir.I32, reg(mach.DMA2DBase, devDma2dCR), ir.CI(1|1<<16))
+	bl.Call(wait.F)
+	bl.RetVoid()
+}
+
+// DCMI and USB register constants.
+const (
+	devDcmiCR   = 0x00
+	devDcmiSR   = 0x04
+	devDcmiFIFO = 0x08
+
+	devUsbARG  = 0x00
+	devUsbCMD  = 0x04
+	devUsbSTA  = 0x08
+	devUsbFIFO = 0x0C
+)
+
+// InstallDCMI adds the camera driver (file "stm32f4xx_hal_dcmi.c").
+func InstallDCMI(l *Lib) {
+	m := l.M
+
+	st := ir.NewFunc(m, "DCMI_StartCapture", "stm32f4xx_hal_dcmi.c", nil)
+	st.Store(ir.I32, reg(mach.DCMIBase, devDcmiCR), ir.CI(1))
+	st.RetVoid()
+
+	wf := ir.NewFunc(m, "DCMI_WaitFrame", "stm32f4xx_hal_dcmi.c", nil)
+	pollBitSet(wf, reg(mach.DCMIBase, devDcmiSR), 1)
+	wf.RetVoid()
+
+	rf := ir.NewFunc(m, "DCMI_ReadFrame", "stm32f4xx_hal_dcmi.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("words", ir.I32))
+	countLoop(rf, rf.Arg("words"), func(i ir.Value) {
+		w := rf.Load(ir.I32, reg(mach.DCMIBase, devDcmiFIFO))
+		rf.Store(ir.I32, rf.Index(rf.Arg("buf"), ir.I8, rf.Mul(i, ir.CI(4))), w)
+	})
+	rf.RetVoid()
+}
+
+// InstallUSB adds the mass-storage driver (file "usbh_msc.c").
+func InstallUSB(l *Lib) {
+	m := l.M
+
+	wait := ir.NewFunc(m, "USB_WaitReady", "usbh_msc.c", nil)
+	pollBitSet(wait, reg(mach.USBFSBase, devUsbSTA), 1)
+	wait.RetVoid()
+
+	// MSC_WriteSector(sector, buf, words).
+	ws := ir.NewFunc(m, "MSC_WriteSector", "usbh_msc.c", nil,
+		ir.P("sector", ir.I32), ir.P("buf", ir.Ptr(ir.I8)), ir.P("words", ir.I32))
+	ws.Store(ir.I32, reg(mach.USBFSBase, devUsbARG), ws.Arg("sector"))
+	countLoop(ws, ws.Arg("words"), func(i ir.Value) {
+		w := ws.Load(ir.I32, ws.Index(ws.Arg("buf"), ir.I8, ws.Mul(i, ir.CI(4))))
+		ws.Store(ir.I32, reg(mach.USBFSBase, devUsbFIFO), w)
+	})
+	ws.Store(ir.I32, reg(mach.USBFSBase, devUsbCMD), ir.CI(1))
+	ws.Call(wait.F)
+	ws.RetVoid()
+}

@@ -1,0 +1,261 @@
+package hal
+
+import (
+	"fmt"
+
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// InstallLL adds the low-level register drivers (files "stm32f4xx_ll_*.c")
+// the HAL layers sit on. Real STM32 firmware routes every peripheral
+// touch through layers like these; they give operations realistically
+// deep call trees and realistic code volume (register-bank init
+// sequences are big on real silicon too).
+func InstallLL(l *Lib) {
+	m := l.M
+
+	// ---- stm32f4xx_ll_bus.c: per-bus clock gates ----
+	busEnable := func(name string, off, bit uint32) {
+		f := ir.NewFunc(m, name, "stm32f4xx_ll_bus.c", nil)
+		v := f.Load(ir.I32, reg(mach.RCCBase, off))
+		f.Store(ir.I32, reg(mach.RCCBase, off), f.Or(v, ir.CI(bit)))
+		// Dummy read-back: the reference manual mandates it after
+		// enabling a clock.
+		f.Load(ir.I32, reg(mach.RCCBase, off))
+		f.RetVoid()
+	}
+	busEnable("LL_AHB1_EnableClock", 0x30, 1)
+	busEnable("LL_AHB2_EnableClock", 0x34, 1)
+	busEnable("LL_APB1_EnableClock", 0x40, 1)
+	busEnable("LL_APB2_EnableClock", 0x44, 1)
+
+	// ---- stm32f4xx_ll_rcc.c: oscillator + PLL bring-up ----
+	hse := ir.NewFunc(m, "LL_RCC_HSE_Enable", "stm32f4xx_ll_rcc.c", nil)
+	v := hse.Load(ir.I32, reg(mach.RCCBase, 0x00))
+	hse.Store(ir.I32, reg(mach.RCCBase, 0x00), hse.Or(v, ir.CI(1<<16)))
+	hse.RetVoid()
+
+	pllCfg := ir.NewFunc(m, "LL_RCC_PLL_Config", "stm32f4xx_ll_rcc.c", nil,
+		ir.P("pllm", ir.I32), ir.P("plln", ir.I32), ir.P("pllp", ir.I32), ir.P("pllq", ir.I32))
+	word := pllCfg.Or(pllCfg.Arg("pllm"), pllCfg.Shl(pllCfg.Arg("plln"), ir.CI(6)))
+	word = pllCfg.Or(word, pllCfg.Shl(pllCfg.Arg("pllp"), ir.CI(16)))
+	word = pllCfg.Or(word, pllCfg.Shl(pllCfg.Arg("pllq"), ir.CI(24)))
+	pllCfg.Store(ir.I32, reg(mach.RCCBase, 0x04), word)
+	pllCfg.RetVoid()
+
+	pllOn := ir.NewFunc(m, "LL_RCC_PLL_Enable", "stm32f4xx_ll_rcc.c", nil)
+	v2 := pllOn.Load(ir.I32, reg(mach.RCCBase, 0x00))
+	pllOn.Store(ir.I32, reg(mach.RCCBase, 0x00), pllOn.Or(v2, ir.CI(1<<24)))
+	pllOn.RetVoid()
+
+	sysClk := ir.NewFunc(m, "LL_RCC_SetSysClkSource", "stm32f4xx_ll_rcc.c", nil, ir.P("src", ir.I32))
+	v3 := sysClk.Load(ir.I32, reg(mach.RCCBase, 0x08))
+	sysClk.Store(ir.I32, reg(mach.RCCBase, 0x08), sysClk.Or(sysClk.And(v3, ir.CI(0xFFFFFFFC)), sysClk.Arg("src")))
+	sysClk.RetVoid()
+
+	setPre := ir.NewFunc(m, "LL_RCC_SetPrescalers", "stm32f4xx_ll_rcc.c", nil,
+		ir.P("ahb", ir.I32), ir.P("apb1", ir.I32), ir.P("apb2", ir.I32))
+	pv := setPre.Or(setPre.Shl(setPre.Arg("ahb"), ir.CI(4)),
+		setPre.Or(setPre.Shl(setPre.Arg("apb1"), ir.CI(10)), setPre.Shl(setPre.Arg("apb2"), ir.CI(13))))
+	old := setPre.Load(ir.I32, reg(mach.RCCBase, 0x08))
+	setPre.Store(ir.I32, reg(mach.RCCBase, 0x08), setPre.Or(old, pv))
+	setPre.RetVoid()
+
+	// ---- stm32f4xx_ll_gpio.c: full pin-mux programming per port ----
+	for _, port := range []struct {
+		suffix string
+		base   uint32
+	}{{"A", mach.GPIOABase}, {"B", mach.GPIOBBase}, {"C", mach.GPIOCBase}, {"D", mach.GPIODBase}} {
+		base := port.base
+		f := ir.NewFunc(m, "LL_GPIO"+port.suffix+"_InitPin", "stm32f4xx_ll_gpio.c", nil,
+			ir.P("pin", ir.I32), ir.P("mode", ir.I32), ir.P("speed", ir.I32), ir.P("pull", ir.I32), ir.P("af", ir.I32))
+		two := f.Mul(f.Arg("pin"), ir.CI(2))
+		// MODER
+		mr := f.Load(ir.I32, reg(base, 0x00))
+		mr = f.Or(f.And(mr, f.Xor(f.Shl(ir.CI(3), two), ir.CI(0xFFFFFFFF))), f.Shl(f.Arg("mode"), two))
+		f.Store(ir.I32, reg(base, 0x00), mr)
+		// OTYPER
+		ot := f.Load(ir.I32, reg(base, 0x04))
+		f.Store(ir.I32, reg(base, 0x04), f.Or(ot, f.Shl(ir.CI(0), f.Arg("pin"))))
+		// OSPEEDR
+		os := f.Load(ir.I32, reg(base, 0x08))
+		f.Store(ir.I32, reg(base, 0x08), f.Or(os, f.Shl(f.Arg("speed"), two)))
+		// PUPDR
+		pu := f.Load(ir.I32, reg(base, 0x0C))
+		f.Store(ir.I32, reg(base, 0x0C), f.Or(pu, f.Shl(f.Arg("pull"), two)))
+		// AFR low/high
+		lo := f.NewBlock("afrl")
+		hi := f.NewBlock("afrh")
+		out := f.NewBlock("out")
+		f.CondBr(f.Lt(f.Arg("pin"), ir.CI(8)), lo, hi)
+		f.SetBlock(lo)
+		four := f.Mul(f.Arg("pin"), ir.CI(4))
+		av := f.Load(ir.I32, reg(base, 0x20))
+		f.Store(ir.I32, reg(base, 0x20), f.Or(av, f.Shl(f.Arg("af"), four)))
+		f.Br(out)
+		f.SetBlock(hi)
+		four2 := f.Mul(f.Sub(f.Arg("pin"), ir.CI(8)), ir.CI(4))
+		av2 := f.Load(ir.I32, reg(base, 0x24))
+		f.Store(ir.I32, reg(base, 0x24), f.Or(av2, f.Shl(f.Arg("af"), four2)))
+		f.Br(out)
+		f.SetBlock(out)
+		f.RetVoid()
+	}
+
+	// ---- stm32f4xx_ll_usart.c ----
+	ub := ir.NewFunc(m, "LL_USART_SetBaudRate", "stm32f4xx_ll_usart.c", nil, ir.P("brr", ir.I32))
+	ub.Store(ir.I32, reg(mach.USART2Base, devUartBRR), ub.Arg("brr"))
+	ub.RetVoid()
+
+	ue := ir.NewFunc(m, "LL_USART_Enable", "stm32f4xx_ll_usart.c", nil)
+	cv := ue.Load(ir.I32, reg(mach.USART2Base, devUartCR1))
+	ue.Store(ir.I32, reg(mach.USART2Base, devUartCR1), ue.Or(cv, ir.CI(0x200C)))
+	ue.RetVoid()
+
+	ud := ir.NewFunc(m, "LL_USART_Disable", "stm32f4xx_ll_usart.c", nil)
+	dv := ud.Load(ir.I32, reg(mach.USART2Base, devUartCR1))
+	ud.Store(ir.I32, reg(mach.USART2Base, devUartCR1), ud.And(dv, ir.CI(0xFFFFDFF3)))
+	ud.RetVoid()
+
+	uf := ir.NewFunc(m, "LL_USART_IsActiveFlag", "stm32f4xx_ll_usart.c", ir.I32, ir.P("mask", ir.I32))
+	sr := uf.Load(ir.I32, reg(mach.USART2Base, devUartSR))
+	uf.Ret(uf.Ne(uf.And(sr, uf.Arg("mask")), ir.CI(0)))
+
+	utx := ir.NewFunc(m, "LL_USART_TransmitData8", "stm32f4xx_ll_usart.c", nil, ir.P("b", ir.I32))
+	utx.Store(ir.I32, reg(mach.USART2Base, devUartDR), utx.Arg("b"))
+	utx.RetVoid()
+
+	urx := ir.NewFunc(m, "LL_USART_ReceiveData8", "stm32f4xx_ll_usart.c", ir.I32)
+	urx.Ret(urx.Load(ir.I32, reg(mach.USART2Base, devUartDR)))
+
+	// ---- stm32f4xx_ll_sdmmc.c ----
+	sdc := ir.NewFunc(m, "LL_SDMMC_SendCommand", "stm32f4xx_ll_sdmmc.c", nil,
+		ir.P("arg", ir.I32), ir.P("cmd", ir.I32))
+	sdc.Store(ir.I32, reg(mach.SDIOBase, devSdioARG), sdc.Arg("arg"))
+	sdc.Store(ir.I32, reg(mach.SDIOBase, devSdioCMD), sdc.Arg("cmd"))
+	sdc.RetVoid()
+
+	sds := ir.NewFunc(m, "LL_SDMMC_GetStatus", "stm32f4xx_ll_sdmmc.c", ir.I32)
+	sds.Ret(sds.Load(ir.I32, reg(mach.SDIOBase, devSdioSTA)))
+
+	sdr := ir.NewFunc(m, "LL_SDMMC_ReadFIFO", "stm32f4xx_ll_sdmmc.c", ir.I32)
+	sdr.Ret(sdr.Load(ir.I32, reg(mach.SDIOBase, devSdioFIFO)))
+
+	sdw := ir.NewFunc(m, "LL_SDMMC_WriteFIFO", "stm32f4xx_ll_sdmmc.c", nil, ir.P("w", ir.I32))
+	sdw.Store(ir.I32, reg(mach.SDIOBase, devSdioFIFO), sdw.Arg("w"))
+	sdw.RetVoid()
+
+	sdp := ir.NewFunc(m, "LL_SDMMC_PowerOn", "stm32f4xx_ll_sdmmc.c", nil)
+	sdp.Store(ir.I32, reg(mach.SDIOBase, 0x00), ir.CI(3))
+	sdp.Store(ir.I32, reg(mach.SDIOBase, 0x04), ir.CI(0x1FF)) // CLKCR
+	sdp.RetVoid()
+}
+
+// InstallSystem adds the system/core module (files "system_stm32f4xx.c"
+// and "stm32f4xx_hal.c"): the clock tree bring-up, the SysTick
+// configuration and the tick-based delay. SysTick and DWT live on the
+// PPB, so every unprivileged touch bus-faults: OPEC-Monitor emulates
+// the access, ACES must lift the enclosing compartment to the
+// privileged level (the PAC column of Table 2).
+//
+// Requires InstallLL.
+func InstallSystem(l *Lib) {
+	m := l.M
+
+	// SystemClock_Config: the full PLL dance through the LL layer.
+	scc := ir.NewFunc(m, "SystemClock_Config", "system_stm32f4xx.c", nil)
+	scc.Call(l.Fn("LL_RCC_HSE_Enable"))
+	scc.Call(l.Fn("LL_RCC_PLL_Config"), ir.CI(8), ir.CI(336), ir.CI(0), ir.CI(7))
+	scc.Call(l.Fn("LL_RCC_PLL_Enable"))
+	scc.Call(l.Fn("LL_RCC_SetPrescalers"), ir.CI(0), ir.CI(5), ir.CI(4))
+	scc.Call(l.Fn("LL_RCC_SetSysClkSource"), ir.CI(2))
+	// Flash wait states for 168 MHz.
+	scc.Store(ir.I32, reg(mach.FlashIF, 0x00), ir.CI(0x705))
+	scc.RetVoid()
+
+	// HAL_InitTick: program SysTick (PPB: emulated/lifted).
+	hit := ir.NewFunc(m, "HAL_InitTick", "stm32f4xx_hal.c", nil)
+	hit.Store(ir.I32, ir.CI(mach.SysTickRVR), ir.CI(168_000-1))
+	hit.Store(ir.I32, ir.CI(mach.SysTickCVR), ir.CI(0))
+	hit.Store(ir.I32, ir.CI(mach.SysTickCSR), ir.CI(5))
+	hit.RetVoid()
+
+	// HAL_EnableDWT: turn on the cycle counter (PPB).
+	edw := ir.NewFunc(m, "HAL_EnableDWT", "stm32f4xx_hal.c", nil)
+	edw.Store(ir.I32, ir.CI(mach.DWTCtrl), ir.CI(1))
+	edw.RetVoid()
+
+	// HAL_GetCycles: read DWT_CYCCNT (PPB).
+	gcy := ir.NewFunc(m, "HAL_GetCycles", "stm32f4xx_hal.c", ir.I32)
+	gcy.Ret(gcy.Load(ir.I32, ir.CI(mach.DWTCyccnt)))
+
+	// HAL_DelayCycles(n): spin on the cycle counter.
+	dly := ir.NewFunc(m, "HAL_DelayCycles", "stm32f4xx_hal.c", nil, ir.P("n", ir.I32))
+	start := dly.Call(gcy.F)
+	loop := dly.NewBlock("spin")
+	done := dly.NewBlock("done")
+	dly.Br(loop)
+	dly.SetBlock(loop)
+	now := dly.Call(gcy.F)
+	dly.CondBr(dly.Lt(dly.Sub(now, start), dly.Arg("n")), loop, done)
+	dly.SetBlock(done)
+	dly.RetVoid()
+
+	// HAL_Init: canonical boot sequence.
+	ini := ir.NewFunc(m, "HAL_Init", "stm32f4xx_hal.c", nil)
+	ini.Call(scc.F)
+	ini.Call(hit.F)
+	ini.Call(edw.F)
+	ini.RetVoid()
+
+	// Error_Handler: the catch-all dead-end every STM32 project has.
+	eh := ir.NewFunc(m, "Error_Handler", "stm32f4xx_hal.c", nil)
+	ehLoop := eh.NewBlock("hang")
+	eh.Br(ehLoop)
+	eh.SetBlock(ehLoop)
+	eh.Store(ir.I32, reg(mach.GPIODBase, devGpioBSRR), ir.CI(1<<14))
+	eh.Br(ehLoop)
+
+	// assert_failed: parameter-check failure path (never taken).
+	af := ir.NewFunc(m, "assert_failed", "stm32f4xx_hal.c", nil, ir.P("line", ir.I32))
+	af.Call(eh.F)
+	af.RetVoid()
+}
+
+// CallbackSig is the signature of HAL completion callbacks; apps
+// register them through function-pointer slots, so every invocation is
+// an indirect call the analyses must resolve.
+var CallbackSig = ir.FuncType{Params: []ir.Type{ir.I32}, Ret: nil}
+
+// InstallCallbacks adds the HAL callback registry
+// ("stm32f4xx_hal_callbacks.c"): registration slots and dispatch
+// helpers for transfer-complete events.
+func InstallCallbacks(l *Lib) {
+	m := l.M
+	slots := map[string]*ir.Global{}
+	for _, name := range []string{"uart_tx", "uart_rx", "sd_xfer", "lcd_frame"} {
+		slots[name] = m.AddGlobal(&ir.Global{
+			Name: "cb_" + name, Typ: ir.Ptr(ir.I32),
+		})
+	}
+	for _, name := range []string{"uart_tx", "uart_rx", "sd_xfer", "lcd_frame"} {
+		slot := slots[name]
+		regf := ir.NewFunc(m, fmt.Sprintf("HAL_Register_%s_Callback", name), "stm32f4xx_hal_callbacks.c", nil,
+			ir.P("fn", ir.Ptr(ir.I32)))
+		regf.Store(ir.I32, slot, regf.Arg("fn"))
+		regf.RetVoid()
+
+		disp := ir.NewFunc(m, fmt.Sprintf("HAL_Dispatch_%s", name), "stm32f4xx_hal_callbacks.c", nil,
+			ir.P("arg", ir.I32))
+		p := disp.Load(ir.I32, slot)
+		have := disp.NewBlock("have")
+		skip := disp.NewBlock("skip")
+		disp.CondBr(p, have, skip)
+		disp.SetBlock(have)
+		disp.ICall(CallbackSig, p, disp.Arg("arg"))
+		disp.RetVoid()
+		disp.SetBlock(skip)
+		disp.RetVoid()
+	}
+}

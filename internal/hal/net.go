@@ -1,0 +1,254 @@
+package hal
+
+import (
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// Ethernet MAC register constants.
+const (
+	devEthRXSTA  = 0x00
+	devEthRXLEN  = 0x04
+	devEthRXFIFO = 0x08
+	devEthRXACK  = 0x0C
+	devEthTXLEN  = 0x10
+	devEthTXFIFO = 0x14
+	devEthTXGO   = 0x18
+)
+
+// FrameBufBytes is the MTU-sized frame buffer length.
+const FrameBufBytes = 1536
+
+// InstallNet adds the network substrate: the MAC driver
+// ("ethernetif.c"), packet buffers and memory pools ("pbuf.c"), the
+// IPv4 layer ("ip.c") and the TCP echo logic plus the UDP stub with
+// its unresolvable indirect call ("tcp.c"/"udp.c" — the paper notes
+// one unresolved icall in udp_input).
+//
+// Requires InstallLibc.
+func InstallNet(l *Lib) {
+	m := l.M
+
+	rxf := m.AddGlobal(&ir.Global{Name: "rx_frame", Typ: ir.Array(ir.I8, FrameBufBytes)})
+	txf := m.AddGlobal(&ir.Global{Name: "tx_frame", Typ: ir.Array(ir.I8, FrameBufBytes)})
+	rxLen := m.AddGlobal(&ir.Global{Name: "rx_len", Typ: ir.I32})
+	echoCount := m.AddGlobal(&ir.Global{Name: "tcp_echo_count", Typ: ir.I32})
+	synCount := m.AddGlobal(&ir.Global{Name: "tcp_synack_count", Typ: ir.I32})
+	dropCount := m.AddGlobal(&ir.Global{Name: "ip_drop_count", Typ: ir.I32})
+	udpHandler := m.AddGlobal(&ir.Global{Name: "udp_recv_handler", Typ: ir.Ptr(ir.I32)})
+	// lwIP-style memory pools: heap-section residents (Section 5.2).
+	pbufPool := m.AddGlobal(&ir.Global{Name: "pbuf_pool", Typ: ir.Array(ir.I8, 2048), HeapPool: true})
+	pbufNext := m.AddGlobal(&ir.Global{Name: "pbuf_next", Typ: ir.I32, HeapPool: true})
+
+	memcpy := l.Fn("memcpy")
+
+	// ---- pbuf.c ----
+	pa := ir.NewFunc(m, "pbuf_alloc", "pbuf.c", ir.I32, ir.P("size", ir.I32))
+	idx := pa.Load(ir.I32, pbufNext)
+	wrap := pa.NewBlock("wrap")
+	fine := pa.NewBlock("fine")
+	nxt := pa.Add(idx, pa.Arg("size"))
+	pa.CondBr(pa.Gt(nxt, ir.CI(2048)), wrap, fine)
+	pa.SetBlock(wrap)
+	pa.Store(ir.I32, pbufNext, pa.Arg("size"))
+	pa.Ret(pa.Index(pbufPool, ir.I8, ir.CI(0)))
+	pa.SetBlock(fine)
+	pa.Store(ir.I32, pbufNext, nxt)
+	pa.Ret(pa.Index(pbufPool, ir.I8, idx))
+
+	pfree := ir.NewFunc(m, "pbuf_free", "pbuf.c", nil, ir.P("p", ir.I32))
+	pfree.RetVoid() // pool allocator: frees are a no-op
+
+	// ---- ethernetif.c ----
+	rdy := ir.NewFunc(m, "ETH_FrameReady", "ethernetif.c", ir.I32)
+	rdy.Ret(rdy.Load(ir.I32, reg(mach.ETHBase, devEthRXSTA)))
+
+	rd := ir.NewFunc(m, "ETH_ReadFrame", "ethernetif.c", ir.I32)
+	n := rd.Load(ir.I32, reg(mach.ETHBase, devEthRXLEN))
+	rd.Store(ir.I32, rxLen, n)
+	words := rd.Div(rd.Add(n, ir.CI(3)), ir.CI(4))
+	countLoop(rd, words, func(i ir.Value) {
+		w := rd.Load(ir.I32, reg(mach.ETHBase, devEthRXFIFO))
+		rd.Store(ir.I32, rd.Index(rxf, ir.I8, rd.Mul(i, ir.CI(4))), w)
+	})
+	rd.Ret(rd.Load(ir.I32, rxLen))
+
+	ack := ir.NewFunc(m, "ETH_AckFrame", "ethernetif.c", nil)
+	ack.Store(ir.I32, reg(mach.ETHBase, devEthRXACK), ir.CI(1))
+	ack.RetVoid()
+
+	snd := ir.NewFunc(m, "ETH_SendFrame", "ethernetif.c", nil, ir.P("len", ir.I32))
+	snd.Store(ir.I32, reg(mach.ETHBase, devEthTXLEN), snd.Arg("len"))
+	swords := snd.Div(snd.Add(snd.Arg("len"), ir.CI(3)), ir.CI(4))
+	countLoop(snd, swords, func(i ir.Value) {
+		w := snd.Load(ir.I32, snd.Index(txf, ir.I8, snd.Mul(i, ir.CI(4))))
+		snd.Store(ir.I32, reg(mach.ETHBase, devEthTXFIFO), w)
+	})
+	snd.Store(ir.I32, reg(mach.ETHBase, devEthTXGO), ir.CI(1))
+	snd.RetVoid()
+
+	// ---- ip.c ----
+	// get16be(buf, off) / put16be(buf, off, v).
+	g16 := ir.NewFunc(m, "get16be", "ip.c", ir.I32, ir.P("buf", ir.Ptr(ir.I8)), ir.P("off", ir.I32))
+	hi := g16.Load(ir.I8, g16.Index(g16.Arg("buf"), ir.I8, g16.Arg("off")))
+	lo := g16.Load(ir.I8, g16.Index(g16.Arg("buf"), ir.I8, g16.Add(g16.Arg("off"), ir.CI(1))))
+	g16.Ret(g16.Or(g16.Shl(hi, ir.CI(8)), lo))
+
+	p16 := ir.NewFunc(m, "put16be", "ip.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("off", ir.I32), ir.P("v", ir.I32))
+	p16.Store(ir.I8, p16.Index(p16.Arg("buf"), ir.I8, p16.Arg("off")), p16.Shr(p16.Arg("v"), ir.CI(8)))
+	p16.Store(ir.I8, p16.Index(p16.Arg("buf"), ir.I8, p16.Add(p16.Arg("off"), ir.CI(1))), p16.Arg("v"))
+	p16.RetVoid()
+
+	// ip_sum(buf, off, words): ones-complement sum of 16-bit BE words.
+	sum := ir.NewFunc(m, "ip_sum", "ip.c", ir.I32,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("off", ir.I32), ir.P("words", ir.I32))
+	acc := sum.Alloca(ir.I32)
+	sum.Store(ir.I32, acc, ir.CI(0))
+	countLoop(sum, sum.Arg("words"), func(i ir.Value) {
+		w := sum.Call(g16.F, sum.Arg("buf"), sum.Add(sum.Arg("off"), sum.Mul(i, ir.CI(2))))
+		a := sum.Load(ir.I32, acc)
+		sum.Store(ir.I32, acc, sum.Add(a, w))
+	})
+	// Fold carries twice (enough for 20-byte headers).
+	a1 := sum.Load(ir.I32, acc)
+	f1 := sum.Add(sum.And(a1, ir.CI(0xFFFF)), sum.Shr(a1, ir.CI(16)))
+	f2 := sum.Add(sum.And(f1, ir.CI(0xFFFF)), sum.Shr(f1, ir.CI(16)))
+	sum.Ret(sum.And(f2, ir.CI(0xFFFF)))
+
+	// ip_verify(): 1 when the received IP header checksum is valid.
+	vf := ir.NewFunc(m, "ip_verify", "ip.c", ir.I32)
+	s := vf.Call(sum.F, vf.FieldOff(rxf, 0), ir.CI(14), ir.CI(10))
+	vf.Ret(vf.Eq(s, ir.CI(0xFFFF)))
+
+	// ip_fill_checksum(): recompute the header checksum in tx_frame.
+	fcks := ir.NewFunc(m, "ip_fill_checksum", "ip.c", nil)
+	fcks.Call(p16.F, fcks.FieldOff(txf, 0), ir.CI(24), ir.CI(0))
+	s2 := fcks.Call(sum.F, fcks.FieldOff(txf, 0), ir.CI(14), ir.CI(10))
+	fcks.Call(p16.F, fcks.FieldOff(txf, 0), ir.CI(24), fcks.Xor(s2, ir.CI(0xFFFF)))
+	fcks.RetVoid()
+
+	// ---- udp.c ----
+	// udp_input: dispatches through a handler pointer that is never
+	// installed in the TCP-Echo build; the icall's unique signature
+	// keeps it unresolved by both the points-to and type analyses
+	// (matching the paper's Table 3 note).
+	udp := ir.NewFunc(m, "udp_input", "udp.c", nil, ir.P("len", ir.I32))
+	h := udp.Load(ir.I32, udpHandler)
+	have := udp.NewBlock("have")
+	drop := udp.NewBlock("drop")
+	udp.CondBr(h, have, drop)
+	udp.SetBlock(have)
+	udp.ICall(ir.FuncType{
+		Params: []ir.Type{ir.Ptr(ir.Array(ir.I8, FrameBufBytes)), ir.I32, ir.I32},
+		Ret:    ir.I32,
+	}, h, rxf, udp.Arg("len"), ir.CI(0))
+	udp.RetVoid()
+	udp.SetBlock(drop)
+	d := udp.Load(ir.I32, dropCount)
+	udp.Store(ir.I32, dropCount, udp.Add(d, ir.CI(1)))
+	udp.RetVoid()
+
+	// ---- tcp.c ----
+	// tcp_output(len): hand the assembled frame to the MAC.
+	tout := ir.NewFunc(m, "tcp_output", "tcp.c", nil, ir.P("len", ir.I32))
+	tout.Call(fcks.F)
+	tout.Call(snd.F, tout.Arg("len"))
+	tout.RetVoid()
+
+	// tcp_build_reply(payloadLen): copy the rx frame, swap MACs, IPs
+	// and ports, update seq/ack.
+	tbr := ir.NewFunc(m, "tcp_build_reply", "tcp.c", nil, ir.P("plen", ir.I32))
+	total := tbr.Add(ir.CI(54), tbr.Arg("plen"))
+	tbr.Call(memcpy, tbr.FieldOff(txf, 0), tbr.FieldOff(rxf, 0), total)
+	// Swap MAC addresses.
+	tbr.Call(memcpy, tbr.FieldOff(txf, 0), tbr.FieldOff(rxf, 6), ir.CI(6))
+	tbr.Call(memcpy, tbr.FieldOff(txf, 6), tbr.FieldOff(rxf, 0), ir.CI(6))
+	// Swap IPs (offsets 26 source, 30 destination).
+	tbr.Call(memcpy, tbr.FieldOff(txf, 26), tbr.FieldOff(rxf, 30), ir.CI(4))
+	tbr.Call(memcpy, tbr.FieldOff(txf, 30), tbr.FieldOff(rxf, 26), ir.CI(4))
+	// Swap TCP ports (34, 36).
+	sp := tbr.Call(g16.F, tbr.FieldOff(rxf, 0), ir.CI(34))
+	dp := tbr.Call(g16.F, tbr.FieldOff(rxf, 0), ir.CI(36))
+	tbr.Call(p16.F, tbr.FieldOff(txf, 0), ir.CI(34), dp)
+	tbr.Call(p16.F, tbr.FieldOff(txf, 0), ir.CI(36), sp)
+	// ack = their seq + payload length; seq = their ack.
+	seqHi := tbr.Call(g16.F, tbr.FieldOff(rxf, 0), ir.CI(38))
+	seqLo := tbr.Call(g16.F, tbr.FieldOff(rxf, 0), ir.CI(40))
+	seq := tbr.Or(tbr.Shl(seqHi, ir.CI(16)), seqLo)
+	newAck := tbr.Add(seq, tbr.Arg("plen"))
+	tbr.Call(p16.F, tbr.FieldOff(txf, 0), ir.CI(42), tbr.Shr(newAck, ir.CI(16)))
+	tbr.Call(p16.F, tbr.FieldOff(txf, 0), ir.CI(44), tbr.And(newAck, ir.CI(0xFFFF)))
+	tbr.RetVoid()
+
+	// tcp_input(len): answer SYN with SYN-ACK (the handshake), echo PSH
+	// payloads.
+	tin := ir.NewFunc(m, "tcp_input", "tcp.c", nil, ir.P("len", ir.I32))
+	flags := tin.Load(ir.I8, tin.Index(rxf, ir.I8, ir.CI(47)))
+	syn := tin.NewBlock("syn")
+	trypsh := tin.NewBlock("trypsh")
+	psh := tin.NewBlock("psh")
+	out := tin.NewBlock("out")
+	tin.CondBr(tin.And(flags, ir.CI(0x02)), syn, trypsh)
+	tin.SetBlock(syn)
+	tin.Call(tbr.F, ir.CI(0))
+	// Reply flags: SYN|ACK; ack = their ISN + 1.
+	tin.Store(ir.I8, tin.Index(txf, ir.I8, ir.CI(47)), ir.CI(0x12))
+	synSeqHi := tin.Call(g16.F, tin.FieldOff(rxf, 0), ir.CI(38))
+	synSeqLo := tin.Call(g16.F, tin.FieldOff(rxf, 0), ir.CI(40))
+	isn := tin.Or(tin.Shl(synSeqHi, ir.CI(16)), synSeqLo)
+	ackv := tin.Add(isn, ir.CI(1))
+	tin.Call(p16.F, tin.FieldOff(txf, 0), ir.CI(42), tin.Shr(ackv, ir.CI(16)))
+	tin.Call(p16.F, tin.FieldOff(txf, 0), ir.CI(44), tin.And(ackv, ir.CI(0xFFFF)))
+	tin.Call(tout.F, ir.CI(54))
+	sc := tin.Load(ir.I32, synCount)
+	tin.Store(ir.I32, synCount, tin.Add(sc, ir.CI(1)))
+	tin.Br(out)
+	tin.SetBlock(trypsh)
+	tin.CondBr(tin.And(flags, ir.CI(0x08)), psh, out)
+	tin.SetBlock(psh)
+	tlen := tin.Call(g16.F, tin.FieldOff(rxf, 0), ir.CI(16))
+	plen := tin.Sub(tlen, ir.CI(40))
+	pb := tin.Call(pa.F, plen)
+	tin.Call(pfree.F, pb)
+	tin.Call(tbr.F, plen)
+	tin.Call(tout.F, tin.Add(ir.CI(54), plen))
+	c := tin.Load(ir.I32, echoCount)
+	tin.Store(ir.I32, echoCount, tin.Add(c, ir.CI(1)))
+	tin.Br(out)
+	tin.SetBlock(out)
+	tin.RetVoid()
+
+	// ip_input(len): validate and dispatch by protocol.
+	iin := ir.NewFunc(m, "ip_input", "ip.c", ir.I32, ir.P("len", ir.I32))
+	ethType := iin.Call(g16.F, iin.FieldOff(rxf, 0), ir.CI(12))
+	isIP := iin.NewBlock("is_ip")
+	bad := iin.NewBlock("bad")
+	iin.CondBr(iin.Eq(ethType, ir.CI(0x0800)), isIP, bad)
+	iin.SetBlock(isIP)
+	ver := iin.Load(ir.I8, iin.Index(rxf, ir.I8, ir.CI(14)))
+	v4 := iin.NewBlock("v4")
+	iin.CondBr(iin.Eq(ver, ir.CI(0x45)), v4, bad)
+	iin.SetBlock(v4)
+	okCk := iin.Call(vf.F)
+	cksOK := iin.NewBlock("cks_ok")
+	iin.CondBr(okCk, cksOK, bad)
+	iin.SetBlock(cksOK)
+	proto := iin.Load(ir.I8, iin.Index(rxf, ir.I8, ir.CI(23)))
+	isTCP := iin.NewBlock("tcp")
+	tryUDP := iin.NewBlock("try_udp")
+	isUDP := iin.NewBlock("udp")
+	iin.CondBr(iin.Eq(proto, ir.CI(6)), isTCP, tryUDP)
+	iin.SetBlock(isTCP)
+	iin.Call(tin.F, iin.Arg("len"))
+	iin.Ret(ir.CI(1))
+	iin.SetBlock(tryUDP)
+	iin.CondBr(iin.Eq(proto, ir.CI(17)), isUDP, bad)
+	iin.SetBlock(isUDP)
+	iin.Call(udp.F, iin.Arg("len"))
+	iin.Ret(ir.CI(0))
+	iin.SetBlock(bad)
+	db := iin.Load(ir.I32, dropCount)
+	iin.Store(ir.I32, dropCount, iin.Add(db, ir.CI(1)))
+	iin.Ret(ir.CI(0))
+}

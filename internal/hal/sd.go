@@ -1,0 +1,71 @@
+package hal
+
+import (
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// SDIO register offsets and bits (datasheet constants).
+const (
+	devSdioARG  = 0x08
+	devSdioCMD  = 0x0C
+	devSdioSTA  = 0x34
+	devSdioFIFO = 0x80
+	devSdReady  = 1 << 1
+	devSdRead   = 17
+	devSdWrite  = 24
+)
+
+// InstallSD adds the SDIO block driver (file "stm32f4xx_hal_sd.c") on
+// top of the LL layer.
+//
+// Requires InstallLL and InstallCallbacks.
+func InstallSD(l *Lib) {
+	m := l.M
+
+	ini := ir.NewFunc(m, "HAL_SD_Init", "stm32f4xx_hal_sd.c", nil)
+	ini.Call(l.Fn("LL_APB2_EnableClock"))
+	ini.Call(l.Fn("LL_SDMMC_PowerOn"))
+	ini.RetVoid()
+
+	wait := ir.NewFunc(m, "SD_WaitReady", "stm32f4xx_hal_sd.c", nil)
+	loop := wait.NewBlock("poll")
+	done := wait.NewBlock("ready")
+	wait.Br(loop)
+	wait.SetBlock(loop)
+	st := wait.Call(l.Fn("LL_SDMMC_GetStatus"))
+	wait.CondBr(wait.And(st, ir.CI(devSdReady)), done, loop)
+	wait.SetBlock(done)
+	wait.RetVoid()
+
+	// HAL_SD_ReadBlock(buf, blk): 512 bytes from block blk into buf,
+	// command + FIFO drain through the LL layer, completion callback.
+	rd := ir.NewFunc(m, "HAL_SD_ReadBlock", "stm32f4xx_hal_sd.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("blk", ir.I32))
+	rd.Call(l.Fn("LL_SDMMC_SendCommand"), rd.Arg("blk"), ir.CI(devSdRead))
+	rd.Call(wait.F)
+	countLoop(rd, ir.CI(128), func(i ir.Value) {
+		w := rd.Call(l.Fn("LL_SDMMC_ReadFIFO"))
+		dst := rd.Index(rd.Arg("buf"), ir.I8, rd.Mul(i, ir.CI(4)))
+		rd.Store(ir.I32, dst, w)
+	})
+	rd.Call(l.Fn("HAL_Dispatch_sd_xfer"), rd.Arg("blk"))
+	rd.RetVoid()
+
+	// HAL_SD_WriteBlock(buf, blk): 512 bytes from buf to block blk.
+	wr := ir.NewFunc(m, "HAL_SD_WriteBlock", "stm32f4xx_hal_sd.c", nil,
+		ir.P("buf", ir.Ptr(ir.I8)), ir.P("blk", ir.I32))
+	wr.Call(l.Fn("LL_SDMMC_SendCommand"), wr.Arg("blk"), ir.CI(devSdWrite))
+	countLoop(wr, ir.CI(128), func(i ir.Value) {
+		src := wr.Index(wr.Arg("buf"), ir.I8, wr.Mul(i, ir.CI(4)))
+		wr.Call(l.Fn("LL_SDMMC_WriteFIFO"), wr.Load(ir.I32, src))
+	})
+	wr.Call(wait.F)
+	wr.Call(l.Fn("HAL_Dispatch_sd_xfer"), wr.Arg("blk"))
+	wr.RetVoid()
+
+	// SD_ErrorHandler: dead branch fodder.
+	eh := ir.NewFunc(m, "SD_ErrorHandler", "stm32f4xx_hal_sd.c", nil)
+	eh.Store(ir.I32, reg(mach.SDIOBase, 0x00), ir.CI(0)) // power off
+	eh.RetVoid()
+}

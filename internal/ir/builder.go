@@ -1,0 +1,174 @@
+package ir
+
+import "fmt"
+
+// ParamSpec declares a formal parameter for NewFunc.
+type ParamSpec struct {
+	Name string
+	Typ  Type
+}
+
+// P builds a ParamSpec.
+func P(name string, typ Type) ParamSpec { return ParamSpec{Name: name, Typ: typ} }
+
+// FuncBuilder incrementally constructs a Function. All emit methods
+// append to the current block; the zero-argument constructor creates an
+// "entry" block and makes it current.
+type FuncBuilder struct {
+	M *Module
+	F *Function
+
+	cur *Block
+}
+
+// NewFunc creates a function in m attributed to the given source file
+// and returns a builder positioned at its entry block. ret may be nil
+// for void.
+func NewFunc(m *Module, name, file string, ret Type, params ...ParamSpec) *FuncBuilder {
+	f := &Function{Name: name, File: file, Ret: ret}
+	for i, ps := range params {
+		f.Params = append(f.Params, &Param{Name: ps.Name, Typ: ps.Typ, Index: i, fn: f})
+	}
+	m.AddFunc(f)
+	fb := &FuncBuilder{M: m, F: f}
+	fb.SetBlock(fb.NewBlock("entry"))
+	return fb
+}
+
+// Arg returns the named formal parameter.
+func (fb *FuncBuilder) Arg(name string) *Param {
+	for _, p := range fb.F.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("ir: function %s has no parameter %q", fb.F.Name, name))
+}
+
+// NewBlock appends a new basic block (not yet current).
+func (fb *FuncBuilder) NewBlock(name string) *Block {
+	b := &Block{Name: fmt.Sprintf("%s%d", name, len(fb.F.Blocks)), fn: fb.F}
+	fb.F.Blocks = append(fb.F.Blocks, b)
+	return b
+}
+
+// SetBlock makes b the current emission target.
+func (fb *FuncBuilder) SetBlock(b *Block) { fb.cur = b }
+
+// Block returns the current block.
+func (fb *FuncBuilder) Block() *Block { return fb.cur }
+
+func (fb *FuncBuilder) emit(in *Instr) *Instr {
+	if fb.cur.terminated() {
+		panic(fmt.Sprintf("ir: emitting into terminated block %s of %s", fb.cur.Name, fb.F.Name))
+	}
+	in.id = fb.F.nextID
+	fb.F.nextID++
+	in.blk = fb.cur
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+	return in
+}
+
+func (b *Block) terminated() bool { return b.Term.Op != TermNone }
+
+func (fb *FuncBuilder) setTerm(t Term) {
+	if fb.cur.terminated() {
+		panic(fmt.Sprintf("ir: block %s of %s already terminated", fb.cur.Name, fb.F.Name))
+	}
+	fb.cur.Term = t
+}
+
+// Bin emits a binary operation.
+func (fb *FuncBuilder) Bin(k BinKind, a, b Value) *Instr {
+	return fb.emit(&Instr{Op: OpBin, Kind: k, Typ: I32, Args: []Value{a, b}})
+}
+
+// Arithmetic and comparison shorthands.
+func (fb *FuncBuilder) Add(a, b Value) *Instr { return fb.Bin(Add, a, b) }
+func (fb *FuncBuilder) Sub(a, b Value) *Instr { return fb.Bin(Sub, a, b) }
+func (fb *FuncBuilder) Mul(a, b Value) *Instr { return fb.Bin(Mul, a, b) }
+func (fb *FuncBuilder) Div(a, b Value) *Instr { return fb.Bin(Div, a, b) }
+func (fb *FuncBuilder) And(a, b Value) *Instr { return fb.Bin(And, a, b) }
+func (fb *FuncBuilder) Or(a, b Value) *Instr  { return fb.Bin(Or, a, b) }
+func (fb *FuncBuilder) Xor(a, b Value) *Instr { return fb.Bin(Xor, a, b) }
+func (fb *FuncBuilder) Shl(a, b Value) *Instr { return fb.Bin(Shl, a, b) }
+func (fb *FuncBuilder) Shr(a, b Value) *Instr { return fb.Bin(Shr, a, b) }
+func (fb *FuncBuilder) Eq(a, b Value) *Instr  { return fb.Bin(Eq, a, b) }
+func (fb *FuncBuilder) Ne(a, b Value) *Instr  { return fb.Bin(Ne, a, b) }
+func (fb *FuncBuilder) Lt(a, b Value) *Instr  { return fb.Bin(Lt, a, b) }
+func (fb *FuncBuilder) Le(a, b Value) *Instr  { return fb.Bin(Le, a, b) }
+func (fb *FuncBuilder) Gt(a, b Value) *Instr  { return fb.Bin(Gt, a, b) }
+func (fb *FuncBuilder) Ge(a, b Value) *Instr  { return fb.Bin(Ge, a, b) }
+
+// Load emits a load of typ from addr. Loading directly from a *Global
+// operand is a "direct" global access in the dependency analysis.
+func (fb *FuncBuilder) Load(typ Type, addr Value) *Instr {
+	return fb.emit(&Instr{Op: OpLoad, Typ: typ, Args: []Value{addr}})
+}
+
+// Store emits a store of val (width typ) to addr.
+func (fb *FuncBuilder) Store(typ Type, addr, val Value) *Instr {
+	return fb.emit(&Instr{Op: OpStore, Typ: typ, Args: []Value{addr, val}})
+}
+
+// Alloca reserves a frame slot for typ and yields its address.
+func (fb *FuncBuilder) Alloca(typ Type) *Instr {
+	return fb.emit(&Instr{Op: OpAlloca, Typ: Ptr(typ), Off: typ.Size()})
+}
+
+// Field emits the address of field name of the struct at base.
+func (fb *FuncBuilder) Field(base Value, st StructType, name string) *Instr {
+	return fb.emit(&Instr{
+		Op: OpFieldAddr, Typ: Ptr(st.FieldType(name)),
+		Args: []Value{base}, Off: st.Offset(name), Com: name,
+	})
+}
+
+// FieldOff emits base + off with a raw byte offset.
+func (fb *FuncBuilder) FieldOff(base Value, off int) *Instr {
+	return fb.emit(&Instr{Op: OpFieldAddr, Typ: Ptr(I32), Args: []Value{base}, Off: off})
+}
+
+// Index emits the address of element idx of an elem-typed array at base.
+func (fb *FuncBuilder) Index(base Value, elem Type, idx Value) *Instr {
+	return fb.emit(&Instr{
+		Op: OpIndexAddr, Typ: Ptr(elem),
+		Args: []Value{base, idx}, Off: elem.Size(),
+	})
+}
+
+// Call emits a direct call.
+func (fb *FuncBuilder) Call(fn *Function, args ...Value) *Instr {
+	if len(args) != len(fn.Params) && !fn.Variadic {
+		panic(fmt.Sprintf("ir: call %s: %d args for %d params", fn.Name, len(args), len(fn.Params)))
+	}
+	return fb.emit(&Instr{Op: OpCall, Typ: fn.Ret, Fn: fn, Args: args})
+}
+
+// ICall emits an indirect call through ptr with the given signature.
+func (fb *FuncBuilder) ICall(sig FuncType, ptr Value, args ...Value) *Instr {
+	return fb.emit(&Instr{Op: OpICall, Typ: sig.Ret, Sig: sig, Args: append([]Value{ptr}, args...)})
+}
+
+// Svc emits a supervisor call. Application code never emits these;
+// the instrumentation pass in internal/core does.
+func (fb *FuncBuilder) Svc(num int, fn *Function) *Instr {
+	return fb.emit(&Instr{Op: OpSvc, Off: num, Fn: fn})
+}
+
+// Halt emits a machine stop (end of the profiling window).
+func (fb *FuncBuilder) Halt() *Instr { return fb.emit(&Instr{Op: OpHalt}) }
+
+// Br terminates the current block with an unconditional branch.
+func (fb *FuncBuilder) Br(b *Block) { fb.setTerm(Term{Op: TermBr, Succs: []*Block{b}}) }
+
+// CondBr terminates the current block with a conditional branch.
+func (fb *FuncBuilder) CondBr(cond Value, then, els *Block) {
+	fb.setTerm(Term{Op: TermCondBr, Cond: cond, Succs: []*Block{then, els}})
+}
+
+// Ret terminates the current block returning v (nil for void).
+func (fb *FuncBuilder) Ret(v Value) { fb.setTerm(Term{Op: TermRet, Val: v}) }
+
+// RetVoid terminates the current block with a void return.
+func (fb *FuncBuilder) RetVoid() { fb.Ret(nil) }

@@ -1,0 +1,153 @@
+package ir
+
+import "fmt"
+
+// Value is an operand of an instruction: a constant, the result of a
+// prior instruction, a formal parameter, a global's address, or a
+// function's address.
+type Value interface {
+	isValue()
+	String() string
+}
+
+// Const is an immediate 32-bit value.
+type Const struct {
+	V uint32
+}
+
+func (c Const) isValue()       {}
+func (c Const) String() string { return fmt.Sprintf("%d", c.V) }
+
+// CI returns an immediate constant operand.
+func CI(v uint32) Const { return Const{V: v} }
+
+// Op enumerates instruction kinds.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	OpBin       Op = iota // binary arithmetic/comparison; Sub selects the operator
+	OpLoad                // load Typ from address Args[0]
+	OpStore               // store Args[1] of width Typ to address Args[0]
+	OpAlloca              // reserve Off bytes in the frame; result is its address
+	OpFieldAddr           // Args[0] + Off (constant byte offset)
+	OpIndexAddr           // Args[0] + Args[1]*Off (Off = element size)
+	OpCall                // direct call of Fn with Args
+	OpICall               // indirect call through pointer Args[0] of signature Sig, args Args[1:]
+	OpSvc                 // supervisor call #Off; inserted by instrumentation passes
+	OpHalt                // stop the machine (end of profiling window)
+)
+
+// BinKind selects the operator of an OpBin instruction.
+type BinKind uint8
+
+// Binary operators. Comparisons produce 0 or 1.
+const (
+	Add BinKind = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Eq
+	Ne
+	Lt // unsigned <
+	Le
+	Gt
+	Ge
+)
+
+var binNames = [...]string{
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+}
+
+func (k BinKind) String() string { return binNames[k] }
+
+// Instr is a single IR instruction. Value-producing instructions are
+// themselves usable as operands of later instructions.
+type Instr struct {
+	Op   Op
+	Kind BinKind // for OpBin
+	Typ  Type    // result / access-width type
+	Args []Value
+	Fn   *Function // OpCall target; OpSvc: the operation entry being wrapped
+	Sig  FuncType  // OpICall signature
+	Off  int       // OpAlloca size, Op*Addr offset/scale, OpSvc number
+	Com  string    // optional comment for the printer
+
+	id  int
+	blk *Block
+}
+
+func (in *Instr) isValue() {}
+
+func (in *Instr) String() string { return fmt.Sprintf("%%v%d", in.id) }
+
+// ID returns the virtual-register slot of the instruction's result.
+func (in *Instr) ID() int { return in.id }
+
+// Block returns the containing basic block.
+func (in *Instr) Block() *Block { return in.blk }
+
+// TermOp enumerates block terminators.
+type TermOp uint8
+
+// Terminator kinds. TermNone is the zero value so a freshly created
+// block reads as unterminated.
+const (
+	TermNone   TermOp = iota // unset (invalid in a verified module)
+	TermBr                   // unconditional branch to Succs[0]
+	TermCondBr               // branch to Succs[0] if Cond != 0 else Succs[1]
+	TermRet                  // return Val (nil for void)
+)
+
+// Term is a block terminator.
+type Term struct {
+	Op    TermOp
+	Cond  Value
+	Val   Value
+	Succs []*Block
+}
+
+// Block is a basic block: a straight-line instruction sequence ended by
+// one terminator.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+	Term   Term
+
+	fn *Function
+}
+
+func (b *Block) String() string { return b.Name }
+
+// Func returns the containing function.
+func (b *Block) Func() *Function { return b.fn }
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block { return b.Term.Succs }
+
+// Callee returns the direct-call target of in, or nil.
+func (in *Instr) Callee() *Function {
+	if in.Op == OpCall {
+		return in.Fn
+	}
+	return nil
+}
+
+// CallArgs returns the actual arguments of a call or icall.
+func (in *Instr) CallArgs() []Value {
+	switch in.Op {
+	case OpCall:
+		return in.Args
+	case OpICall:
+		return in.Args[1:]
+	}
+	return nil
+}

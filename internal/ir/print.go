@@ -1,0 +1,105 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in a compact textual form for debugging and
+// golden tests.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		attr := ""
+		if g.Const {
+			attr += " const"
+		}
+		if g.Critical != nil {
+			attr += fmt.Sprintf(" critical[%d,%d]", g.Critical.Min, g.Critical.Max)
+		}
+		if g.HeapPool {
+			attr += " heap"
+		}
+		fmt.Fprintf(&sb, "@%s : %s (%dB)%s\n", g.Name, g.Typ, g.Size(), attr)
+	}
+	for _, f := range m.Functions {
+		sb.WriteString(PrintFunc(f))
+	}
+	return sb.String()
+}
+
+// PrintFunc renders one function.
+func PrintFunc(f *Function) string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %%%s", p.Typ, p.Name)
+	}
+	ret := "void"
+	if f.Ret != nil {
+		ret = f.Ret.String()
+	}
+	fmt.Fprintf(&sb, "\nfunc %s(%s) %s ; file=%s\n", f.Name, strings.Join(params, ", "), ret, f.File)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(printInstr(in))
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("  ")
+		sb.WriteString(printTerm(b.Term))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func printInstr(in *Instr) string {
+	args := make([]string, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = a.String()
+	}
+	com := ""
+	if in.Com != "" {
+		com = " ; " + in.Com
+	}
+	switch in.Op {
+	case OpBin:
+		return fmt.Sprintf("%s = %s %s, %s%s", in, in.Kind, args[0], args[1], com)
+	case OpLoad:
+		return fmt.Sprintf("%s = load %s, %s%s", in, in.Typ, args[0], com)
+	case OpStore:
+		return fmt.Sprintf("store %s, %s <- %s%s", in.Typ, args[0], args[1], com)
+	case OpAlloca:
+		return fmt.Sprintf("%s = alloca %dB%s", in, in.Off, com)
+	case OpFieldAddr:
+		return fmt.Sprintf("%s = fieldaddr %s + %d%s", in, args[0], in.Off, com)
+	case OpIndexAddr:
+		return fmt.Sprintf("%s = indexaddr %s + %s*%d%s", in, args[0], args[1], in.Off, com)
+	case OpCall:
+		return fmt.Sprintf("%s = call %s(%s)%s", in, in.Fn.Name, strings.Join(args, ", "), com)
+	case OpICall:
+		return fmt.Sprintf("%s = icall %s %s(%s)%s", in, in.Sig, args[0], strings.Join(args[1:], ", "), com)
+	case OpSvc:
+		return fmt.Sprintf("svc #%d (%s)%s", in.Off, in.Fn.Name, com)
+	case OpHalt:
+		return "halt"
+	}
+	return "?"
+}
+
+func printTerm(t Term) string {
+	switch t.Op {
+	case TermBr:
+		return fmt.Sprintf("br %s", t.Succs[0])
+	case TermCondBr:
+		return fmt.Sprintf("condbr %s, %s, %s", t.Cond, t.Succs[0], t.Succs[1])
+	case TermRet:
+		if t.Val == nil {
+			return "ret void"
+		}
+		return fmt.Sprintf("ret %s", t.Val)
+	}
+	return "<unterminated>"
+}

@@ -1,0 +1,108 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural well-formedness of the module: every block
+// is terminated, every branch target belongs to the same function,
+// instruction operands are defined in the same function, call arities
+// match, and OpSvc wrappers reference real functions. It returns all
+// problems found joined into one error, or nil.
+func Verify(m *Module) error {
+	var errs []error
+	for _, f := range m.Functions {
+		if len(f.Blocks) == 0 {
+			errs = append(errs, fmt.Errorf("%s: no blocks", f.Name))
+			continue
+		}
+		blocks := make(map[*Block]bool, len(f.Blocks))
+		for _, b := range f.Blocks {
+			blocks[b] = true
+		}
+		defined := make(map[*Instr]bool)
+		f.Instructions(func(_ *Block, in *Instr) { defined[in] = true })
+
+		checkVal := func(b *Block, v Value, ctx string) {
+			switch v := v.(type) {
+			case nil:
+				errs = append(errs, fmt.Errorf("%s/%s: nil operand in %s", f.Name, b.Name, ctx))
+			case *Instr:
+				if !defined[v] {
+					errs = append(errs, fmt.Errorf("%s/%s: operand from another function in %s", f.Name, b.Name, ctx))
+				}
+			case *Param:
+				if v.fn != f {
+					errs = append(errs, fmt.Errorf("%s/%s: foreign parameter %s in %s", f.Name, b.Name, v.Name, ctx))
+				}
+			case Const, *Global, *Function:
+				// Always valid operands.
+			default:
+				errs = append(errs, fmt.Errorf("%s/%s: unknown operand kind %T in %s", f.Name, b.Name, v, ctx))
+			}
+		}
+
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					checkVal(b, a, fmt.Sprintf("instr %s", in))
+				}
+				switch in.Op {
+				case OpCall:
+					if in.Fn == nil {
+						errs = append(errs, fmt.Errorf("%s/%s: call with nil target", f.Name, b.Name))
+					} else if !in.Fn.Variadic && len(in.Args) != len(in.Fn.Params) {
+						errs = append(errs, fmt.Errorf("%s/%s: call %s arity %d != %d",
+							f.Name, b.Name, in.Fn.Name, len(in.Args), len(in.Fn.Params)))
+					}
+				case OpICall:
+					if len(in.Args) == 0 {
+						errs = append(errs, fmt.Errorf("%s/%s: icall without pointer", f.Name, b.Name))
+					} else if len(in.Args)-1 != len(in.Sig.Params) && !in.Sig.Variadic {
+						errs = append(errs, fmt.Errorf("%s/%s: icall arity %d != signature %d",
+							f.Name, b.Name, len(in.Args)-1, len(in.Sig.Params)))
+					}
+				case OpSvc:
+					if in.Fn == nil {
+						errs = append(errs, fmt.Errorf("%s/%s: svc without operation entry", f.Name, b.Name))
+					}
+				case OpAlloca:
+					if in.Off <= 0 {
+						errs = append(errs, fmt.Errorf("%s/%s: alloca of %d bytes", f.Name, b.Name, in.Off))
+					}
+				case OpLoad, OpStore:
+					if in.Typ == nil || in.Typ.Size() == 0 {
+						errs = append(errs, fmt.Errorf("%s/%s: memory op without width", f.Name, b.Name))
+					}
+				}
+			}
+			switch b.Term.Op {
+			case TermNone:
+				errs = append(errs, fmt.Errorf("%s/%s: unterminated block", f.Name, b.Name))
+			case TermBr:
+				if len(b.Term.Succs) != 1 || !blocks[b.Term.Succs[0]] {
+					errs = append(errs, fmt.Errorf("%s/%s: bad br target", f.Name, b.Name))
+				}
+			case TermCondBr:
+				if len(b.Term.Succs) != 2 || !blocks[b.Term.Succs[0]] || !blocks[b.Term.Succs[1]] {
+					errs = append(errs, fmt.Errorf("%s/%s: bad condbr targets", f.Name, b.Name))
+				}
+				checkVal(b, b.Term.Cond, "condbr condition")
+			case TermRet:
+				if f.Ret != nil && b.Term.Val == nil {
+					errs = append(errs, fmt.Errorf("%s/%s: ret void from non-void function", f.Name, b.Name))
+				}
+				if b.Term.Val != nil {
+					checkVal(b, b.Term.Val, "ret value")
+				}
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		if g.Init != nil && len(g.Init) != g.Size() {
+			errs = append(errs, fmt.Errorf("global %s: init %d bytes for size %d", g.Name, len(g.Init), g.Size()))
+		}
+	}
+	return errors.Join(errs...)
+}

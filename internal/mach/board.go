@@ -1,0 +1,135 @@
+package mach
+
+import "sort"
+
+// PeriphInfo is a datasheet entry for a memory-mapped peripheral: the
+// compiler's peripheral-identification pass (Section 4.2) compares
+// constant addresses found by backward slicing against this list.
+type PeriphInfo struct {
+	Name string
+	Base uint32
+	Size uint32
+}
+
+// Contains reports whether addr falls in the peripheral's range.
+func (p PeriphInfo) Contains(addr uint32) bool {
+	return addr >= p.Base && addr-p.Base < p.Size
+}
+
+// Board describes one of the two evaluation boards: memory geometry and
+// the SoC peripheral map.
+type Board struct {
+	Name      string
+	FlashSize int
+	SRAMSize  int
+	Periphs   []PeriphInfo
+}
+
+// STM32 peripheral base addresses used by the HAL library and the
+// workloads (values from the STM32F4/F469 reference manuals).
+const (
+	TIM2Base   uint32 = 0x40000000
+	USART2Base uint32 = 0x40004400
+	USART3Base uint32 = 0x40004800
+	PWRBase    uint32 = 0x40007000
+	USART1Base uint32 = 0x40011000
+	SDIOBase   uint32 = 0x40012C00
+	EXTIBase   uint32 = 0x40013C00
+	LTDCBase   uint32 = 0x40016800
+	GPIOABase  uint32 = 0x40020000
+	GPIOBBase  uint32 = 0x40020400
+	GPIOCBase  uint32 = 0x40020800
+	GPIODBase  uint32 = 0x40020C00
+	CRCBase    uint32 = 0x40023000
+	RCCBase    uint32 = 0x40023800
+	FlashIF    uint32 = 0x40023C00
+	DMA1Base   uint32 = 0x40026000
+	DMA2Base   uint32 = 0x40026400
+	ETHBase    uint32 = 0x40028000
+	DMA2DBase  uint32 = 0x4002B000
+	USBFSBase  uint32 = 0x50000000
+	DCMIBase   uint32 = 0x50050000
+	RNGBase    uint32 = 0x50060800
+)
+
+func commonPeriphs() []PeriphInfo {
+	return []PeriphInfo{
+		{"TIM2", TIM2Base, 0x400},
+		{"USART2", USART2Base, 0x400},
+		{"USART3", USART3Base, 0x400},
+		{"PWR", PWRBase, 0x400},
+		{"USART1", USART1Base, 0x400},
+		{"SDIO", SDIOBase, 0x400},
+		{"EXTI", EXTIBase, 0x400},
+		{"GPIOA", GPIOABase, 0x400},
+		{"GPIOB", GPIOBBase, 0x400},
+		{"GPIOC", GPIOCBase, 0x400},
+		{"GPIOD", GPIODBase, 0x400},
+		{"CRC", CRCBase, 0x400},
+		{"RCC", RCCBase, 0x400},
+		{"FLASHIF", FlashIF, 0x400},
+		{"DMA1", DMA1Base, 0x400},
+		{"DMA2", DMA2Base, 0x400},
+	}
+}
+
+// STM32F4Discovery models the 1 MB Flash / 192 KB SRAM discovery board
+// PinLock and CoreMark run on.
+func STM32F4Discovery() *Board {
+	return &Board{
+		Name:      "STM32F4-Discovery",
+		FlashSize: 1 << 20,
+		SRAMSize:  192 << 10,
+		Periphs:   sortPeriphs(commonPeriphs()),
+	}
+}
+
+// STM32479IEval models the 2 MB Flash / 288 KB SRAM evaluation board
+// with the richer peripheral set (LCD, camera, ethernet, USB).
+func STM32479IEval() *Board {
+	ps := append(commonPeriphs(),
+		PeriphInfo{"LTDC", LTDCBase, 0x400},
+		PeriphInfo{"ETH", ETHBase, 0x1400},
+		PeriphInfo{"DMA2D", DMA2DBase, 0x400},
+		PeriphInfo{"USBFS", USBFSBase, 0x400},
+		PeriphInfo{"DCMI", DCMIBase, 0x400},
+		PeriphInfo{"RNG", RNGBase, 0x400},
+	)
+	return &Board{
+		Name:      "STM32479I-EVAL",
+		FlashSize: 2 << 20,
+		SRAMSize:  288 << 10,
+		Periphs:   sortPeriphs(ps),
+	}
+}
+
+func sortPeriphs(ps []PeriphInfo) []PeriphInfo {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Base < ps[j].Base })
+	return ps
+}
+
+// FindPeriph returns the datasheet entry covering addr, or nil.
+func (b *Board) FindPeriph(addr uint32) *PeriphInfo {
+	for i := range b.Periphs {
+		if b.Periphs[i].Contains(addr) {
+			return &b.Periphs[i]
+		}
+	}
+	return nil
+}
+
+// PeriphByName returns the named datasheet entry, or nil.
+func (b *Board) PeriphByName(name string) *PeriphInfo {
+	for i := range b.Periphs {
+		if b.Periphs[i].Name == name {
+			return &b.Periphs[i]
+		}
+	}
+	return nil
+}
+
+// IsCorePeriphAddr reports whether addr is a core peripheral on the
+// PPB, requiring privileged access.
+func IsCorePeriphAddr(addr uint32) bool {
+	return addr >= PPBBase && addr < PPBEnd
+}

@@ -1,0 +1,323 @@
+package mach
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ARMv7-M memory map anchors (Figure 2 of the paper).
+const (
+	FlashBase  uint32 = 0x08000000 // STM32 main Flash
+	SRAMBase   uint32 = 0x20000000
+	PeriphBase uint32 = 0x40000000
+	PeriphEnd  uint32 = 0x60000000
+	PPBBase    uint32 = 0xE0000000 // Private Peripheral Bus
+	PPBEnd     uint32 = 0xE0100000
+)
+
+// Core-peripheral register addresses on the PPB that the workloads and
+// runtimes touch. Unprivileged access to any PPB address is a BusFault
+// (Section 2.1); OPEC-Monitor emulates such accesses, ACES lifts the
+// compartment to privileged instead.
+const (
+	DWTCtrl    uint32 = 0xE0001000
+	DWTCyccnt  uint32 = 0xE0001004
+	SysTickCSR uint32 = 0xE000E010
+	SysTickRVR uint32 = 0xE000E014
+	SysTickCVR uint32 = 0xE000E018
+	NVICISER0  uint32 = 0xE000E100
+	SCBVTOR    uint32 = 0xE000ED08
+	SCBCCR     uint32 = 0xE000ED14
+	MPUCtrl    uint32 = 0xE000ED94
+)
+
+// FaultKind classifies a memory access fault.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultMemManage FaultKind = iota // MPU permission violation
+	FaultBus                        // unprivileged PPB access or unmapped address
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultMemManage:
+		return "MemManage"
+	case FaultBus:
+		return "BusFault"
+	}
+	return "?"
+}
+
+// Fault describes a faulting access; delivered to the installed handler
+// (the reference monitor) which may emulate, fix-and-retry, or abort.
+type Fault struct {
+	Kind       FaultKind
+	Addr       uint32
+	Write      bool
+	Size       int
+	Val        uint32 // value being stored, for write emulation
+	Privileged bool
+}
+
+func (f *Fault) Error() string {
+	dir := "read"
+	if f.Write {
+		dir = "write"
+	}
+	lvl := "unprivileged"
+	if f.Privileged {
+		lvl = "privileged"
+	}
+	return fmt.Sprintf("%s: %s %s of %d bytes at %#08x", f.Kind, lvl, dir, f.Size, f.Addr)
+}
+
+// Device is a memory-mapped peripheral model. Offsets are relative to
+// Base(). Devices are passive: they compute state on demand from the
+// shared cycle clock, so "waiting for I/O" is a polling loop that
+// advances cycles until the device's scheduled readiness time.
+type Device interface {
+	Name() string
+	Base() uint32
+	Size() uint32
+	Load(off uint32, size int) uint32
+	Store(off uint32, size int, v uint32)
+}
+
+// IRQSource is implemented by devices that can assert an interrupt.
+type IRQSource interface {
+	Device
+	// IRQPending reports whether the device is asserting its line.
+	IRQPending() bool
+	// IRQAck clears the pending line (called when the handler is
+	// dispatched).
+	IRQAck()
+}
+
+// Clock is the shared cycle counter (the DWT CYCCNT source).
+type Clock struct {
+	cycles uint64
+}
+
+// Now returns the current cycle count.
+func (c *Clock) Now() uint64 { return c.cycles }
+
+// Advance adds n cycles.
+func (c *Clock) Advance(n uint64) { c.cycles += n }
+
+// Protection adjudicates memory accesses: the ARMv7-M MPU by default,
+// or a RISC-V PMP (the paper's Section 7 portability target).
+type Protection interface {
+	Allows(addr uint32, write, privileged bool) bool
+}
+
+// Bus routes accesses by address to Flash, SRAM, peripherals and the
+// PPB, enforcing privilege and protection-unit rules on the way.
+type Bus struct {
+	MPU   *MPU
+	Clock *Clock
+
+	// Prot is the active protection unit; NewBus points it at MPU.
+	// Swap in a *PMP to model a RISC-V PMP platform.
+	Prot Protection
+
+	flash []byte
+	sram  []byte
+
+	devices []Device // sorted by base address
+
+	// dwtEnabled gates the cycle counter register.
+	dwtEnabled bool
+}
+
+// NewBus creates a bus with the given Flash and SRAM sizes.
+func NewBus(flashSize, sramSize int, clk *Clock) *Bus {
+	b := &Bus{
+		MPU:   &MPU{},
+		Clock: clk,
+		flash: make([]byte, flashSize),
+		sram:  make([]byte, sramSize),
+	}
+	b.Prot = b.MPU
+	return b
+}
+
+// Attach registers a device; overlapping ranges are a configuration
+// error.
+func (b *Bus) Attach(d Device) error {
+	for _, e := range b.devices {
+		if d.Base() < e.Base()+e.Size() && e.Base() < d.Base()+d.Size() {
+			return fmt.Errorf("mach: device %s overlaps %s", d.Name(), e.Name())
+		}
+	}
+	b.devices = append(b.devices, d)
+	sort.Slice(b.devices, func(i, j int) bool { return b.devices[i].Base() < b.devices[j].Base() })
+	return nil
+}
+
+// Devices returns the attached devices in address order.
+func (b *Bus) Devices() []Device { return b.devices }
+
+// DeviceAt returns the device covering addr, or nil.
+func (b *Bus) DeviceAt(addr uint32) Device {
+	i := sort.Search(len(b.devices), func(i int) bool {
+		return b.devices[i].Base()+b.devices[i].Size() > addr
+	})
+	if i < len(b.devices) && addr >= b.devices[i].Base() {
+		return b.devices[i]
+	}
+	return nil
+}
+
+// FlashSize and SRAMSize report configured capacities.
+func (b *Bus) FlashSize() int { return len(b.flash) }
+func (b *Bus) SRAMSize() int  { return len(b.sram) }
+
+// Load performs a checked load. A non-nil *Fault means the access did
+// not complete.
+func (b *Bus) Load(addr uint32, size int, privileged bool) (uint32, *Fault) {
+	if f := b.check(addr, size, false, 0, privileged); f != nil {
+		return 0, f
+	}
+	return b.RawLoad(addr, size)
+}
+
+// Store performs a checked store.
+func (b *Bus) Store(addr uint32, size int, v uint32, privileged bool) *Fault {
+	if f := b.check(addr, size, true, v, privileged); f != nil {
+		return f
+	}
+	b.RawStore(addr, size, v)
+	return nil
+}
+
+// check applies privilege and MPU rules and verifies the address is
+// mapped. PPB is privileged-only by architecture, independent of the
+// MPU.
+func (b *Bus) check(addr uint32, size int, write bool, val uint32, privileged bool) *Fault {
+	if addr >= PPBBase && addr < PPBEnd {
+		if !privileged {
+			return &Fault{Kind: FaultBus, Addr: addr, Write: write, Size: size, Val: val}
+		}
+		return nil
+	}
+	if !b.mapped(addr, size) {
+		return &Fault{Kind: FaultBus, Addr: addr, Write: write, Size: size, Val: val, Privileged: privileged}
+	}
+	if !b.Prot.Allows(addr, write, privileged) {
+		return &Fault{Kind: FaultMemManage, Addr: addr, Write: write, Size: size, Val: val, Privileged: privileged}
+	}
+	return nil
+}
+
+func (b *Bus) mapped(addr uint32, size int) bool {
+	switch {
+	case addr >= FlashBase && addr+uint32(size) <= FlashBase+uint32(len(b.flash)):
+		return true
+	case addr >= SRAMBase && addr+uint32(size) <= SRAMBase+uint32(len(b.sram)):
+		return true
+	case addr >= PeriphBase && addr < PeriphEnd:
+		return b.DeviceAt(addr) != nil
+	}
+	return false
+}
+
+// RawLoad bypasses permission checks (used by the privileged monitor's
+// internal copies after it has performed its own policy checks, and by
+// the loader).
+func (b *Bus) RawLoad(addr uint32, size int) (uint32, *Fault) {
+	switch {
+	case addr >= FlashBase && addr+uint32(size) <= FlashBase+uint32(len(b.flash)):
+		return readLE(b.flash[addr-FlashBase:], size), nil
+	case addr >= SRAMBase && addr+uint32(size) <= SRAMBase+uint32(len(b.sram)):
+		return readLE(b.sram[addr-SRAMBase:], size), nil
+	case addr >= PPBBase && addr < PPBEnd:
+		return b.ppbLoad(addr, size), nil
+	default:
+		if d := b.DeviceAt(addr); d != nil {
+			return d.Load(addr-d.Base(), size), nil
+		}
+	}
+	return 0, &Fault{Kind: FaultBus, Addr: addr, Size: size, Privileged: true}
+}
+
+// RawStore bypasses permission checks.
+func (b *Bus) RawStore(addr uint32, size int, v uint32) *Fault {
+	switch {
+	case addr >= FlashBase && addr+uint32(size) <= FlashBase+uint32(len(b.flash)):
+		writeLE(b.flash[addr-FlashBase:], size, v)
+		return nil
+	case addr >= SRAMBase && addr+uint32(size) <= SRAMBase+uint32(len(b.sram)):
+		writeLE(b.sram[addr-SRAMBase:], size, v)
+		return nil
+	case addr >= PPBBase && addr < PPBEnd:
+		b.ppbStore(addr, size, v)
+		return nil
+	default:
+		if d := b.DeviceAt(addr); d != nil {
+			d.Store(addr-d.Base(), size, v)
+			return nil
+		}
+	}
+	return &Fault{Kind: FaultBus, Addr: addr, Size: size, Write: true, Val: v, Privileged: true}
+}
+
+func (b *Bus) ppbLoad(addr uint32, size int) uint32 {
+	switch addr {
+	case DWTCyccnt:
+		return uint32(b.Clock.Now())
+	case DWTCtrl:
+		if b.dwtEnabled {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func (b *Bus) ppbStore(addr uint32, size int, v uint32) {
+	switch addr {
+	case DWTCtrl:
+		b.dwtEnabled = v&1 != 0
+	}
+	// Other core registers accept writes and are modeled as state the
+	// runtimes own directly (MPU via *MPU, exceptions via handlers).
+}
+
+func readLE(b []byte, size int) uint32 {
+	switch size {
+	case 1:
+		return uint32(b[0])
+	case 2:
+		return uint32(b[0]) | uint32(b[1])<<8
+	default:
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+}
+
+func writeLE(b []byte, size int, v uint32) {
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		b[0], b[1] = byte(v), byte(v>>8)
+	default:
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+}
+
+// CopyMem copies n bytes inside simulated memory using raw access; the
+// monitor uses it for shadow synchronization after policy checks.
+func (b *Bus) CopyMem(dst, src uint32, n int) *Fault {
+	for i := 0; i < n; i++ {
+		v, f := b.RawLoad(src+uint32(i), 1)
+		if f != nil {
+			return f
+		}
+		if f := b.RawStore(dst+uint32(i), 1, v); f != nil {
+			return f
+		}
+	}
+	return nil
+}

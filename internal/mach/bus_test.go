@@ -1,0 +1,189 @@
+package mach
+
+import "testing"
+
+type stubDevice struct {
+	name string
+	base uint32
+	size uint32
+	regs map[uint32]uint32
+}
+
+func (d *stubDevice) Name() string { return d.name }
+func (d *stubDevice) Base() uint32 { return d.base }
+func (d *stubDevice) Size() uint32 { return d.size }
+func (d *stubDevice) Load(off uint32, _ int) uint32 {
+	return d.regs[off]
+}
+func (d *stubDevice) Store(off uint32, _ int, v uint32) {
+	if d.regs == nil {
+		d.regs = make(map[uint32]uint32)
+	}
+	d.regs[off] = v
+}
+
+func newTestBus() *Bus {
+	return NewBus(1<<20, 192<<10, &Clock{})
+}
+
+func TestBusFlashSRAMRoundTrip(t *testing.T) {
+	b := newTestBus()
+	if f := b.Store(SRAMBase+0x100, 4, 0xDEADBEEF, true); f != nil {
+		t.Fatalf("store: %v", f)
+	}
+	v, f := b.Load(SRAMBase+0x100, 4, true)
+	if f != nil || v != 0xDEADBEEF {
+		t.Fatalf("load = %#x, %v", v, f)
+	}
+	// Byte and halfword access.
+	b.Store(SRAMBase, 1, 0xAB, true)
+	b.Store(SRAMBase+1, 2, 0x1234, true)
+	if v, _ := b.Load(SRAMBase, 4, true); v&0xFF != 0xAB || (v>>8)&0xFFFF != 0x1234 {
+		t.Errorf("mixed-width load = %#x", v)
+	}
+	// Flash.
+	b.RawStore(FlashBase+16, 4, 0x0BADF00D)
+	if v, _ := b.Load(FlashBase+16, 4, true); v != 0x0BADF00D {
+		t.Errorf("flash load = %#x", v)
+	}
+}
+
+func TestBusUnmappedFaults(t *testing.T) {
+	b := newTestBus()
+	if _, f := b.Load(0x70000000, 4, true); f == nil || f.Kind != FaultBus {
+		t.Errorf("unmapped load fault = %v", f)
+	}
+	if _, f := b.Load(SRAMBase+uint32(b.SRAMSize()), 4, true); f == nil {
+		t.Error("load past SRAM end should fault")
+	}
+}
+
+func TestBusPPBPrivilegeRule(t *testing.T) {
+	b := newTestBus()
+	// Privileged PPB access is fine regardless of MPU.
+	b.MPU.Enabled = true
+	if _, f := b.Load(DWTCyccnt, 4, true); f != nil {
+		t.Errorf("privileged PPB load faulted: %v", f)
+	}
+	// Unprivileged PPB access is a BusFault (Section 2.1).
+	if _, f := b.Load(DWTCyccnt, 4, false); f == nil || f.Kind != FaultBus {
+		t.Errorf("unprivileged PPB load fault = %v", f)
+	}
+	if f := b.Store(SysTickCSR, 4, 1, false); f == nil || f.Kind != FaultBus {
+		t.Errorf("unprivileged PPB store fault = %v", f)
+	}
+}
+
+func TestBusMPUEnforcement(t *testing.T) {
+	b := newTestBus()
+	b.MPU.Enabled = true
+	b.MPU.MustSetRegion(2, Region{Enabled: true, Base: SRAMBase, SizeLog2: 10, Perm: APRW})
+	if f := b.Store(SRAMBase+4, 4, 1, false); f != nil {
+		t.Errorf("in-region unprivileged store faulted: %v", f)
+	}
+	f := b.Store(SRAMBase+0x400, 4, 1, false)
+	if f == nil || f.Kind != FaultMemManage {
+		t.Errorf("out-of-region store fault = %v", f)
+	}
+	if f != nil && (f.Addr != SRAMBase+0x400 || !f.Write || f.Val != 1) {
+		t.Errorf("fault details wrong: %+v", f)
+	}
+}
+
+func TestBusDWT(t *testing.T) {
+	b := newTestBus()
+	b.Store(DWTCtrl, 4, 1, true)
+	b.Clock.Advance(123)
+	v, f := b.Load(DWTCyccnt, 4, true)
+	if f != nil || v != 123 {
+		t.Errorf("CYCCNT = %d, %v; want 123", v, f)
+	}
+	if v, _ := b.Load(DWTCtrl, 4, true); v != 1 {
+		t.Errorf("DWT_CTRL = %d, want 1", v)
+	}
+}
+
+func TestBusDeviceRouting(t *testing.T) {
+	b := newTestBus()
+	d := &stubDevice{name: "USART2", base: USART2Base, size: 0x400}
+	if err := b.Attach(d); err != nil {
+		t.Fatal(err)
+	}
+	if f := b.Store(USART2Base+4, 4, 0x5A, true); f != nil {
+		t.Fatalf("device store: %v", f)
+	}
+	if v, _ := b.Load(USART2Base+4, 4, true); v != 0x5A {
+		t.Errorf("device load = %#x", v)
+	}
+	if got := b.DeviceAt(USART2Base + 0x3FF); got != Device(d) {
+		t.Error("DeviceAt missed the device")
+	}
+	if got := b.DeviceAt(USART2Base + 0x400); got != nil {
+		t.Error("DeviceAt matched past the device end")
+	}
+	// Unattached peripheral address → bus fault.
+	if _, f := b.Load(SDIOBase, 4, true); f == nil {
+		t.Error("unattached peripheral should bus-fault")
+	}
+}
+
+func TestBusDeviceOverlapRejected(t *testing.T) {
+	b := newTestBus()
+	if err := b.Attach(&stubDevice{name: "A", base: USART2Base, size: 0x400}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(&stubDevice{name: "B", base: USART2Base + 0x200, size: 0x400}); err == nil {
+		t.Error("overlapping device accepted")
+	}
+}
+
+func TestCopyMem(t *testing.T) {
+	b := newTestBus()
+	b.RawStore(SRAMBase, 4, 0x11223344)
+	if f := b.CopyMem(SRAMBase+0x40, SRAMBase, 4); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := b.RawLoad(SRAMBase+0x40, 4); v != 0x11223344 {
+		t.Errorf("CopyMem result = %#x", v)
+	}
+}
+
+func TestBoardModels(t *testing.T) {
+	d := STM32F4Discovery()
+	e := STM32479IEval()
+	if d.FlashSize != 1<<20 || d.SRAMSize != 192<<10 {
+		t.Errorf("discovery geometry: %d/%d", d.FlashSize, d.SRAMSize)
+	}
+	if e.FlashSize != 2<<20 || e.SRAMSize != 288<<10 {
+		t.Errorf("eval geometry: %d/%d", e.FlashSize, e.SRAMSize)
+	}
+	if p := d.FindPeriph(USART2Base + 8); p == nil || p.Name != "USART2" {
+		t.Errorf("FindPeriph(USART2+8) = %v", p)
+	}
+	if p := d.FindPeriph(0x4FFFFFFF); p != nil {
+		t.Errorf("FindPeriph of unmapped = %v", p)
+	}
+	if d.PeriphByName("LTDC") != nil {
+		t.Error("discovery board should not have the LCD controller")
+	}
+	if e.PeriphByName("LTDC") == nil || e.PeriphByName("DCMI") == nil || e.PeriphByName("ETH") == nil {
+		t.Error("eval board missing rich peripherals")
+	}
+	if !IsCorePeriphAddr(DWTCyccnt) || IsCorePeriphAddr(USART2Base) {
+		t.Error("IsCorePeriphAddr misclassifies")
+	}
+	// Datasheet must be address-sorted for the compiler's merge pass.
+	for i := 1; i < len(e.Periphs); i++ {
+		if e.Periphs[i].Base < e.Periphs[i-1].Base {
+			t.Fatal("peripheral datasheet not sorted by base address")
+		}
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Kind: FaultMemManage, Addr: 0x20000100, Write: true, Size: 4}
+	msg := f.Error()
+	if msg == "" || f.Kind.String() != "MemManage" {
+		t.Errorf("fault formatting: %q", msg)
+	}
+}

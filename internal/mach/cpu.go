@@ -1,0 +1,636 @@
+package mach
+
+import (
+	"errors"
+	"fmt"
+
+	"opec/internal/ir"
+)
+
+// Cycle costs of the execution model. The absolute values approximate
+// Cortex-M4 figures; only their ratios matter for overhead shapes.
+const (
+	CostInstr     = 1
+	CostMem       = 2
+	CostCall      = 3
+	CostRet       = 2
+	CostExcEntry  = 12 // exception entry (SVC, fault)
+	CostExcReturn = 12
+	CostMPUWrite  = 4 // one region register write
+	CostWordCopy  = 2 // one word moved by a monitor routine
+)
+
+// FaultAction tells the interpreter how a fault handler resolved a
+// fault.
+type FaultAction uint8
+
+// Fault resolutions.
+const (
+	FaultAbort    FaultAction = iota // terminate the program
+	FaultRetry                       // retry the access (handler fixed the MPU)
+	FaultEmulated                    // handler performed the access itself
+)
+
+// FaultResolution is the result of a fault handler.
+type FaultResolution struct {
+	Action FaultAction
+	Value  uint32 // loaded value when Action == FaultEmulated on a read
+}
+
+// Handlers are the runtime hooks a protection scheme installs. All are
+// optional; a nil handler means the default (faults abort, SVCs are
+// plain calls, no call interposition).
+type Handlers struct {
+	// SvcEnter runs at an operation-entry supervisor call, privileged.
+	// It receives the evaluated call arguments and may rewrite them
+	// (stack-argument relocation, Figure 8). Returning an error aborts.
+	SvcEnter func(entry *ir.Function, args []uint32) ([]uint32, error)
+	// SvcExit runs at the matching operation-exit supervisor call.
+	SvcExit func(entry *ir.Function, ret uint32) error
+	// MemManage handles MPU violations (MPU virtualization lives here).
+	MemManage func(f *Fault) FaultResolution
+	// BusFault handles bus errors (PPB load/store emulation lives here).
+	BusFault func(f *Fault) FaultResolution
+	// OnCall is invoked before every direct or resolved indirect call;
+	// the ACES runtime switches compartments here. Errors abort.
+	OnCall func(caller, callee *ir.Function) error
+	// OnReturn is invoked after the call returns.
+	OnReturn func(caller, callee *ir.Function) error
+	// OnFuncEnter observes every function entry (the tracing hook that
+	// substitutes for the paper's GDB single-stepping).
+	OnFuncEnter func(fn *ir.Function)
+}
+
+// Machine executes an ir.Module against a Bus with a privilege state
+// and a simulated call stack in SRAM.
+type Machine struct {
+	Mod      *ir.Module
+	Bus      *Bus
+	Clock    *Clock
+	Handlers Handlers
+
+	// Privileged is the current execution level.
+	Privileged bool
+
+	// SP is the stack pointer; StackTop/StackLimit bound the stack.
+	SP         uint32
+	StackTop   uint32
+	StackLimit uint32
+
+	// GlobalAddr resolves a global operand to its address. OPEC images
+	// route external globals through the variables relocation table
+	// here (a real, checked memory read).
+	GlobalAddr func(g *ir.Global, privileged bool) (uint32, *Fault)
+
+	// Function "addresses" for indirect calls.
+	funcAddr map[*ir.Function]uint32
+	funcAt   map[uint32]*ir.Function
+
+	// MaxCycles guards against runaway programs in tests.
+	MaxCycles uint64
+
+	irqs    []irqBinding
+	inIRQ   bool
+	irqGate int // dispatch check countdown
+
+	allocaOffs map[*ir.Function]map[*ir.Instr]int
+
+	// Halted is set when the program executed an OpHalt.
+	Halted bool
+
+	// Stats.
+	InstrCount  uint64
+	SwitchCount uint64 // operation/compartment switches observed
+	depth       int
+}
+
+type irqBinding struct {
+	src     IRQSource
+	handler *ir.Function
+}
+
+// errHalt unwinds the interpreter on OpHalt.
+var errHalt = errors.New("halt")
+
+// ErrCycleLimit reports that MaxCycles was exceeded.
+var ErrCycleLimit = errors.New("mach: cycle limit exceeded")
+
+// ErrStackOverflow reports stack exhaustion.
+var ErrStackOverflow = errors.New("mach: stack overflow")
+
+const maxCallDepth = 256
+
+// NewMachine creates a machine for mod. Function addresses are assigned
+// from codeBase in declaration order (matching the image layout's code
+// placement).
+func NewMachine(mod *ir.Module, bus *Bus, codeBase uint32) *Machine {
+	m := &Machine{
+		Mod:       mod,
+		Bus:       bus,
+		Clock:     bus.Clock,
+		MaxCycles: 1 << 40,
+		funcAddr:  make(map[*ir.Function]uint32, len(mod.Functions)),
+		funcAt:    make(map[uint32]*ir.Function, len(mod.Functions)),
+	}
+	addr := codeBase
+	for _, f := range mod.Functions {
+		m.funcAddr[f] = addr
+		m.funcAt[addr] = f
+		addr += uint32(f.CodeSize())
+	}
+	m.GlobalAddr = func(g *ir.Global, _ bool) (uint32, *Fault) {
+		return 0, &Fault{Kind: FaultBus, Addr: 0}
+	}
+	return m
+}
+
+// FuncAddr returns the code address of fn.
+func (m *Machine) FuncAddr(fn *ir.Function) uint32 { return m.funcAddr[fn] }
+
+// FuncAt returns the function whose code starts at addr, or nil.
+func (m *Machine) FuncAt(addr uint32) *ir.Function { return m.funcAt[addr] }
+
+// BindIRQ routes the device's interrupt line to an IR handler function,
+// which executes privileged (hardware escalates on exception entry).
+func (m *Machine) BindIRQ(src IRQSource, handler *ir.Function) {
+	m.irqs = append(m.irqs, irqBinding{src: src, handler: handler})
+}
+
+// Run executes fn with the given arguments until it returns, the
+// program halts, or an unrecoverable fault occurs.
+func (m *Machine) Run(fn *ir.Function, args ...uint32) (uint32, error) {
+	if m.SP == 0 {
+		m.SP = m.StackTop
+	}
+	ret, err := m.call(fn, args)
+	if errors.Is(err, errHalt) {
+		m.Halted = true
+		return ret, nil
+	}
+	return ret, err
+}
+
+// frame is one activation record. The first four arguments live in
+// "registers"; the rest are spilled to the simulated stack by the
+// caller (AAPCS), so they are subject to MPU stack protection.
+type frame struct {
+	fn      *ir.Function
+	regs    []uint32
+	args    [4]uint32
+	nargs   int
+	argBase uint32 // address of spilled args
+}
+
+func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
+	if m.depth++; m.depth > maxCallDepth {
+		m.depth--
+		return 0, fmt.Errorf("mach: call depth exceeded at %s", fn.Name)
+	}
+	defer func() { m.depth-- }()
+
+	m.Clock.Advance(CostCall)
+	if m.Handlers.OnFuncEnter != nil {
+		m.Handlers.OnFuncEnter(fn)
+	}
+
+	fr := frame{fn: fn, regs: make([]uint32, fn.NumRegs())}
+	for i := 0; i < len(args) && i < 4; i++ {
+		fr.args[i] = args[i]
+	}
+	fr.nargs = len(args)
+
+	// Spill arguments beyond the fourth to the stack (checked stores:
+	// the stack MPU region governs them).
+	savedSP := m.SP
+	if len(args) > 4 {
+		for i := len(args) - 1; i >= 4; i-- {
+			m.SP -= 4
+			if err := m.storeChecked(m.SP, 4, args[i]); err != nil {
+				m.SP = savedSP
+				return 0, err
+			}
+		}
+	}
+	fr.argBase = m.SP
+
+	// Reserve locals.
+	locals := uint32(fn.FrameLocalBytes())
+	if m.SP-locals < m.StackLimit {
+		m.SP = savedSP
+		return 0, fmt.Errorf("%w in %s", ErrStackOverflow, fn.Name)
+	}
+	m.SP -= locals
+	localBase := m.SP
+
+	ret, err := m.exec(&fr, localBase)
+	m.SP = savedSP
+	m.Clock.Advance(CostRet)
+	return ret, err
+}
+
+// exec runs the block graph of fr.fn.
+func (m *Machine) exec(fr *frame, localBase uint32) (uint32, error) {
+	offs := m.allocaOffsets(fr.fn)
+	blk := fr.fn.Entry()
+	for {
+		if err := m.tick(); err != nil {
+			return 0, err
+		}
+		for _, in := range blk.Instrs {
+			if err := m.step(fr, in, localBase, offs); err != nil {
+				return 0, err
+			}
+		}
+		m.Clock.Advance(CostInstr) // terminator
+		m.InstrCount++
+		switch blk.Term.Op {
+		case ir.TermBr:
+			blk = blk.Term.Succs[0]
+		case ir.TermCondBr:
+			c, err := m.eval(fr, blk.Term.Cond)
+			if err != nil {
+				return 0, err
+			}
+			if c != 0 {
+				blk = blk.Term.Succs[0]
+			} else {
+				blk = blk.Term.Succs[1]
+			}
+		case ir.TermRet:
+			if blk.Term.Val == nil {
+				return 0, nil
+			}
+			return m.eval(fr, blk.Term.Val)
+		default:
+			return 0, fmt.Errorf("mach: unterminated block %s in %s", blk.Name, fr.fn.Name)
+		}
+	}
+}
+
+// tick enforces the cycle budget and dispatches pending IRQs at block
+// boundaries.
+func (m *Machine) tick() error {
+	if m.Clock.Now() > m.MaxCycles {
+		return ErrCycleLimit
+	}
+	if m.inIRQ || len(m.irqs) == 0 {
+		return nil
+	}
+	for _, b := range m.irqs {
+		if b.src.IRQPending() {
+			b.src.IRQAck()
+			m.inIRQ = true
+			wasPriv := m.Privileged
+			m.Privileged = true // hardware escalates for exception entry
+			m.Clock.Advance(CostExcEntry)
+			_, err := m.call(b.handler, nil)
+			m.Clock.Advance(CostExcReturn)
+			m.Privileged = wasPriv
+			m.inIRQ = false
+			if err != nil {
+				return fmt.Errorf("mach: IRQ handler %s: %w", b.handler.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, offs map[*ir.Instr]int) error {
+	m.Clock.Advance(CostInstr)
+	m.InstrCount++
+	switch in.Op {
+	case ir.OpBin:
+		a, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		b, err := m.eval(fr, in.Args[1])
+		if err != nil {
+			return err
+		}
+		fr.regs[in.ID()] = evalBin(in.Kind, a, b)
+
+	case ir.OpLoad:
+		addr, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		v, err := m.loadChecked(addr, in.Typ.Size())
+		if err != nil {
+			return err
+		}
+		fr.regs[in.ID()] = v
+
+	case ir.OpStore:
+		addr, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		v, err := m.eval(fr, in.Args[1])
+		if err != nil {
+			return err
+		}
+		return m.storeChecked(addr, in.Typ.Size(), v)
+
+	case ir.OpAlloca:
+		fr.regs[in.ID()] = localBase + uint32(offs[in])
+
+	case ir.OpFieldAddr:
+		base, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		fr.regs[in.ID()] = base + uint32(in.Off)
+
+	case ir.OpIndexAddr:
+		base, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		idx, err := m.eval(fr, in.Args[1])
+		if err != nil {
+			return err
+		}
+		fr.regs[in.ID()] = base + idx*uint32(in.Off)
+
+	case ir.OpCall:
+		args, err := m.evalArgs(fr, in.Args)
+		if err != nil {
+			return err
+		}
+		ret, err := m.dispatchCall(fr.fn, in.Fn, args)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.ID()] = ret
+
+	case ir.OpICall:
+		target, err := m.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		callee := m.funcAt[target]
+		if callee == nil {
+			return fmt.Errorf("mach: icall to invalid address %#08x in %s", target, fr.fn.Name)
+		}
+		args, err := m.evalArgs(fr, in.Args[1:])
+		if err != nil {
+			return err
+		}
+		ret, err := m.dispatchCall(fr.fn, callee, args)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.ID()] = ret
+
+	case ir.OpSvc:
+		args, err := m.evalArgs(fr, in.Args)
+		if err != nil {
+			return err
+		}
+		ret, err := m.svcCall(in.Fn, args)
+		if err != nil {
+			return err
+		}
+		fr.regs[in.ID()] = ret
+
+	case ir.OpHalt:
+		return errHalt
+
+	default:
+		return fmt.Errorf("mach: unknown op %d in %s", in.Op, fr.fn.Name)
+	}
+	return nil
+}
+
+// dispatchCall runs the OnCall/OnReturn interposition (ACES compartment
+// switching) around a plain call.
+func (m *Machine) dispatchCall(caller, callee *ir.Function, args []uint32) (uint32, error) {
+	if m.Handlers.OnCall != nil {
+		if err := m.Handlers.OnCall(caller, callee); err != nil {
+			return 0, err
+		}
+	}
+	ret, err := m.call(callee, args)
+	if err != nil {
+		return 0, err
+	}
+	if m.Handlers.OnReturn != nil {
+		if err := m.Handlers.OnReturn(caller, callee); err != nil {
+			return 0, err
+		}
+	}
+	return ret, nil
+}
+
+// svcCall implements the SVC-wrapped operation entry: exception entry,
+// monitor enter (privileged), unprivileged body, exception for exit,
+// monitor exit.
+func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
+	m.SwitchCount++
+	m.Clock.Advance(CostExcEntry)
+	wasPriv := m.Privileged
+	if m.Handlers.SvcEnter != nil {
+		m.Privileged = true
+		newArgs, err := m.Handlers.SvcEnter(entry, args)
+		if err != nil {
+			return 0, fmt.Errorf("mach: svc enter %s: %w", entry.Name, err)
+		}
+		args = newArgs
+	}
+	m.Privileged = wasPriv
+	m.Clock.Advance(CostExcReturn)
+
+	ret, err := m.call(entry, args)
+	if err != nil {
+		return 0, err
+	}
+
+	m.Clock.Advance(CostExcEntry)
+	if m.Handlers.SvcExit != nil {
+		m.Privileged = true
+		if err := m.Handlers.SvcExit(entry, ret); err != nil {
+			return 0, fmt.Errorf("mach: svc exit %s: %w", entry.Name, err)
+		}
+	}
+	m.Privileged = wasPriv
+	m.Clock.Advance(CostExcReturn)
+	return ret, nil
+}
+
+func (m *Machine) evalArgs(fr *frame, vals []ir.Value) ([]uint32, error) {
+	args := make([]uint32, len(vals))
+	for i, v := range vals {
+		a, err := m.eval(fr, v)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = a
+	}
+	return args, nil
+}
+
+// eval resolves an operand to a machine word.
+func (m *Machine) eval(fr *frame, v ir.Value) (uint32, error) {
+	switch v := v.(type) {
+	case ir.Const:
+		return v.V, nil
+	case *ir.Instr:
+		return fr.regs[v.ID()], nil
+	case *ir.Param:
+		if v.Index < 4 {
+			return fr.args[v.Index], nil
+		}
+		return m.loadChecked(fr.argBase+uint32(4*(v.Index-4)), 4)
+	case *ir.Global:
+		addr, f := m.GlobalAddr(v, m.Privileged)
+		if f != nil {
+			return m.handleFault(f)
+		}
+		return addr, nil
+	case *ir.Function:
+		return m.funcAddr[v], nil
+	}
+	return 0, fmt.Errorf("mach: cannot evaluate operand %T", v)
+}
+
+// loadChecked performs a load with privilege/MPU checks, routing faults
+// to the installed handlers.
+func (m *Machine) loadChecked(addr uint32, size int) (uint32, error) {
+	m.Clock.Advance(CostMem)
+	v, f := m.Bus.Load(addr, size, m.Privileged)
+	if f == nil {
+		return v, nil
+	}
+	return m.handleFault(f)
+}
+
+// storeChecked performs a store with privilege/MPU checks.
+func (m *Machine) storeChecked(addr uint32, size int, v uint32) error {
+	m.Clock.Advance(CostMem)
+	f := m.Bus.Store(addr, size, v, m.Privileged)
+	if f == nil {
+		return nil
+	}
+	_, err := m.handleFault(f)
+	return err
+}
+
+// handleFault routes a fault to the matching handler; the handler runs
+// privileged (hardware exception entry).
+func (m *Machine) handleFault(f *Fault) (uint32, error) {
+	var h func(*Fault) FaultResolution
+	switch f.Kind {
+	case FaultMemManage:
+		h = m.Handlers.MemManage
+	case FaultBus:
+		h = m.Handlers.BusFault
+	}
+	if h == nil {
+		return 0, f
+	}
+	m.Clock.Advance(CostExcEntry)
+	wasPriv := m.Privileged
+	m.Privileged = true
+	res := h(f)
+	m.Privileged = wasPriv
+	m.Clock.Advance(CostExcReturn)
+
+	switch res.Action {
+	case FaultRetry:
+		if f.Write {
+			return 0, m.retryStore(f)
+		}
+		return m.retryLoad(f)
+	case FaultEmulated:
+		return res.Value, nil
+	default:
+		return 0, f
+	}
+}
+
+func (m *Machine) retryLoad(f *Fault) (uint32, error) {
+	v, f2 := m.Bus.Load(f.Addr, f.Size, m.Privileged)
+	if f2 != nil {
+		return 0, f2 // no second chance: avoids handler livelock
+	}
+	return v, nil
+}
+
+func (m *Machine) retryStore(f *Fault) error {
+	if f2 := m.Bus.Store(f.Addr, f.Size, f.Val, m.Privileged); f2 != nil {
+		return f2
+	}
+	return nil
+}
+
+// allocaOffsets lazily assigns frame offsets to alloca slots.
+func (m *Machine) allocaOffsets(fn *ir.Function) map[*ir.Instr]int {
+	if m.allocaOffs == nil {
+		m.allocaOffs = make(map[*ir.Function]map[*ir.Instr]int)
+	}
+	if offs, ok := m.allocaOffs[fn]; ok {
+		return offs
+	}
+	offs := make(map[*ir.Instr]int)
+	off := 0
+	fn.Instructions(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.OpAlloca {
+			offs[in] = off
+			off += (in.Off + 3) &^ 3
+		}
+	})
+	m.allocaOffs[fn] = offs
+	return offs
+}
+
+func evalBin(k ir.BinKind, a, b uint32) uint32 {
+	switch k {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.Div:
+		if b == 0 {
+			return 0 // ARM UDIV returns 0 on divide-by-zero by default
+		}
+		return a / b
+	case ir.Rem:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return a << (b & 31)
+	case ir.Shr:
+		return a >> (b & 31)
+	case ir.Eq:
+		return b2u(a == b)
+	case ir.Ne:
+		return b2u(a != b)
+	case ir.Lt:
+		return b2u(a < b)
+	case ir.Le:
+		return b2u(a <= b)
+	case ir.Gt:
+		return b2u(a > b)
+	case ir.Ge:
+		return b2u(a >= b)
+	}
+	return 0
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,474 @@
+package mach
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"opec/internal/ir"
+)
+
+// testMachine lays the module's globals out sequentially in SRAM,
+// installs a direct resolver, and puts the stack at the top of SRAM —
+// a miniature vanilla image for interpreter tests.
+func testMachine(t *testing.T, m *ir.Module) *Machine {
+	t.Helper()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	bus := newTestBus()
+	mm := NewMachine(m, bus, FlashBase)
+	addrs := make(map[*ir.Global]uint32)
+	next := SRAMBase
+	for _, g := range m.Globals {
+		addrs[g] = next
+		for i, bv := range g.Init {
+			bus.RawStore(next+uint32(i), 1, uint32(bv))
+		}
+		next += uint32((g.Size() + 3) &^ 3)
+	}
+	mm.GlobalAddr = func(g *ir.Global, _ bool) (uint32, *Fault) { return addrs[g], nil }
+	mm.StackTop = SRAMBase + uint32(bus.SRAMSize())
+	mm.StackLimit = mm.StackTop - 32<<10
+	mm.Privileged = true
+	mm.MaxCycles = 50_000_000
+	return mm
+}
+
+func TestInterpArithmeticAndLoop(t *testing.T) {
+	m := ir.NewModule("arith")
+	fb := ir.NewFunc(m, "sum", "a.c", ir.I32, ir.P("n", ir.I32))
+	loop := fb.NewBlock("loop")
+	done := fb.NewBlock("done")
+	acc := fb.Alloca(ir.I32)
+	i := fb.Alloca(ir.I32)
+	fb.Store(ir.I32, acc, ir.CI(0))
+	fb.Store(ir.I32, i, ir.CI(0))
+	fb.Br(loop)
+	fb.SetBlock(loop)
+	iv := fb.Load(ir.I32, i)
+	av := fb.Load(ir.I32, acc)
+	fb.Store(ir.I32, acc, fb.Add(av, iv))
+	next := fb.Add(iv, ir.CI(1))
+	fb.Store(ir.I32, i, next)
+	fb.CondBr(fb.Lt(next, fb.Arg("n")), loop, done)
+	fb.SetBlock(done)
+	fb.Ret(fb.Load(ir.I32, acc))
+
+	mm := testMachine(t, m)
+	got, err := mm.Run(m.MustFunc("sum"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 45 {
+		t.Errorf("sum(10) = %d, want 45", got)
+	}
+	if mm.Clock.Now() == 0 || mm.InstrCount == 0 {
+		t.Error("cycles/instructions not counted")
+	}
+}
+
+func TestInterpBinOps(t *testing.T) {
+	cases := []struct {
+		k       ir.BinKind
+		a, b, w uint32
+	}{
+		{ir.Add, 3, 4, 7},
+		{ir.Sub, 3, 4, 0xFFFFFFFF},
+		{ir.Mul, 5, 6, 30},
+		{ir.Div, 20, 6, 3},
+		{ir.Div, 20, 0, 0},
+		{ir.Rem, 20, 6, 2},
+		{ir.Rem, 20, 0, 0},
+		{ir.And, 0xF0, 0x3C, 0x30},
+		{ir.Or, 0xF0, 0x0C, 0xFC},
+		{ir.Xor, 0xFF, 0x0F, 0xF0},
+		{ir.Shl, 1, 4, 16},
+		{ir.Shr, 16, 4, 1},
+		{ir.Shl, 1, 33, 2}, // shift masked to 5 bits, ARM-style
+		{ir.Eq, 4, 4, 1},
+		{ir.Ne, 4, 4, 0},
+		{ir.Lt, 3, 4, 1},
+		{ir.Le, 4, 4, 1},
+		{ir.Gt, 4, 3, 1},
+		{ir.Ge, 3, 4, 0},
+	}
+	for _, c := range cases {
+		if got := evalBin(c.k, c.a, c.b); got != c.w {
+			t.Errorf("%v(%d, %d) = %d, want %d", c.k, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestInterpGlobalsAndCalls(t *testing.T) {
+	m := ir.NewModule("g")
+	cnt := m.AddGlobal(&ir.Global{Name: "counter", Typ: ir.I32})
+	inc := ir.NewFunc(m, "inc", "a.c", nil)
+	v := inc.Load(ir.I32, cnt)
+	inc.Store(ir.I32, cnt, inc.Add(v, ir.CI(1)))
+	inc.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	mb.Call(m.MustFunc("inc"))
+	mb.Call(m.MustFunc("inc"))
+	mb.Call(m.MustFunc("inc"))
+	mb.Ret(mb.Load(ir.I32, cnt))
+
+	mm := testMachine(t, m)
+	got, err := mm.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+}
+
+func TestInterpSpilledArgsGoThroughStack(t *testing.T) {
+	m := ir.NewModule("spill")
+	f := ir.NewFunc(m, "six", "a.c", ir.I32,
+		ir.P("a", ir.I32), ir.P("b", ir.I32), ir.P("c", ir.I32),
+		ir.P("d", ir.I32), ir.P("e", ir.I32), ir.P("f", ir.I32))
+	s1 := f.Add(f.Arg("a"), f.Arg("b"))
+	s2 := f.Add(s1, f.Arg("c"))
+	s3 := f.Add(s2, f.Arg("d"))
+	s4 := f.Add(s3, f.Arg("e"))
+	f.Ret(f.Add(s4, f.Arg("f")))
+
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	mb.Ret(mb.Call(m.MustFunc("six"), ir.CI(1), ir.CI(2), ir.CI(3), ir.CI(4), ir.CI(5), ir.CI(6)))
+
+	mm := testMachine(t, m)
+	got, err := mm.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 21 {
+		t.Errorf("six-arg sum = %d, want 21", got)
+	}
+
+	// The 5th and 6th arguments travel via the simulated stack, so an
+	// MPU that forbids stack writes must make the call fault.
+	mm2 := testMachine(t, m)
+	mm2.Privileged = false
+	mm2.Bus.MPU.Enabled = true
+	// Read-only everything: spilling the args must MemManage-fault.
+	mm2.Bus.MPU.MustSetRegion(0, Region{Enabled: true, Base: 0, SizeLog2: 32, Perm: APRO})
+	_, err = mm2.Run(m.MustFunc("main"))
+	var f2 *Fault
+	if !errors.As(err, &f2) || f2.Kind != FaultMemManage {
+		t.Errorf("expected MemManage on spill, got %v", err)
+	}
+}
+
+func TestInterpAllocaIsolation(t *testing.T) {
+	m := ir.NewModule("alloca")
+	f := ir.NewFunc(m, "locals", "a.c", ir.I32)
+	a := f.Alloca(ir.I32)
+	b := f.Alloca(ir.Array(ir.I8, 8))
+	f.Store(ir.I32, a, ir.CI(0x11111111))
+	f.Store(ir.I8, b, ir.CI(0xFF))
+	f.Ret(f.Load(ir.I32, a))
+
+	mm := testMachine(t, m)
+	got, err := mm.Run(m.MustFunc("locals"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x11111111 {
+		t.Errorf("local overwritten by neighbouring alloca: %#x", got)
+	}
+}
+
+func TestInterpICall(t *testing.T) {
+	m := ir.NewModule("icall")
+	h1 := ir.NewFunc(m, "h1", "a.c", ir.I32, ir.P("x", ir.I32))
+	h1.Ret(h1.Add(h1.Arg("x"), ir.CI(100)))
+	h2 := ir.NewFunc(m, "h2", "a.c", ir.I32, ir.P("x", ir.I32))
+	h2.Ret(h2.Mul(h2.Arg("x"), ir.CI(2)))
+
+	tbl := m.AddGlobal(&ir.Global{Name: "handlers", Typ: ir.Array(ir.Ptr(ir.I32), 2)})
+	sig := ir.FuncType{Params: []ir.Type{ir.I32}, Ret: ir.I32}
+
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32, ir.P("sel", ir.I32))
+	mb.Store(ir.I32, mb.Index(tbl, ir.Ptr(ir.I32), ir.CI(0)), h1.F)
+	mb.Store(ir.I32, mb.Index(tbl, ir.Ptr(ir.I32), ir.CI(1)), h2.F)
+	ptr := mb.Load(ir.I32, mb.Index(tbl, ir.Ptr(ir.I32), mb.Arg("sel")))
+	mb.Ret(mb.ICall(sig, ptr, ir.CI(21)))
+
+	mm := testMachine(t, m)
+	if got, err := mm.Run(m.MustFunc("main"), 0); err != nil || got != 121 {
+		t.Errorf("icall h1 = %d, %v", got, err)
+	}
+	mm2 := testMachine(t, m)
+	if got, err := mm2.Run(m.MustFunc("main"), 1); err != nil || got != 42 {
+		t.Errorf("icall h2 = %d, %v", got, err)
+	}
+}
+
+func TestInterpICallBadTarget(t *testing.T) {
+	m := ir.NewModule("badicall")
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	sig := ir.FuncType{Params: nil, Ret: ir.I32}
+	mb.Ret(mb.ICall(sig, ir.CI(0x1234)))
+	mm := testMachine(t, m)
+	if _, err := mm.Run(m.MustFunc("main")); err == nil || !strings.Contains(err.Error(), "icall") {
+		t.Errorf("bad icall error = %v", err)
+	}
+}
+
+func TestInterpHalt(t *testing.T) {
+	m := ir.NewModule("halt")
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	mb.Halt()
+	mb.RetVoid()
+	mm := testMachine(t, m)
+	if _, err := mm.Run(m.MustFunc("main")); err != nil {
+		t.Fatalf("halt should be clean: %v", err)
+	}
+	if !mm.Halted {
+		t.Error("Halted flag not set")
+	}
+}
+
+func TestInterpSvcFlow(t *testing.T) {
+	m := ir.NewModule("svc")
+	task := ir.NewFunc(m, "task", "a.c", ir.I32, ir.P("x", ir.I32))
+	task.Ret(task.Add(task.Arg("x"), ir.CI(1)))
+
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	mb.Ret(mb.Svc(1, m.MustFunc("task")))
+
+	// Give the SVC wrapper its argument: builder Svc has no args; add
+	// manually to the emitted instruction.
+	svcInstr := m.MustFunc("main").Entry().Instrs[0]
+	svcInstr.Args = []ir.Value{ir.CI(41)}
+
+	var entered, exited bool
+	mm := testMachine(t, m)
+	mm.Handlers.SvcEnter = func(entry *ir.Function, args []uint32) ([]uint32, error) {
+		if !mm.Privileged {
+			t.Error("SvcEnter must run privileged")
+		}
+		entered = true
+		if entry.Name != "task" || len(args) != 1 || args[0] != 41 {
+			t.Errorf("SvcEnter entry=%s args=%v", entry.Name, args)
+		}
+		return args, nil
+	}
+	mm.Handlers.SvcExit = func(entry *ir.Function, ret uint32) error {
+		exited = true
+		if ret != 42 {
+			t.Errorf("SvcExit ret = %d", ret)
+		}
+		return nil
+	}
+	mm.Privileged = false
+	got, err := mm.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 || !entered || !exited {
+		t.Errorf("svc flow: got=%d entered=%v exited=%v", got, entered, exited)
+	}
+	if mm.SwitchCount != 1 {
+		t.Errorf("SwitchCount = %d, want 1", mm.SwitchCount)
+	}
+}
+
+func TestInterpSvcEnterAbort(t *testing.T) {
+	m := ir.NewModule("svcabort")
+	task := ir.NewFunc(m, "task", "a.c", nil)
+	task.RetVoid()
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	mb.Svc(1, m.MustFunc("task"))
+	mb.RetVoid()
+
+	mm := testMachine(t, m)
+	mm.Handlers.SvcEnter = func(*ir.Function, []uint32) ([]uint32, error) {
+		return nil, errors.New("sanitization failed")
+	}
+	if _, err := mm.Run(m.MustFunc("main")); err == nil || !strings.Contains(err.Error(), "sanitization") {
+		t.Errorf("abort not propagated: %v", err)
+	}
+}
+
+func TestInterpFaultEmulation(t *testing.T) {
+	// Unprivileged read of DWT_CYCCNT bus-faults; a handler emulates it
+	// (exactly the monitor's core-peripheral emulation path).
+	m := ir.NewModule("emul")
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	mb.Ret(mb.Load(ir.I32, ir.CI(DWTCyccnt)))
+
+	mm := testMachine(t, m)
+	mm.Privileged = false
+	mm.Handlers.BusFault = func(f *Fault) FaultResolution {
+		if f.Addr != DWTCyccnt || f.Write {
+			t.Errorf("unexpected fault %+v", f)
+		}
+		v, _ := mm.Bus.RawLoad(f.Addr, f.Size)
+		return FaultResolution{Action: FaultEmulated, Value: v}
+	}
+	got, err := mm.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 0 {
+		t.Error("emulated CYCCNT read returned 0 cycles")
+	}
+}
+
+func TestInterpFaultRetry(t *testing.T) {
+	// MemManage on a data store; handler opens an MPU region and
+	// retries (the MPU-virtualization path).
+	m := ir.NewModule("retry")
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	mb.Store(ir.I32, ir.CI(SRAMBase+0x100), ir.CI(7))
+	mb.Ret(mb.Load(ir.I32, ir.CI(SRAMBase+0x100)))
+
+	mm := testMachine(t, m)
+	mm.Privileged = false
+	mm.Bus.MPU.Enabled = true
+	// Stack writable, target region initially not.
+	mm.Bus.MPU.MustSetRegion(2, Region{Enabled: true, Base: mm.StackTop - (64 << 10), SizeLog2: 16, Perm: APRW})
+	mm.Handlers.MemManage = func(f *Fault) FaultResolution {
+		mm.Bus.MPU.MustSetRegion(4, Region{Enabled: true, Base: SRAMBase, SizeLog2: 10, Perm: APRW})
+		return FaultResolution{Action: FaultRetry}
+	}
+	got, err := mm.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("retried store result = %d", got)
+	}
+}
+
+func TestInterpUnhandledFaultAborts(t *testing.T) {
+	m := ir.NewModule("abort")
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	mb.Store(ir.I32, ir.CI(SRAMBase), ir.CI(1))
+	mb.RetVoid()
+	mm := testMachine(t, m)
+	mm.Privileged = false
+	mm.Bus.MPU.Enabled = true // no regions: unprivileged faults everywhere
+	_, err := mm.Run(m.MustFunc("main"))
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultMemManage {
+		t.Errorf("unhandled fault = %v", err)
+	}
+}
+
+func TestInterpCycleLimit(t *testing.T) {
+	m := ir.NewModule("inf")
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	loop := mb.NewBlock("loop")
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	mb.Br(loop)
+	mm := testMachine(t, m)
+	mm.MaxCycles = 10_000
+	if _, err := mm.Run(m.MustFunc("main")); !errors.Is(err, ErrCycleLimit) {
+		t.Errorf("cycle limit = %v", err)
+	}
+}
+
+func TestInterpStackOverflow(t *testing.T) {
+	m := ir.NewModule("so")
+	f := ir.NewFunc(m, "rec", "a.c", nil)
+	f.Alloca(ir.Array(ir.I8, 4096))
+	f.Call(f.F)
+	f.RetVoid()
+	mm := testMachine(t, m)
+	_, err := mm.Run(m.MustFunc("rec"))
+	if !errors.Is(err, ErrStackOverflow) && !strings.Contains(err.Error(), "depth") {
+		t.Errorf("deep recursion = %v", err)
+	}
+}
+
+func TestInterpOnCallHook(t *testing.T) {
+	m := ir.NewModule("hook")
+	cal := ir.NewFunc(m, "callee", "b.c", nil)
+	cal.RetVoid()
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	mb.Call(m.MustFunc("callee"))
+	mb.RetVoid()
+
+	var calls, rets []string
+	mm := testMachine(t, m)
+	mm.Handlers.OnCall = func(caller, callee *ir.Function) error {
+		calls = append(calls, caller.Name+">"+callee.Name)
+		return nil
+	}
+	mm.Handlers.OnReturn = func(caller, callee *ir.Function) error {
+		rets = append(rets, callee.Name+">"+caller.Name)
+		return nil
+	}
+	if _, err := mm.Run(m.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0] != "main>callee" || len(rets) != 1 || rets[0] != "callee>main" {
+		t.Errorf("hooks: calls=%v rets=%v", calls, rets)
+	}
+}
+
+type testIRQDev struct {
+	stubDevice
+	pending bool
+}
+
+func (d *testIRQDev) IRQPending() bool { return d.pending }
+func (d *testIRQDev) IRQAck()          { d.pending = false }
+
+func TestInterpIRQDispatch(t *testing.T) {
+	m := ir.NewModule("irq")
+	flag := m.AddGlobal(&ir.Global{Name: "irq_seen", Typ: ir.I32})
+	h := ir.NewFunc(m, "USART2_IRQHandler", "stm32f4xx_it.c", nil)
+	h.F.IRQHandler = true
+	h.Store(ir.I32, flag, ir.CI(1))
+	h.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	loop := mb.NewBlock("loop")
+	done := mb.NewBlock("done")
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	v := mb.Load(ir.I32, flag)
+	mb.CondBr(v, done, loop)
+	mb.SetBlock(done)
+	mb.Ret(ir.CI(99))
+
+	mm := testMachine(t, m)
+	dev := &testIRQDev{stubDevice: stubDevice{name: "USART2", base: USART2Base, size: 0x400}, pending: true}
+	mm.BindIRQ(dev, m.MustFunc("USART2_IRQHandler"))
+	mm.Privileged = false // handler must still run (hardware escalates)
+	got, err := mm.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Errorf("IRQ flag never observed: %d", got)
+	}
+	if mm.Privileged {
+		t.Error("privilege not restored after IRQ")
+	}
+}
+
+func TestFuncAddrMapping(t *testing.T) {
+	m := ir.NewModule("addrs")
+	f1 := ir.NewFunc(m, "f1", "a.c", nil)
+	f1.RetVoid()
+	f2 := ir.NewFunc(m, "f2", "a.c", nil)
+	f2.RetVoid()
+	mm := testMachine(t, m)
+	a1, a2 := mm.FuncAddr(f1.F), mm.FuncAddr(f2.F)
+	if a1 == 0 || a2 == 0 || a1 == a2 {
+		t.Errorf("function addresses: %#x %#x", a1, a2)
+	}
+	if mm.FuncAt(a1) != f1.F || mm.FuncAt(a2) != f2.F {
+		t.Error("FuncAt does not invert FuncAddr")
+	}
+	if a2 != a1+uint32(f1.F.CodeSize()) {
+		t.Error("function addresses not laid out by code size")
+	}
+}

@@ -1,0 +1,221 @@
+// Package mach models the ARMv7-M-class hardware substrate the paper's
+// evaluation runs on: a two-privilege-level CPU executing the project IR,
+// a PMSAv7-style Memory Protection Unit with eight regions and eight
+// sub-regions per region, a memory bus routing Flash, SRAM, peripheral
+// and Private Peripheral Bus (PPB) accesses, exception delivery for SVC,
+// MemManage and BusFault, and a DWT-style cycle counter.
+//
+// Every load and store the interpreter executes goes through the bus and
+// is checked against the current privilege level and MPU configuration,
+// so the isolation the OPEC monitor configures is actually enforced, not
+// merely recorded.
+package mach
+
+import "fmt"
+
+// AP is a region access-permission encoding (a simplified PMSAv7 AP
+// field: the combinations the OPEC and ACES runtimes need).
+type AP uint8
+
+// Access permissions, privileged/unprivileged.
+const (
+	APNone           AP = iota // no access at either level
+	APPrivRW                   // privileged RW, unprivileged no access
+	APPrivRWUnprivRO           // privileged RW, unprivileged RO
+	APRW                       // full access at both levels
+	APPrivRO                   // privileged RO, unprivileged no access
+	APRO                       // read-only at both levels
+)
+
+func (ap AP) String() string {
+	switch ap {
+	case APNone:
+		return "----"
+	case APPrivRW:
+		return "prw-"
+	case APPrivRWUnprivRO:
+		return "prw/uro"
+	case APRW:
+		return "rw/rw"
+	case APPrivRO:
+		return "pro-"
+	case APRO:
+		return "ro/ro"
+	}
+	return "?"
+}
+
+// allows reports whether the permission admits the access.
+func (ap AP) allows(write, privileged bool) bool {
+	switch ap {
+	case APNone:
+		return false
+	case APPrivRW:
+		return privileged
+	case APPrivRWUnprivRO:
+		return privileged || !write
+	case APRW:
+		return true
+	case APPrivRO:
+		return privileged && !write
+	case APRO:
+		return !write
+	}
+	return false
+}
+
+// MinRegionSizeLog2 is the smallest permitted region size, 32 bytes.
+const MinRegionSizeLog2 = 5
+
+// Region is one MPU region. Size is 1<<SizeLog2 bytes and must be at
+// least 32; Base must be aligned to the region size. SRD disables the
+// i-th of eight equal sub-regions when bit i is set; a disabled
+// sub-region falls through to lower-numbered regions (Section 2.2).
+type Region struct {
+	Enabled  bool
+	Base     uint32
+	SizeLog2 uint8
+	SRD      uint8
+	Perm     AP
+	XN       bool
+}
+
+// Validate checks the PMSAv7 size and alignment rules.
+func (r Region) Validate() error {
+	if !r.Enabled {
+		return nil
+	}
+	if r.SizeLog2 < MinRegionSizeLog2 || r.SizeLog2 > 32 {
+		return fmt.Errorf("mach: region size 2^%d out of range", r.SizeLog2)
+	}
+	if r.SizeLog2 < 32 {
+		size := uint32(1) << r.SizeLog2
+		if r.Base&(size-1) != 0 {
+			return fmt.Errorf("mach: region base %#x not aligned to size %#x", r.Base, size)
+		}
+	}
+	return nil
+}
+
+// contains reports whether addr falls inside the region.
+func (r Region) contains(addr uint32) bool {
+	if !r.Enabled {
+		return false
+	}
+	if r.SizeLog2 >= 32 {
+		return true
+	}
+	size := uint32(1) << r.SizeLog2
+	return addr >= r.Base && addr-r.Base < size
+}
+
+// subregion returns the 0..7 sub-region index addr falls in. Only valid
+// when contains(addr) and SizeLog2 >= 8 sub-region granularity; for
+// regions smaller than 256 bytes PMSAv7 ignores SRD, and so do we.
+func (r Region) subregion(addr uint32) int {
+	if r.SizeLog2 < 8 {
+		return -1
+	}
+	return int((addr - r.Base) >> (r.SizeLog2 - 3))
+}
+
+// subregionEnabled reports whether the sub-region covering addr is
+// active.
+func (r Region) subregionEnabled(addr uint32) bool {
+	sr := r.subregion(addr)
+	if sr < 0 {
+		return true
+	}
+	return r.SRD&(1<<sr) == 0
+}
+
+// NumRegions is the MPU region count of the modeled Cortex-M4.
+const NumRegions = 8
+
+// MPU is the memory protection unit. Matching PMSAv7: when two regions
+// overlap, the higher-numbered region's permission wins; a disabled
+// sub-region defers to lower-numbered overlapping regions; with no
+// matching region, privileged access uses the default memory map
+// (PRIVDEFENA=1) and unprivileged access faults.
+type MPU struct {
+	Enabled bool
+	Regions [NumRegions]Region
+
+	// reconfigs counts region register writes, an observability metric
+	// for the ablation benchmarks.
+	reconfigs uint64
+}
+
+// SetRegion programs region i, validating size/alignment rules.
+func (m *MPU) SetRegion(i int, r Region) error {
+	if i < 0 || i >= NumRegions {
+		return fmt.Errorf("mach: region index %d out of range", i)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	m.Regions[i] = r
+	m.reconfigs++
+	return nil
+}
+
+// MustSetRegion is SetRegion for statically-correct configurations.
+func (m *MPU) MustSetRegion(i int, r Region) {
+	if err := m.SetRegion(i, r); err != nil {
+		panic(err)
+	}
+}
+
+// Reconfigs returns the number of region writes so far.
+func (m *MPU) Reconfigs() uint64 { return m.reconfigs }
+
+// Allows reports whether the access passes the MPU. It implements the
+// full PMSAv7 matching rule including sub-region fall-through.
+func (m *MPU) Allows(addr uint32, write, privileged bool) bool {
+	if !m.Enabled {
+		return true
+	}
+	for i := NumRegions - 1; i >= 0; i-- {
+		r := m.Regions[i]
+		if !r.contains(addr) {
+			continue
+		}
+		if !r.subregionEnabled(addr) {
+			continue // falls through to lower-numbered regions
+		}
+		return r.Perm.allows(write, privileged)
+	}
+	// Background map: privileged default map, unprivileged faults.
+	return privileged
+}
+
+// RegionFor returns the index of the region that would adjudicate an
+// access to addr, or -1 for the background map. Used by diagnostics and
+// tests.
+func (m *MPU) RegionFor(addr uint32) int {
+	if !m.Enabled {
+		return -1
+	}
+	for i := NumRegions - 1; i >= 0; i-- {
+		if m.Regions[i].contains(addr) && m.Regions[i].subregionEnabled(addr) {
+			return i
+		}
+	}
+	return -1
+}
+
+// RegionSizeFor returns the smallest legal MPU region size (log2) that
+// can cover n bytes. The minimum is 32 bytes.
+func RegionSizeFor(n int) uint8 {
+	s := uint8(MinRegionSizeLog2)
+	for n > 1<<s {
+		s++
+	}
+	return s
+}
+
+// AlignUp rounds addr up to the given power-of-two alignment.
+func AlignUp(addr uint32, sizeLog2 uint8) uint32 {
+	size := uint32(1) << sizeLog2
+	return (addr + size - 1) &^ (size - 1)
+}

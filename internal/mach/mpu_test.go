@@ -1,0 +1,202 @@
+package mach
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAPAllows(t *testing.T) {
+	cases := []struct {
+		ap                    AP
+		write, priv, expected bool
+	}{
+		{APNone, false, true, false},
+		{APNone, true, true, false},
+		{APPrivRW, false, true, true},
+		{APPrivRW, true, true, true},
+		{APPrivRW, false, false, false},
+		{APPrivRWUnprivRO, false, false, true},
+		{APPrivRWUnprivRO, true, false, false},
+		{APPrivRWUnprivRO, true, true, true},
+		{APRW, true, false, true},
+		{APPrivRO, false, true, true},
+		{APPrivRO, true, true, false},
+		{APPrivRO, false, false, false},
+		{APRO, false, false, true},
+		{APRO, true, true, false},
+	}
+	for _, c := range cases {
+		if got := c.ap.allows(c.write, c.priv); got != c.expected {
+			t.Errorf("%v.allows(write=%v, priv=%v) = %v, want %v", c.ap, c.write, c.priv, got, c.expected)
+		}
+	}
+}
+
+func TestRegionValidate(t *testing.T) {
+	good := Region{Enabled: true, Base: 0x20000000, SizeLog2: 10, Perm: APRW}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid region rejected: %v", err)
+	}
+	tooSmall := Region{Enabled: true, Base: 0, SizeLog2: 4}
+	if err := tooSmall.Validate(); err == nil {
+		t.Error("16-byte region accepted; minimum is 32")
+	}
+	misaligned := Region{Enabled: true, Base: 0x20000010, SizeLog2: 10}
+	if err := misaligned.Validate(); err == nil {
+		t.Error("misaligned base accepted")
+	}
+	disabled := Region{Enabled: false, Base: 3, SizeLog2: 1}
+	if err := disabled.Validate(); err != nil {
+		t.Errorf("disabled region should not be validated: %v", err)
+	}
+}
+
+func TestMPUDisabledAllowsAll(t *testing.T) {
+	m := &MPU{}
+	if !m.Allows(0x20000000, true, false) {
+		t.Error("disabled MPU must allow everything")
+	}
+}
+
+func TestMPUBackgroundMap(t *testing.T) {
+	m := &MPU{Enabled: true}
+	if !m.Allows(0x20000000, true, true) {
+		t.Error("privileged access should use background map when no region matches")
+	}
+	if m.Allows(0x20000000, false, false) {
+		t.Error("unprivileged access with no matching region must fault")
+	}
+}
+
+func TestMPUHighestRegionWins(t *testing.T) {
+	m := &MPU{Enabled: true}
+	// Region 0: whole SRAM read-only.
+	m.MustSetRegion(0, Region{Enabled: true, Base: 0x20000000, SizeLog2: 18, Perm: APRO})
+	// Region 3: a 1 KB window read-write.
+	m.MustSetRegion(3, Region{Enabled: true, Base: 0x20000400, SizeLog2: 10, Perm: APRW})
+
+	if !m.Allows(0x20000400, true, false) {
+		t.Error("higher-numbered RW region should win inside the window")
+	}
+	if m.Allows(0x20000000, true, false) {
+		t.Error("outside the window only region 0 (RO) applies")
+	}
+	if !m.Allows(0x20000000, false, false) {
+		t.Error("read through region 0 should be allowed")
+	}
+	if got := m.RegionFor(0x20000400); got != 3 {
+		t.Errorf("RegionFor = %d, want 3", got)
+	}
+}
+
+func TestMPUSubregionFallthrough(t *testing.T) {
+	m := &MPU{Enabled: true}
+	// Region 1: 2 KB unpriv-RO over the area.
+	m.MustSetRegion(1, Region{Enabled: true, Base: 0x20000000, SizeLog2: 11, Perm: APRO})
+	// Region 5: same 2 KB RW, but sub-region 7 (last 256 B) disabled.
+	m.MustSetRegion(5, Region{Enabled: true, Base: 0x20000000, SizeLog2: 11, Perm: APRW, SRD: 1 << 7})
+
+	if !m.Allows(0x20000000, true, false) {
+		t.Error("sub-region 0 of region 5 should grant RW")
+	}
+	last := uint32(0x20000000 + 7*256)
+	if m.Allows(last, true, false) {
+		t.Error("disabled sub-region must fall through to region 1 (RO)")
+	}
+	if !m.Allows(last, false, false) {
+		t.Error("fall-through read should hit region 1 and be allowed")
+	}
+	if got := m.RegionFor(last); got != 1 {
+		t.Errorf("RegionFor(disabled subregion) = %d, want 1", got)
+	}
+}
+
+func TestMPUSmallRegionIgnoresSRD(t *testing.T) {
+	m := &MPU{Enabled: true}
+	m.MustSetRegion(0, Region{Enabled: true, Base: 0x20000000, SizeLog2: 6, Perm: APRW, SRD: 0xFF})
+	if !m.Allows(0x20000020, true, false) {
+		t.Error("regions < 256 B ignore SRD per PMSAv7")
+	}
+}
+
+func TestSetRegionErrors(t *testing.T) {
+	m := &MPU{}
+	if err := m.SetRegion(8, Region{}); err == nil {
+		t.Error("index 8 accepted")
+	}
+	if err := m.SetRegion(-1, Region{}); err == nil {
+		t.Error("index -1 accepted")
+	}
+	if err := m.SetRegion(0, Region{Enabled: true, Base: 1, SizeLog2: 5}); err == nil {
+		t.Error("misaligned region accepted")
+	}
+	n := m.Reconfigs()
+	m.MustSetRegion(0, Region{Enabled: true, Base: 0x20000000, SizeLog2: 5, Perm: APRW})
+	if m.Reconfigs() != n+1 {
+		t.Error("Reconfigs did not count the write")
+	}
+}
+
+func TestRegionSizeFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint8
+	}{
+		{1, 5}, {32, 5}, {33, 6}, {64, 6}, {100, 7}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := RegionSizeFor(c.n); got != c.want {
+			t.Errorf("RegionSizeFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	if got := AlignUp(0x20000001, 5); got != 0x20000020 {
+		t.Errorf("AlignUp = %#x", got)
+	}
+	if got := AlignUp(0x20000020, 5); got != 0x20000020 {
+		t.Errorf("AlignUp of aligned = %#x", got)
+	}
+}
+
+// Property: RegionSizeFor always yields a legal size covering n.
+func TestRegionSizeForProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		size := RegionSizeFor(int(n) + 1)
+		return size >= MinRegionSizeLog2 && 1<<size >= int(n)+1 && (size == MinRegionSizeLog2 || 1<<(size-1) < int(n)+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an access allowed unprivileged is also allowed privileged
+// for every AP we define except none (monotonicity of privilege).
+func TestPrivilegeMonotonicProperty(t *testing.T) {
+	f := func(apRaw uint8, write bool) bool {
+		ap := AP(apRaw % 6)
+		if ap.allows(write, false) && !ap.allows(write, true) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sub-region arithmetic always lands in 0..7 for contained
+// addresses.
+func TestSubregionRangeProperty(t *testing.T) {
+	f := func(off uint16, sizeSel uint8) bool {
+		sizeLog2 := uint8(8 + sizeSel%8) // 256 B .. 32 KB
+		r := Region{Enabled: true, Base: 0x20000000, SizeLog2: sizeLog2, Perm: APRW}
+		addr := r.Base + uint32(off)%(1<<sizeLog2)
+		sr := r.subregion(addr)
+		return sr >= 0 && sr < 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

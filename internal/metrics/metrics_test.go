@@ -1,0 +1,198 @@
+package metrics_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opec/internal/aces"
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/metrics"
+	"opec/internal/testprog"
+)
+
+func TestPTBasics(t *testing.T) {
+	a := &ir.Global{Name: "a", Typ: ir.Array(ir.I8, 40)}
+	b := &ir.Global{Name: "b", Typ: ir.Array(ir.I8, 60)}
+	c := &ir.Global{Name: "c", Typ: ir.Array(ir.I8, 100)}
+
+	// Needs a only, can access a+b: PT = 60/100.
+	if got := metrics.PT([]*ir.Global{a, b}, []*ir.Global{a}); got != 0.6 {
+		t.Errorf("PT = %v, want 0.6", got)
+	}
+	// Exact access: 0.
+	if got := metrics.PT([]*ir.Global{a, b}, []*ir.Global{a, b}); got != 0 {
+		t.Errorf("exact PT = %v", got)
+	}
+	// Needs nothing but can access c: PT = 1 (the paper's ratio-not-
+	// numerator case).
+	if got := metrics.PT([]*ir.Global{c}, nil); got != 1 {
+		t.Errorf("all-unneeded PT = %v", got)
+	}
+	// No accessible globals: 0.
+	if got := metrics.PT(nil, nil); got != 0 {
+		t.Errorf("empty PT = %v", got)
+	}
+	// Const globals are excluded from the metric.
+	k := &ir.Global{Name: "k", Typ: ir.I32, Const: true}
+	if got := metrics.PT([]*ir.Global{a, k}, []*ir.Global{a}); got != 0 {
+		t.Errorf("const-only over-privilege PT = %v, want 0", got)
+	}
+}
+
+// Property: PT is always within [0, 1].
+func TestPTRangeProperty(t *testing.T) {
+	f := func(sizes []uint8, split uint8) bool {
+		var acc, need []*ir.Global
+		for i, s := range sizes {
+			g := &ir.Global{Name: string(rune('a' + i%26)), Typ: ir.Array(ir.I8, int(s%100)+1)}
+			acc = append(acc, g)
+			if uint8(i) < split {
+				need = append(need, g)
+			}
+		}
+		pt := metrics.PT(acc, need)
+		return pt >= 0 && pt <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCumulativeRatio(t *testing.T) {
+	pts := []float64{0.0, 0.1, 0.5, 0.9}
+	th := []float64{0.0, 0.2, 0.5, 1.0}
+	got := metrics.CumulativeRatio(pts, th)
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := metrics.CumulativeRatio(nil, th); out[0] != 1 {
+		t.Error("empty PT set should read as all-below-threshold")
+	}
+}
+
+func TestOPECHasZeroPT(t *testing.T) {
+	b, err := core.Compile(testprog.PinLockLike(), mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range metrics.PTsForOPEC(b) {
+		if pt != 0 {
+			t.Errorf("operation %d PT = %v; shadowing should eliminate partition-time over-privilege", i, pt)
+		}
+	}
+}
+
+func TestACESHasNonZeroPTUnderPressure(t *testing.T) {
+	// The FatFs-uSD app has many tasks sharing SDFatFs/MyFile; under
+	// filename partitioning with a 4-region budget some compartment
+	// must end up over-privileged.
+	inst := apps.FatFsUSD().New()
+	b, err := aces.Compile(inst.Mod, inst.Board, aces.FilenameNoOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := metrics.PTsForACES(b)
+	any := false
+	for _, pt := range pts {
+		if pt < 0 || pt > 1 {
+			t.Fatalf("PT out of range: %v", pt)
+		}
+		if pt > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Log("note: no ACES over-privilege in this configuration (group budget was sufficient)")
+	}
+}
+
+func TestTraceTasks(t *testing.T) {
+	inst := apps.PinLockN(2).New()
+	tr, err := metrics.TraceTasks(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := tr.Executed["Unlock_Task"]
+	if names == nil {
+		t.Fatal("Unlock_Task never traced")
+	}
+	if !names["HAL_UART_Receive_IT"] || !names["hash_buf"] || !names["do_unlock"] {
+		t.Errorf("Unlock_Task executed set incomplete: %v", names)
+	}
+	if names["do_lock"] {
+		t.Error("do_lock attributed to Unlock_Task")
+	}
+	// main's own task must not absorb task bodies.
+	for name := range tr.Executed["main"] {
+		if name == "do_unlock" || name == "do_lock" {
+			t.Errorf("task body %s attributed to main", name)
+		}
+	}
+}
+
+func TestETOrdering(t *testing.T) {
+	// OPEC's ET should on average be <= ACES2's for most tasks, since
+	// operations contain only reachable functions. Compute both for
+	// PinLock and compare averages.
+	instT := apps.PinLockN(2).New()
+	tr, err := metrics.TraceTasks(instT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instO := apps.PinLockN(2).New()
+	ob, err := core.Compile(instO.Mod, instO.Board, instO.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, etO := metrics.ETForOPEC(ob, tr)
+
+	instA := apps.PinLockN(2).New()
+	ab, err := aces.Compile(instA.Mod, instA.Board, aces.FilenameNoOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, etA := metrics.ETForACES(ab, tr)
+
+	avg := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	for _, e := range append(append([]float64{}, etO...), etA...) {
+		if e < 0 || e > 1 {
+			t.Fatalf("ET out of range: %v", e)
+		}
+	}
+	if avg(etO) > avg(etA)+0.15 {
+		t.Errorf("OPEC avg ET %.3f much worse than ACES %.3f", avg(etO), avg(etA))
+	}
+}
+
+func TestSwitchesPerTask(t *testing.T) {
+	inst := apps.PinLockN(1).New()
+	tr, err := metrics.TraceTasks(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instA := apps.PinLockN(1).New()
+	ab, err := aces.Compile(instA.Mod, instA.Board, aces.FilenameNoOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := metrics.SwitchesPerTask(ab, tr)
+	if sw["Unlock_Task"] < 2 {
+		t.Errorf("Unlock_Task involves %d compartments; expected >= 2 under per-file partitioning", sw["Unlock_Task"])
+	}
+}

@@ -1,0 +1,263 @@
+package monitor_test
+
+import (
+	"errors"
+	"testing"
+
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/monitor"
+)
+
+// compileAndBoot is the minimal harness for hand-built modules.
+func compileAndBoot(t *testing.T, m *ir.Module, cfg core.Config, devs ...mach.Device) (*monitor.Monitor, *core.Build) {
+	t.Helper()
+	b, err := core.Compile(m, mach.STM32F4Discovery(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	for _, d := range devs {
+		if err := bus.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	return mon, b
+}
+
+// Heap isolation: an operation with no heap dependency must not be
+// able to write the heap section, while a heap-using operation can.
+func TestHeapSectionIsolation(t *testing.T) {
+	m := ir.NewModule("heapiso")
+	pool := m.AddGlobal(&ir.Global{Name: "mem_pool", Typ: ir.Array(ir.I8, 256), HeapPool: true})
+
+	user := ir.NewFunc(m, "pool_user", "a.c", ir.I32)
+	user.Store(ir.I8, pool, ir.CI(0x11))
+	user.Ret(user.Load(ir.I8, pool))
+
+	plain := ir.NewFunc(m, "plain_task", "a.c", nil)
+	plain.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	mb.Call(user.F)
+	mb.Call(plain.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	// Legitimate heap use works.
+	mon, _ := compileAndBoot(t, m, core.Config{Entries: []string{"pool_user", "plain_task"}})
+	if err := mon.Run(); err != nil {
+		t.Fatalf("heap-using run: %v", err)
+	}
+
+	// A runtime-injected heap write from the non-heap operation faults.
+	m2 := ir.NewModule("heapiso2")
+	pool2 := m2.AddGlobal(&ir.Global{Name: "mem_pool", Typ: ir.Array(ir.I8, 256), HeapPool: true})
+	user2 := ir.NewFunc(m2, "pool_user", "a.c", nil)
+	user2.Store(ir.I8, pool2, ir.CI(0x11))
+	user2.RetVoid()
+	plain2 := ir.NewFunc(m2, "plain_task", "a.c", nil)
+	plain2.RetVoid()
+	mb2 := ir.NewFunc(m2, "main", "a.c", nil)
+	mb2.Call(user2.F)
+	mb2.Call(plain2.F)
+	mb2.Halt()
+	mb2.RetVoid()
+
+	b2, err := core.Compile(m2, mach.STM32F4Discovery(), core.Config{Entries: []string{"pool_user", "plain_task"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &ir.Instr{Op: ir.OpStore, Typ: ir.I8, Args: []ir.Value{pool2, ir.CI(0xEE)}}
+	plain2.F.Entry().Instrs = append([]*ir.Instr{in}, plain2.F.Entry().Instrs...)
+
+	bus := mach.NewBus(b2.Board.FlashSize, b2.Board.SRAMSize, &mach.Clock{})
+	mon2, err := monitor.Boot(b2, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon2.M.MaxCycles = 10_000_000
+	err = mon2.Run()
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage {
+		t.Fatalf("heap write from non-heap operation = %v, want MemManage", err)
+	}
+}
+
+// Deeply nested operation switches: entries calling entries five levels
+// deep must restore contexts in order.
+func TestDeepNestedSwitches(t *testing.T) {
+	m := ir.NewModule("deepnest")
+	acc := m.AddGlobal(&ir.Global{Name: "acc", Typ: ir.I32})
+
+	const depth = 5
+	var fns []*ir.FuncBuilder
+	for i := 0; i < depth; i++ {
+		fb := ir.NewFunc(m, "level"+string(rune('0'+i)), "a.c", nil)
+		fns = append(fns, fb)
+	}
+	for i, fb := range fns {
+		v := fb.Load(ir.I32, acc)
+		fb.Store(ir.I32, acc, fb.Add(v, ir.CI(1<<uint(i))))
+		if i+1 < depth {
+			fb.Call(fns[i+1].F)
+		}
+		v2 := fb.Load(ir.I32, acc)
+		fb.Store(ir.I32, acc, fb.Add(v2, ir.CI(1<<uint(i))))
+		fb.RetVoid()
+	}
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	mb.Call(fns[0].F)
+	mb.Ret(mb.Load(ir.I32, acc))
+
+	entries := make([]string, depth)
+	for i := range entries {
+		entries[i] = "level" + string(rune('0'+i))
+	}
+	mon, _ := compileAndBoot(t, m, core.Config{Entries: entries})
+	got, err := mon.M.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each level adds 2*2^i through its shadow: total 2*(2^depth - 1).
+	want := uint32(2 * (1<<depth - 1))
+	if got != want {
+		t.Errorf("nested accumulation = %d, want %d", got, want)
+	}
+	if mon.Stats.Switches != depth {
+		t.Errorf("Switches = %d, want %d", mon.Stats.Switches, depth)
+	}
+	if mon.Current().Name != "main" {
+		t.Errorf("final operation = %s", mon.Current().Name)
+	}
+}
+
+// Re-entering the same operation (a task run in a loop) must see its
+// own state preserved across activations via the public originals.
+func TestRepeatedActivationStatePersists(t *testing.T) {
+	m := ir.NewModule("repeat")
+	counter := m.AddGlobal(&ir.Global{Name: "counter", Typ: ir.I32})
+
+	tick := ir.NewFunc(m, "tick", "a.c", nil)
+	v := tick.Load(ir.I32, counter)
+	tick.Store(ir.I32, counter, tick.Add(v, ir.CI(1)))
+	tick.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	for i := 0; i < 10; i++ {
+		mb.Call(tick.F)
+	}
+	// main also reads counter so it becomes external (shadowed).
+	mb.Ret(mb.Load(ir.I32, counter))
+
+	mon, _ := compileAndBoot(t, m, core.Config{Entries: []string{"tick"}})
+	got, err := mon.M.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("counter = %d, want 10 (state lost across activations)", got)
+	}
+}
+
+type irqDev struct {
+	base    uint32
+	pending bool
+}
+
+func (d *irqDev) Name() string              { return "TIM2" }
+func (d *irqDev) Base() uint32              { return d.base }
+func (d *irqDev) Size() uint32              { return 0x400 }
+func (d *irqDev) Load(uint32, int) uint32   { return 0 }
+func (d *irqDev) Store(uint32, int, uint32) {}
+func (d *irqDev) IRQPending() bool          { return d.pending }
+func (d *irqDev) IRQAck()                   { d.pending = false }
+
+// An interrupt firing mid-operation runs its handler privileged,
+// touches its own state, and returns without disturbing the operation
+// isolation.
+func TestIRQDuringOperation(t *testing.T) {
+	m := ir.NewModule("irqop")
+	ticks := m.AddGlobal(&ir.Global{Name: "tick_count", Typ: ir.I32})
+	work := m.AddGlobal(&ir.Global{Name: "work_done", Typ: ir.I32})
+
+	h := ir.NewFunc(m, "TIM2_IRQHandler", "stm32f4xx_it.c", nil)
+	h.F.IRQHandler = true
+	tv := h.Load(ir.I32, ticks)
+	h.Store(ir.I32, ticks, h.Add(tv, ir.CI(1)))
+	h.RetVoid()
+
+	task := ir.NewFunc(m, "busy_task", "a.c", nil)
+	loop := task.NewBlock("loop")
+	done := task.NewBlock("done")
+	i := task.Alloca(ir.I32)
+	task.Store(ir.I32, i, ir.CI(0))
+	task.Br(loop)
+	task.SetBlock(loop)
+	iv := task.Load(ir.I32, i)
+	nx := task.Add(iv, ir.CI(1))
+	task.Store(ir.I32, i, nx)
+	task.CondBr(task.Lt(nx, ir.CI(200)), loop, done)
+	task.SetBlock(done)
+	task.Store(ir.I32, work, ir.CI(1))
+	task.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	mb.Call(task.F)
+	mb.Ret(mb.Load(ir.I32, work))
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{Entries: []string{"busy_task"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	dev := &irqDev{base: mach.TIM2Base, pending: true}
+	if err := bus.Attach(dev); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	mon.M.BindIRQ(dev, m.MustFunc("TIM2_IRQHandler"))
+
+	got, err := mon.M.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatalf("IRQ during operation: %v", err)
+	}
+	if got != 1 {
+		t.Error("task work lost")
+	}
+	// The handler ran and its (privileged) write landed. tick_count is
+	// accessed only by the handler; the handler is in no operation, so
+	// it resolves to the public original.
+	addr, fault := mon.M.GlobalAddr(ticks, true)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	v, _ := bus.RawLoad(addr, 4)
+	if v != 1 {
+		t.Errorf("tick_count = %d, want 1", v)
+	}
+	if mon.M.Privileged {
+		t.Error("privilege leaked after IRQ")
+	}
+}
+
+// Exiting with an unbalanced context is a monitor abort, not silent
+// corruption.
+func TestSvcExitWithoutEnterAborts(t *testing.T) {
+	mon, _ := bootPinLock(t, '1')
+	err := mon.M.Handlers.SvcExit(nil, 0)
+	var abort *monitor.AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("unbalanced exit = %v, want AbortError", err)
+	}
+}

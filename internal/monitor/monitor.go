@@ -1,0 +1,578 @@
+// Package monitor implements OPEC-Monitor, the privileged reference
+// monitor of Section 5. It is "linked" with the application by
+// installing itself as the machine's SVC, MemManage and BusFault
+// handlers. At boot it initializes shadow copies and the variables
+// relocation table, configures the MPU for the default operation and
+// drops privilege. At every operation switch it sanitizes and
+// synchronizes shared shadow variables, redirects recorded pointer
+// fields, relocates stack-resident entry arguments across stack
+// sub-regions, and reprograms the MPU. At runtime faults it virtualizes
+// the four peripheral MPU regions (round-robin) and emulates
+// unprivileged load/store accesses to core peripherals on the PPB.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"opec/internal/core"
+	"opec/internal/image"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// Stats counts monitor activity; the evaluation and the ablation
+// benchmarks read these.
+type Stats struct {
+	Switches     uint64 // operation enters (SVC)
+	WordsSynced  uint64 // 32-bit words moved during synchronization
+	RelocUpdates uint64 // relocation-table slot writes
+	PtrRedirects uint64 // pointer fields redirected across sections
+	StackRelocs  uint64 // argument buffers relocated across sub-regions
+	PeriphRemaps uint64 // MPU virtualization events (region swaps)
+	Emulations   uint64 // PPB load/store emulations
+}
+
+// AbortError is a monitor-initiated program abort (policy violation).
+type AbortError struct {
+	Reason string
+}
+
+func (e *AbortError) Error() string { return "opec-monitor: abort: " + e.Reason }
+
+// ErrSanitization is wrapped by aborts caused by a critical global
+// failing its developer-provided range check (Section 5.3).
+var ErrSanitization = errors.New("sanitization check failed")
+
+// Monitor is the runtime reference monitor for one booted image.
+type Monitor struct {
+	B   *core.Build
+	Bus *mach.Bus
+	M   *mach.Machine
+
+	Stats Stats
+
+	cur      *core.Operation
+	ctxStack []*opContext
+
+	srd    uint8 // current stack sub-region disable mask (MPU backend)
+	rrNext int   // round-robin cursor over the peripheral regions
+
+	// pmp, when non-nil, selects the RISC-V PMP backend (BootPMP): the
+	// plan comes from Build.PMPFor and stack hiding uses a precise TOR
+	// boundary instead of sub-regions.
+	pmp *mach.PMP
+}
+
+// opContext is the saved execution context of the previous operation
+// (Section 5.3): it lives in privileged-only monitor memory.
+type opContext struct {
+	op           *core.Operation
+	savedSP      uint32
+	savedSRD     uint8
+	savedRegions [mach.NumRegions]mach.Region
+	savedPMP     [mach.NumPMPEntries]mach.PMPEntry
+	savedRR      int
+	relocs       []argReloc
+}
+
+// argReloc records one relocated pointer-argument buffer for copy-back
+// at operation exit (Figure 8(e)). fixups restore original pointer
+// values inside the relocated copy before it is copied back, so nested
+// deep-copied fields do not leak relocated addresses to the caller.
+type argReloc struct {
+	oldAddr, newAddr uint32
+	size             int
+	fixups           []ptrFixup
+}
+
+type ptrFixup struct {
+	off  uint32
+	orig uint32
+}
+
+// Boot builds a machine for the compiled image, initializes memory per
+// Section 5.1 (shadow copies, exception handling, privilege drop) and
+// returns the monitor ready to Run, enforcing with the ARMv7-M MPU.
+func Boot(b *core.Build, bus *mach.Bus) (*Monitor, error) {
+	return boot(b, bus, false)
+}
+
+// BootPMP is Boot on the RISC-V PMP backend (the paper's Section 7
+// portability target): same compiler output, same monitor logic, with
+// the protection plan translated to PMP entries and stack hiding done
+// with a precise TOR boundary.
+func BootPMP(b *core.Build, bus *mach.Bus) (*Monitor, error) {
+	return boot(b, bus, true)
+}
+
+func boot(b *core.Build, bus *mach.Bus, usePMP bool) (*Monitor, error) {
+	mon := &Monitor{B: b, Bus: bus}
+	m := mach.NewMachine(b.Mod, bus, b.CodeBase)
+	mon.M = m
+
+	mon.initMemory()
+
+	m.GlobalAddr = mon.resolveGlobal
+	m.Handlers.SvcEnter = mon.svcEnter
+	m.Handlers.SvcExit = mon.svcExit
+	m.Handlers.MemManage = mon.memManage
+	m.Handlers.BusFault = mon.busFault
+
+	m.StackTop = b.StackTop
+	m.StackLimit = b.StackLimit
+	m.SP = b.StackTop
+
+	// Configure the protection unit for the default operation and drop
+	// privilege.
+	mon.cur = b.Ops[0]
+	if usePMP {
+		mon.pmp = &mach.PMP{}
+		bus.Prot = mon.pmp
+		mon.applyPMP(b.PMPFor(mon.cur))
+		mon.pmp.Enabled = true
+	} else {
+		mon.applyMPU(b.MPUFor(mon.cur))
+		mon.setSRD(0)
+		bus.MPU.Enabled = true
+	}
+	m.Privileged = false
+	return mon, nil
+}
+
+// Run executes the program from main under the monitor.
+func (mon *Monitor) Run() error {
+	_, err := mon.M.Run(mon.B.Mod.MustFunc("main"))
+	return err
+}
+
+// Current returns the operation currently executing.
+func (mon *Monitor) Current() *core.Operation { return mon.cur }
+
+// initMemory writes initial values: const globals in Flash, public
+// originals, every shadow copy (initialized from the variable's initial
+// value, Section 5.1), heap pools, and the relocation table pointing at
+// the default operation's view.
+func (mon *Monitor) initMemory() {
+	b := mon.B
+	write := func(addr uint32, g *ir.Global) {
+		for i := 0; i < g.Size(); i++ {
+			var v uint32
+			if i < len(g.Init) {
+				v = uint32(g.Init[i])
+			}
+			mon.Bus.RawStore(addr+uint32(i), 1, v)
+		}
+	}
+	for g, a := range b.StaticAddr {
+		write(a, g)
+	}
+	for g, a := range b.PublicAddr {
+		write(a, g)
+	}
+	for _, op := range b.Ops {
+		for g, a := range b.ShadowAddr[op.ID] {
+			write(a, g)
+		}
+	}
+	mon.updateRelocTable(b.Ops[0])
+}
+
+// resolveGlobal implements the image's symbol semantics: fixed-home
+// globals resolve directly; external globals resolve through their
+// relocation-table slot with a real (checked, cycle-charged) memory
+// read at the accessor's privilege.
+func (mon *Monitor) resolveGlobal(g *ir.Global, privileged bool) (uint32, *mach.Fault) {
+	if a, ok := mon.B.StaticAddr[g]; ok {
+		return a, nil
+	}
+	if slot, ok := mon.B.RelocSlot[g]; ok {
+		mon.M.Clock.Advance(mach.CostMem)
+		return mon.Bus.Load(slot, 4, privileged)
+	}
+	// A global no operation touches: its public original.
+	if a, ok := mon.B.PublicAddr[g]; ok {
+		return a, nil
+	}
+	return 0, &mach.Fault{Kind: mach.FaultBus, Privileged: privileged}
+}
+
+// svcEnter is the operation-switch entry path (Section 5.3).
+func (mon *Monitor) svcEnter(entry *ir.Function, args []uint32) ([]uint32, error) {
+	b := mon.B
+	next := b.EntryOps[entry]
+	if next == nil {
+		return nil, &AbortError{Reason: fmt.Sprintf("SVC for non-entry %s", entry.Name)}
+	}
+	prev := mon.cur
+	mon.Stats.Switches++
+	mon.M.Clock.Advance(32) // fixed switch bookkeeping
+
+	// Write back the previous operation's shadows (with sanitization),
+	// then fill the next operation's shadows from the public originals.
+	if err := mon.syncOut(prev); err != nil {
+		return nil, err
+	}
+	mon.syncIn(next)
+	mon.updateRelocTable(next)
+	mon.redirectPointerFields(next)
+
+	ctx := &opContext{
+		op:           prev,
+		savedSP:      mon.M.SP,
+		savedSRD:     mon.srd,
+		savedRegions: mon.Bus.MPU.Regions,
+		savedRR:      mon.rrNext,
+	}
+	if mon.pmp != nil {
+		ctx.savedPMP = mon.pmp.Entries
+	}
+
+	// Stack-argument relocation (Figure 8): copy buffers that live in
+	// the previous operation's stack into the entering operation's
+	// reach, rewrite the pointer arguments, then disable the
+	// sub-regions covering the previous frames.
+	newArgs := make([]uint32, len(args))
+	copy(newArgs, args)
+	for i, spec := range next.StackArgs {
+		if i >= len(args) || !spec.IsPtr || spec.PointeeBytes == 0 {
+			continue
+		}
+		p := args[i]
+		if p < mon.M.SP || p >= b.StackTop {
+			continue // not in a previous stack frame (global, heap, …)
+		}
+		dst, relIdx, err := mon.relocateBuffer(ctx, p, spec.PointeeBytes)
+		if err != nil {
+			return nil, err
+		}
+		newArgs[i] = dst
+
+		// Deep copy (Section 5.2's future-work extension): relocate
+		// nested pointer fields that also live on the previous stack,
+		// rewriting the fields inside the relocated copy and recording
+		// the originals for restore at exit. The parent record is
+		// addressed by index: nested relocations may grow ctx.relocs.
+		if spec.Elem != nil {
+			for _, pf := range ir.PointerFields(spec.Elem) {
+				fieldAddr := dst + uint32(pf.Off)
+				q, _ := mon.Bus.RawLoad(fieldAddr, 4)
+				if q < mon.M.SP && q >= b.StackLimit {
+					continue // already within reach
+				}
+				if q < b.StackLimit || q >= b.StackTop {
+					continue // not stack memory at all
+				}
+				ndst, _, err := mon.relocateBuffer(ctx, q, pf.Elem.Size())
+				if err != nil {
+					return nil, err
+				}
+				mon.Bus.RawStore(fieldAddr, 4, ndst)
+				ctx.relocs[relIdx].fixups = append(ctx.relocs[relIdx].fixups,
+					ptrFixup{off: uint32(pf.Off), orig: q})
+			}
+		}
+	}
+
+	// Hide the previous operations' frames. MPU backend: disable every
+	// sub-region fully above the current stack pointer. PMP backend:
+	// lower the TOR boundary to the pre-relocation stack pointer
+	// (relocated buffers sit below it) — byte-precise, no sub-region
+	// granularity loss.
+	if mon.pmp != nil {
+		mon.applyPMP(b.PMPFor(next))
+		mon.setStackBoundary(ctx.savedSP)
+	} else {
+		mon.setSRD(srdAbove(mon.M.SP, b.StackBase, b.StackRegionLog2))
+		mon.applyMPU(b.MPUFor(next))
+	}
+	mon.ctxStack = append(mon.ctxStack, ctx)
+	mon.cur = next
+	return newArgs, nil
+}
+
+// svcExit is the operation-switch exit path (Section 5.3).
+func (mon *Monitor) svcExit(entry *ir.Function, _ uint32) error {
+	if len(mon.ctxStack) == 0 {
+		return &AbortError{Reason: "operation exit without matching enter"}
+	}
+	ctx := mon.ctxStack[len(mon.ctxStack)-1]
+	mon.ctxStack = mon.ctxStack[:len(mon.ctxStack)-1]
+	mon.M.Clock.Advance(32)
+
+	// Sanitize + write back the exiting operation's shadows, then
+	// restore the previous operation's view.
+	if err := mon.syncOut(mon.cur); err != nil {
+		return err
+	}
+	mon.syncIn(ctx.op)
+	mon.updateRelocTable(ctx.op)
+	mon.redirectPointerFields(ctx.op)
+
+	// Copy relocated argument buffers back (Figure 8(e)), restoring any
+	// deep-copied pointer fields to their original targets first so the
+	// caller never sees relocated addresses. Reverse order: nested
+	// buffers were recorded after their parents.
+	for i := len(ctx.relocs) - 1; i >= 0; i-- {
+		r := ctx.relocs[i]
+		for _, fx := range r.fixups {
+			mon.Bus.RawStore(r.newAddr+fx.off, 4, fx.orig)
+		}
+		mon.Bus.CopyMem(r.oldAddr, r.newAddr, r.size)
+		mon.M.Clock.Advance(uint64((r.size + 3) / 4 * mach.CostWordCopy))
+	}
+
+	// Restore stack pointer, protection-unit state and the
+	// virtualization cursor; general-purpose registers are cleared by
+	// the hardware exception return in the prototype (frames are
+	// per-activation in this model, so there is no residue to clear).
+	mon.M.SP = ctx.savedSP
+	if mon.pmp != nil {
+		mon.pmp.Entries = ctx.savedPMP
+		mon.M.Clock.Advance(mach.NumPMPEntries * mach.CostMPUWrite)
+	} else {
+		mon.Bus.MPU.Regions = ctx.savedRegions
+		mon.setSRD(ctx.savedSRD)
+		mon.M.Clock.Advance(mach.NumRegions * mach.CostMPUWrite)
+	}
+	mon.rrNext = ctx.savedRR
+	mon.cur = ctx.op
+	return nil
+}
+
+// relocateBuffer copies size bytes from a previous stack frame to the
+// entering operation's reach below the current SP, records the move for
+// copy-back, and returns the new address plus the record's index in
+// ctx.relocs (an index, not a pointer: later relocations may grow the
+// slice).
+func (mon *Monitor) relocateBuffer(ctx *opContext, src uint32, size int) (uint32, int, error) {
+	dst := (mon.M.SP - uint32(size)) &^ 3
+	if dst < mon.B.StackLimit {
+		return 0, 0, &AbortError{Reason: "stack exhausted during argument relocation"}
+	}
+	mon.Bus.CopyMem(dst, src, size)
+	mon.M.Clock.Advance(uint64((size + 3) / 4 * mach.CostWordCopy))
+	mon.M.SP = dst
+	ctx.relocs = append(ctx.relocs, argReloc{oldAddr: src, newAddr: dst, size: size})
+	mon.Stats.StackRelocs++
+	return dst, len(ctx.relocs) - 1, nil
+}
+
+// syncOut writes op's shadow copies back to the public originals,
+// sanitizing critical variables first (Section 5.3).
+func (mon *Monitor) syncOut(op *core.Operation) error {
+	b := mon.B
+	for _, g := range b.SyncList(op) {
+		shadow := b.ShadowAddr[op.ID][g]
+		if g.Critical != nil {
+			v, _ := mon.Bus.RawLoad(shadow, 4)
+			if !g.Critical.Contains(v) {
+				return &AbortError{Reason: fmt.Sprintf(
+					"%v: %s=%d outside [%d,%d] leaving operation %s",
+					ErrSanitization, g.Name, v, g.Critical.Min, g.Critical.Max, op.Name)}
+			}
+		}
+		mon.Bus.CopyMem(b.PublicAddr[g], shadow, g.Size())
+		mon.chargeSync(g.Size())
+	}
+	return nil
+}
+
+// syncIn fills op's shadow copies from the public originals.
+func (mon *Monitor) syncIn(op *core.Operation) {
+	b := mon.B
+	for _, g := range b.SyncList(op) {
+		mon.Bus.CopyMem(b.ShadowAddr[op.ID][g], b.PublicAddr[g], g.Size())
+		mon.chargeSync(g.Size())
+	}
+}
+
+func (mon *Monitor) chargeSync(bytes int) {
+	words := uint64((bytes + 3) / 4)
+	mon.Stats.WordsSynced += words
+	mon.M.Clock.Advance(words * mach.CostWordCopy)
+}
+
+// updateRelocTable points every external variable's slot at the
+// operation's shadow copy, or at the public original when the
+// operation does not access the variable (writes there still fault:
+// the public section is unprivileged-read-only).
+func (mon *Monitor) updateRelocTable(op *core.Operation) {
+	b := mon.B
+	for _, g := range b.ExternalList {
+		addr, ok := b.ShadowAddr[op.ID][g]
+		if !ok {
+			addr = b.PublicAddr[g]
+		}
+		mon.Bus.RawStore(b.RelocSlot[g], 4, addr)
+		mon.Stats.RelocUpdates++
+		mon.M.Clock.Advance(mach.CostMem)
+	}
+}
+
+// redirectPointerFields walks the recorded pointer fields of op's
+// shadow variables (Section 4.2): a field still pointing into another
+// operation's data section is redirected to op's own shadow of the
+// same variable (Section 5.3).
+func (mon *Monitor) redirectPointerFields(op *core.Operation) {
+	b := mon.B
+	for _, g := range b.SyncList(op) {
+		offs := ir.PointerFieldOffsets(g.Typ)
+		if len(offs) == 0 {
+			continue
+		}
+		base := b.ShadowAddr[op.ID][g]
+		for _, off := range offs {
+			p, _ := mon.Bus.RawLoad(base+uint32(off), 4)
+			tgtG, tgtOp, tgtOff := mon.findShadow(p)
+			if tgtG == nil || tgtOp == op.ID {
+				continue
+			}
+			if own, ok := b.ShadowAddr[op.ID][tgtG]; ok {
+				mon.Bus.RawStore(base+uint32(off), 4, own+tgtOff)
+				mon.Stats.PtrRedirects++
+				mon.M.Clock.Advance(2 * mach.CostMem)
+			}
+		}
+	}
+}
+
+// findShadow locates the external variable and operation whose shadow
+// copy contains addr.
+func (mon *Monitor) findShadow(addr uint32) (*ir.Global, int, uint32) {
+	b := mon.B
+	for _, op := range b.Ops {
+		sec := b.OpSections[op.ID]
+		if sec.Size == 0 || addr < sec.Addr || addr >= sec.Addr+sec.RegionBytes() {
+			continue
+		}
+		for g, a := range b.ShadowAddr[op.ID] {
+			if addr >= a && addr < a+uint32(g.Size()) {
+				return g, op.ID, addr - a
+			}
+		}
+	}
+	return nil, -1, 0
+}
+
+// memManage handles MPU violations. Legitimate peripheral accesses of
+// the current operation are resolved by virtualizing the four reserved
+// peripheral regions with round-robin replacement (Section 5.2,
+// Peripherals); everything else aborts the access.
+func (mon *Monitor) memManage(f *mach.Fault) mach.FaultResolution {
+	if f.Addr >= mach.PeriphBase && f.Addr < mach.PeriphEnd &&
+		mon.cur.AllowsPeriphAddr(mon.B.Board, f.Addr) {
+		if mon.pmp != nil {
+			plan := mon.B.PMPFor(mon.cur)
+			for _, e := range plan.Pool {
+				if e.Mode == mach.PMPNAPOT && f.Addr >= e.Addr && f.Addr-e.Addr < 1<<e.SizeLog2 {
+					nres := core.PMPPoolLast - core.PMPPool0 + 1
+					slot := core.PMPPool0 + mon.rrNext
+					mon.rrNext = (mon.rrNext + 1) % nres
+					mon.pmp.MustSetEntry(slot, e)
+					mon.M.Clock.Advance(mach.CostMPUWrite)
+					mon.Stats.PeriphRemaps++
+					return mach.FaultResolution{Action: mach.FaultRetry}
+				}
+			}
+			return mach.FaultResolution{Action: mach.FaultAbort}
+		}
+		plan := mon.B.MPUFor(mon.cur)
+		for _, r := range plan.Pool {
+			if f.Addr >= r.Base && f.Addr-r.Base < 1<<r.SizeLog2 {
+				slot := core.RegionPeriph0 + mon.rrNext
+				mon.rrNext = (mon.rrNext + 1) % (mach.NumRegions - core.RegionPeriph0)
+				mon.Bus.MPU.MustSetRegion(slot, r)
+				mon.M.Clock.Advance(mach.CostMPUWrite)
+				mon.Stats.PeriphRemaps++
+				return mach.FaultResolution{Action: mach.FaultRetry}
+			}
+		}
+	}
+	return mach.FaultResolution{Action: mach.FaultAbort}
+}
+
+// busFault emulates unprivileged load/store accesses to core
+// peripherals on the PPB for operations whose policy allows the
+// register (Section 5.2, Peripherals). This keeps application code
+// unprivileged where ACES would lift the whole compartment.
+func (mon *Monitor) busFault(f *mach.Fault) mach.FaultResolution {
+	if !f.Privileged && mach.IsCorePeriphAddr(f.Addr) && mon.cur.AllowsCoreAddr(f.Addr) {
+		mon.Stats.Emulations++
+		mon.M.Clock.Advance(20) // decode + emulate cost
+		if f.Write {
+			mon.Bus.RawStore(f.Addr, f.Size, f.Val)
+			return mach.FaultResolution{Action: mach.FaultEmulated}
+		}
+		v, _ := mon.Bus.RawLoad(f.Addr, f.Size)
+		return mach.FaultResolution{Action: mach.FaultEmulated, Value: v}
+	}
+	return mach.FaultResolution{Action: mach.FaultAbort}
+}
+
+// applyMPU programs regions 0–7 from the plan.
+func (mon *Monitor) applyMPU(p core.OpMPU) {
+	for i, r := range p.Static {
+		if i == core.RegionStack {
+			r.SRD = mon.srd
+		}
+		if r.Enabled {
+			mon.Bus.MPU.MustSetRegion(i, r)
+		} else {
+			mon.Bus.MPU.Regions[i] = mach.Region{}
+		}
+	}
+	mon.M.Clock.Advance(mach.NumRegions * mach.CostMPUWrite)
+	mon.rrNext = 0
+}
+
+// applyPMP programs the 16 PMP entries from the plan.
+func (mon *Monitor) applyPMP(p core.OpPMP) {
+	for i, e := range p.Static {
+		mon.pmp.Entries[i] = mach.PMPEntry{} // clear
+		if e.Mode != mach.PMPOff || i == core.PMPStackLo {
+			mon.pmp.MustSetEntry(i, e)
+		}
+	}
+	mon.M.Clock.Advance(mach.NumPMPEntries * mach.CostMPUWrite)
+	mon.rrNext = 0
+}
+
+// setStackBoundary lowers the PMP TOR top so only [stack base,
+// boundary) stays accessible — the PMP counterpart of sub-region
+// disabling, without the granularity loss.
+func (mon *Monitor) setStackBoundary(boundary uint32) {
+	e := mon.pmp.Entries[core.PMPStackHi]
+	e.Addr = boundary
+	mon.pmp.MustSetEntry(core.PMPStackHi, e)
+	mon.M.Clock.Advance(mach.CostMPUWrite)
+}
+
+// setSRD updates the stack region's sub-region disable mask.
+func (mon *Monitor) setSRD(srd uint8) {
+	mon.srd = srd
+	r := mon.Bus.MPU.Regions[core.RegionStack]
+	if r.Enabled {
+		r.SRD = srd
+		mon.Bus.MPU.MustSetRegion(core.RegionStack, r)
+		mon.M.Clock.Advance(mach.CostMPUWrite)
+	}
+}
+
+// srdAbove returns the sub-region disable mask hiding every sub-region
+// that lies entirely at or above sp (previous operations' frames).
+func srdAbove(sp, base uint32, sizeLog2 uint8) uint8 {
+	sub := uint32(1) << (sizeLog2 - 3)
+	var srd uint8
+	for i := 0; i < 8; i++ {
+		lo := base + uint32(i)*sub
+		if lo >= sp {
+			srd |= 1 << i
+		}
+	}
+	return srd
+}
+
+// StackBytesFor reports how much stack the image reserves (exported for
+// examples and experiments).
+func StackBytesFor() int { return image.StackBytes }

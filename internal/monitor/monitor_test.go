@@ -1,0 +1,564 @@
+package monitor_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"opec/internal/core"
+	"opec/internal/image"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/monitor"
+	"opec/internal/testprog"
+)
+
+// bootPinLock compiles and boots the mini PinLock with the UART
+// returning pinByte.
+func bootPinLock(t *testing.T, pinByte uint32) (*monitor.Monitor, *testprog.GPIOStub) {
+	t.Helper()
+	b, err := core.Compile(testprog.PinLockLike(), mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	_, gpio := testprog.Devices(bus, pinByte)
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	return mon, gpio
+}
+
+func TestRunCorrectPinUnlocks(t *testing.T) {
+	mon, gpio := bootPinLock(t, '1')
+	if err := mon.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if gpio.ODR != 0 {
+		// Lock_Task runs after Unlock_Task; '1' != '0', so the lock
+		// stays in the unlocked GPIO state only if Lock_Task skipped
+		// do_lock. The unlock itself must have driven ODR to 1 at some
+		// point; final state is 1 because '1' != '0'.
+		t.Logf("final ODR = %d", gpio.ODR)
+	}
+	if gpio.ODR != 1 {
+		t.Errorf("correct pin did not unlock: ODR = %d", gpio.ODR)
+	}
+	// The value must have propagated through shadow synchronization:
+	// check lock_state's public original.
+	b := mon.B
+	addr := b.PublicAddr[b.Mod.Global("lock_state")]
+	v, _ := mon.Bus.RawLoad(addr, 4)
+	if v != 1 {
+		t.Errorf("lock_state public original = %d, want 1", v)
+	}
+	if mon.Stats.Switches < 4 {
+		t.Errorf("Switches = %d, want >= 4", mon.Stats.Switches)
+	}
+	if mon.Stats.WordsSynced == 0 || mon.Stats.RelocUpdates == 0 {
+		t.Errorf("no synchronization recorded: %+v", mon.Stats)
+	}
+}
+
+func TestRunWrongPinStaysLocked(t *testing.T) {
+	mon, gpio := bootPinLock(t, '7')
+	if err := mon.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if gpio.ODR != 0 {
+		t.Errorf("wrong pin unlocked: ODR = %d", gpio.ODR)
+	}
+}
+
+func TestShadowPropagationAcrossOperations(t *testing.T) {
+	// Key_Init (operation "Key_Init") writes KEY; Unlock_Task (another
+	// operation) must observe it through its own shadow. A successful
+	// unlock with the right pin proves the propagation end to end; here
+	// we additionally inspect both shadows after the run.
+	mon, _ := bootPinLock(t, '1')
+	if err := mon.Run(); err != nil {
+		t.Fatal(err)
+	}
+	b := mon.B
+	key := b.Mod.Global("KEY")
+	var kiOp, utOp *core.Operation
+	for _, op := range b.Ops {
+		switch op.Name {
+		case "Key_Init":
+			kiOp = op
+		case "Unlock_Task":
+			utOp = op
+		}
+	}
+	kv, _ := mon.Bus.RawLoad(b.ShadowAddr[kiOp.ID][key], 1)
+	uv, _ := mon.Bus.RawLoad(b.ShadowAddr[utOp.ID][key], 1)
+	pv, _ := mon.Bus.RawLoad(b.PublicAddr[key], 1)
+	if kv == 0 || kv != uv || kv != pv {
+		t.Errorf("KEY copies diverge: keyinit=%d unlock=%d public=%d", kv, uv, pv)
+	}
+}
+
+// The case-study attack (Section 6.1): a compromised Lock_Task tries to
+// overwrite KEY with an arbitrary write. Under OPEC the write lands
+// outside Lock_Task's operation data section and must MemManage-fault.
+func TestArbitraryWriteToKEYBlocked(t *testing.T) {
+	m := testprog.PinLockLike()
+	key := m.Global("KEY")
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model the exploited HAL bug AFTER compilation: at runtime the
+	// attacker gains an arbitrary write inside Lock_Task targeting KEY.
+	// The compiler never saw this access, so Lock_Task has no KEY
+	// shadow and the resolved address is the public original —
+	// unprivileged-read-only.
+	(&irPatcher{m: m}).prependStore(m.MustFunc("Lock_Task"), key)
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	testprog.Devices(bus, '1')
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	err = mon.Run()
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage || !f.Write {
+		t.Fatalf("attack outcome = %v, want MemManage write fault", err)
+	}
+	// And KEY's public original must be intact (hash('1') & 0xFF).
+	pv, _ := mon.Bus.RawLoad(b.PublicAddr[key], 1)
+	if pv != ('1'*31+7)&0xFF {
+		t.Errorf("KEY corrupted despite isolation: %d", pv)
+	}
+}
+
+// irPatcher injects attack instructions into existing functions.
+type irPatcher struct{ m *ir.Module }
+
+// prependStore injects "store 0xEE to g" at the start of fn's entry
+// block. Because g is external and fn's operation does not access it,
+// the resolved address is the public original — unprivileged-RO.
+func (p *irPatcher) prependStore(fn *ir.Function, g *ir.Global) {
+	entry := fn.Entry()
+	in := &ir.Instr{Op: ir.OpStore, Typ: ir.I8, Args: []ir.Value{g, ir.CI(0xEE)}}
+	entry.Instrs = append([]*ir.Instr{in}, entry.Instrs...)
+}
+
+func TestSanitizationAbortsOnCorruptCritical(t *testing.T) {
+	m := testprog.PinLockLike()
+	// Corrupt do_unlock: writes 7 into lock_state (critical range 0..1).
+	du := m.MustFunc("do_unlock")
+	for _, in := range du.Entry().Instrs {
+		if in.Op == ir.OpStore {
+			if g, ok := in.Args[0].(*ir.Global); ok && g.Name == "lock_state" {
+				in.Args[1] = ir.CI(7)
+			}
+		}
+	}
+	b, err := core.Compile(m, mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	testprog.Devices(bus, '1') // correct pin so do_unlock runs
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	err = mon.Run()
+	var abort *monitor.AbortError
+	if !errors.As(err, &abort) || !strings.Contains(abort.Reason, "sanitization") {
+		t.Fatalf("corrupt critical global outcome = %v, want sanitization abort", err)
+	}
+	// The corrupt value must not have propagated to the public copy.
+	pv, _ := mon.Bus.RawLoad(b.PublicAddr[m.Global("lock_state")], 4)
+	if pv == 7 {
+		t.Error("corrupted value propagated to public original")
+	}
+}
+
+func TestUnprivilegedApplication(t *testing.T) {
+	mon, _ := bootPinLock(t, '1')
+	if mon.M.Privileged {
+		t.Error("application must start unprivileged after Boot")
+	}
+	if !mon.Bus.MPU.Enabled {
+		t.Error("MPU must be enabled after Boot")
+	}
+	if err := mon.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mon.M.Privileged {
+		t.Error("application ended privileged")
+	}
+}
+
+// Stack relocation (Figure 8): main passes a pointer to its own local
+// buffer into an operation entry; the operation fills it; after return
+// main must see the filled bytes even though the operation could not
+// touch main's stack sub-regions directly.
+func TestStackArgumentRelocation(t *testing.T) {
+	m := ir.NewModule("stackreloc")
+
+	buftyp := ir.Array(ir.I8, 16)
+	foo := ir.NewFunc(m, "foo", "f.c", nil, ir.P("buf", ir.Ptr(ir.I8)), ir.P("size", ir.I32))
+	loop := foo.NewBlock("loop")
+	done := foo.NewBlock("done")
+	i := foo.Alloca(ir.I32)
+	foo.Store(ir.I32, i, ir.CI(0))
+	foo.Br(loop)
+	foo.SetBlock(loop)
+	iv := foo.Load(ir.I32, i)
+	dst := foo.Index(foo.Arg("buf"), ir.I8, iv)
+	foo.Store(ir.I8, dst, ir.CI('B'))
+	nx := foo.Add(iv, ir.CI(1))
+	foo.Store(ir.I32, i, nx)
+	foo.CondBr(foo.Lt(nx, foo.Arg("size")), loop, done)
+	foo.SetBlock(done)
+	foo.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "f.c", ir.I32)
+	buf := mb.Alloca(buftyp)
+	mb.Store(ir.I8, buf, ir.CI('A'))
+	mb.Call(foo.F, buf, ir.CI(16))
+	mb.Ret(mb.Load(ir.I8, buf))
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{
+		Entries:       []string{"foo"},
+		StackArgBytes: map[string]int{"foo.buf": 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	got, err := mon.M.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 'B' {
+		t.Errorf("buffer not copied back: main sees %q", rune(got))
+	}
+	if mon.Stats.StackRelocs != 1 {
+		t.Errorf("StackRelocs = %d, want 1", mon.Stats.StackRelocs)
+	}
+}
+
+// Without relocation the operation's write to the caller's frame would
+// fault: verify the sub-region disable actually hides previous frames.
+func TestPreviousStackFramesHidden(t *testing.T) {
+	m := ir.NewModule("stackhide")
+	// evil(p): writes through a raw pointer into the caller's frame.
+	evil := ir.NewFunc(m, "evil", "f.c", nil, ir.P("p", ir.I32))
+	evil.Store(ir.I32, evil.Arg("p"), ir.CI(0xBAD))
+	evil.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "f.c", ir.I32)
+	// A large local below the secret pushes main's SP several stack
+	// sub-regions down, so the secret (allocated last, at the highest
+	// frame address) lands in a sub-region that is entirely above the
+	// SP at switch time and gets disabled.
+	big := mb.Alloca(ir.Array(ir.I8, 4096))
+	secret := mb.Alloca(ir.I32)
+	mb.Store(ir.I8, big, ir.CI(0))
+	mb.Store(ir.I32, secret, ir.CI(42))
+	// Pass the address as a plain integer: the compiler records no
+	// pointer argument, so no relocation happens, and the operation
+	// must not be able to write the caller's stack.
+	mb.Call(evil.F, secret)
+	mb.Ret(mb.Load(ir.I32, secret))
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{Entries: []string{"evil"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	_, err = mon.M.Run(m.MustFunc("main"))
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage || !f.Write {
+		// The write may land in the same (partial) sub-region as the
+		// boundary; in this layout main's frame is at the very top, so
+		// the entry's frames start a sub-region below only after the
+		// alignment — assert the strong outcome.
+		t.Fatalf("write to previous frame = %v, want MemManage fault", err)
+	}
+}
+
+// MPU virtualization: an operation touching six separate peripheral
+// blocks needs more than the four reserved regions; the monitor must
+// fault-and-remap round-robin and the program must still complete.
+func TestMPUVirtualization(t *testing.T) {
+	m := ir.NewModule("periph6")
+	bases := []uint32{
+		mach.USART1Base, mach.USART2Base, mach.SDIOBase,
+		mach.GPIOABase, mach.CRCBase, mach.TIM2Base,
+	}
+	task := ir.NewFunc(m, "io_task", "t.c", nil)
+	for round := 0; round < 2; round++ { // revisit: eviction must remap
+		for _, b := range bases {
+			task.Store(ir.I32, ir.CI(b+0x10), ir.CI(uint32(round)))
+		}
+	}
+	task.RetVoid()
+	mb := ir.NewFunc(m, "main", "t.c", nil)
+	mb.Call(task.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{Entries: []string{"io_task"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var op *core.Operation
+	for _, o := range b.Ops {
+		if o.Name == "io_task" {
+			op = o
+		}
+	}
+	if plan := b.MPUFor(op); !plan.Virtualized {
+		t.Fatalf("six scattered peripherals should virtualize; pool=%d", len(plan.Pool))
+	}
+
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	for _, base := range bases {
+		if err := bus.Attach(&fakeDev{base: base}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	if err := mon.Run(); err != nil {
+		t.Fatalf("virtualized run: %v", err)
+	}
+	if mon.Stats.PeriphRemaps == 0 {
+		t.Error("no virtualization events recorded")
+	}
+}
+
+type fakeDev struct {
+	base uint32
+	regs [64]uint32
+}
+
+func (d *fakeDev) Name() string                  { return "dev" }
+func (d *fakeDev) Base() uint32                  { return d.base }
+func (d *fakeDev) Size() uint32                  { return 0x400 }
+func (d *fakeDev) Load(off uint32, _ int) uint32 { return d.regs[(off/4)%64] }
+func (d *fakeDev) Store(off uint32, _ int, v uint32) {
+	d.regs[(off/4)%64] = v
+}
+
+// Peripheral access outside the operation's allow-list must abort even
+// though the address is a real device.
+func TestPeriphOutsideAllowListBlocked(t *testing.T) {
+	m := ir.NewModule("periphdeny")
+	task := ir.NewFunc(m, "quiet_task", "t.c", nil)
+	task.Store(ir.I32, ir.CI(mach.GPIOABase+0x14), ir.CI(1)) // its only periph
+	task.RetVoid()
+	// evil_task writes GPIOA too but is compiled with deps only for TIM2
+	// — model a runtime compromise by having the op's code compute the
+	// address so the compiler attributes it to TIM2 only... simpler: a
+	// second operation writes a peripheral only the first is allowed.
+	evil := ir.NewFunc(m, "evil_task", "t.c", nil)
+	// Address laundered through arithmetic on a runtime value so the
+	// backward slice cannot attribute it (slicer folds consts, so mix
+	// in a load from a global that holds the base at runtime).
+	g := m.AddGlobal(&ir.Global{Name: "addr_holder", Typ: ir.I32})
+	a := evil.Load(ir.I32, g)
+	evil.Store(ir.I32, a, ir.CI(0xEE))
+	evil.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "t.c", nil)
+	mb.Store(ir.I32, g, ir.CI(mach.GPIOABase+0x14))
+	mb.Call(task.F)
+	mb.Call(evil.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{Entries: []string{"quiet_task", "evil_task"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	if err := bus.Attach(&fakeDev{base: mach.GPIOABase}); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	err = mon.Run()
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage {
+		t.Fatalf("unlisted peripheral access = %v, want MemManage", err)
+	}
+}
+
+// PPB emulation: unprivileged code reading DWT_CYCCNT completes via the
+// monitor's load/store emulation and never runs privileged.
+func TestCorePeriphEmulation(t *testing.T) {
+	m := ir.NewModule("ppb")
+	task := ir.NewFunc(m, "bench_task", "t.c", ir.I32)
+	t0 := task.Load(ir.I32, ir.CI(mach.DWTCyccnt))
+	t1 := task.Load(ir.I32, ir.CI(mach.DWTCyccnt))
+	task.Ret(task.Sub(t1, t0))
+	mb := ir.NewFunc(m, "main", "t.c", nil)
+	mb.Call(task.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{Entries: []string{"bench_task"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	if err := mon.Run(); err != nil {
+		t.Fatalf("PPB emulation run: %v", err)
+	}
+	if mon.Stats.Emulations != 2 {
+		t.Errorf("Emulations = %d, want 2", mon.Stats.Emulations)
+	}
+}
+
+// An operation with no core-peripheral dependency must not get PPB
+// access emulated.
+func TestCorePeriphDenied(t *testing.T) {
+	m := ir.NewModule("ppbdeny")
+	g := m.AddGlobal(&ir.Global{Name: "laundered", Typ: ir.I32})
+	task := ir.NewFunc(m, "plain_task", "t.c", ir.I32)
+	a := task.Load(ir.I32, g)
+	task.Ret(task.Load(ir.I32, a))
+	mb := ir.NewFunc(m, "main", "t.c", nil)
+	mb.Store(ir.I32, g, ir.CI(mach.DWTCyccnt))
+	mb.Call(task.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{Entries: []string{"plain_task"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	err = mon.Run()
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultBus {
+		t.Fatalf("denied PPB access = %v, want BusFault", err)
+	}
+}
+
+// Nested operation switches: entry A's member calls entry B; contexts
+// must nest and restore correctly.
+func TestNestedOperationSwitch(t *testing.T) {
+	m := ir.NewModule("nested")
+	shared := m.AddGlobal(&ir.Global{Name: "shared", Typ: ir.I32})
+
+	inner := ir.NewFunc(m, "inner_task", "t.c", nil)
+	v := inner.Load(ir.I32, shared)
+	inner.Store(ir.I32, shared, inner.Add(v, ir.CI(10)))
+	inner.RetVoid()
+
+	outer := ir.NewFunc(m, "outer_task", "t.c", nil)
+	v2 := outer.Load(ir.I32, shared)
+	outer.Store(ir.I32, shared, outer.Add(v2, ir.CI(1)))
+	outer.Call(inner.F) // cross-operation call: instrumented
+	v3 := outer.Load(ir.I32, shared)
+	outer.Store(ir.I32, shared, outer.Add(v3, ir.CI(100)))
+	outer.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "t.c", ir.I32)
+	mb.Call(outer.F)
+	mb.Ret(mb.Load(ir.I32, shared))
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{Entries: []string{"outer_task", "inner_task"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	got, err := mon.M.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 111 {
+		t.Errorf("nested switches lost updates: shared = %d, want 111", got)
+	}
+	if mon.Current().Name != "main" {
+		t.Errorf("current operation after run = %s", mon.Current().Name)
+	}
+	if mon.Stats.Switches != 2 {
+		t.Errorf("Switches = %d, want 2", mon.Stats.Switches)
+	}
+}
+
+// Overhead sanity: the OPEC run must cost more cycles than vanilla but
+// within a small factor for a switch-light program.
+func TestOverheadShape(t *testing.T) {
+	// Vanilla run.
+	mv := testprog.PinLockLike()
+	van, err := image.BuildVanilla(mv, mach.STM32F4Discovery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	busV := van.NewBus()
+	testprog.Devices(busV, '1')
+	mmV := van.Instantiate(busV)
+	mmV.MaxCycles = 10_000_000
+	if _, err := mmV.Run(mv.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+
+	mon, _ := bootPinLock(t, '1')
+	if err := mon.Run(); err != nil {
+		t.Fatal(err)
+	}
+	vc, oc := mmV.Clock.Now(), mon.M.Clock.Now()
+	if oc <= vc {
+		t.Errorf("OPEC cycles %d <= vanilla %d", oc, vc)
+	}
+	if oc > vc*10 {
+		t.Errorf("OPEC overhead unreasonable: %d vs %d", oc, vc)
+	}
+}
+
+func TestMonitorStatsString(t *testing.T) {
+	mon, _ := bootPinLock(t, '1')
+	if err := mon.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := mon.Stats
+	if s.Switches == 0 || s.RelocUpdates == 0 {
+		t.Errorf("stats empty: %+v", s)
+	}
+}

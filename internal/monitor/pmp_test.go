@@ -1,0 +1,196 @@
+package monitor_test
+
+import (
+	"errors"
+	"testing"
+
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/monitor"
+	"opec/internal/testprog"
+)
+
+// bootPinLockPMP boots the mini PinLock under the RISC-V PMP backend.
+func bootPinLockPMP(t *testing.T, pinByte uint32) (*monitor.Monitor, *testprog.GPIOStub) {
+	t.Helper()
+	b, err := core.Compile(testprog.PinLockLike(), mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	_, gpio := testprog.Devices(bus, pinByte)
+	mon, err := monitor.BootPMP(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	return mon, gpio
+}
+
+func TestPMPRunCorrectPinUnlocks(t *testing.T) {
+	mon, gpio := bootPinLockPMP(t, '1')
+	if err := mon.Run(); err != nil {
+		t.Fatalf("PMP run: %v", err)
+	}
+	if gpio.ODR != 1 {
+		t.Errorf("correct pin did not unlock under PMP: ODR = %d", gpio.ODR)
+	}
+	if mon.Stats.Switches < 4 {
+		t.Errorf("Switches = %d", mon.Stats.Switches)
+	}
+}
+
+func TestPMPBlocksKEYOverwrite(t *testing.T) {
+	m := testprog.PinLockLike()
+	b, err := core.Compile(m, mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := m.Global("KEY")
+	lt := m.MustFunc("Lock_Task")
+	in := &ir.Instr{Op: ir.OpStore, Typ: ir.I8, Args: []ir.Value{key, ir.CI(0xEE)}}
+	lt.Entry().Instrs = append([]*ir.Instr{in}, lt.Entry().Instrs...)
+
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	testprog.Devices(bus, '1')
+	mon, err := monitor.BootPMP(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	err = mon.Run()
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage || !f.Write {
+		t.Fatalf("attack under PMP = %v, want MemManage write fault", err)
+	}
+}
+
+// The PMP TOR boundary is byte-precise: a write into the previous
+// frame faults even when it would have shared a sub-region under the
+// MPU backend (the case the MPU's eight-sub-region granularity cannot
+// catch).
+func TestPMPStackBoundaryPrecision(t *testing.T) {
+	m := ir.NewModule("pmpstack")
+	evil := ir.NewFunc(m, "evil", "f.c", nil, ir.P("p", ir.I32))
+	evil.Store(ir.I32, evil.Arg("p"), ir.CI(0xBAD))
+	evil.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "f.c", ir.I32)
+	secret := mb.Alloca(ir.I32) // tiny frame: same MPU sub-region as the callee's
+	mb.Store(ir.I32, secret, ir.CI(42))
+	mb.Call(evil.F, secret)
+	mb.Ret(mb.Load(ir.I32, secret))
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{Entries: []string{"evil"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Under the MPU backend the write lands: secret shares the partial
+	// sub-region with the operation's own frame.
+	busM := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	monM, err := monitor.Boot(b, busM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monM.M.MaxCycles = 1_000_000
+	got, err := monM.M.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatalf("MPU run: %v", err)
+	}
+	if got != 0xBAD {
+		t.Fatalf("expected the MPU's sub-region granularity to miss this write; got %#x", got)
+	}
+
+	// Under the PMP backend the boundary is exact: the write faults.
+	busP := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	monP, err := monitor.BootPMP(b, busP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monP.M.MaxCycles = 1_000_000
+	_, err = monP.M.Run(m.MustFunc("main"))
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage || !f.Write {
+		t.Fatalf("PMP should catch the previous-frame write precisely: %v", err)
+	}
+}
+
+func TestPMPVirtualization(t *testing.T) {
+	// An operation needing more peripheral windows than the PMP pool
+	// (7 slots): force it with eight separate blocks. Build on the eval
+	// board, which has more datasheet peripherals.
+	m := ir.NewModule("pmpperiph")
+	bases := []uint32{
+		mach.TIM2Base, mach.USART2Base, mach.USART3Base, mach.USART1Base,
+		mach.SDIOBase, mach.GPIOABase, mach.CRCBase, mach.PWRBase,
+	}
+	task := ir.NewFunc(m, "io_task", "t.c", nil)
+	for round := 0; round < 2; round++ {
+		for _, b := range bases {
+			task.Store(ir.I32, ir.CI(b+0x10), ir.CI(uint32(round)))
+		}
+	}
+	task.RetVoid()
+	mb := ir.NewFunc(m, "main", "t.c", nil)
+	mb.Call(task.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	b, err := core.Compile(m, mach.STM32479IEval(), core.Config{Entries: []string{"io_task"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var op *core.Operation
+	for _, o := range b.Ops {
+		if o.Name == "io_task" {
+			op = o
+		}
+	}
+	if plan := b.PMPFor(op); !plan.Virtualized {
+		t.Skipf("pool fits the PMP (%d windows) — virtualization not exercised", len(plan.Pool))
+	}
+
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	for _, base := range bases {
+		if err := bus.Attach(&fakeDev{base: base}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon, err := monitor.BootPMP(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	if err := mon.Run(); err != nil {
+		t.Fatalf("PMP virtualized run: %v", err)
+	}
+	if mon.Stats.PeriphRemaps == 0 {
+		t.Error("no PMP virtualization events")
+	}
+}
+
+// The MPU and PMP backends must agree on program outcomes.
+func TestPMPMatchesMPUOutcome(t *testing.T) {
+	runWith := func(boot func(*core.Build, *mach.Bus) (*monitor.Monitor, error)) uint32 {
+		b, err := core.Compile(testprog.PinLockLike(), mach.STM32F4Discovery(), testprog.PinLockConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+		_, gpio := testprog.Devices(bus, '1')
+		mon, err := boot(b, bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon.M.MaxCycles = 10_000_000
+		if err := mon.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return gpio.ODR
+	}
+	if a, b := runWith(monitor.Boot), runWith(monitor.BootPMP); a != b {
+		t.Errorf("MPU and PMP outcomes differ: %d vs %d", a, b)
+	}
+}

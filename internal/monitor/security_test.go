@@ -1,0 +1,180 @@
+package monitor_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/run"
+)
+
+// TestFaultInjectionMatrix systematically injects arbitrary writes:
+// for every (operation, foreign global) pair of PinLock — a global the
+// compiler determined the operation does not access — it prepends a
+// store to that global into the operation's entry and asserts the MPU
+// kills the write with a MemManage fault. This is the least-privilege
+// guarantee of Section 3.3, checked exhaustively rather than on one
+// example.
+func TestFaultInjectionMatrix(t *testing.T) {
+	// Enumerate the pairs on a throwaway build.
+	ref := apps.PinLockN(1).New()
+	refBuild, err := core.Compile(ref.Mod, ref.Board, ref.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type pair struct{ entry, global string }
+	var pairs []pair
+	for _, op := range refBuild.Ops {
+		if op.Name == "main" {
+			continue // main's entry is the program root; covered below
+		}
+		accessible := map[string]bool{}
+		for _, g := range op.Globals {
+			accessible[g.Name] = true
+		}
+		for _, g := range ref.Mod.Globals {
+			if g.Const || g.HeapPool || accessible[g.Name] {
+				continue
+			}
+			// Only inject targets some operation legitimately owns or
+			// shares — dead globals live in the public section too but
+			// carry no signal.
+			if refBuild.External[g] || refBuild.OwnerOp[g] != nil {
+				pairs = append(pairs, pair{op.Name, g.Name})
+			}
+		}
+	}
+	if len(pairs) < 5 {
+		t.Fatalf("expected a rich injection matrix, got %d pairs", len(pairs))
+	}
+
+	for _, p := range pairs {
+		t.Run(fmt.Sprintf("%s_writes_%s", p.entry, p.global), func(t *testing.T) {
+			inst := apps.PinLockN(1).New()
+			b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entry := inst.Mod.MustFunc(p.entry)
+			g := inst.Mod.Global(p.global)
+			in := &ir.Instr{Op: ir.OpStore, Typ: ir.I8, Args: []ir.Value{g, ir.CI(0xAB)}}
+			entry.Entry().Instrs = append([]*ir.Instr{in}, entry.Entry().Instrs...)
+
+			_, err = run.OPECPrecompiled(inst, b)
+			var f *mach.Fault
+			if !errors.As(err, &f) || f.Kind != mach.FaultMemManage || !f.Write {
+				t.Fatalf("injected write %s<-%s not blocked: %v", p.global, p.entry, err)
+			}
+			if f.Privileged {
+				t.Error("fault attributed to privileged access")
+			}
+		})
+	}
+}
+
+// TestReadOnlyEverywhereElse: an operation may read other data (the
+// background region is unprivileged read-only per Section 5.2's
+// region 0), but all of Flash — code, rodata, metadata — must reject
+// unprivileged writes.
+func TestFlashImmutable(t *testing.T) {
+	inst := apps.PinLockN(1).New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a write to a const global (lives in Flash).
+	entry := inst.Mod.MustFunc("Unlock_Task")
+	g := inst.Mod.Global("correct_pin")
+	in := &ir.Instr{Op: ir.OpStore, Typ: ir.I8, Args: []ir.Value{g, ir.CI(0)}}
+	entry.Entry().Instrs = append([]*ir.Instr{in}, entry.Entry().Instrs...)
+
+	_, err = run.OPECPrecompiled(inst, b)
+	var f *mach.Fault
+	if !errors.As(err, &f) || !f.Write {
+		t.Fatalf("flash write not blocked: %v", err)
+	}
+}
+
+// TestRelocationTableTamperBlocked: the variables relocation table is
+// the isolation's linchpin — unprivileged code must not be able to
+// redirect it.
+func TestRelocationTableTamperBlocked(t *testing.T) {
+	inst := apps.PinLockN(1).New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker knows the table address and tries to point KEY's
+	// slot at attacker-controlled memory.
+	slot := b.RelocSlot[inst.Mod.Global("KEY")]
+	entry := inst.Mod.MustFunc("Lock_Task")
+	in := &ir.Instr{Op: ir.OpStore, Typ: ir.I32, Args: []ir.Value{ir.CI(slot), ir.CI(mach.SRAMBase)}}
+	entry.Entry().Instrs = append([]*ir.Instr{in}, entry.Entry().Instrs...)
+
+	_, err = run.OPECPrecompiled(inst, b)
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage || f.Addr != slot {
+		t.Fatalf("relocation-table tamper not blocked: %v", err)
+	}
+}
+
+// TestMonitorDataTamperBlocked: same for the monitor's own data.
+func TestMonitorDataTamperBlocked(t *testing.T) {
+	inst := apps.PinLockN(1).New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := inst.Mod.MustFunc("Unlock_Task")
+	in := &ir.Instr{Op: ir.OpStore, Typ: ir.I32, Args: []ir.Value{ir.CI(b.MonDataBase), ir.CI(0xDEAD)}}
+	entry.Entry().Instrs = append([]*ir.Instr{in}, entry.Entry().Instrs...)
+
+	_, err = run.OPECPrecompiled(inst, b)
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage {
+		t.Fatalf("monitor-data tamper not blocked: %v", err)
+	}
+}
+
+// TestCrossOperationReadAllowed documents the paper's confidentiality
+// posture: region 0 maps everything unprivileged-read-only, so reads
+// of foreign data succeed (the threat model is integrity against
+// arbitrary-write attackers, Section 3.3).
+func TestCrossOperationReadAllowed(t *testing.T) {
+	inst := apps.PinLockN(1).New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := inst.Mod.MustFunc("Lock_Task")
+	key := inst.Mod.Global("KEY")
+	in := &ir.Instr{Op: ir.OpLoad, Typ: ir.I8, Args: []ir.Value{key}}
+	setInstrID(t, entry, in)
+
+	if _, err = run.OPECPrecompiled(inst, b); err != nil {
+		t.Fatalf("cross-operation read should not fault under the paper's region-0 policy: %v", err)
+	}
+}
+
+// setInstrID prepends an instruction, giving it a fresh register slot
+// via the builder to keep the function well-formed.
+func setInstrID(t *testing.T, fn *ir.Function, in *ir.Instr) {
+	t.Helper()
+	// Reuse the verifier-safe path: stores need no result slot, loads
+	// do. Appending via a builder would need the FuncBuilder; instead
+	// give the instruction the next free ID by rebuilding the slice.
+	// ir guarantees IDs only need to be unique per function; NumRegs
+	// grows monotonically, so the max+1 slot is free.
+	type idSetter interface{ ID() int }
+	_ = idSetter(in)
+	// The register file is sized by Function.NumRegs; a prepended load
+	// whose result is unused can share slot 0 safely only if nothing
+	// reads it before redefinition — slot 0 belongs to the first real
+	// instruction, which always redefines it before use.
+	fn.Entry().Instrs = append([]*ir.Instr{in}, fn.Entry().Instrs...)
+}

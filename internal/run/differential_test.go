@@ -1,0 +1,166 @@
+package run_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"opec/internal/core"
+	"opec/internal/image"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/monitor"
+)
+
+// The differential fuzzer: generate random task-structured programs
+// over shared globals, run each under the vanilla build and under OPEC
+// (both MPU and PMP backends), and require identical final global
+// state. Any divergence means the isolation machinery changed program
+// semantics — a shadow-synchronization, relocation-table or
+// stack-relocation bug.
+
+// genProgram builds a random but always-terminating program: nGlobals
+// shared variables, nTasks entry functions each executing a random
+// sequence of read-modify-write steps (possibly through helper calls),
+// and a main that runs every task several times.
+func genProgram(rng *rand.Rand, nGlobals, nTasks int) (*ir.Module, core.Config) {
+	m := ir.NewModule("fuzz")
+	var globals []*ir.Global
+	for i := 0; i < nGlobals; i++ {
+		globals = append(globals, m.AddGlobal(&ir.Global{
+			Name: fmt.Sprintf("g%d", i), Typ: ir.I32,
+			Init: []byte{byte(rng.Intn(256)), 0, 0, 0},
+		}))
+	}
+
+	// A shared helper so tasks have call depth and shared members.
+	mix := ir.NewFunc(m, "mix", "util.c", ir.I32, ir.P("a", ir.I32), ir.P("b", ir.I32))
+	mix.Ret(mix.Add(mix.Mul(mix.Arg("a"), ir.CI(31)), mix.Arg("b")))
+
+	var entries []string
+	for t := 0; t < nTasks; t++ {
+		name := fmt.Sprintf("task%d", t)
+		entries = append(entries, name)
+		fb := ir.NewFunc(m, name, fmt.Sprintf("task%d.c", t), nil)
+		steps := 2 + rng.Intn(6)
+		for s := 0; s < steps; s++ {
+			src := globals[rng.Intn(len(globals))]
+			dst := globals[rng.Intn(len(globals))]
+			v := fb.Load(ir.I32, src)
+			switch rng.Intn(4) {
+			case 0:
+				fb.Store(ir.I32, dst, fb.Add(v, ir.CI(uint32(rng.Intn(100)))))
+			case 1:
+				fb.Store(ir.I32, dst, fb.Xor(v, ir.CI(uint32(rng.Intn(1<<16)))))
+			case 2:
+				w := fb.Load(ir.I32, dst)
+				fb.Store(ir.I32, dst, fb.Call(mix.F, v, w))
+			case 3:
+				// Local round-trip through the stack.
+				slot := fb.Alloca(ir.I32)
+				fb.Store(ir.I32, slot, v)
+				fb.Store(ir.I32, dst, fb.Load(ir.I32, slot))
+			}
+		}
+		fb.RetVoid()
+	}
+
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	rounds := 1 + rng.Intn(3)
+	for r := 0; r < rounds; r++ {
+		for t := 0; t < nTasks; t++ {
+			mb.Call(m.MustFunc(fmt.Sprintf("task%d", t)))
+		}
+	}
+	mb.Halt()
+	mb.RetVoid()
+
+	return m, core.Config{Entries: entries}
+}
+
+// finalState reads every global's value through the machine's resolver.
+func finalState(t *testing.T, mm *mach.Machine, m *ir.Module) []uint32 {
+	t.Helper()
+	out := make([]uint32, 0, len(m.Globals))
+	for _, g := range m.Globals {
+		addr, f := mm.GlobalAddr(g, true)
+		if f != nil {
+			t.Fatalf("resolve %s: %v", g.Name, f)
+		}
+		v, f := mm.Bus.RawLoad(addr, 4)
+		if f != nil {
+			t.Fatalf("read %s: %v", g.Name, f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestDifferentialVanillaVsOPEC(t *testing.T) {
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nGlobals := 2 + rng.Intn(5)
+			nTasks := 1 + rng.Intn(4)
+
+			// Vanilla.
+			mv, _ := genProgram(rand.New(rand.NewSource(seed)), nGlobals, nTasks)
+			van, err := image.BuildVanilla(mv, mach.STM32F4Discovery())
+			if err != nil {
+				t.Fatal(err)
+			}
+			busV := van.NewBus()
+			mmV := van.Instantiate(busV)
+			mmV.MaxCycles = 10_000_000
+			if _, err := mmV.Run(mv.MustFunc("main")); err != nil {
+				t.Fatalf("vanilla: %v", err)
+			}
+			want := finalState(t, mmV, mv)
+
+			// OPEC on the MPU.
+			mo, cfg := genProgram(rand.New(rand.NewSource(seed)), nGlobals, nTasks)
+			bo, err := core.Compile(mo, mach.STM32F4Discovery(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			busO := mach.NewBus(bo.Board.FlashSize, bo.Board.SRAMSize, &mach.Clock{})
+			monO, err := monitor.Boot(bo, busO)
+			if err != nil {
+				t.Fatal(err)
+			}
+			monO.M.MaxCycles = 10_000_000
+			if err := monO.Run(); err != nil {
+				t.Fatalf("OPEC: %v", err)
+			}
+			gotO := finalState(t, monO.M, mo)
+
+			// OPEC on the PMP.
+			mp, cfgP := genProgram(rand.New(rand.NewSource(seed)), nGlobals, nTasks)
+			bp, err := core.Compile(mp, mach.STM32F4Discovery(), cfgP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			busP := mach.NewBus(bp.Board.FlashSize, bp.Board.SRAMSize, &mach.Clock{})
+			monP, err := monitor.BootPMP(bp, busP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			monP.M.MaxCycles = 10_000_000
+			if err := monP.Run(); err != nil {
+				t.Fatalf("OPEC/PMP: %v", err)
+			}
+			gotP := finalState(t, monP.M, mp)
+
+			for i := range want {
+				if gotO[i] != want[i] {
+					t.Errorf("g%d diverges under OPEC/MPU: vanilla=%#x opec=%#x", i, want[i], gotO[i])
+				}
+				if gotP[i] != want[i] {
+					t.Errorf("g%d diverges under OPEC/PMP: vanilla=%#x pmp=%#x", i, want[i], gotP[i])
+				}
+			}
+		})
+	}
+}

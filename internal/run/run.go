@@ -1,0 +1,216 @@
+// Package run executes workload instances under the three build
+// flavours the evaluation compares: the vanilla baseline (privileged,
+// MPU off), OPEC (operation isolation under the monitor) and ACES
+// (compartment isolation under its runtime).
+package run
+
+import (
+	"fmt"
+
+	"opec/internal/aces"
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/dev"
+	"opec/internal/image"
+	"opec/internal/mach"
+	"opec/internal/monitor"
+)
+
+// Result captures one finished run.
+type Result struct {
+	Cycles  uint64
+	Machine *mach.Machine
+	Read    apps.ReadGlobal
+
+	// Exactly one of the following is set, matching the flavour.
+	Van   *image.Vanilla
+	Mon   *monitor.Monitor
+	Build *core.Build // OPEC compile output (set with Mon)
+	ACES  *aces.Runtime
+	ABld  *aces.Build
+}
+
+// newBus builds the bus for an instance and attaches its devices.
+func newBus(inst *apps.Instance) (*mach.Bus, error) {
+	bus := mach.NewBus(inst.Board.FlashSize, inst.Board.SRAMSize, inst.Clk)
+	// Every board has the flash-interface block the clock bring-up
+	// programs, plus the GPIO ports the pin-mux table touches that the
+	// workloads don't model behaviourally.
+	if err := bus.Attach(dev.NewFlashIF()); err != nil {
+		return nil, err
+	}
+	if err := bus.Attach(dev.NewGPIO(mach.GPIOBBase, inst.Clk)); err != nil {
+		return nil, err
+	}
+	if err := bus.Attach(dev.NewGPIO(mach.GPIOCBase, inst.Clk)); err != nil {
+		return nil, err
+	}
+	for _, d := range inst.Devices {
+		if err := bus.Attach(d); err != nil {
+			return nil, err
+		}
+	}
+	if inst.NeedsDMA2D {
+		if err := bus.Attach(dev.NewDMA2D(inst.Clk, bus)); err != nil {
+			return nil, err
+		}
+	}
+	return bus, nil
+}
+
+func reader(m *mach.Machine, inst *apps.Instance) apps.ReadGlobal {
+	return func(name string, off uint32, size int) uint32 {
+		g := inst.Mod.Global(name)
+		if g == nil {
+			panic(fmt.Sprintf("run: no global %q", name))
+		}
+		addr, f := m.GlobalAddr(g, true)
+		if f != nil {
+			panic(f)
+		}
+		v, f := m.Bus.RawLoad(addr+off, size)
+		if f != nil {
+			panic(f)
+		}
+		return v
+	}
+}
+
+func finish(m *mach.Machine, err error) error {
+	if err != nil {
+		return err
+	}
+	if !m.Halted {
+		return fmt.Errorf("run: program returned without reaching its halt point")
+	}
+	return nil
+}
+
+// Vanilla runs the instance as the unprotected baseline binary.
+func Vanilla(inst *apps.Instance) (*Result, error) {
+	van, err := image.BuildVanilla(inst.Mod, inst.Board)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := newBus(inst)
+	if err != nil {
+		return nil, err
+	}
+	m := van.Instantiate(bus)
+	m.MaxCycles = inst.MaxCycles
+	_, err = m.Run(inst.Mod.MustFunc("main"))
+	if err := finish(m, err); err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: m.Clock.Now(), Machine: m, Read: reader(m, inst), Van: van}, nil
+}
+
+// OPEC compiles the instance with OPEC-Compiler and runs it under
+// OPEC-Monitor.
+func OPEC(inst *apps.Instance) (*Result, error) {
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := newBus(inst)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		return nil, err
+	}
+	mon.M.MaxCycles = inst.MaxCycles
+	if err := finish(mon.M, mon.Run()); err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: mon.M.Clock.Now(), Machine: mon.M, Read: reader(mon.M, inst), Mon: mon, Build: b}, nil
+}
+
+// OPECPMP is OPEC on the RISC-V PMP backend (the paper's Section 7
+// portability target).
+func OPECPMP(inst *apps.Instance) (*Result, error) {
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := newBus(inst)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.BootPMP(b, bus)
+	if err != nil {
+		return nil, err
+	}
+	mon.M.MaxCycles = inst.MaxCycles
+	if err := finish(mon.M, mon.Run()); err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: mon.M.Clock.Now(), Machine: mon.M, Read: reader(mon.M, inst), Mon: mon, Build: b}, nil
+}
+
+// OPECPrecompiled runs an instance whose module was already compiled
+// with core.Compile (callers that inspect or modify the compiled module
+// — e.g. attack injection — before running).
+func OPECPrecompiled(inst *apps.Instance, b *core.Build) (*Result, error) {
+	bus, err := newBus(inst)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		return nil, err
+	}
+	mon.M.MaxCycles = inst.MaxCycles
+	if err := finish(mon.M, mon.Run()); err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: mon.M.Clock.Now(), Machine: mon.M, Read: reader(mon.M, inst), Mon: mon, Build: b}, nil
+}
+
+// ACESPrecompiled is OPECPrecompiled's ACES counterpart.
+func ACESPrecompiled(inst *apps.Instance, b *aces.Build) (*Result, error) {
+	bus, err := newBus(inst)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := aces.Boot(b, bus)
+	if err != nil {
+		return nil, err
+	}
+	rt.M.MaxCycles = inst.MaxCycles
+	if err := finish(rt.M, rt.Run()); err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: rt.M.Clock.Now(), Machine: rt.M, Read: reader(rt.M, inst), ACES: rt, ABld: b}, nil
+}
+
+// ACES compiles the instance with the baseline's strategy and runs it
+// under the ACES runtime.
+func ACES(inst *apps.Instance, strat aces.Strategy) (*Result, error) {
+	b, err := aces.Compile(inst.Mod, inst.Board, strat)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := newBus(inst)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := aces.Boot(b, bus)
+	if err != nil {
+		return nil, err
+	}
+	rt.M.MaxCycles = inst.MaxCycles
+	if err := finish(rt.M, rt.Run()); err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: rt.M.Clock.Now(), Machine: rt.M, Read: reader(rt.M, inst), ACES: rt, ABld: b}, nil
+}
+
+// AndCheck runs the instance's correctness check against a result.
+func AndCheck(inst *apps.Instance, res *Result) error {
+	if inst.Check == nil {
+		return nil
+	}
+	return inst.Check(res.Read)
+}

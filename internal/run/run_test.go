@@ -1,0 +1,102 @@
+package run_test
+
+import (
+	"testing"
+
+	"opec/internal/aces"
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/run"
+)
+
+func TestRunIsDeterministic(t *testing.T) {
+	// Two independent OPEC runs of the same workload must agree on
+	// cycles, switches and final state — the simulator has no hidden
+	// nondeterminism.
+	r1, err := run.OPEC(apps.PinLockN(3).New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := run.OPEC(apps.PinLockN(3).New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("cycles differ: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+	if r1.Mon.Stats != r2.Mon.Stats {
+		t.Errorf("monitor stats differ: %+v vs %+v", r1.Mon.Stats, r2.Mon.Stats)
+	}
+	if r1.Read("unlock_count", 0, 4) != r2.Read("unlock_count", 0, 4) {
+		t.Error("final state differs")
+	}
+}
+
+// The three builds must agree on every observable global of PinLock
+// after the run — isolation must not change functional state.
+func TestCrossBuildStateEquivalence(t *testing.T) {
+	names := []string{"unlock_count", "lock_count", "lock_state", "KEY", "rx_byte_count"}
+
+	rv, err := run.Vanilla(apps.PinLockN(3).New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := run.OPEC(apps.PinLockN(3).New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := run.ACES(apps.PinLockN(3).New(), aces.FilenameNoOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		v, o, a := rv.Read(n, 0, 4), ro.Read(n, 0, 4), ra.Read(n, 0, 4)
+		if v != o || v != a {
+			t.Errorf("%s diverges: vanilla=%d opec=%d aces=%d", n, v, o, a)
+		}
+	}
+}
+
+func TestReaderPanicsOnUnknownGlobal(t *testing.T) {
+	res, err := run.Vanilla(apps.CoreMarkN(1).New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown global did not panic")
+		}
+	}()
+	res.Read("no_such_global", 0, 4)
+}
+
+func TestPrecompiledMatchesStandardRun(t *testing.T) {
+	// OPECPrecompiled on an untouched build must behave exactly like
+	// the standard OPEC runner.
+	inst1 := apps.CoreMarkN(2).New()
+	r1, err := run.OPEC(inst1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2 := apps.CoreMarkN(2).New()
+	b2, err := compileFor(inst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := run.OPECPrecompiled(inst2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("cycles: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+	if r1.Read("benchmark_result", 0, 4) != r2.Read("benchmark_result", 0, 4) {
+		t.Error("results differ")
+	}
+}
+
+// compileFor mirrors what run.OPEC does internally, for the
+// precompiled-path comparison.
+func compileFor(inst *apps.Instance) (*core.Build, error) {
+	return core.Compile(inst.Mod, inst.Board, inst.Cfg)
+}

@@ -1,0 +1,181 @@
+// Package testprog provides small, deterministic IR programs used by
+// the unit tests of the compiler, monitor and baseline packages. The
+// flagship is a miniature PinLock shaped like Listing 1 of the paper:
+// two tasks sharing a receive buffer through a buggy HAL routine, a
+// secret KEY used by only one of them, and peripheral MMIO.
+package testprog
+
+import (
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// PinLockConfig returns the operation entry list for PinLockLike.
+func PinLockConfig() core.Config {
+	return core.Config{Entries: []string{"Uart_Init", "Key_Init", "Unlock_Task", "Lock_Task"}}
+}
+
+// PinLockLike builds the miniature PinLock module. Globals:
+//
+//	PinRxBuffer — shared by Unlock_Task and Lock_Task (external)
+//	KEY         — used only by Key_Init and Unlock_Task (external, critical)
+//	lock_state  — shared by both tasks (external, critical 0..1)
+//	init_done   — used only by Uart_Init (internal)
+//	attempts    — used only by Unlock_Task (internal)
+//
+// The machine-visible behaviour: main initializes, then runs one
+// unlock attempt (reading a pin byte from USART2) and one lock, then
+// halts.
+func PinLockLike() *ir.Module {
+	m := ir.NewModule("pinlock-mini")
+
+	rx := m.AddGlobal(&ir.Global{Name: "PinRxBuffer", Typ: ir.Array(ir.I8, 16)})
+	key := m.AddGlobal(&ir.Global{Name: "KEY", Typ: ir.Array(ir.I8, 4)})
+	state := m.AddGlobal(&ir.Global{Name: "lock_state", Typ: ir.I32,
+		Critical: &ir.ValueRange{Min: 0, Max: 1}})
+	initDone := m.AddGlobal(&ir.Global{Name: "init_done", Typ: ir.I32})
+	attempts := m.AddGlobal(&ir.Global{Name: "attempts", Typ: ir.I32})
+
+	uartDR := ir.CI(mach.USART2Base + 4)
+	gpioODR := ir.CI(mach.GPIODBase + 0x14)
+
+	// HAL_UART_Receive_IT(buf): reads one byte from the UART data
+	// register into buf[0]. (The "buggy" routine of the case study.)
+	hal := ir.NewFunc(m, "HAL_UART_Receive_IT", "stm32f4xx_hal_uart.c", nil, ir.P("buf", ir.Ptr(ir.I8)))
+	v := hal.Load(ir.I32, uartDR)
+	hal.Store(ir.I8, hal.Arg("buf"), v)
+	hal.RetVoid()
+
+	// hash(b) = b*31+7 — stand-in for the pin hash.
+	hash := ir.NewFunc(m, "hash", "crypto.c", ir.I32, ir.P("b", ir.I32))
+	hash.Ret(hash.Add(hash.Mul(hash.Arg("b"), ir.CI(31)), ir.CI(7)))
+
+	du := ir.NewFunc(m, "do_unlock", "lock.c", nil)
+	du.Store(ir.I32, state, ir.CI(1))
+	du.Store(ir.I32, gpioODR, ir.CI(1))
+	du.RetVoid()
+
+	dl := ir.NewFunc(m, "do_lock", "lock.c", nil)
+	dl.Store(ir.I32, state, ir.CI(0))
+	dl.Store(ir.I32, gpioODR, ir.CI(0))
+	dl.RetVoid()
+
+	// Uart_Init: configures RCC + USART2 (operation 1).
+	ui := ir.NewFunc(m, "Uart_Init", "uart.c", nil)
+	ui.Store(ir.I32, ir.CI(mach.RCCBase+0x40), ir.CI(1))
+	ui.Store(ir.I32, ir.CI(mach.USART2Base+0x0C), ir.CI(0x200C))
+	ui.Store(ir.I32, initDone, ir.CI(1))
+	ui.RetVoid()
+
+	// Key_Init: KEY[0] = hash('1') (operation 2).
+	ki := ir.NewFunc(m, "Key_Init", "main.c", nil)
+	h := ki.Call(hash.F, ir.CI('1'))
+	ki.Store(ir.I8, key, h)
+	ki.RetVoid()
+
+	// Unlock_Task (operation 3).
+	ut := ir.NewFunc(m, "Unlock_Task", "main.c", nil)
+	ut.Call(hal.F, rx)
+	a := ut.Load(ir.I32, attempts)
+	ut.Store(ir.I32, attempts, ut.Add(a, ir.CI(1)))
+	got := ut.Call(hash.F, ut.Load(ir.I8, rx))
+	want := ut.Load(ir.I8, key)
+	yes := ut.NewBlock("unlock")
+	done := ut.NewBlock("done")
+	ut.CondBr(ut.Eq(ut.And(got, ir.CI(0xFF)), want), yes, done)
+	ut.SetBlock(yes)
+	ut.Call(du.F)
+	ut.Br(done)
+	ut.SetBlock(done)
+	ut.RetVoid()
+
+	// Lock_Task (operation 4).
+	lt := ir.NewFunc(m, "Lock_Task", "main.c", nil)
+	lt.Call(hal.F, rx)
+	b0 := lt.Load(ir.I8, rx)
+	lyes := lt.NewBlock("lock")
+	ldone := lt.NewBlock("done")
+	lt.CondBr(lt.Eq(b0, ir.CI('0')), lyes, ldone)
+	lt.SetBlock(lyes)
+	lt.Call(dl.F)
+	lt.Br(ldone)
+	lt.SetBlock(ldone)
+	lt.RetVoid()
+
+	// main: init tasks then one unlock/lock round, then halt.
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	mb.Call(ui.F)
+	mb.Call(ki.F)
+	mb.Call(ut.F)
+	mb.Call(lt.F)
+	mb.Halt()
+	mb.RetVoid()
+
+	return m
+}
+
+// UARTStub is a trivial USART2 device whose data register returns a
+// fixed byte — enough to drive PinLockLike deterministically.
+type UARTStub struct {
+	Byte uint32
+}
+
+func (u *UARTStub) Name() string { return "USART2" }
+func (u *UARTStub) Base() uint32 { return mach.USART2Base }
+func (u *UARTStub) Size() uint32 { return 0x400 }
+func (u *UARTStub) Load(off uint32, _ int) uint32 {
+	if off == 4 {
+		return u.Byte
+	}
+	return 0
+}
+func (u *UARTStub) Store(off uint32, _ int, v uint32) {}
+
+// GPIOStub records the last value written to ODR (offset 0x14).
+type GPIOStub struct {
+	BaseAddr uint32
+	ODR      uint32
+}
+
+func (g *GPIOStub) Name() string { return "GPIO" }
+func (g *GPIOStub) Base() uint32 { return g.BaseAddr }
+func (g *GPIOStub) Size() uint32 { return 0x400 }
+func (g *GPIOStub) Load(off uint32, _ int) uint32 {
+	if off == 0x14 {
+		return g.ODR
+	}
+	return 0
+}
+func (g *GPIOStub) Store(off uint32, _ int, v uint32) {
+	if off == 0x14 {
+		g.ODR = v
+	}
+}
+
+// RCCStub accepts clock-enable writes.
+type RCCStub struct{ regs [256]uint32 }
+
+func (r *RCCStub) Name() string { return "RCC" }
+func (r *RCCStub) Base() uint32 { return mach.RCCBase }
+func (r *RCCStub) Size() uint32 { return 0x400 }
+func (r *RCCStub) Load(off uint32, _ int) uint32 {
+	return r.regs[(off/4)%256]
+}
+func (r *RCCStub) Store(off uint32, _ int, v uint32) {
+	r.regs[(off/4)%256] = v
+}
+
+// Devices returns a fresh standard device set for PinLockLike wired to
+// the given bus.
+func Devices(bus *mach.Bus, pinByte uint32) (*UARTStub, *GPIOStub) {
+	u := &UARTStub{Byte: pinByte}
+	g := &GPIOStub{BaseAddr: mach.GPIODBase}
+	r := &RCCStub{}
+	for _, d := range []mach.Device{u, g, r} {
+		if err := bus.Attach(d); err != nil {
+			panic(err)
+		}
+	}
+	return u, g
+}

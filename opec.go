@@ -1,0 +1,189 @@
+// Package opec is a from-scratch reproduction of "OPEC: Operation-based
+// Security Isolation for Bare-metal Embedded Systems" (EuroSys 2022):
+// the operation-based isolation scheme itself (compiler partitioning +
+// privileged reference monitor), the ACES baseline it is evaluated
+// against, and the full substrate the paper's evaluation runs on — an
+// ARMv7-M-class machine simulator with an 8-region MPU, two STM32 board
+// models, device peripherals, a HAL-style firmware library authored in
+// the project IR, and the seven evaluated workloads.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Workloads: Apps, AppByName build fresh workload instances.
+//   - Running: RunVanilla, RunOPEC, RunACES execute an instance under
+//     the three build flavours the paper compares.
+//   - Compiling only: CompileOPEC, CompileACES produce build artifacts
+//     (partitioning, policies, layouts) without running.
+//   - Evaluation: Table1, Figure9, Table2, Figure10, Figure11, Table3
+//     regenerate the paper's tables and figures; Render* print them.
+//   - Case study: PinLockCaseStudy reproduces Section 6.1's attack
+//     contrast between OPEC and ACES.
+package opec
+
+import (
+	"errors"
+	"fmt"
+
+	"opec/internal/aces"
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/exper"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/monitor"
+	"opec/internal/run"
+)
+
+// Core types, re-exported for API users.
+type (
+	// App is a named workload constructor.
+	App = apps.App
+	// Instance is one freshly built workload: module, entries, board,
+	// devices and its correctness check.
+	Instance = apps.Instance
+	// Result is a finished run (cycles, machine, per-flavour handles).
+	Result = run.Result
+	// Build is the OPEC compiler output: operations, layout, policies.
+	Build = core.Build
+	// Operation is one isolated domain.
+	Operation = core.Operation
+	// Strategy selects an ACES partitioning policy.
+	Strategy = aces.Strategy
+	// Monitor is the runtime reference monitor of a booted OPEC image.
+	Monitor = monitor.Monitor
+)
+
+// The three evaluated ACES strategies.
+const (
+	ACES1 = aces.Filename
+	ACES2 = aces.FilenameNoOpt
+	ACES3 = aces.Peripheral
+)
+
+// Experiment scale selectors.
+const (
+	Full  = exper.Full
+	Quick = exper.Quick
+)
+
+// Apps returns the seven evaluation workloads at paper scale.
+func Apps() []*App { return apps.All() }
+
+// AppByName returns a workload constructor by its paper name
+// ("PinLock", "Animation", "FatFs-uSD", "LCD-uSD", "TCP-Echo",
+// "Camera", "CoreMark").
+func AppByName(name string) (*App, error) { return apps.ByName(name) }
+
+// RunVanilla executes the instance as the unprotected baseline.
+func RunVanilla(inst *Instance) (*Result, error) { return run.Vanilla(inst) }
+
+// RunOPEC compiles with OPEC-Compiler and executes under OPEC-Monitor.
+func RunOPEC(inst *Instance) (*Result, error) { return run.OPEC(inst) }
+
+// RunOPECPMP executes under the monitor's RISC-V PMP backend — the
+// "Other Hardware Platforms" extension of the paper's Section 7.
+func RunOPECPMP(inst *Instance) (*Result, error) { return run.OPECPMP(inst) }
+
+// RunACES compiles and executes under the ACES baseline.
+func RunACES(inst *Instance, s Strategy) (*Result, error) { return run.ACES(inst, s) }
+
+// Check runs the instance's correctness check against a result.
+func Check(inst *Instance, res *Result) error { return run.AndCheck(inst, res) }
+
+// CompileOPEC runs the compiler pipeline only: analysis, partitioning,
+// shadow layout, instrumentation.
+func CompileOPEC(inst *Instance) (*Build, error) {
+	return core.Compile(inst.Mod, inst.Board, inst.Cfg)
+}
+
+// CompileACES runs the baseline's compartment formation and layout.
+func CompileACES(inst *Instance, s Strategy) (*aces.Build, error) {
+	return aces.Compile(inst.Mod, inst.Board, s)
+}
+
+// Evaluation harness re-exports.
+var (
+	Table1   = exper.Table1
+	Figure9  = exper.Figure9
+	Table2   = exper.Table2
+	Figure10 = exper.Figure10
+	Figure11 = exper.Figure11
+	Table3   = exper.Table3
+
+	RenderTable1   = exper.RenderTable1
+	RenderFigure9  = exper.RenderFigure9
+	RenderTable2   = exper.RenderTable2
+	RenderFigure10 = exper.RenderFigure10
+	RenderFigure11 = exper.RenderFigure11
+	RenderTable3   = exper.RenderTable3
+)
+
+// CaseStudyResult reports Section 6.1's contrast: the same arbitrary
+// write targeting PinLock's KEY from a compromised Lock_Task, under
+// OPEC and under ACES.
+type CaseStudyResult struct {
+	// OPECBlocked reports that OPEC terminated the attack with a
+	// MemManage fault before KEY was modified.
+	OPECBlocked bool
+	// OPECFault is the fault that stopped the attack.
+	OPECFault string
+	// ACESKeyOverwritten reports that the write landed under ACES
+	// (KEY co-located in a merged, accessible region).
+	ACESKeyOverwritten bool
+}
+
+// PinLockCaseStudy reproduces the Section 6.1 case study: it compiles
+// PinLock twice, injects the post-compile arbitrary write
+// (Lock_Task exploiting the buggy HAL_UART_Receive_IT to overwrite
+// KEY), and runs both builds.
+func PinLockCaseStudy() (*CaseStudyResult, error) {
+	out := &CaseStudyResult{}
+
+	// --- OPEC ---
+	inst := apps.PinLockN(1).New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	injectKeyOverwrite(inst.Mod)
+	if _, err = run.OPECPrecompiled(inst, b); err == nil {
+		return nil, errors.New("opec: attack unexpectedly survived under OPEC")
+	}
+	var f *mach.Fault
+	if errors.As(err, &f) && f.Kind == mach.FaultMemManage && f.Write {
+		out.OPECBlocked = true
+		out.OPECFault = f.Error()
+	} else {
+		return nil, fmt.Errorf("opec: unexpected attack outcome under OPEC: %w", err)
+	}
+
+	// --- ACES ---
+	instA := apps.PinLockN(1).New()
+	ab, err := aces.Compile(instA.Mod, instA.Board, aces.FilenameNoOpt)
+	if err != nil {
+		return nil, err
+	}
+	injectKeyOverwrite(instA.Mod)
+	resA, err := run.ACESPrecompiled(instA, ab)
+	if err != nil {
+		return nil, fmt.Errorf("opec: ACES run with attack: %w", err)
+	}
+	key := instA.Mod.Global("KEY")
+	v, _ := resA.Machine.Bus.RawLoad(ab.GlobalAddr[key], 1)
+	out.ACESKeyOverwritten = v == attackByte
+	return out, nil
+}
+
+// attackByte is the value the injected arbitrary write stores into KEY.
+const attackByte = 0xEE
+
+// injectKeyOverwrite models the runtime compromise: an arbitrary write
+// to KEY prepended to Lock_Task after compilation (the compiler never
+// saw the access, exactly like an exploited memory-corruption bug).
+func injectKeyOverwrite(m *ir.Module) {
+	lt := m.MustFunc("Lock_Task")
+	key := m.Global("KEY")
+	in := &ir.Instr{Op: ir.OpStore, Typ: ir.I8, Args: []ir.Value{key, ir.CI(attackByte)}}
+	entry := lt.Entry()
+	entry.Instrs = append([]*ir.Instr{in}, entry.Instrs...)
+}

@@ -1,0 +1,42 @@
+package opec
+
+import "testing"
+
+func TestFacadeRunAllFlavours(t *testing.T) {
+	if _, err := AppByName("PinLock"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compile-only path.
+	inst := Apps()[6].New() // CoreMark
+	b, err := CompileOPEC(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Ops) != 9 {
+		t.Errorf("CoreMark operations = %d", len(b.Ops))
+	}
+	ab, err := CompileACES(Apps()[6].New(), ACES2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Comps) == 0 {
+		t.Error("no ACES compartments")
+	}
+}
+
+func TestPinLockCaseStudy(t *testing.T) {
+	res, err := PinLockCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OPECBlocked {
+		t.Error("OPEC did not block the KEY overwrite")
+	}
+	if res.OPECFault == "" {
+		t.Error("no fault recorded")
+	}
+	if !res.ACESKeyOverwritten {
+		t.Error("the attack should land under ACES (merged region grants KEY)")
+	}
+}
