@@ -26,6 +26,7 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads")
 	verbose := flag.Bool("v", false, "print member functions per domain")
 	jsonOut := flag.Bool("json", false, "emit the OPEC policy file as JSON")
+	runVet := flag.Bool("vet", false, "run the opec-vet isolation audit after the build (opec policy only)")
 	flag.Parse()
 
 	if *list {
@@ -50,9 +51,18 @@ func main() {
 			data, err := b.PolicyJSON()
 			fail(err)
 			fmt.Println(string(data))
+			if *runVet {
+				data, err := opec.Vet(b).JSON()
+				fail(err)
+				fmt.Println(string(data))
+			}
 			return
 		}
 		printOPEC(b, *verbose)
+		if *runVet {
+			fmt.Println()
+			fmt.Print(opec.Vet(b).Render())
+		}
 	case "aces1", "aces2", "aces3":
 		strat := map[string]opec.Strategy{"aces1": opec.ACES1, "aces2": opec.ACES2, "aces3": opec.ACES3}[strings.ToLower(*policy)]
 		ab, err := opec.CompileACES(inst, strat)

@@ -534,3 +534,54 @@ func TestPointsToDenseFixpoint(t *testing.T) {
 		t.Errorf("solver iterations = %d", res.PTS.Iterations)
 	}
 }
+
+// TestCrossOpEdges exercises the boundary-edge helper on a two-domain
+// module: a gated (svc) edge must not be reported, an un-gated direct
+// call and an escaping icall target set must.
+func TestCrossOpEdges(t *testing.T) {
+	m := ir.NewModule("xop")
+	tbl := m.AddGlobal(&ir.Global{Name: "tbl", Typ: ir.Ptr(ir.I32)})
+
+	task := ir.NewFunc(m, "task", "t.c", nil)
+	task.RetVoid()
+	helper := ir.NewFunc(m, "helper", "t.c", nil)
+	helper.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	mb.Svc(1, m.MustFunc("task")) // gated entry into domain 1
+	mb.Call(helper.F)             // un-gated call out of domain 0
+	mb.Store(ir.I32, tbl, task.F)
+	ptr := mb.Load(ir.Ptr(ir.I32), tbl)
+	mb.ICall(ir.FuncType{}, ptr) // icall whose target set escapes domain 0
+	mb.RetVoid()
+
+	res := Analyze(m, mach.STM32F4Discovery())
+	domains := map[*ir.Function][]int{
+		m.MustFunc("main"): {0},
+		m.MustFunc("task"): {1},
+	}
+	edges := res.CG.CrossOpEdges(m, domains)
+	if len(edges) != 2 {
+		t.Fatalf("got %d cross edges, want 2: %+v", len(edges), edges)
+	}
+	// Sorted by caller, domain, callee: helper (direct) before task (icall).
+	if edges[0].To.Name != "helper" || edges[0].Indirect {
+		t.Errorf("edge 0 = %+v, want direct main->helper", edges[0])
+	}
+	if edges[1].To.Name != "task" || !edges[1].Indirect {
+		t.Errorf("edge 1 = %+v, want indirect main->task", edges[1])
+	}
+	for _, e := range edges {
+		if e.Dom != 0 || e.From.Name != "main" || e.Site == nil {
+			t.Errorf("edge fields wrong: %+v", e)
+		}
+	}
+
+	// Determinism: a second run must produce the identical order.
+	again := res.CG.CrossOpEdges(m, domains)
+	for i := range edges {
+		if edges[i] != again[i] {
+			t.Fatalf("CrossOpEdges order not stable at %d", i)
+		}
+	}
+}

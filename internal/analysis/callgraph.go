@@ -149,6 +149,80 @@ func AddressTakenFuncs(m *ir.Module) map[*ir.Function]bool {
 	return taken
 }
 
+// CrossEdge is one call-graph edge that leaves an isolation domain: a
+// call site in From whose target To is not a member of domain Dom even
+// though From is. Such an edge must either be gated (an instrumented
+// supervisor call) or it is an isolation violation; OpSvc sites are
+// therefore never reported.
+type CrossEdge struct {
+	From, To *ir.Function
+	Site     *ir.Instr // the call or icall instruction
+	Dom      int       // the domain of From that To is outside of
+	Indirect bool      // edge comes from an icall target set
+}
+
+// CrossOpEdges returns every direct-call and indirect-call edge that
+// crosses a domain boundary, deterministically ordered (by caller name,
+// domain, callee name, then site order). domains maps each function to
+// the IDs of the domains it is a member of — shared functions may carry
+// several; functions absent from the map (IRQ-only code, the monitor)
+// have no domain and originate no cross edges. The OPEC build's
+// FuncDomains method produces this map; taking the map rather than the
+// build itself keeps this package free of a dependency cycle with
+// internal/core.
+func (cg *CallGraph) CrossOpEdges(m *ir.Module, domains map[*ir.Function][]int) []CrossEdge {
+	member := make(map[int]map[*ir.Function]bool)
+	for f, ds := range domains {
+		for _, d := range ds {
+			if member[d] == nil {
+				member[d] = make(map[*ir.Function]bool)
+			}
+			member[d][f] = true
+		}
+	}
+
+	var edges []CrossEdge
+	for _, f := range m.Functions {
+		ds := domains[f]
+		if len(ds) == 0 {
+			continue
+		}
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			var targets []*ir.Function
+			indirect := false
+			switch in.Op {
+			case ir.OpCall:
+				if in.Fn != nil {
+					targets = []*ir.Function{in.Fn}
+				}
+			case ir.OpICall:
+				targets = cg.ICallTargets[in]
+				indirect = true
+			default: // OpSvc edges are gated by construction
+				return
+			}
+			for _, d := range ds {
+				for _, t := range targets {
+					if !member[d][t] {
+						edges = append(edges, CrossEdge{From: f, To: t, Site: in, Dom: d, Indirect: indirect})
+					}
+				}
+			}
+		})
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From.Name != b.From.Name {
+			return a.From.Name < b.From.Name
+		}
+		if a.Dom != b.Dom {
+			return a.Dom < b.Dom
+		}
+		return a.To.Name < b.To.Name
+	})
+	return edges
+}
+
 // Reachable returns every function reachable from root in the call
 // graph, including root, stopping the descent (with backtracking) at
 // any function in stopAt — the partitioner uses stopAt to keep other

@@ -74,7 +74,18 @@ func ResolveStaticBase(v ir.Value) StaticBase {
 	return StaticBase{}
 }
 
+// foldBin evaluates a binary operator over two 32-bit constants with
+// the machine's unsigned wrap-around semantics, mirroring the
+// interpreter's evalBin: division and remainder by zero fold to 0 (ARM
+// UDIV semantics), shifts mask the count to 5 bits, and comparisons
+// produce 0 or 1.
 func foldBin(k ir.BinKind, a, b uint32) uint32 {
+	boolTo := func(v bool) uint32 {
+		if v {
+			return 1
+		}
+		return 0
+	}
 	switch k {
 	case ir.Add:
 		return a + b
@@ -82,6 +93,16 @@ func foldBin(k ir.BinKind, a, b uint32) uint32 {
 		return a - b
 	case ir.Mul:
 		return a * b
+	case ir.Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case ir.Rem:
+		if b == 0 {
+			return 0
+		}
+		return a % b
 	case ir.And:
 		return a & b
 	case ir.Or:
@@ -92,6 +113,18 @@ func foldBin(k ir.BinKind, a, b uint32) uint32 {
 		return a << (b & 31)
 	case ir.Shr:
 		return a >> (b & 31)
+	case ir.Eq:
+		return boolTo(a == b)
+	case ir.Ne:
+		return boolTo(a != b)
+	case ir.Lt:
+		return boolTo(a < b)
+	case ir.Le:
+		return boolTo(a <= b)
+	case ir.Gt:
+		return boolTo(a > b)
+	case ir.Ge:
+		return boolTo(a >= b)
 	}
 	return 0
 }

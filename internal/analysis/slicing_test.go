@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"testing"
+
+	"opec/internal/ir"
+)
+
+func TestFoldBinAllKinds(t *testing.T) {
+	cases := []struct {
+		k       ir.BinKind
+		a, b    uint32
+		want    uint32
+		comment string
+	}{
+		{ir.Add, 3, 4, 7, "add"},
+		{ir.Add, 0xFFFFFFFF, 1, 0, "add wraps"},
+		{ir.Add, 0xFFFFFFF0, 0x20, 0x10, "add wraps past max"},
+		{ir.Sub, 10, 3, 7, "sub"},
+		{ir.Sub, 0, 1, 0xFFFFFFFF, "sub wraps below zero"},
+		{ir.Mul, 6, 7, 42, "mul"},
+		{ir.Mul, 0x10000, 0x10000, 0, "mul wraps"},
+		{ir.Mul, 0x80000001, 2, 2, "mul wraps keeping low bits"},
+		{ir.Div, 42, 6, 7, "div"},
+		{ir.Div, 42, 0, 0, "div by zero folds to 0 (ARM UDIV)"},
+		{ir.Div, 0xFFFFFFFF, 2, 0x7FFFFFFF, "div is unsigned"},
+		{ir.Rem, 43, 6, 1, "rem"},
+		{ir.Rem, 43, 0, 0, "rem by zero folds to 0"},
+		{ir.And, 0xF0F0, 0xFF00, 0xF000, "and"},
+		{ir.Or, 0xF0F0, 0x0F0F, 0xFFFF, "or"},
+		{ir.Xor, 0xFFFF, 0x0F0F, 0xF0F0, "xor"},
+		{ir.Shl, 1, 4, 16, "shl"},
+		{ir.Shl, 1, 32, 1, "shl masks count to 5 bits"},
+		{ir.Shl, 1, 33, 2, "shl count 33 acts as 1"},
+		{ir.Shl, 0x80000000, 1, 0, "shl drops high bit"},
+		{ir.Shr, 16, 4, 1, "shr"},
+		{ir.Shr, 0x80000000, 31, 1, "shr is logical"},
+		{ir.Shr, 1, 32, 1, "shr masks count to 5 bits"},
+		{ir.Eq, 5, 5, 1, "eq true"},
+		{ir.Eq, 5, 6, 0, "eq false"},
+		{ir.Ne, 5, 6, 1, "ne true"},
+		{ir.Ne, 5, 5, 0, "ne false"},
+		{ir.Lt, 1, 2, 1, "lt true"},
+		{ir.Lt, 0xFFFFFFFF, 1, 0, "lt is unsigned"},
+		{ir.Le, 2, 2, 1, "le equal"},
+		{ir.Le, 3, 2, 0, "le false"},
+		{ir.Gt, 0xFFFFFFFF, 1, 1, "gt is unsigned"},
+		{ir.Gt, 1, 1, 0, "gt false"},
+		{ir.Ge, 2, 2, 1, "ge equal"},
+		{ir.Ge, 1, 2, 0, "ge false"},
+	}
+	for _, c := range cases {
+		if got := foldBin(c.k, c.a, c.b); got != c.want {
+			t.Errorf("foldBin(%v, %#x, %#x) = %#x, want %#x (%s)", c.k, c.a, c.b, got, c.want, c.comment)
+		}
+	}
+}
+
+// TestFoldBinMatchesResolve checks the fold through the public slicing
+// entry point: a constant expression over a peripheral base must resolve
+// to the exact folded address.
+func TestFoldBinMatchesResolve(t *testing.T) {
+	m := ir.NewModule("fold")
+	fb := ir.NewFunc(m, "f", "f.c", nil)
+	// (0x40004400 | 0) + 2*2 == 0x40004404
+	or := fb.Or(ir.CI(0x40004400), ir.CI(0))
+	addr := fb.Add(or, fb.Mul(ir.CI(2), ir.CI(2)))
+	fb.Load(ir.I32, addr)
+	fb.RetVoid()
+
+	base := ResolveStaticBase(addr)
+	if !base.IsConst || base.Const != 0x40004404 {
+		t.Fatalf("ResolveStaticBase = %+v, want const 0x40004404", base)
+	}
+}
+
+// funcTableModule stores the addresses of two functions into a global
+// table and calls through a loaded slot — the canonical address-taken
+// pattern FuncsPointedBy must resolve.
+func funcTableModule() (*ir.Module, *ir.Instr) {
+	m := ir.NewModule("functable")
+	tbl := m.AddGlobal(&ir.Global{Name: "handlers", Typ: ir.Array(ir.Ptr(ir.I32), 2)})
+
+	sig := ir.FuncType{Params: []ir.Type{ir.I32}}
+	h1 := ir.NewFunc(m, "on_rx", "h.c", nil, ir.P("v", ir.I32))
+	h1.RetVoid()
+	h2 := ir.NewFunc(m, "on_tx", "h.c", nil, ir.P("v", ir.I32))
+	h2.RetVoid()
+	// never address-taken, same signature: must NOT appear in pts results
+	h3 := ir.NewFunc(m, "on_idle", "h.c", nil, ir.P("v", ir.I32))
+	h3.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	mb.Store(ir.I32, mb.Index(tbl, ir.Ptr(ir.I32), ir.CI(0)), h1.F)
+	mb.Store(ir.I32, mb.Index(tbl, ir.Ptr(ir.I32), ir.CI(1)), h2.F)
+	ptr := mb.Load(ir.Ptr(ir.I32), mb.Index(tbl, ir.Ptr(ir.I32), ir.CI(0)))
+	mb.ICall(sig, ptr, ir.CI(7))
+	mb.Call(h3.F, ir.CI(0))
+	mb.RetVoid()
+
+	var icall *ir.Instr
+	mb.F.Instructions(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.OpICall {
+			icall = in
+		}
+	})
+	return m, icall
+}
+
+func TestFuncsPointedByAddressTaken(t *testing.T) {
+	m, icall := funcTableModule()
+	pts := SolvePointsTo(m)
+
+	got := pts.FuncsPointedBy(icall.Args[0])
+	names := make([]string, len(got))
+	for i, f := range got {
+		names[i] = f.Name
+	}
+	if len(got) != 2 || names[0] != "on_rx" || names[1] != "on_tx" {
+		t.Fatalf("FuncsPointedBy(icall ptr) = %v, want [on_rx on_tx] (name-sorted)", names)
+	}
+
+	// A direct function operand points at exactly itself.
+	if fs := pts.FuncsPointedBy(m.MustFunc("on_rx")); len(fs) != 1 || fs[0].Name != "on_rx" {
+		t.Errorf("FuncsPointedBy(on_rx) = %v, want itself", fs)
+	}
+
+	// Address-taken set: the stored handlers yes, the merely-called one no.
+	taken := AddressTakenFuncs(m)
+	if !taken[m.MustFunc("on_rx")] || !taken[m.MustFunc("on_tx")] {
+		t.Error("stored handlers not address-taken")
+	}
+	if taken[m.MustFunc("on_idle")] {
+		t.Error("direct-call-only function reported address-taken")
+	}
+	if taken[m.MustFunc("main")] {
+		t.Error("main reported address-taken")
+	}
+}
+
+// TestFuncsPointedByFeedsCallGraph checks that the resolved target set
+// reaches the call graph as SVF-resolved icall edges.
+func TestFuncsPointedByFeedsCallGraph(t *testing.T) {
+	m, icall := funcTableModule()
+	pts := SolvePointsTo(m)
+	cg := BuildCallGraph(m, pts)
+
+	if cg.Stats.NumICalls != 1 || cg.Stats.ResolvedSVF != 1 || cg.Stats.ResolvedType != 0 {
+		t.Fatalf("icall stats = %+v, want one SVF-resolved icall", cg.Stats)
+	}
+	ts := cg.ICallTargets[icall]
+	if len(ts) != 2 || ts[0].Name != "on_rx" || ts[1].Name != "on_tx" {
+		t.Fatalf("ICallTargets = %v, want [on_rx on_tx]", ts)
+	}
+}

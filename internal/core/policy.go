@@ -110,6 +110,20 @@ func (op *Operation) AllowsCoreAddr(addr uint32) bool {
 	return op.Deps.CorePeriphs[addr]
 }
 
+// FuncDomains maps every function to the IDs of the operations it is a
+// member of, in ascending ID order; shared HAL functions carry several.
+// Functions in no operation (IRQ-only code) are absent. This is the
+// domain assignment analysis.CallGraph.CrossOpEdges consumes.
+func (b *Build) FuncDomains() map[*ir.Function][]int {
+	domains := make(map[*ir.Function][]int)
+	for _, op := range b.Ops {
+		for _, f := range op.Funcs {
+			domains[f] = append(domains[f], op.ID)
+		}
+	}
+	return domains
+}
+
 // OpFor returns the operation owning fn, preferring the operation whose
 // entry is fn; shared member functions report the lowest-ID owner.
 func (b *Build) OpFor(fn *ir.Function) *Operation {

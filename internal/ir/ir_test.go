@@ -159,6 +159,50 @@ func TestVerifyCatchesArity(t *testing.T) {
 	}
 }
 
+func TestVerifyCatchesFunctionAddressStore(t *testing.T) {
+	m := NewModule("bad")
+	fb := NewFunc(m, "target", "f.c", nil)
+	fb.RetVoid()
+	g := NewFunc(m, "writer", "f.c", nil)
+	g.Store(I32, m.MustFunc("target"), CI(0))
+	g.RetVoid()
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "store to function address target") {
+		t.Fatalf("Verify = %v, want function-address store error", err)
+	}
+}
+
+func TestVerifyCatchesConstICall(t *testing.T) {
+	m := NewModule("bad")
+	fb := NewFunc(m, "f", "f.c", nil)
+	fb.ICall(FuncType{}, CI(0x8000))
+	fb.RetVoid()
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "icall through non-function constant 0x8000") {
+		t.Fatalf("Verify = %v, want const icall error", err)
+	}
+}
+
+func TestVerifyErrorOrderDeterministic(t *testing.T) {
+	build := func() *Module {
+		m := NewModule("bad")
+		// Two independent problems in separate functions; the joined
+		// message must come out sorted regardless of discovery order.
+		zb := NewFunc(m, "zz_unterminated", "f.c", nil)
+		zb.Add(CI(1), CI(2))
+		ab := NewFunc(m, "aa_icall", "f.c", nil)
+		ab.ICall(FuncType{}, CI(4))
+		ab.RetVoid()
+		return m
+	}
+	first := Verify(build()).Error()
+	second := Verify(build()).Error()
+	if first != second {
+		t.Fatalf("Verify not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	if !(strings.Index(first, "aa_icall") < strings.Index(first, "zz_unterminated")) {
+		t.Errorf("Verify errors not sorted: %s", first)
+	}
+}
+
 func TestVerifyCatchesBadGlobalInit(t *testing.T) {
 	m := NewModule("bad")
 	m.AddGlobal(&Global{Name: "g", Typ: I32, Init: []byte{1, 2}})

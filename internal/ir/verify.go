@@ -3,13 +3,17 @@ package ir
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Verify checks structural well-formedness of the module: every block
 // is terminated, every branch target belongs to the same function,
 // instruction operands are defined in the same function, call arities
-// match, and OpSvc wrappers reference real functions. It returns all
-// problems found joined into one error, or nil.
+// match, OpSvc wrappers reference real functions, stores never target a
+// function address, and indirect calls never go through a non-function
+// constant. It returns all problems found joined into one error, or
+// nil; the error list is sorted, so the message is deterministic
+// regardless of traversal order.
 func Verify(m *Module) error {
 	var errs []error
 	for _, f := range m.Functions {
@@ -75,6 +79,16 @@ func Verify(m *Module) error {
 					if in.Typ == nil || in.Typ.Size() == 0 {
 						errs = append(errs, fmt.Errorf("%s/%s: memory op without width", f.Name, b.Name))
 					}
+					if in.Op == OpStore && len(in.Args) > 0 {
+						if fn, ok := in.Args[0].(*Function); ok {
+							errs = append(errs, fmt.Errorf("%s/%s: store to function address %s", f.Name, b.Name, fn.Name))
+						}
+					}
+				}
+				if in.Op == OpICall && len(in.Args) > 0 {
+					if c, ok := in.Args[0].(Const); ok {
+						errs = append(errs, fmt.Errorf("%s/%s: icall through non-function constant %#x", f.Name, b.Name, c.V))
+					}
 				}
 			}
 			switch b.Term.Op {
@@ -104,5 +118,6 @@ func Verify(m *Module) error {
 			errs = append(errs, fmt.Errorf("global %s: init %d bytes for size %d", g.Name, len(g.Init), g.Size()))
 		}
 	}
+	sort.SliceStable(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 	return errors.Join(errs...)
 }

@@ -207,10 +207,14 @@ func TestInterpICall(t *testing.T) {
 }
 
 func TestInterpICallBadTarget(t *testing.T) {
+	// The bad target arrives through memory: a literal-constant icall
+	// operand is rejected statically by ir.Verify, so only a dynamic
+	// value can reach the interpreter's target check.
 	m := ir.NewModule("badicall")
+	fp := m.AddGlobal(&ir.Global{Name: "fp", Typ: ir.I32, Init: []byte{0x34, 0x12, 0, 0}})
 	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
 	sig := ir.FuncType{Params: nil, Ret: ir.I32}
-	mb.Ret(mb.ICall(sig, ir.CI(0x1234)))
+	mb.Ret(mb.ICall(sig, mb.Load(ir.I32, fp)))
 	mm := testMachine(t, m)
 	if _, err := mm.Run(m.MustFunc("main")); err == nil || !strings.Contains(err.Error(), "icall") {
 		t.Errorf("bad icall error = %v", err)

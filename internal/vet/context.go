@@ -1,0 +1,179 @@
+package vet
+
+import (
+	"opec/internal/analysis"
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// opAccess is the per-operation access evidence vet re-derives from the
+// instructions of the operation's member functions — independently of
+// the FuncDeps the compiler granted from, so a divergence between the
+// two is itself a finding.
+type opAccess struct {
+	read    map[*ir.Global]bool // load address resolves to the global
+	written map[*ir.Global]bool // store address resolves to the global
+	direct  map[*ir.Global]bool // resolved by backward slicing alone
+	all     map[*ir.Global]bool // direct ∪ points-to indirect
+	periphs map[string]bool     // general peripherals touched
+}
+
+func newOpAccess() *opAccess {
+	return &opAccess{
+		read:    make(map[*ir.Global]bool),
+		written: make(map[*ir.Global]bool),
+		direct:  make(map[*ir.Global]bool),
+		all:     make(map[*ir.Global]bool),
+		periphs: make(map[string]bool),
+	}
+}
+
+// context carries the build plus everything the passes share.
+type context struct {
+	b       *core.Build
+	domains map[*ir.Function][]int // operation membership (core.FuncDomains)
+	acc     []*opAccess            // indexed by operation ID
+
+	// Whole-module evidence (IRQ handlers included, unlike acc).
+	accessed   map[*ir.Global]bool // some load/store resolves to it
+	referenced map[*ir.Global]bool // appears as any instruction operand
+}
+
+func newContext(b *core.Build) *context {
+	ctx := &context{
+		b:          b,
+		domains:    b.FuncDomains(),
+		acc:        make([]*opAccess, len(b.Ops)),
+		accessed:   make(map[*ir.Global]bool),
+		referenced: make(map[*ir.Global]bool),
+	}
+	pts := b.Analysis.PTS
+
+	// resolve reports the globals (and peripheral) one memory access
+	// touches, mirroring the dependency analysis: backward slicing
+	// first, points-to for genuine runtime pointers.
+	resolve := func(addr ir.Value, fn func(g *ir.Global, direct bool), periph func(name string)) {
+		base := analysis.ResolveStaticBase(addr)
+		switch {
+		case base.Global != nil:
+			fn(base.Global, true)
+		case base.IsConst:
+			if !mach.IsCorePeriphAddr(base.Const) {
+				if p := b.Board.FindPeriph(base.Const); p != nil {
+					periph(p.Name)
+				}
+			}
+		default:
+			for _, g := range pts.GlobalsPointedBy(addr) {
+				fn(g, false)
+			}
+		}
+	}
+
+	for _, op := range b.Ops {
+		acc := newOpAccess()
+		ctx.acc[op.ID] = acc
+		for _, f := range op.Funcs {
+			f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+				switch in.Op {
+				case ir.OpLoad:
+					resolve(in.Args[0], func(g *ir.Global, direct bool) {
+						acc.read[g] = true
+						acc.all[g] = true
+						if direct {
+							acc.direct[g] = true
+						}
+					}, func(name string) { acc.periphs[name] = true })
+				case ir.OpStore:
+					resolve(in.Args[0], func(g *ir.Global, direct bool) {
+						acc.written[g] = true
+						acc.all[g] = true
+						if direct {
+							acc.direct[g] = true
+						}
+					}, func(name string) { acc.periphs[name] = true })
+				}
+			})
+		}
+	}
+
+	// Whole-module sweep for the dead-code pass: every function,
+	// whether or not it made it into an operation.
+	for _, f := range b.Mod.Functions {
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+				resolve(in.Args[0], func(g *ir.Global, _ bool) {
+					ctx.accessed[g] = true
+				}, func(string) {})
+			}
+			for _, a := range in.Args {
+				if g, ok := a.(*ir.Global); ok {
+					ctx.referenced[g] = true
+				}
+			}
+		})
+		for _, blk := range f.Blocks {
+			if g, ok := blk.Term.Val.(*ir.Global); ok {
+				ctx.referenced[g] = true
+			}
+		}
+	}
+	return ctx
+}
+
+// opName resolves an operation ID for diagnostics.
+func (ctx *context) opName(id int) string { return ctx.b.Ops[id].Name }
+
+// alignedSize is the word-aligned section footprint of a global.
+func alignedSize(g *ir.Global) uint64 { return uint64((g.Size() + 3) &^ 3) }
+
+// gapMetric computes the least-privilege gap: for each operation, the
+// bytes its MPU plan grants (data-section region, peripheral windows,
+// heap region — all rounded up to legal region sizes) against the bytes
+// its reachable instructions provably access (exercised globals at
+// section alignment, the datasheet extent of allowed peripherals, heap
+// pool payload). The gap is the price of MPU granularity plus any
+// over-approximation in the dependency analysis; OPEC's least-privilege
+// claim is that no *other* grant exists.
+func gapMetric(ctx *context) GapMetric {
+	b := ctx.b
+	var m GapMetric
+
+	var heapPayload uint64
+	for _, g := range b.Mod.Globals {
+		if g.HeapPool {
+			heapPayload += alignedSize(g)
+		}
+	}
+	heapRegion := uint64(1) << mach.RegionSizeFor(int(b.HeapSize))
+
+	for _, op := range b.Ops {
+		gap := OpGap{Op: op.Name}
+		if sec := b.OpSections[op.ID]; sec.Size > 0 {
+			gap.GrantedBytes += uint64(sec.RegionBytes())
+		}
+		for _, pr := range op.PeriphRegions {
+			gap.GrantedBytes += uint64(1) << pr.SizeLog2
+		}
+		if op.UsesHeap {
+			gap.GrantedBytes += heapRegion
+			gap.AccessedBytes += heapPayload
+		}
+		acc := ctx.acc[op.ID]
+		for _, g := range op.Globals {
+			if acc.all[g] {
+				gap.AccessedBytes += alignedSize(g)
+			}
+		}
+		for _, name := range op.Deps.SortedPeriphs() {
+			if p := b.Board.PeriphByName(name); p != nil {
+				gap.AccessedBytes += uint64(p.Size)
+			}
+		}
+		m.PerOp = append(m.PerOp, gap)
+		m.GrantedBytes += gap.GrantedBytes
+		m.AccessedBytes += gap.AccessedBytes
+	}
+	return m
+}

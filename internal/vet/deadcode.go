@@ -1,0 +1,59 @@
+package vet
+
+import (
+	"fmt"
+
+	"opec/internal/ir"
+)
+
+// passDead maps the dead and privileged code surface: functions no
+// entry or IRQ root can reach are attack surface with zero legitimate
+// use (DEAD001), globals nothing accesses or references waste the
+// public data section (DEAD002), and code reachable only from IRQ roots
+// runs privileged — outside every operation's confinement — so its
+// extent is worth auditing (DEAD003).
+func passDead(ctx *context) []Diagnostic {
+	var ds []Diagnostic
+	b := ctx.b
+	cg := b.Analysis.CG
+
+	reach := make(map[*ir.Function]bool)
+	addRoots := func(root *ir.Function) {
+		for _, f := range cg.Reachable(root, nil) {
+			reach[f] = true
+		}
+	}
+	if main := b.Mod.Func("main"); main != nil {
+		addRoots(main)
+	}
+	for _, f := range b.Mod.Functions {
+		if f.IRQHandler {
+			addRoots(f)
+		}
+	}
+
+	for _, f := range b.Mod.Functions {
+		switch {
+		case !reach[f]:
+			ds = append(ds, Diagnostic{
+				Code: "DEAD001", Severity: SevWarn, Func: f.Name,
+				Message: fmt.Sprintf("unreachable from any entry or IRQ root; %dB of dead code surface", f.CodeSize()),
+			})
+		case len(ctx.domains[f]) == 0 && !f.IRQHandler:
+			ds = append(ds, Diagnostic{
+				Code: "DEAD003", Severity: SevInfo, Func: f.Name,
+				Message: "reachable only from IRQ roots: runs privileged, outside every operation's confinement",
+			})
+		}
+	}
+
+	for _, g := range b.Mod.Globals {
+		if !ctx.accessed[g] && !ctx.referenced[g] {
+			ds = append(ds, Diagnostic{
+				Code: "DEAD002", Severity: SevInfo, Global: g.Name,
+				Message: fmt.Sprintf("never accessed or referenced by any function; %dB of dead data", g.Size()),
+			})
+		}
+	}
+	return ds
+}

@@ -1,0 +1,74 @@
+package vet
+
+import (
+	"fmt"
+
+	"opec/internal/ir"
+)
+
+// passGates is the gate-bypass check: after instrumentation the only
+// legal way to enter another operation is the SVC gate, so any
+// remaining call edge that leaves an operation is a violation. Direct
+// calls to another operation's entry mean the instrumentation pass
+// missed the site (GATE001); direct calls to non-entry functions of
+// another operation break the partition-closure invariant (GATE002);
+// indirect calls whose target set escapes the operation bypass the gate
+// on a may-path (GATE003); and SVC sites themselves must reference real
+// entries with matching operation IDs (GATE004).
+func passGates(ctx *context) []Diagnostic {
+	var ds []Diagnostic
+	b := ctx.b
+
+	for _, e := range b.Analysis.CG.CrossOpEdges(b.Mod, ctx.domains) {
+		from := ctx.opName(e.Dom)
+		_, isEntry := b.EntryOps[e.To]
+		switch {
+		case !e.Indirect && isEntry:
+			ds = append(ds, Diagnostic{
+				Code: "GATE001", Severity: SevError, Op: from, Func: e.From.Name,
+				Message: fmt.Sprintf("direct call to operation entry %s is not instrumented as an SVC gate", e.To.Name),
+			})
+		case !e.Indirect:
+			ds = append(ds, Diagnostic{
+				Code: "GATE002", Severity: SevError, Op: from, Func: e.From.Name,
+				Message: fmt.Sprintf("direct call to %s crosses the operation boundary; the partition is not closed under calls", e.To.Name),
+			})
+		case isEntry:
+			ds = append(ds, Diagnostic{
+				Code: "GATE003", Severity: SevWarn, Op: from, Func: e.From.Name,
+				Message: fmt.Sprintf("indirect call may invoke operation entry %s without an SVC gate (no operation switch would occur)", e.To.Name),
+			})
+		default:
+			ds = append(ds, Diagnostic{
+				Code: "GATE003", Severity: SevWarn, Op: from, Func: e.From.Name,
+				Message: fmt.Sprintf("indirect-call target set escapes the operation (may reach %s)", e.To.Name),
+			})
+		}
+	}
+
+	for _, f := range b.Mod.Functions {
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op != ir.OpSvc {
+				return
+			}
+			op, isEntry := b.EntryOps[in.Fn]
+			switch {
+			case in.Fn == nil || !isEntry:
+				name := "<nil>"
+				if in.Fn != nil {
+					name = in.Fn.Name
+				}
+				ds = append(ds, Diagnostic{
+					Code: "GATE004", Severity: SevError, Func: f.Name,
+					Message: fmt.Sprintf("SVC gate wraps %s, which is not an operation entry", name),
+				})
+			case in.Off != op.ID:
+				ds = append(ds, Diagnostic{
+					Code: "GATE004", Severity: SevError, Func: f.Name,
+					Message: fmt.Sprintf("SVC gate number %d does not match operation %s (ID %d)", in.Off, op.Name, op.ID),
+				})
+			}
+		})
+	}
+	return ds
+}

@@ -1,0 +1,113 @@
+package vet
+
+import (
+	"fmt"
+
+	"opec/internal/core"
+	"opec/internal/mach"
+)
+
+// namedRegion is one region of an operation's plan with a stable label
+// for diagnostics: "region N" for statically-programmed slots,
+// "window N" for virtualized pool entries the monitor rotates in.
+type namedRegion struct {
+	label string
+	r     mach.Region
+}
+
+// regionSpan returns the region's address range as 64-bit ends so a
+// 4 GB region does not wrap.
+func regionSpan(r mach.Region) (lo, hi uint64) {
+	return uint64(r.Base), uint64(r.Base) + 1<<r.SizeLog2
+}
+
+// passMPU lints every operation's MPU plan against the ARMv7-M PMSAv7
+// rules the simulator enforces: size/alignment validity (MPU001),
+// writable regions overlapping the code image — a W^X breach under the
+// architecture's default-executable memory map (MPU002), overlapping
+// regions with different permissions where highest-number-wins silently
+// decides (MPU003), sub-region disables on regions too small to have
+// sub-regions (MPU004), data-section over-coverage forced by
+// power-of-two granularity (MPU005), and plans that exceed the hardware
+// region count and fall back to monitor virtualization (MPU006).
+func passMPU(ctx *context) []Diagnostic {
+	var ds []Diagnostic
+	b := ctx.b
+	codeLo := uint64(mach.FlashBase)
+	codeHi := codeLo + uint64(b.FlashUsed)
+
+	for _, op := range b.Ops {
+		plan := b.MPUFor(op)
+
+		var regions []namedRegion
+		for i, r := range plan.Static {
+			if r.Enabled {
+				regions = append(regions, namedRegion{fmt.Sprintf("region %d", i), r})
+			}
+		}
+		for i := mach.NumRegions - core.RegionPeriph0; i < len(plan.Pool); i++ {
+			regions = append(regions, namedRegion{fmt.Sprintf("window %d", i), plan.Pool[i]})
+		}
+
+		for _, nr := range regions {
+			if err := nr.r.Validate(); err != nil {
+				ds = append(ds, Diagnostic{
+					Code: "MPU001", Severity: SevError, Op: op.Name,
+					Message: fmt.Sprintf("%s: %v", nr.label, err),
+				})
+				continue
+			}
+			if nr.r.SRD != 0 && nr.r.SizeLog2 < 8 {
+				ds = append(ds, Diagnostic{
+					Code: "MPU004", Severity: SevWarn, Op: op.Name,
+					Message: fmt.Sprintf("%s: SRD %#02x is ignored on a %dB region (PMSAv7 sub-regions need >=256B)", nr.label, nr.r.SRD, 1<<nr.r.SizeLog2),
+				})
+			}
+			if nr.label == "region 0" {
+				continue // designed background map; overlaps everything
+			}
+			lo, hi := regionSpan(nr.r)
+			writable := nr.r.Perm == mach.APRW || nr.r.Perm == mach.APPrivRW || nr.r.Perm == mach.APPrivRWUnprivRO
+			if writable && !nr.r.XN && lo < codeHi && codeLo < hi {
+				ds = append(ds, Diagnostic{
+					Code: "MPU002", Severity: SevError, Op: op.Name,
+					Message: fmt.Sprintf("%s [%#x,+%d) is writable, not XN, and overlaps the code image (W^X violation)", nr.label, nr.r.Base, hi-lo),
+				})
+			}
+		}
+
+		// Overlap-priority surprises among the non-background regions:
+		// PMSAv7 gives the higher-numbered region's permission, so an
+		// overlap with differing permissions silently re-grades memory.
+		for i := 0; i < len(regions); i++ {
+			for j := i + 1; j < len(regions); j++ {
+				a, c := regions[i], regions[j]
+				if a.label == "region 0" || a.r.Validate() != nil || c.r.Validate() != nil {
+					continue
+				}
+				alo, ahi := regionSpan(a.r)
+				clo, chi := regionSpan(c.r)
+				if alo < chi && clo < ahi && a.r.Perm != c.r.Perm {
+					ds = append(ds, Diagnostic{
+						Code: "MPU003", Severity: SevWarn, Op: op.Name,
+						Message: fmt.Sprintf("%s (%s) overlaps %s (%s); highest-number-wins silently applies %s", a.label, a.r.Perm, c.label, c.r.Perm, c.r.Perm),
+					})
+				}
+			}
+		}
+
+		if sec := b.OpSections[op.ID]; sec.Size > 0 && sec.Frag() > 0 {
+			ds = append(ds, Diagnostic{
+				Code: "MPU005", Severity: SevInfo, Op: op.Name,
+				Message: fmt.Sprintf("data-section region over-covers its %dB payload by %dB (power-of-two granularity)", sec.Size, sec.Frag()),
+			})
+		}
+		if plan.Virtualized {
+			ds = append(ds, Diagnostic{
+				Code: "MPU006", Severity: SevInfo, Op: op.Name,
+				Message: fmt.Sprintf("%d peripheral/heap windows exceed the %d hardware slots; the monitor virtualizes on MemManage faults", len(plan.Pool), mach.NumRegions-core.RegionPeriph0),
+			})
+		}
+	}
+	return ds
+}

@@ -1,0 +1,43 @@
+package vet
+
+import "fmt"
+
+// passPrivilege is the over-privilege audit: every permission in an
+// operation's MPU plan must be justified by an instruction reachable
+// from the operation entry. Globals are cross-checked against vet's own
+// re-derivation of the access set (PRIV001), grants that rest solely on
+// points-to over-approximation are surfaced (PRIV002), and peripheral
+// windows are checked for datasheet peripherals they cover beyond the
+// operation's allow list — the cost of power-of-two region coverage
+// (PRIV003).
+func passPrivilege(ctx *context) []Diagnostic {
+	var ds []Diagnostic
+	for _, op := range ctx.b.Ops {
+		acc := ctx.acc[op.ID]
+		for _, g := range op.Globals {
+			switch {
+			case !acc.all[g]:
+				ds = append(ds, Diagnostic{
+					Code: "PRIV001", Severity: SevWarn, Op: op.Name, Global: g.Name,
+					Message: fmt.Sprintf("granted %dB in the operation data section but no instruction reachable from %s accesses it", g.Size(), op.Entry.Name),
+				})
+			case !acc.direct[g]:
+				ds = append(ds, Diagnostic{
+					Code: "PRIV002", Severity: SevInfo, Op: op.Name, Global: g.Name,
+					Message: "granted only through points-to over-approximation; no reachable instruction addresses it directly",
+				})
+			}
+		}
+		for _, pr := range op.PeriphRegions {
+			for _, p := range ctx.b.Board.Periphs {
+				if pr.Base < p.Base+p.Size && p.Base < pr.End() && !op.Deps.Periphs[p.Name] {
+					ds = append(ds, Diagnostic{
+						Code: "PRIV003", Severity: SevWarn, Op: op.Name,
+						Message: fmt.Sprintf("MPU window [%#x,+%d) also grants peripheral %s, which is outside the operation's allow list", pr.Base, uint32(1)<<pr.SizeLog2, p.Name),
+					})
+				}
+			}
+		}
+	}
+	return ds
+}

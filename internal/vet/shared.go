@@ -1,0 +1,114 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// passShared audits cross-operation data flows against the monitor's
+// synchronization machinery: a global written in one operation and read
+// in another must be classified external and appear on both sides' sync
+// lists, or the reader sees a stale shadow forever (SHARE001). Stores
+// to read-only data are flagged (SHARE002), heap-resident sharing —
+// which the monitor deliberately never synchronizes — is surfaced for
+// review (SHARE003), multi-writer globals whose merged value is
+// whichever writer switched last are noted (SHARE004), and critical
+// value ranges that can never be enforced because the global is
+// internal to one operation are called out (SHARE005).
+func passShared(ctx *context) []Diagnostic {
+	var ds []Diagnostic
+	b := ctx.b
+
+	syncSet := make([]map[string]bool, len(b.Ops))
+	for _, op := range b.Ops {
+		syncSet[op.ID] = make(map[string]bool)
+		for _, g := range b.SyncList(op) {
+			syncSet[op.ID][g.Name] = true
+		}
+	}
+
+	for _, g := range b.Mod.Globals {
+		var readers, writers, touchers []int
+		for _, op := range b.Ops {
+			acc := ctx.acc[op.ID]
+			if acc.read[g] {
+				readers = append(readers, op.ID)
+			}
+			if acc.written[g] {
+				writers = append(writers, op.ID)
+			}
+			if acc.read[g] || acc.written[g] {
+				touchers = append(touchers, op.ID)
+			}
+		}
+
+		if g.Const {
+			for _, w := range writers {
+				ds = append(ds, Diagnostic{
+					Code: "SHARE002", Severity: SevError, Op: ctx.opName(w), Global: g.Name,
+					Message: "reachable store targets read-only data; the access will fault under the RO background region",
+				})
+			}
+			continue
+		}
+		if g.HeapPool {
+			if len(touchers) >= 2 {
+				ds = append(ds, Diagnostic{
+					Code: "SHARE003", Severity: SevInfo, Global: g.Name,
+					Message: fmt.Sprintf("heap-resident data shared by operations %s with no shadow synchronization (heap is a single region by design)", opList(ctx, touchers)),
+				})
+			}
+			continue
+		}
+
+		crossFlow := false
+		for _, w := range writers {
+			for _, r := range readers {
+				if w != r {
+					crossFlow = true
+				}
+			}
+		}
+		if crossFlow {
+			if !b.External[g] {
+				ds = append(ds, Diagnostic{
+					Code: "SHARE001", Severity: SevError, Global: g.Name,
+					Message: fmt.Sprintf("written in %s and read in %s but not classified external: no shadow, no sync, readers see a private copy", opList(ctx, writers), opList(ctx, readers)),
+				})
+			} else {
+				for _, id := range touchers {
+					if !syncSet[id][g.Name] {
+						ds = append(ds, Diagnostic{
+							Code: "SHARE001", Severity: SevError, Op: ctx.opName(id), Global: g.Name,
+							Message: "participates in a cross-operation flow but is missing from this operation's sync list",
+						})
+					}
+				}
+			}
+			if len(writers) >= 2 {
+				ds = append(ds, Diagnostic{
+					Code: "SHARE004", Severity: SevInfo, Global: g.Name,
+					Message: fmt.Sprintf("written by operations %s; monitor synchronization is last-switched-writer-wins", opList(ctx, writers)),
+				})
+			}
+		}
+		if g.Critical != nil && !b.External[g] && len(touchers) > 0 {
+			ds = append(ds, Diagnostic{
+				Code: "SHARE005", Severity: SevWarn, Global: g.Name,
+				Message: fmt.Sprintf("critical range [%d,%d] is never enforced: the global is internal to one operation and the monitor only sanitizes externals", g.Critical.Min, g.Critical.Max),
+			})
+		}
+	}
+	return ds
+}
+
+// opList renders operation IDs as their names, ascending by ID.
+func opList(ctx *context, ids []int) string {
+	sort.Ints(ids)
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = ctx.opName(id)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,200 @@
+// Package vet is the static least-privilege and isolation auditor of
+// the OPEC toolchain: a pass-based analyzer that runs over a compiled
+// core.Build (module + partitioning + layout + MPU plans) and turns the
+// paper's implicit security invariants into machine-checked
+// diagnostics. Where internal/core *derives* each operation's minimal
+// permissions, vet independently *re-derives* the facts from the call
+// graph and points-to results and cross-checks them against what the
+// image actually grants — the role compartment-linkage audits play in
+// CompartOS and the compartment-escape verification plays in UCCA.
+//
+// Five passes ship:
+//
+//	over-privilege — permissions granted but never exercised by any
+//	                 instruction reachable from the operation entry,
+//	                 plus the least-privilege gap metric (PRIV...)
+//	gate-bypass    — call edges that cross operation boundaries without
+//	                 the instrumented SVC gate (GATE...)
+//	mpu-layout     — ARMv7-M PMSAv7 region lint: alignment, W^X,
+//	                 overlap priority, sub-regions (MPU...)
+//	shared-data    — cross-operation data flows missing from the sync
+//	                 or sanitize lists (SHARE...)
+//	dead-code      — functions unreachable from any entry or IRQ root,
+//	                 dead data, privileged-only surface (DEAD...)
+//
+// All output is deterministically ordered so reports can be diffed and
+// golden-tested.
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"opec/internal/core"
+)
+
+// Severity grades a diagnostic. It is a string so reports round-trip
+// through encoding/json without custom marshaling.
+type Severity string
+
+// Severities, weakest first. Error means the build violates an OPEC
+// isolation invariant; Warn means the least-privilege argument is
+// weakened; Info is an observation worth a human look.
+const (
+	SevInfo  Severity = "info"
+	SevWarn  Severity = "warn"
+	SevError Severity = "error"
+)
+
+// Diagnostic is one finding: a stable code, a severity, the anchors it
+// applies to (any of which may be empty) and a human message.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Op       string   `json:"op,omitempty"`
+	Func     string   `json:"func,omitempty"`
+	Global   string   `json:"global,omitempty"`
+	Message  string   `json:"message"`
+}
+
+// OpGap is one operation's least-privilege gap: the bytes its MPU plan
+// grants versus the bytes its reachable instructions provably use.
+type OpGap struct {
+	Op            string `json:"op"`
+	GrantedBytes  uint64 `json:"granted_bytes"`
+	AccessedBytes uint64 `json:"accessed_bytes"`
+}
+
+// Percent returns the gap as a percentage of the grant: 0 means every
+// granted byte is exercised, 100 means nothing granted is ever touched.
+func (g OpGap) Percent() float64 {
+	if g.GrantedBytes == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(g.AccessedBytes)/float64(g.GrantedBytes))
+}
+
+// GapMetric aggregates the per-operation gaps into the whole-image
+// least-privilege gap.
+type GapMetric struct {
+	PerOp         []OpGap `json:"per_op"`
+	GrantedBytes  uint64  `json:"granted_bytes"`
+	AccessedBytes uint64  `json:"accessed_bytes"`
+}
+
+// Percent returns the image-wide gap percentage.
+func (g GapMetric) Percent() float64 {
+	return OpGap{GrantedBytes: g.GrantedBytes, AccessedBytes: g.AccessedBytes}.Percent()
+}
+
+// Report is the auditor's output for one build.
+type Report struct {
+	Module string       `json:"module"`
+	Board  string       `json:"board"`
+	Passes []string     `json:"passes"`
+	Diags  []Diagnostic `json:"diagnostics"`
+	Gap    GapMetric    `json:"least_privilege_gap"`
+}
+
+// passes is the fixed pass pipeline; each returns its diagnostics in
+// any order, Run sorts globally.
+var passes = []struct {
+	name string
+	run  func(*context) []Diagnostic
+}{
+	{"over-privilege", passPrivilege},
+	{"gate-bypass", passGates},
+	{"mpu-layout", passMPU},
+	{"shared-data", passShared},
+	{"dead-code", passDead},
+}
+
+// PassNames returns the pipeline's pass names in execution order.
+func PassNames() []string {
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = p.name
+	}
+	return names
+}
+
+// Run audits a compiled build and returns the deterministic report.
+func Run(b *core.Build) *Report {
+	ctx := newContext(b)
+	rep := &Report{
+		Module: b.Mod.Name,
+		Board:  b.Board.Name,
+		Passes: PassNames(),
+	}
+	for _, p := range passes {
+		rep.Diags = append(rep.Diags, p.run(ctx)...)
+	}
+	sort.SliceStable(rep.Diags, func(i, j int) bool {
+		a, b := rep.Diags[i], rep.Diags[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Global != b.Global {
+			return a.Global < b.Global
+		}
+		return a.Message < b.Message
+	})
+	rep.Gap = gapMetric(ctx)
+	return rep
+}
+
+// Count returns the number of diagnostics at the given severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// JSON serializes the report.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the report as stable, diffable text.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vet %s on %s: %d diagnostics (%d errors, %d warnings, %d info)\n",
+		r.Module, r.Board, len(r.Diags), r.Count(SevError), r.Count(SevWarn), r.Count(SevInfo))
+	fmt.Fprintf(&sb, "passes: %s\n", strings.Join(r.Passes, ", "))
+	fmt.Fprintf(&sb, "least-privilege gap: granted=%dB accessed=%dB gap=%.1f%%\n",
+		r.Gap.GrantedBytes, r.Gap.AccessedBytes, r.Gap.Percent())
+	for _, g := range r.Gap.PerOp {
+		fmt.Fprintf(&sb, "  op %-18s granted=%-8s accessed=%-8s gap=%.1f%%\n",
+			g.Op, fmt.Sprintf("%dB", g.GrantedBytes), fmt.Sprintf("%dB", g.AccessedBytes), g.Percent())
+	}
+	for _, d := range r.Diags {
+		var where []string
+		if d.Op != "" {
+			where = append(where, "op="+d.Op)
+		}
+		if d.Func != "" {
+			where = append(where, "func="+d.Func)
+		}
+		if d.Global != "" {
+			where = append(where, "global="+d.Global)
+		}
+		anchor := ""
+		if len(where) > 0 {
+			anchor = " " + strings.Join(where, " ")
+		}
+		fmt.Fprintf(&sb, "%s %-5s%s: %s\n", d.Code, d.Severity, anchor, d.Message)
+	}
+	return sb.String()
+}

@@ -1,0 +1,343 @@
+package vet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/testprog"
+	"opec/internal/vet"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden vet snapshots")
+
+// compileMini compiles the miniature PinLock after applying mutate to
+// its module — the hook for pre-compile fixture shaping. Post-compile
+// tampering (modelling instrumentation bugs) happens on the returned
+// build instead.
+func compileMini(t *testing.T, mutate func(m *ir.Module)) *core.Build {
+	t.Helper()
+	m := testprog.PinLockLike()
+	if mutate != nil {
+		mutate(m)
+	}
+	b, err := core.Compile(m, mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func opByName(t *testing.T, b *core.Build, name string) *core.Operation {
+	t.Helper()
+	for _, op := range b.Ops {
+		if op.Name == name {
+			return op
+		}
+	}
+	t.Fatalf("operation %s not found", name)
+	return nil
+}
+
+// codes returns the set of diagnostic codes present in a report.
+func codes(rep *vet.Report) map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range rep.Diags {
+		out[d.Code] = true
+	}
+	return out
+}
+
+// prepend inserts an instruction at the top of a function's entry block,
+// the same post-compile tampering idiom the Section 6.1 case study uses
+// to model a compromise the compiler never saw.
+func prepend(f *ir.Function, in *ir.Instr) {
+	e := f.Entry()
+	e.Instrs = append([]*ir.Instr{in}, e.Instrs...)
+}
+
+// TestGoldenSnapshots locks the full vet report of every evaluation
+// workload. Regenerate with: go test ./internal/vet -run Golden -update
+func TestGoldenSnapshots(t *testing.T) {
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			inst := app.New()
+			b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := vet.Run(b).Render()
+			golden := filepath.Join("testdata", strings.ToLower(app.Name)+".vet.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("vet report for %s drifted from %s:\n got:\n%s\nwant:\n%s",
+					app.Name, golden, got, want)
+			}
+		})
+	}
+}
+
+// TestReportDeterministic re-derives the report from two independent
+// compiles of the same workload: text and JSON must be bit-identical.
+func TestReportDeterministic(t *testing.T) {
+	render := func() (string, []byte) {
+		rep := vet.Run(compileMini(t, nil))
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Render(), js
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if t1 != t2 {
+		t.Errorf("text report differs across runs:\n%s\nvs\n%s", t1, t2)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON report differs across runs")
+	}
+}
+
+// TestJSONRoundTrip marshals a real report and unmarshals it back into
+// an identical value — the acceptance property for machine consumers.
+func TestJSONRoundTrip(t *testing.T) {
+	inst := apps.PinLockN(1).New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := vet.Run(b)
+	if len(rep.Diags) == 0 {
+		t.Fatal("PinLock vet report is empty; expected diagnostics")
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back vet.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*rep, back) {
+		t.Error("report does not round-trip through encoding/json")
+	}
+}
+
+// A healthy build must carry none of the error-severity codes: the
+// synthetic tests below earn those codes by tampering, so this is the
+// control group.
+func TestHealthyBuildHasNoErrors(t *testing.T) {
+	rep := vet.Run(compileMini(t, nil))
+	if n := rep.Count(vet.SevError); n != 0 {
+		t.Fatalf("healthy build has %d error diagnostics:\n%s", n, rep.Render())
+	}
+}
+
+// GATE001: a direct, un-gated call to another operation's entry — the
+// instrumentation pass missed a site.
+func TestGateUninstrumentedEntryCall(t *testing.T) {
+	b := compileMini(t, nil)
+	lt := b.Mod.MustFunc("Lock_Task")
+	ut := b.Mod.MustFunc("Unlock_Task")
+	prepend(lt, &ir.Instr{Op: ir.OpCall, Fn: ut})
+	rep := vet.Run(b)
+	if !codes(rep)["GATE001"] {
+		t.Errorf("GATE001 not reported:\n%s", rep.Render())
+	}
+}
+
+// GATE002: a direct call to a private member of another operation — the
+// partition is not closed under calls.
+func TestGateClosureViolation(t *testing.T) {
+	b := compileMini(t, nil)
+	lt := b.Mod.MustFunc("Lock_Task")
+	du := b.Mod.MustFunc("do_unlock")
+	prepend(lt, &ir.Instr{Op: ir.OpCall, Fn: du})
+	rep := vet.Run(b)
+	if !codes(rep)["GATE002"] {
+		t.Errorf("GATE002 not reported:\n%s", rep.Render())
+	}
+}
+
+// GATE004, both shapes: an SVC gate wrapping a non-entry, and a gate
+// whose SVC number disagrees with the target operation's ID.
+func TestGateBadSVC(t *testing.T) {
+	b := compileMini(t, nil)
+	main := b.Mod.MustFunc("main")
+	hash := b.Mod.MustFunc("hash")
+	ut := b.Mod.MustFunc("Unlock_Task")
+	utID := b.EntryOps[ut].ID
+	prepend(main, &ir.Instr{Op: ir.OpSvc, Fn: hash})
+	prepend(main, &ir.Instr{Op: ir.OpSvc, Fn: ut, Off: utID + 1})
+	rep := vet.Run(b)
+	n := 0
+	for _, d := range rep.Diags {
+		if d.Code == "GATE004" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("got %d GATE004 diagnostics, want 2:\n%s", n, rep.Render())
+	}
+}
+
+// SHARE001: a cross-operation write→read flow on a global the compiler
+// never classified external — readers would see a stale private copy.
+func TestShareUnsyncedFlow(t *testing.T) {
+	b := compileMini(t, nil)
+	g := b.Mod.AddGlobal(&ir.Global{Name: "smuggled", Typ: ir.I32})
+	prepend(b.Mod.MustFunc("Unlock_Task"), &ir.Instr{Op: ir.OpStore, Typ: ir.I32, Args: []ir.Value{g, ir.CI(1)}})
+	prepend(b.Mod.MustFunc("Lock_Task"), &ir.Instr{Op: ir.OpLoad, Typ: ir.I32, Args: []ir.Value{g}})
+	rep := vet.Run(b)
+	if !codes(rep)["SHARE001"] {
+		t.Errorf("SHARE001 not reported:\n%s", rep.Render())
+	}
+}
+
+// SHARE002: a reachable store into read-only data.
+func TestShareStoreToConst(t *testing.T) {
+	b := compileMini(t, nil)
+	g := b.Mod.AddGlobal(&ir.Global{Name: "banner", Typ: ir.Array(ir.I8, 4), Init: []byte("OPEC"), Const: true})
+	prepend(b.Mod.MustFunc("Lock_Task"), &ir.Instr{Op: ir.OpStore, Typ: ir.I8, Args: []ir.Value{g, ir.CI(0)}})
+	rep := vet.Run(b)
+	if !codes(rep)["SHARE002"] {
+		t.Errorf("SHARE002 not reported:\n%s", rep.Render())
+	}
+}
+
+// PRIV001: a data-section grant no reachable instruction justifies —
+// exactly the partition-time over-privilege the case study is about
+// (KEY appearing in Lock_Task's section).
+func TestPrivilegeUnjustifiedGrant(t *testing.T) {
+	b := compileMini(t, nil)
+	lt := opByName(t, b, "Lock_Task")
+	lt.Globals = append(lt.Globals, b.Mod.Global("KEY"))
+	rep := vet.Run(b)
+	found := false
+	for _, d := range rep.Diags {
+		if d.Code == "PRIV001" && d.Op == "Lock_Task" && d.Global == "KEY" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("PRIV001 for Lock_Task/KEY not reported:\n%s", rep.Render())
+	}
+}
+
+// MPU001: a peripheral window whose base is not aligned to its size.
+func TestMPUInvalidRegion(t *testing.T) {
+	b := compileMini(t, nil)
+	lt := opByName(t, b, "Lock_Task")
+	lt.PeriphRegions = append(lt.PeriphRegions, core.PeriphRegion{Base: 0x40000010, SizeLog2: 8})
+	rep := vet.Run(b)
+	if !codes(rep)["MPU001"] {
+		t.Errorf("MPU001 not reported:\n%s", rep.Render())
+	}
+}
+
+// MPU002 + MPU003: a writable, non-XN window dropped onto the code
+// image breaches W^X and overlaps the read-only code region with a
+// different permission, so highest-number-wins silently re-grades it.
+func TestMPUWritableCodeOverlap(t *testing.T) {
+	b := compileMini(t, nil)
+	lt := opByName(t, b, "Lock_Task")
+	lt.PeriphRegions = append(lt.PeriphRegions, core.PeriphRegion{Base: mach.FlashBase, SizeLog2: 10})
+	rep := vet.Run(b)
+	cs := codes(rep)
+	if !cs["MPU002"] {
+		t.Errorf("MPU002 not reported:\n%s", rep.Render())
+	}
+	if !cs["MPU003"] {
+		t.Errorf("MPU003 not reported:\n%s", rep.Render())
+	}
+}
+
+// MPU006: more peripheral windows than hardware slots forces monitor
+// virtualization.
+func TestMPUVirtualizedPlan(t *testing.T) {
+	b := compileMini(t, nil)
+	lt := opByName(t, b, "Lock_Task")
+	for i := 0; i < 5; i++ {
+		lt.PeriphRegions = append(lt.PeriphRegions, core.PeriphRegion{
+			Base: 0x40010000 + uint32(i)*0x400, SizeLog2: 10,
+		})
+	}
+	rep := vet.Run(b)
+	if !codes(rep)["MPU006"] {
+		t.Errorf("MPU006 not reported:\n%s", rep.Render())
+	}
+}
+
+// DEAD001 + DEAD003: a function nothing calls is dead surface; a helper
+// reachable only from an IRQ root runs privileged outside every
+// operation. Both shaped at module-build time so the call graph sees
+// them.
+func TestDeadAndPrivilegedSurface(t *testing.T) {
+	b := compileMini(t, func(m *ir.Module) {
+		orphan := ir.NewFunc(m, "orphan", "dead.c", nil)
+		orphan.RetVoid()
+
+		helper := ir.NewFunc(m, "irq_helper", "irq.c", nil)
+		helper.RetVoid()
+		h := ir.NewFunc(m, "TIM2_IRQHandler", "irq.c", nil)
+		h.Call(helper.F)
+		h.RetVoid()
+		h.F.IRQHandler = true
+	})
+	rep := vet.Run(b)
+	var dead1, dead3 bool
+	for _, d := range rep.Diags {
+		if d.Code == "DEAD001" && d.Func == "orphan" {
+			dead1 = true
+		}
+		if d.Code == "DEAD003" && d.Func == "irq_helper" {
+			dead3 = true
+		}
+	}
+	if !dead1 {
+		t.Errorf("DEAD001 for orphan not reported:\n%s", rep.Render())
+	}
+	if !dead3 {
+		t.Errorf("DEAD003 for irq_helper not reported:\n%s", rep.Render())
+	}
+}
+
+// The gap metric must grant at least what it observes accessed, and the
+// whole-image numbers must be the per-op sums.
+func TestGapMetricConsistency(t *testing.T) {
+	rep := vet.Run(compileMini(t, nil))
+	var granted, accessed uint64
+	for _, g := range rep.Gap.PerOp {
+		granted += g.GrantedBytes
+		accessed += g.AccessedBytes
+		if g.AccessedBytes > g.GrantedBytes {
+			t.Errorf("op %s: accessed %dB exceeds granted %dB", g.Op, g.AccessedBytes, g.GrantedBytes)
+		}
+		if p := g.Percent(); p < 0 || p > 100 {
+			t.Errorf("op %s: gap percent %v out of range", g.Op, p)
+		}
+	}
+	if granted != rep.Gap.GrantedBytes || accessed != rep.Gap.AccessedBytes {
+		t.Errorf("image totals (%d,%d) are not the per-op sums (%d,%d)",
+			rep.Gap.GrantedBytes, rep.Gap.AccessedBytes, granted, accessed)
+	}
+}

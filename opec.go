@@ -32,6 +32,7 @@ import (
 	"opec/internal/mach"
 	"opec/internal/monitor"
 	"opec/internal/run"
+	"opec/internal/vet"
 )
 
 // Core types, re-exported for API users.
@@ -51,6 +52,10 @@ type (
 	Strategy = aces.Strategy
 	// Monitor is the runtime reference monitor of a booted OPEC image.
 	Monitor = monitor.Monitor
+	// VetReport is the output of the static isolation auditor.
+	VetReport = vet.Report
+	// VetDiagnostic is one auditor finding.
+	VetDiagnostic = vet.Diagnostic
 )
 
 // The three evaluated ACES strategies.
@@ -64,6 +69,13 @@ const (
 const (
 	Full  = exper.Full
 	Quick = exper.Quick
+)
+
+// Vet diagnostic severities.
+const (
+	VetInfo  = vet.SevInfo
+	VetWarn  = vet.SevWarn
+	VetError = vet.SevError
 )
 
 // Apps returns the seven evaluation workloads at paper scale.
@@ -100,6 +112,10 @@ func CompileOPEC(inst *Instance) (*Build, error) {
 func CompileACES(inst *Instance, s Strategy) (*aces.Build, error) {
 	return aces.Compile(inst.Mod, inst.Board, s)
 }
+
+// Vet runs the static least-privilege and isolation auditor
+// (opec-vet's five passes) over a compiled build.
+func Vet(b *Build) *VetReport { return vet.Run(b) }
 
 // Evaluation harness re-exports.
 var (
