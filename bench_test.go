@@ -22,17 +22,9 @@ import (
 	"opec/internal/run"
 )
 
-// quickApps mirrors the experiment harness's reduced sizes.
+// benchApps is the experiment harness's reduced-size workload set.
 func benchApps() []*apps.App {
-	return []*apps.App{
-		apps.PinLockN(5),
-		apps.AnimationN(3),
-		apps.FatFsUSD(),
-		apps.LCDuSDN(2),
-		apps.TCPEchoN(3, 9),
-		apps.Camera(),
-		apps.CoreMarkN(3),
-	}
+	return exper.AppsFor(exper.Quick)
 }
 
 // ---- Tables and figures ----
@@ -144,6 +136,73 @@ func BenchmarkTable3(b *testing.B) {
 		}
 		b.ReportMetric(float64(icalls), "icalls")
 		b.ReportMetric(float64(svf), "svfResolved")
+	}
+}
+
+// ---- Harness sweep benchmarks ----
+
+// sweep runs all six experiments on one harness, touching the results
+// so nothing is optimized away.
+func sweep(b *testing.B, h *exper.Harness) {
+	b.Helper()
+	if _, err := h.Table1(exper.Quick); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Figure9(exper.Quick); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Table2(exper.Quick); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Figure10(exper.Quick); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Figure11(exper.Quick); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Table3(exper.Quick); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHarnessSerialUncached approximates the seed harness: every
+// experiment gets its own cache (no cross-experiment reuse) and a
+// single worker — the redundant-recompilation baseline the shared
+// cache eliminates.
+func BenchmarkHarnessSerialUncached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, f := range []func(exper.AppSet) error{
+			func(s exper.AppSet) error { _, err := exper.NewHarness(1).Table1(s); return err },
+			func(s exper.AppSet) error { _, err := exper.NewHarness(1).Figure9(s); return err },
+			func(s exper.AppSet) error { _, err := exper.NewHarness(1).Table2(s); return err },
+			func(s exper.AppSet) error { _, err := exper.NewHarness(1).Figure10(s); return err },
+			func(s exper.AppSet) error { _, err := exper.NewHarness(1).Figure11(s); return err },
+			func(s exper.AppSet) error { _, err := exper.NewHarness(1).Table3(s); return err },
+		} {
+			if err := f(exper.Quick); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHarnessSerialCached shares one cache across the sweep but
+// keeps a single worker — isolates the memoization win.
+func BenchmarkHarnessSerialCached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := exper.NewHarness(1)
+		sweep(b, h)
+		b.ReportMetric(float64(h.Cache.Misses()), "compiles")
+	}
+}
+
+// BenchmarkHarnessParallel is the full pipeline: shared cache plus the
+// GOMAXPROCS worker pool — the `opec-bench -exp all` configuration.
+func BenchmarkHarnessParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := exper.NewHarness(0)
+		sweep(b, h)
+		b.ReportMetric(float64(h.Cache.Misses()), "compiles")
 	}
 }
 

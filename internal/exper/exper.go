@@ -4,9 +4,15 @@
 // (partition-time over-privilege CDFs), Figure 11 (execution-time
 // over-privilege per task) and Table 3 (icall analysis efficiency).
 //
-// Each experiment builds fresh workload instances (compilation mutates
-// modules) and returns typed rows; render.go turns them into the
-// console tables and series the artifact's experiment scripts print.
+// Experiments are methods on a Harness, which owns a memoized build
+// cache (compilation mutates modules, so the cache compiles one fresh
+// workload instance per (app, scheme, scale) key and shares the
+// immutable build) and a bounded worker pool that fans per-app work
+// out while reassembling results in the fixed application order —
+// rendered tables are byte-identical at every parallelism level. The
+// package-level functions are one-shot conveniences over a fresh
+// harness; a sweep over several experiments should share one harness
+// so builds and runs are reused across them.
 package exper
 
 import (
@@ -14,9 +20,7 @@ import (
 
 	"opec/internal/aces"
 	"opec/internal/apps"
-	"opec/internal/core"
 	"opec/internal/metrics"
-	"opec/internal/run"
 )
 
 // AppSet selects workload sizes.
@@ -29,8 +33,8 @@ const (
 	Quick
 )
 
-// appsFor returns the seven workloads at the requested scale.
-func appsFor(s AppSet) []*apps.App {
+// AppsFor returns the seven workloads at the requested scale.
+func AppsFor(s AppSet) []*apps.App {
 	if s == Full {
 		return apps.All()
 	}
@@ -47,12 +51,36 @@ func appsFor(s AppSet) []*apps.App {
 
 // acesAppsFor returns the five ACES-comparison workloads (Section 6.4).
 func acesAppsFor(s AppSet) []*apps.App {
-	all := appsFor(s)
+	all := AppsFor(s)
 	return []*apps.App{all[0], all[1], all[2], all[3], all[4]}
 }
 
 // Strategies is the evaluated ACES policy order.
 var Strategies = []aces.Strategy{aces.Filename, aces.FilenameNoOpt, aces.Peripheral}
+
+// One-shot conveniences: each builds a fresh harness (default
+// parallelism), so repeated calls recompile from scratch. Sweeps
+// should construct one Harness and call its methods instead.
+
+// Table1 computes the Table 1 metrics for every workload.
+func Table1(s AppSet) ([]Table1Row, error) { return NewHarness(0).Table1(s) }
+
+// Figure9 measures runtime, Flash and SRAM overheads for every
+// workload.
+func Figure9(s AppSet) ([]Figure9Row, error) { return NewHarness(0).Figure9(s) }
+
+// Table2 runs the five ACES applications under OPEC and all three ACES
+// strategies.
+func Table2(s AppSet) ([]Table2Row, error) { return NewHarness(0).Table2(s) }
+
+// Figure10 computes the PT CDFs of the five ACES applications.
+func Figure10(s AppSet) ([]Figure10Series, error) { return NewHarness(0).Figure10(s) }
+
+// Figure11 evaluates per-task execution-time over-privilege.
+func Figure11(s AppSet) ([]Figure11Series, error) { return NewHarness(0).Figure11(s) }
+
+// Table3 reports the indirect-call resolution statistics per workload.
+func Table3(s AppSet) ([]Table3Row, error) { return NewHarness(0).Table3(s) }
 
 // ---- Table 1 ----
 
@@ -68,13 +96,14 @@ type Table1Row struct {
 }
 
 // Table1 computes the Table 1 metrics for every workload.
-func Table1(s AppSet) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, app := range appsFor(s) {
-		inst := app.New()
-		b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+func (h *Harness) Table1(s AppSet) ([]Table1Row, error) {
+	appList := AppsFor(s)
+	rows := make([]Table1Row, len(appList))
+	err := h.forEach(len(appList), func(i int) error {
+		app := appList[i]
+		b, err := h.Cache.OPECBuild(app, s)
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", app.Name, err)
+			return fmt.Errorf("table1: %w", err)
 		}
 		row := Table1Row{App: app.Name, Ops: len(b.Ops), PriCode: b.MonitorCodeBytes}
 		funcs, gbytes := 0, 0
@@ -89,13 +118,25 @@ func Table1(s AppSet) ([]Table1Row, error) {
 		if total > 0 {
 			row.AvgGVarsPct = 100 * row.AvgGVars / float64(total)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	rows = append(rows, averageTable1(rows))
+	if avg, ok := averageTable1(rows); ok {
+		rows = append(rows, avg)
+	}
 	return rows, nil
 }
 
-func averageTable1(rows []Table1Row) Table1Row {
+// averageTable1 builds the "Average" row. An empty row set has no
+// average (the unguarded division would produce a NaN row), reported
+// via the second return.
+func averageTable1(rows []Table1Row) (Table1Row, bool) {
+	if len(rows) == 0 {
+		return Table1Row{}, false
+	}
 	avg := Table1Row{App: "Average"}
 	n := float64(len(rows))
 	for _, r := range rows {
@@ -108,7 +149,7 @@ func averageTable1(rows []Table1Row) Table1Row {
 	}
 	avg.Ops = int(float64(avg.Ops)/n + 0.5)
 	avg.PriCode = int(float64(avg.PriCode)/n + 0.5)
-	return avg
+	return avg, true
 }
 
 // ---- Figure 9 ----
@@ -126,44 +167,42 @@ type Figure9Row struct {
 
 // Figure9 measures runtime, Flash and SRAM overheads for every
 // workload.
-func Figure9(s AppSet) ([]Figure9Row, error) {
-	var rows []Figure9Row
-	for _, app := range appsFor(s) {
-		row, err := figure9One(app)
+func (h *Harness) Figure9(s AppSet) ([]Figure9Row, error) {
+	appList := AppsFor(s)
+	rows := make([]Figure9Row, len(appList))
+	err := h.forEach(len(appList), func(i int) error {
+		row, err := h.figure9One(appList[i], s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	avg := Figure9Row{App: "Average"}
-	n := float64(len(rows))
-	for _, r := range rows {
-		avg.RuntimePct += r.RuntimePct / n
-		avg.FlashPct += r.FlashPct / n
-		avg.SRAMPct += r.SRAMPct / n
+	if n := float64(len(rows)); n > 0 {
+		avg := Figure9Row{App: "Average"}
+		for _, r := range rows {
+			avg.RuntimePct += r.RuntimePct / n
+			avg.FlashPct += r.FlashPct / n
+			avg.SRAMPct += r.SRAMPct / n
+		}
+		rows = append(rows, avg)
 	}
-	rows = append(rows, avg)
 	return rows, nil
 }
 
-func figure9One(app *apps.App) (Figure9Row, error) {
-	iv := app.New()
-	rv, err := run.Vanilla(iv)
+func (h *Harness) figure9One(app *apps.App, s AppSet) (Figure9Row, error) {
+	rv, err := h.Cache.VanillaRun(app, s)
 	if err != nil {
-		return Figure9Row{}, fmt.Errorf("figure9 %s vanilla: %w", app.Name, err)
+		return Figure9Row{}, fmt.Errorf("figure9: %w", err)
 	}
-	if err := run.AndCheck(iv, rv); err != nil {
-		return Figure9Row{}, fmt.Errorf("figure9 %s vanilla check: %w", app.Name, err)
-	}
-	io := app.New()
-	ro, err := run.OPEC(io)
+	ro, err := h.Cache.OPECRun(app, s)
 	if err != nil {
-		return Figure9Row{}, fmt.Errorf("figure9 %s OPEC: %w", app.Name, err)
+		return Figure9Row{}, fmt.Errorf("figure9: %w", err)
 	}
-	if err := run.AndCheck(io, ro); err != nil {
-		return Figure9Row{}, fmt.Errorf("figure9 %s OPEC check: %w", app.Name, err)
-	}
-	board := iv.Board
+	board := ro.Build.Board
 	return Figure9Row{
 		App:           app.Name,
 		RuntimePct:    100 * (float64(ro.Cycles)/float64(rv.Cycles) - 1),
@@ -188,43 +227,49 @@ type Table2Row struct {
 
 // Table2 runs the five ACES applications under OPEC and all three ACES
 // strategies.
-func Table2(s AppSet) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, app := range acesAppsFor(s) {
-		iv := app.New()
-		rv, err := run.Vanilla(iv)
+func (h *Harness) Table2(s AppSet) ([]Table2Row, error) {
+	appList := acesAppsFor(s)
+	perApp := make([][]Table2Row, len(appList))
+	err := h.forEach(len(appList), func(i int) error {
+		app := appList[i]
+		rv, err := h.Cache.VanillaRun(app, s)
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s vanilla: %w", app.Name, err)
+			return fmt.Errorf("table2: %w", err)
 		}
-		board := iv.Board
-
-		io := app.New()
-		ro, err := run.OPEC(io)
+		ro, err := h.Cache.OPECRun(app, s)
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s OPEC: %w", app.Name, err)
+			return fmt.Errorf("table2: %w", err)
 		}
-		rows = append(rows, Table2Row{
+		board := ro.Build.Board
+		rows := []Table2Row{{
 			App: app.Name, Policy: "OPEC",
 			RO:  float64(ro.Cycles) / float64(rv.Cycles),
 			FO:  100 * float64(ro.Build.FlashUsed-rv.Van.FlashUsed) / float64(board.FlashSize),
 			SO:  100 * float64(ro.Build.SRAMUsed-rv.Van.SRAMUsed) / float64(board.SRAMSize),
 			PAC: 0, // OPEC keeps all application code unprivileged
-		})
-
-		for i, strat := range Strategies {
-			ia := app.New()
-			ra, err := run.ACES(ia, strat)
+		}}
+		for j, strat := range Strategies {
+			ra, err := h.Cache.ACESRun(app, s, strat)
 			if err != nil {
-				return nil, fmt.Errorf("table2 %s %v: %w", app.Name, strat, err)
+				return fmt.Errorf("table2: %w", err)
 			}
 			rows = append(rows, Table2Row{
-				App: app.Name, Policy: fmt.Sprintf("ACES-%d", i+1),
+				App: app.Name, Policy: fmt.Sprintf("ACES-%d", j+1),
 				RO:  float64(ra.Cycles) / float64(rv.Cycles),
 				FO:  100 * float64(ra.ABld.FlashUsed-rv.Van.FlashUsed) / float64(board.FlashSize),
 				SO:  100 * float64(ra.ABld.SRAMUsed-rv.Van.SRAMUsed) / float64(board.SRAMSize),
 				PAC: 100 * float64(ra.ABld.PrivilegedCodeBytes()) / float64(ra.ABld.CodeBytes),
 			})
 		}
+		perApp[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, r := range perApp {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }
@@ -247,27 +292,28 @@ var Figure10Thresholds = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.
 // Figure10 computes the PT CDFs of the five ACES applications under the
 // three strategies (plus OPEC's, which is identically zero — included
 // so the claim is produced by measurement, not assumption).
-func Figure10(s AppSet) ([]Figure10Series, error) {
-	var out []Figure10Series
-	for _, app := range acesAppsFor(s) {
-		for i, strat := range Strategies {
-			inst := app.New()
-			b, err := aces.Compile(inst.Mod, inst.Board, strat)
+func (h *Harness) Figure10(s AppSet) ([]Figure10Series, error) {
+	appList := acesAppsFor(s)
+	perApp := make([][]Figure10Series, len(appList))
+	err := h.forEach(len(appList), func(i int) error {
+		app := appList[i]
+		var out []Figure10Series
+		for j, strat := range Strategies {
+			b, err := h.Cache.ACESBuild(app, s, strat)
 			if err != nil {
-				return nil, fmt.Errorf("figure10 %s %v: %w", app.Name, strat, err)
+				return fmt.Errorf("figure10: %w", err)
 			}
 			pts := metrics.PTsForACES(b)
 			out = append(out, Figure10Series{
-				App: app.Name, Strategy: fmt.Sprintf("ACES%d", i+1),
+				App: app.Name, Strategy: fmt.Sprintf("ACES%d", j+1),
 				PTs:        pts,
 				Thresholds: Figure10Thresholds,
 				CDF:        metrics.CumulativeRatio(pts, Figure10Thresholds),
 			})
 		}
-		inst := app.New()
-		ob, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+		ob, err := h.Cache.OPECBuild(app, s)
 		if err != nil {
-			return nil, fmt.Errorf("figure10 %s OPEC: %w", app.Name, err)
+			return fmt.Errorf("figure10: %w", err)
 		}
 		pts := metrics.PTsForOPEC(ob)
 		out = append(out, Figure10Series{
@@ -276,6 +322,15 @@ func Figure10(s AppSet) ([]Figure10Series, error) {
 			Thresholds: Figure10Thresholds,
 			CDF:        metrics.CumulativeRatio(pts, Figure10Thresholds),
 		})
+		perApp[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure10Series
+	for _, series := range perApp {
+		out = append(out, series...)
 	}
 	return out, nil
 }
@@ -293,35 +348,41 @@ type Figure11Series struct {
 // Figure11 traces each of the five applications once and evaluates the
 // per-task execution-time over-privilege under OPEC and the three ACES
 // strategies.
-func Figure11(s AppSet) ([]Figure11Series, error) {
-	var out []Figure11Series
-	for _, app := range acesAppsFor(s) {
-		ti := app.New()
-		tr, err := metrics.TraceTasks(ti)
+func (h *Harness) Figure11(s AppSet) ([]Figure11Series, error) {
+	appList := acesAppsFor(s)
+	perApp := make([][]Figure11Series, len(appList))
+	err := h.forEach(len(appList), func(i int) error {
+		app := appList[i]
+		tr, err := h.Cache.Trace(app, s)
 		if err != nil {
-			return nil, fmt.Errorf("figure11 %s trace: %w", app.Name, err)
+			return fmt.Errorf("figure11: %w", err)
 		}
-
-		oi := app.New()
-		ob, err := core.Compile(oi.Mod, oi.Board, oi.Cfg)
+		ob, err := h.Cache.OPECBuild(app, s)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("figure11: %w", err)
 		}
 		names, ets := metrics.ETForOPEC(ob, tr)
-		out = append(out, Figure11Series{App: app.Name, Strategy: "OPEC", Tasks: names, ET: ets})
-
-		for i, strat := range Strategies {
-			ai := app.New()
-			ab, err := aces.Compile(ai.Mod, ai.Board, strat)
+		out := []Figure11Series{{App: app.Name, Strategy: "OPEC", Tasks: names, ET: ets}}
+		for j, strat := range Strategies {
+			ab, err := h.Cache.ACESBuild(app, s, strat)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("figure11: %w", err)
 			}
 			anames, aets := metrics.ETForACES(ab, tr)
 			out = append(out, Figure11Series{
-				App: app.Name, Strategy: fmt.Sprintf("ACES%d", i+1),
+				App: app.Name, Strategy: fmt.Sprintf("ACES%d", j+1),
 				Tasks: anames, ET: aets,
 			})
 		}
+		perApp[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure11Series
+	for _, series := range perApp {
+		out = append(out, series...)
 	}
 	return out, nil
 }
@@ -341,16 +402,17 @@ type Table3Row struct {
 }
 
 // Table3 reports the indirect-call resolution statistics per workload.
-func Table3(s AppSet) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, app := range appsFor(s) {
-		inst := app.New()
-		b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+func (h *Harness) Table3(s AppSet) ([]Table3Row, error) {
+	appList := AppsFor(s)
+	rows := make([]Table3Row, len(appList))
+	err := h.forEach(len(appList), func(i int) error {
+		app := appList[i]
+		b, err := h.Cache.OPECBuild(app, s)
 		if err != nil {
-			return nil, fmt.Errorf("table3 %s: %w", app.Name, err)
+			return fmt.Errorf("table3: %w", err)
 		}
 		st := b.Analysis.CG.Stats
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			App:        app.Name,
 			ICalls:     st.NumICalls,
 			SVF:        st.ResolvedSVF,
@@ -359,7 +421,11 @@ func Table3(s AppSet) ([]Table3Row, error) {
 			Unresolved: st.Unresolved,
 			AvgTargets: st.AvgTargets,
 			MaxTargets: st.MaxTargets,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,63 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// averageTable1 must refuse an empty row set instead of producing a NaN
+// "Average" row by dividing by zero.
+func TestAverageTable1EmptyGuard(t *testing.T) {
+	if avg, ok := averageTable1(nil); ok {
+		t.Errorf("empty row set produced an average row: %+v", avg)
+	}
+	rows := []Table1Row{
+		{App: "A", Ops: 6, AvgFuncs: 2, PriCode: 8200, PriCodePct: 10, AvgGVars: 40, AvgGVarsPct: 20},
+		{App: "B", Ops: 8, AvgFuncs: 4, PriCode: 8400, PriCodePct: 12, AvgGVars: 60, AvgGVarsPct: 30},
+	}
+	avg, ok := averageTable1(rows)
+	if !ok {
+		t.Fatal("non-empty row set produced no average")
+	}
+	if avg.Ops != 7 || avg.PriCode != 8300 {
+		t.Errorf("average Ops/PriCode = %d/%d, want 7/8300", avg.Ops, avg.PriCode)
+	}
+	for _, v := range []float64{avg.AvgFuncs, avg.PriCodePct, avg.AvgGVars, avg.AvgGVarsPct} {
+		if math.IsNaN(v) {
+			t.Errorf("average contains NaN: %+v", avg)
+		}
+	}
+}
+
+// forEach must run every index exactly once at any parallelism and
+// report the lowest-index error, so failures are deterministic too.
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, parallel := range []int{1, 3, 16} {
+		h := NewHarness(parallel)
+		var ran atomic.Int64
+		err := h.forEach(10, func(i int) error {
+			ran.Add(1)
+			if i == 7 || i == 3 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("parallel=%d: err = %v, want the lowest-index failure (job 3)", parallel, err)
+		}
+		if ran.Load() != 10 {
+			t.Errorf("parallel=%d: ran %d jobs, want 10", parallel, ran.Load())
+		}
+	}
+}
+
+// forEach with zero jobs must not deadlock or error.
+func TestForEachEmpty(t *testing.T) {
+	h := NewHarness(4)
+	if err := h.forEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

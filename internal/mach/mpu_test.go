@@ -200,3 +200,49 @@ func TestSubregionRangeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: subregion returns the -1 sentinel for regions smaller
+// than 256 bytes (no 8-way split exists below 32-byte sub-regions).
+// The match path must treat that as "SRD ignored" per the PMSAv7 rule —
+// never index an SRD bit with the sentinel — so even SRD=0xFF cannot
+// disable any part of a small region.
+func TestSubregionSmallRegionIgnoresSRD(t *testing.T) {
+	for _, sizeLog2 := range []uint8{5, 6, 7} { // 32, 64, 128 B — all below SRD granularity
+		r := Region{Enabled: true, Base: 0x20000000, SizeLog2: sizeLog2, SRD: 0xFF, Perm: APRW}
+		size := uint32(1) << sizeLog2
+		for off := uint32(0); off < size; off += 4 {
+			if got := r.subregion(r.Base + off); got != -1 {
+				t.Fatalf("size 2^%d: subregion(+%#x) = %d, want -1 sentinel", sizeLog2, off, got)
+			}
+			if !r.subregionEnabled(r.Base + off) {
+				t.Fatalf("size 2^%d: SRD=0xFF disabled +%#x of a sub-256B region", sizeLog2, off)
+			}
+		}
+
+		var m MPU
+		m.Enabled = true
+		m.MustSetRegion(3, r)
+		for off := uint32(0); off < size; off += 4 {
+			if !m.Allows(r.Base+off, true, false) {
+				t.Errorf("size 2^%d: unprivileged write to +%#x denied — SRD applied to a small region", sizeLog2, off)
+			}
+			if got := m.RegionFor(r.Base + off); got != 3 {
+				t.Errorf("size 2^%d: RegionFor(+%#x) = %d, want 3 (no SRD fall-through)", sizeLog2, off, got)
+			}
+		}
+	}
+
+	// Contrast: at exactly 256 bytes SRD takes effect — a disabled
+	// sub-region falls through to the background map and unprivileged
+	// access faults.
+	r := Region{Enabled: true, Base: 0x20000100, SizeLog2: 8, SRD: 0x01, Perm: APRW}
+	var m MPU
+	m.Enabled = true
+	m.MustSetRegion(3, r)
+	if m.Allows(r.Base, false, false) {
+		t.Error("256B region: disabled sub-region 0 still matched unprivileged")
+	}
+	if m.Allows(r.Base+32, false, false) == false {
+		t.Error("256B region: enabled sub-region 1 denied")
+	}
+}

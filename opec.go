@@ -56,7 +56,20 @@ type (
 	VetReport = vet.Report
 	// VetDiagnostic is one auditor finding.
 	VetDiagnostic = vet.Diagnostic
+	// Harness runs the evaluation's experiments over a shared memoized
+	// build cache with a bounded worker pool.
+	Harness = exper.Harness
+	// BuildCache memoizes compiled builds and finished runs keyed by
+	// (application, scheme, scale).
+	BuildCache = exper.Cache
 )
+
+// NewHarness returns an experiment harness with an empty build cache
+// running at most parallel concurrent per-app jobs (0 = GOMAXPROCS).
+// One harness per sweep is the intended shape: experiments share
+// memoized builds and runs, and rendered output is byte-identical at
+// every parallelism level.
+func NewHarness(parallel int) *Harness { return exper.NewHarness(parallel) }
 
 // The three evaluated ACES strategies.
 const (
