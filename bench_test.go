@@ -412,3 +412,129 @@ func BenchmarkTraceTasks(b *testing.B) {
 		}
 	}
 }
+
+// ---- Simulator hot-path microbenchmarks ----
+
+// BenchmarkMPUAllows measures the per-access cost of MPU adjudication:
+// repeated hits on one block (micro-TLB steady state), a spread over
+// many blocks, and the uncached architectural scan for comparison.
+func BenchmarkMPUAllows(b *testing.B) {
+	setup := func(noCache bool) *mach.MPU {
+		var m mach.MPU
+		m.NoCache = noCache
+		m.SetEnabled(true)
+		m.MustSetRegion(0, mach.Region{Enabled: true, Base: mach.SRAMBase, SizeLog2: 18, Perm: mach.APRW})
+		m.MustSetRegion(7, mach.Region{Enabled: true, Base: mach.SRAMBase, SizeLog2: 10, Perm: mach.APPrivRW, SRD: 0xAA})
+		return &m
+	}
+	b.Run("hit", func(b *testing.B) {
+		m := setup(false)
+		for i := 0; i < b.N; i++ {
+			m.Allows(mach.SRAMBase+0x40, false, false)
+		}
+	})
+	b.Run("spread", func(b *testing.B) {
+		m := setup(false)
+		for i := 0; i < b.N; i++ {
+			m.Allows(mach.SRAMBase+uint32(i%(1<<15)), false, false)
+		}
+	})
+	b.Run("notlb", func(b *testing.B) {
+		m := setup(true)
+		for i := 0; i < b.N; i++ {
+			m.Allows(mach.SRAMBase+0x40, false, false)
+		}
+	})
+}
+
+// BenchmarkBusLoad measures the one-pass bus resolution: SRAM words and
+// the peripheral polling pattern the last-device cache targets.
+func BenchmarkBusLoad(b *testing.B) {
+	newBenchBus := func() *mach.Bus {
+		bus := mach.NewBus(1<<20, 192<<10, &mach.Clock{})
+		if err := bus.Attach(&dev.Regs{DevName: "uart", BaseAddr: mach.USART2Base}); err != nil {
+			b.Fatal(err)
+		}
+		return bus
+	}
+	b.Run("sram", func(b *testing.B) {
+		bus := newBenchBus()
+		for i := 0; i < b.N; i++ {
+			if _, f := bus.Load(mach.SRAMBase+uint32(i&0xFFC), 4, true); f != nil {
+				b.Fatal(f)
+			}
+		}
+	})
+	b.Run("device-poll", func(b *testing.B) {
+		bus := newBenchBus()
+		for i := 0; i < b.N; i++ {
+			if _, f := bus.Load(mach.USART2Base+0x00, 4, true); f != nil {
+				b.Fatal(f)
+			}
+		}
+	})
+}
+
+// BenchmarkCallDispatch measures steady-state call overhead (pooled
+// frames, precomputed metadata): a tight caller/callee ping-pong.
+func BenchmarkCallDispatch(b *testing.B) {
+	m := ir.NewModule("calls")
+	leaf := ir.NewFunc(m, "leaf", "a.c", ir.I32, ir.P("x", ir.I32))
+	leaf.Ret(leaf.Add(leaf.Arg("x"), ir.CI(1)))
+	drv := ir.NewFunc(m, "drv", "a.c", ir.I32, ir.P("n", ir.I32))
+	loop := drv.NewBlock("loop")
+	done := drv.NewBlock("done")
+	acc := drv.Alloca(ir.I32)
+	drv.Store(ir.I32, acc, ir.CI(0))
+	drv.Br(loop)
+	drv.SetBlock(loop)
+	v := drv.Call(m.MustFunc("leaf"), drv.Load(ir.I32, acc))
+	drv.Store(ir.I32, acc, v)
+	drv.CondBr(drv.Lt(v, drv.Arg("n")), loop, done)
+	drv.SetBlock(done)
+	drv.Ret(drv.Load(ir.I32, acc))
+	if err := ir.Verify(m); err != nil {
+		b.Fatal(err)
+	}
+
+	const callsPerRun = 10_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus := mach.NewBus(1<<20, 192<<10, &mach.Clock{})
+		mm := mach.NewMachine(m, bus, mach.FlashBase)
+		mm.StackTop = mach.SRAMBase + uint32(bus.SRAMSize())
+		mm.StackLimit = mm.StackTop - (32 << 10)
+		mm.Privileged = true
+		mm.MaxCycles = 1 << 40
+		got, err := mm.Run(m.MustFunc("drv"), callsPerRun)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != callsPerRun {
+			b.Fatalf("dispatch result = %d", got)
+		}
+	}
+	b.ReportMetric(callsPerRun, "calls/op")
+}
+
+// BenchmarkSimMIPS reports simulated instruction throughput per
+// workload under the vanilla image — the headline simulator speed
+// number BENCH_mach.json tracks.
+func BenchmarkSimMIPS(b *testing.B) {
+	for _, app := range benchApps() {
+		b.Run(app.Name, func(b *testing.B) {
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				inst := app.New()
+				res, err := run.Vanilla(inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs += res.Machine.InstrCount
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(instrs)/secs/1e6, "MIPS")
+			}
+		})
+	}
+}

@@ -15,6 +15,8 @@
 //	opec-bench -exp table1
 //	opec-bench -exp figure9 -quick
 //	opec-bench -exp casestudy
+//	opec-bench -exp bench -benchjson BENCH_mach.json
+//	opec-bench -validate BENCH_mach.json
 package main
 
 import (
@@ -27,14 +29,29 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | all")
+	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | bench | all")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	parallel := flag.Int("parallel", 0, "max concurrent per-app jobs (0 = GOMAXPROCS)")
+	benchjson := flag.String("benchjson", "", "write the simulator-throughput baseline (BENCH_mach.json) to this file; implies -exp bench unless another experiment is named")
+	validate := flag.String("validate", "", "validate an existing BENCH_mach.json and exit")
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		fail(err)
+		rep, err := opec.ValidateBenchReport(data)
+		fail(err)
+		fmt.Printf("%s: valid %s report (scale %s, %d workloads, %d experiments)\n",
+			*validate, rep.Schema, rep.Scale, len(rep.Workloads), len(rep.Experiments))
+		return
+	}
 
 	scale := opec.Full
 	if *quick {
 		scale = opec.Quick
+	}
+	if *benchjson != "" && *exp == "all" {
+		*exp = "bench"
 	}
 	h := opec.NewHarness(*parallel)
 
@@ -83,6 +100,22 @@ func main() {
 		fmt.Println("Section 6.1 case study: arbitrary write to KEY from compromised Lock_Task")
 		fmt.Printf("  under OPEC: blocked=%v (%s)\n", res.OPECBlocked, res.OPECFault)
 		fmt.Printf("  under ACES: KEY overwritten=%v\n", res.ACESKeyOverwritten)
+		ran = true
+	}
+	// Not part of -exp all: the bench sweep re-times fresh runs and
+	// would double every workload's cost.
+	if strings.EqualFold(*exp, "bench") {
+		rep, err := opec.CollectBench(scale, *parallel)
+		fail(err)
+		data, err := opec.MarshalBenchReport(rep)
+		fail(err)
+		out := *benchjson
+		if out == "" {
+			out = "BENCH_mach.json"
+		}
+		fail(os.WriteFile(out, data, 0o644))
+		fmt.Printf("wrote %s (%s scale, %d workloads, %d experiments)\n",
+			out, rep.Scale, len(rep.Workloads), len(rep.Experiments))
 		ran = true
 	}
 	if !ran {

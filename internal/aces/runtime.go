@@ -74,7 +74,7 @@ func Boot(b *Build, bus *mach.Bus) (*Runtime, error) {
 
 	rt.cur = b.CompOf[mainFn]
 	rt.applyMPU(rt.cur)
-	bus.MPU.Enabled = true
+	bus.MPU.SetEnabled(true)
 	m.Privileged = rt.cur.Privileged
 	return rt, nil
 }
@@ -178,13 +178,13 @@ func (rt *Runtime) applyMPU(c *Compartment) {
 				SizeLog2: mach.RegionSizeFor(int(rt.B.HeapSize)), Perm: mach.APRW,
 			})
 		} else {
-			mpu.Regions[slot] = mach.Region{}
+			mpu.ClearRegion(slot)
 		}
 	}
 	if c.PeriphWindow != nil {
 		mpu.MustSetRegion(regionPeriph, *c.PeriphWindow)
 	} else {
-		mpu.Regions[regionPeriph] = mach.Region{}
+		mpu.ClearRegion(regionPeriph)
 	}
 }
 

@@ -1,0 +1,210 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"opec/internal/aces"
+	"opec/internal/run"
+)
+
+// This file produces the machine-readable simulator-throughput baseline
+// (BENCH_mach.json). The report has two halves: per-workload simulated
+// instruction throughput (one fresh, timed run per app × scheme, so no
+// memoized result hides the simulator cost), and wall-clock timings for
+// each experiment of a shared-harness sweep. Later PRs regenerate the
+// file and compare against the committed baseline to keep the perf
+// trajectory visible.
+
+// BenchSchema identifies the report format; bump on breaking changes.
+const BenchSchema = "opec-bench/mach/v1"
+
+// BenchSchemes is the fixed execution-scheme order of the report.
+var BenchSchemes = []string{"vanilla", "opec", "aces"}
+
+// benchExperimentNames is the fixed harness-sweep order.
+var benchExperimentNames = []string{"table1", "figure9", "table2", "figure10", "figure11", "table3"}
+
+// BenchWorkload is one timed run of one app under one scheme.
+type BenchWorkload struct {
+	App         string  `json:"app"`
+	Scheme      string  `json:"scheme"`
+	Instrs      uint64  `json:"instrs"`
+	Cycles      uint64  `json:"cycles"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SimMIPS     float64 `json:"sim_mips"` // simulated instructions / wall second / 1e6
+}
+
+// BenchExperiment is the wall-clock cost of one experiment in a
+// shared-harness sweep (cache-warm ordering matches opec-bench -exp all).
+type BenchExperiment struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// BenchReport is the top-level BENCH_mach.json document.
+type BenchReport struct {
+	Schema      string            `json:"schema"`
+	Scale       string            `json:"scale"`
+	Parallel    int               `json:"parallel"`
+	Workloads   []BenchWorkload   `json:"workloads"`
+	Experiments []BenchExperiment `json:"experiments"`
+}
+
+// CollectBench measures simulator throughput at scale s. Workload runs
+// execute serially (each is individually timed); the experiment sweep
+// uses a harness with the given parallelism, mirroring a normal
+// opec-bench invocation.
+func CollectBench(s AppSet, parallel int) (*BenchReport, error) {
+	rep := &BenchReport{Schema: BenchSchema, Scale: scaleName(s), Parallel: parallel}
+
+	acesSet := make(map[string]bool)
+	for _, app := range acesAppsFor(s) {
+		acesSet[app.Name] = true
+	}
+	for _, app := range AppsFor(s) {
+		for _, scheme := range BenchSchemes {
+			if scheme == "aces" && !acesSet[app.Name] {
+				continue // ACES runs only the five comparison workloads
+			}
+			w, err := benchOne(app.Name, scheme, func() (*run.Result, error) {
+				inst := app.New()
+				switch scheme {
+				case "vanilla":
+					return run.Vanilla(inst)
+				case "opec":
+					return run.OPEC(inst)
+				default:
+					return run.ACES(inst, aces.Filename)
+				}
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", app.Name, scheme, err)
+			}
+			rep.Workloads = append(rep.Workloads, w)
+		}
+	}
+
+	h := NewHarness(parallel)
+	for _, name := range benchExperimentNames {
+		start := time.Now()
+		var err error
+		switch name {
+		case "table1":
+			_, err = h.Table1(s)
+		case "figure9":
+			_, err = h.Figure9(s)
+		case "table2":
+			_, err = h.Table2(s)
+		case "figure10":
+			_, err = h.Figure10(s)
+		case "figure11":
+			_, err = h.Figure11(s)
+		case "table3":
+			_, err = h.Table3(s)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench experiment %s: %w", name, err)
+		}
+		rep.Experiments = append(rep.Experiments, BenchExperiment{
+			Name:        name,
+			WallSeconds: time.Since(start).Seconds(),
+		})
+	}
+	return rep, nil
+}
+
+// benchOne times a single fresh run and derives throughput.
+func benchOne(app, scheme string, do func() (*run.Result, error)) (BenchWorkload, error) {
+	start := time.Now()
+	res, err := do()
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return BenchWorkload{}, err
+	}
+	w := BenchWorkload{
+		App:         app,
+		Scheme:      scheme,
+		Instrs:      res.Machine.InstrCount,
+		Cycles:      res.Cycles,
+		WallSeconds: wall,
+	}
+	if wall > 0 {
+		w.SimMIPS = float64(w.Instrs) / wall / 1e6
+	}
+	return w, nil
+}
+
+func scaleName(s AppSet) string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// MarshalBenchReport renders the report as stable, indented JSON.
+func MarshalBenchReport(rep *BenchReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ValidateBenchReport parses data and checks it is a complete report:
+// correct schema, every workload of its recorded scale present under
+// every applicable scheme with positive throughput, and every
+// experiment timed. opec-bench -validate and CI call this.
+func ValidateBenchReport(data []byte) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench report: %w", err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench report: schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	var scale AppSet
+	switch rep.Scale {
+	case "full":
+		scale = Full
+	case "quick":
+		scale = Quick
+	default:
+		return nil, fmt.Errorf("bench report: unknown scale %q", rep.Scale)
+	}
+
+	have := make(map[string]BenchWorkload, len(rep.Workloads))
+	for _, w := range rep.Workloads {
+		have[w.App+"/"+w.Scheme] = w
+	}
+	acesSet := make(map[string]bool)
+	for _, app := range acesAppsFor(scale) {
+		acesSet[app.Name] = true
+	}
+	for _, app := range AppsFor(scale) {
+		for _, scheme := range BenchSchemes {
+			if scheme == "aces" && !acesSet[app.Name] {
+				continue
+			}
+			w, ok := have[app.Name+"/"+scheme]
+			if !ok {
+				return nil, fmt.Errorf("bench report: missing workload %s/%s", app.Name, scheme)
+			}
+			if w.Instrs == 0 || w.Cycles == 0 || w.SimMIPS <= 0 {
+				return nil, fmt.Errorf("bench report: degenerate workload %s/%s: %+v", app.Name, scheme, w)
+			}
+		}
+	}
+
+	haveExp := make(map[string]bool, len(rep.Experiments))
+	for _, e := range rep.Experiments {
+		haveExp[e.Name] = true
+	}
+	for _, name := range benchExperimentNames {
+		if !haveExp[name] {
+			return nil, fmt.Errorf("bench report: missing experiment timing %q", name)
+		}
+	}
+	return &rep, nil
+}

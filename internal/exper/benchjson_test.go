@@ -1,0 +1,55 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full timed sweep in -short mode")
+	}
+	rep, err := CollectBench(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalBenchReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateBenchReport(data)
+	if err != nil {
+		t.Fatalf("self-produced report fails validation: %v", err)
+	}
+	if got.Scale != "quick" || got.Schema != BenchSchema {
+		t.Errorf("report header = %q/%q", got.Schema, got.Scale)
+	}
+	// 7 workloads × {vanilla, opec} + 5 × aces.
+	if len(rep.Workloads) != 19 {
+		t.Errorf("workload count = %d, want 19", len(rep.Workloads))
+	}
+	for _, w := range rep.Workloads {
+		if w.SimMIPS <= 0 {
+			t.Errorf("%s/%s: SimMIPS = %v", w.App, w.Scheme, w.SimMIPS)
+		}
+	}
+	if len(rep.Experiments) != 6 {
+		t.Errorf("experiment count = %d, want 6", len(rep.Experiments))
+	}
+}
+
+func TestValidateBenchReportRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"garbage", "{not json", "bench report"},
+		{"wrong schema", `{"schema":"other/v0","scale":"quick"}`, "schema"},
+		{"bad scale", `{"schema":"` + BenchSchema + `","scale":"huge"}`, "scale"},
+		{"empty", `{"schema":"` + BenchSchema + `","scale":"quick"}`, "missing workload"},
+	}
+	for _, c := range cases {
+		if _, err := ValidateBenchReport([]byte(c.doc)); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+}

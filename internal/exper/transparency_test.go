@@ -1,0 +1,93 @@
+package exper
+
+import (
+	"testing"
+
+	"opec/internal/mach"
+)
+
+// sweepAll renders every experiment with one shared harness and returns
+// the concatenated output plus the per-run cycle counts of the cached
+// vanilla and OPEC executions of each workload.
+func sweepAll(t *testing.T, s AppSet) (string, map[string]uint64) {
+	t.Helper()
+	h := NewHarness(1)
+	out := ""
+
+	t1, err := h.Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += RenderTable1(t1)
+	f9, err := h.Figure9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += RenderFigure9(f9)
+	t2, err := h.Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += RenderTable2(t2)
+	f10, err := h.Figure10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += RenderFigure10(f10)
+	f11, err := h.Figure11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += RenderFigure11(f11)
+	t3, err := h.Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += RenderTable3(t3)
+
+	cycles := make(map[string]uint64)
+	for _, app := range AppsFor(s) {
+		van, err := h.Cache.VanillaRun(app, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[app.Name+"/vanilla"] = van.Cycles
+		op, err := h.Cache.OPECRun(app, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[app.Name+"/opec"] = op.Cycles
+	}
+	return out, cycles
+}
+
+// TestCacheTransparency is the acceptance check for the simulator's
+// lookup caches (MPU micro-TLB, bus last-device cache): with the caches
+// force-disabled, every rendered experiment table must be byte-identical
+// and every run's final Clock.Now() value-identical to the cached-path
+// sweep. Caches may buy wall-clock time only — never architected
+// behavior.
+func TestCacheTransparency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full double sweep in -short mode")
+	}
+	saved := mach.DisableCaches
+	defer func() { mach.DisableCaches = saved }()
+
+	mach.DisableCaches = false
+	fastOut, fastCycles := sweepAll(t, Quick)
+	mach.DisableCaches = true
+	slowOut, slowCycles := sweepAll(t, Quick)
+
+	if fastOut != slowOut {
+		t.Errorf("rendered experiment output differs with caches disabled:\n--- cached ---\n%s\n--- uncached ---\n%s", fastOut, slowOut)
+	}
+	for k, fast := range fastCycles {
+		if slow := slowCycles[k]; fast != slow {
+			t.Errorf("%s: final Clock.Now() = %d cached vs %d uncached", k, fast, slow)
+		}
+	}
+	if len(fastCycles) == 0 {
+		t.Fatal("no per-run cycle counts compared")
+	}
+}

@@ -77,7 +77,13 @@ type Function struct {
 
 	nextID int
 	module *Module
+	idx    int // 1-based position in module.Functions; 0 = unregistered
 }
+
+// Index returns the function's dense position in its module's function
+// list, or -1 if it was never registered with AddFunc. Execution engines
+// use it to key per-function metadata by slice instead of by map.
+func (f *Function) Index() int { return f.idx - 1 }
 
 func (f *Function) String() string { return f.Name }
 func (f *Function) isValue()       {}
@@ -193,6 +199,7 @@ func (m *Module) AddFunc(f *Function) *Function {
 	}
 	f.module = m
 	m.Functions = append(m.Functions, f)
+	f.idx = len(m.Functions)
 	m.funcsByName[f.Name] = f
 	return f
 }

@@ -127,6 +127,16 @@ type Bus struct {
 
 	devices []Device // sorted by base address
 
+	// Last-device cache: peripheral polling loops hit one register
+	// block thousands of times in a row; caching the last resolved
+	// device (with its bounds denormalized to plain words) skips the
+	// binary search. noDevCache pins the slow path for the
+	// cache-transparency comparison.
+	lastDev    Device
+	lastBase   uint32
+	lastEnd    uint32
+	noDevCache bool
+
 	// dwtEnabled gates the cycle counter register.
 	dwtEnabled bool
 }
@@ -139,6 +149,8 @@ func NewBus(flashSize, sramSize int, clk *Clock) *Bus {
 		flash: make([]byte, flashSize),
 		sram:  make([]byte, sramSize),
 	}
+	b.MPU.NoCache = DisableCaches
+	b.noDevCache = DisableCaches
 	b.Prot = b.MPU
 	return b
 }
@@ -153,6 +165,7 @@ func (b *Bus) Attach(d Device) error {
 	}
 	b.devices = append(b.devices, d)
 	sort.Slice(b.devices, func(i, j int) bool { return b.devices[i].Base() < b.devices[j].Base() })
+	b.lastDev, b.lastBase, b.lastEnd = nil, 0, 0
 	return nil
 }
 
@@ -160,12 +173,21 @@ func (b *Bus) Attach(d Device) error {
 func (b *Bus) Devices() []Device { return b.devices }
 
 // DeviceAt returns the device covering addr, or nil.
-func (b *Bus) DeviceAt(addr uint32) Device {
+func (b *Bus) DeviceAt(addr uint32) Device { return b.deviceAt(addr) }
+
+// deviceAt resolves addr to its device through the last-device cache,
+// falling back to binary search over the sorted device list.
+func (b *Bus) deviceAt(addr uint32) Device {
+	if addr >= b.lastBase && addr < b.lastEnd && !b.noDevCache {
+		return b.lastDev
+	}
 	i := sort.Search(len(b.devices), func(i int) bool {
 		return b.devices[i].Base()+b.devices[i].Size() > addr
 	})
 	if i < len(b.devices) && addr >= b.devices[i].Base() {
-		return b.devices[i]
+		d := b.devices[i]
+		b.lastDev, b.lastBase, b.lastEnd = d, d.Base(), d.Base()+d.Size()
+		return d
 	}
 	return nil
 }
@@ -174,91 +196,138 @@ func (b *Bus) DeviceAt(addr uint32) Device {
 func (b *Bus) FlashSize() int { return len(b.flash) }
 func (b *Bus) SRAMSize() int  { return len(b.sram) }
 
-// Load performs a checked load. A non-nil *Fault means the access did
-// not complete.
-func (b *Bus) Load(addr uint32, size int, privileged bool) (uint32, *Fault) {
-	if f := b.check(addr, size, false, 0, privileged); f != nil {
-		return 0, f
+// targetKind classifies an address after one resolution pass.
+type targetKind uint8
+
+const (
+	targetNone targetKind = iota // unmapped (or straddling a boundary)
+	targetFlash
+	targetSRAM
+	targetDevice
+	targetPPB
+)
+
+// contains reports whether [addr, addr+size) lies fully inside the
+// length-byte range based at base, returning the offset. The uint64
+// widening keeps addresses near the top of the address space from
+// wrapping into a false positive.
+func contains(addr, base uint32, length uint32, size int) (uint32, bool) {
+	off := addr - base
+	return off, addr >= base && uint64(off)+uint64(size) <= uint64(length)
+}
+
+// resolve classifies addr in a single pass: the returned kind selects
+// the backing store, off is the offset into it (flash/sram/device), and
+// d is the owning device for targetDevice. An access that starts inside
+// a device but ends past its Size() resolves to targetNone — hardware
+// raises a bus error for partially-decoded transfers, and handing the
+// device model an out-of-range offset would let it misbehave silently.
+func (b *Bus) resolve(addr uint32, size int) (targetKind, uint32, Device) {
+	if off, ok := contains(addr, FlashBase, uint32(len(b.flash)), size); ok {
+		return targetFlash, off, nil
 	}
-	return b.RawLoad(addr, size)
+	if off, ok := contains(addr, SRAMBase, uint32(len(b.sram)), size); ok {
+		return targetSRAM, off, nil
+	}
+	if addr >= PPBBase && addr < PPBEnd {
+		return targetPPB, addr - PPBBase, nil
+	}
+	if d := b.deviceAt(addr); d != nil {
+		if off, ok := contains(addr, d.Base(), d.Size(), size); ok {
+			return targetDevice, off, d
+		}
+	}
+	return targetNone, 0, nil
+}
+
+// Load performs a checked load. A non-nil *Fault means the access did
+// not complete. The address is classified exactly once; privilege and
+// protection-unit rules apply in the architected order (PPB privilege,
+// then bus decode, then MPU).
+func (b *Bus) Load(addr uint32, size int, privileged bool) (uint32, *Fault) {
+	k, off, d := b.resolve(addr, size)
+	switch k {
+	case targetPPB:
+		// PPB is privileged-only by architecture, independent of the MPU.
+		if !privileged {
+			return 0, &Fault{Kind: FaultBus, Addr: addr, Size: size}
+		}
+		return b.ppbLoad(addr, size), nil
+	case targetNone:
+		return 0, &Fault{Kind: FaultBus, Addr: addr, Size: size, Privileged: privileged}
+	}
+	if !b.Prot.Allows(addr, false, privileged) {
+		return 0, &Fault{Kind: FaultMemManage, Addr: addr, Size: size, Privileged: privileged}
+	}
+	switch k {
+	case targetFlash:
+		return readLE(b.flash[off:], size), nil
+	case targetSRAM:
+		return readLE(b.sram[off:], size), nil
+	default:
+		return d.Load(off, size), nil
+	}
 }
 
 // Store performs a checked store.
 func (b *Bus) Store(addr uint32, size int, v uint32, privileged bool) *Fault {
-	if f := b.check(addr, size, true, v, privileged); f != nil {
-		return f
-	}
-	b.RawStore(addr, size, v)
-	return nil
-}
-
-// check applies privilege and MPU rules and verifies the address is
-// mapped. PPB is privileged-only by architecture, independent of the
-// MPU.
-func (b *Bus) check(addr uint32, size int, write bool, val uint32, privileged bool) *Fault {
-	if addr >= PPBBase && addr < PPBEnd {
+	k, off, d := b.resolve(addr, size)
+	switch k {
+	case targetPPB:
 		if !privileged {
-			return &Fault{Kind: FaultBus, Addr: addr, Write: write, Size: size, Val: val}
+			return &Fault{Kind: FaultBus, Addr: addr, Write: true, Size: size, Val: v}
 		}
+		b.ppbStore(addr, size, v)
 		return nil
+	case targetNone:
+		return &Fault{Kind: FaultBus, Addr: addr, Write: true, Size: size, Val: v, Privileged: privileged}
 	}
-	if !b.mapped(addr, size) {
-		return &Fault{Kind: FaultBus, Addr: addr, Write: write, Size: size, Val: val, Privileged: privileged}
+	if !b.Prot.Allows(addr, true, privileged) {
+		return &Fault{Kind: FaultMemManage, Addr: addr, Write: true, Size: size, Val: v, Privileged: privileged}
 	}
-	if !b.Prot.Allows(addr, write, privileged) {
-		return &Fault{Kind: FaultMemManage, Addr: addr, Write: write, Size: size, Val: val, Privileged: privileged}
+	switch k {
+	case targetFlash:
+		writeLE(b.flash[off:], size, v)
+	case targetSRAM:
+		writeLE(b.sram[off:], size, v)
+	default:
+		d.Store(off, size, v)
 	}
 	return nil
-}
-
-func (b *Bus) mapped(addr uint32, size int) bool {
-	switch {
-	case addr >= FlashBase && addr+uint32(size) <= FlashBase+uint32(len(b.flash)):
-		return true
-	case addr >= SRAMBase && addr+uint32(size) <= SRAMBase+uint32(len(b.sram)):
-		return true
-	case addr >= PeriphBase && addr < PeriphEnd:
-		return b.DeviceAt(addr) != nil
-	}
-	return false
 }
 
 // RawLoad bypasses permission checks (used by the privileged monitor's
 // internal copies after it has performed its own policy checks, and by
 // the loader).
 func (b *Bus) RawLoad(addr uint32, size int) (uint32, *Fault) {
-	switch {
-	case addr >= FlashBase && addr+uint32(size) <= FlashBase+uint32(len(b.flash)):
-		return readLE(b.flash[addr-FlashBase:], size), nil
-	case addr >= SRAMBase && addr+uint32(size) <= SRAMBase+uint32(len(b.sram)):
-		return readLE(b.sram[addr-SRAMBase:], size), nil
-	case addr >= PPBBase && addr < PPBEnd:
+	switch k, off, d := b.resolve(addr, size); k {
+	case targetFlash:
+		return readLE(b.flash[off:], size), nil
+	case targetSRAM:
+		return readLE(b.sram[off:], size), nil
+	case targetPPB:
 		return b.ppbLoad(addr, size), nil
-	default:
-		if d := b.DeviceAt(addr); d != nil {
-			return d.Load(addr-d.Base(), size), nil
-		}
+	case targetDevice:
+		return d.Load(off, size), nil
 	}
 	return 0, &Fault{Kind: FaultBus, Addr: addr, Size: size, Privileged: true}
 }
 
 // RawStore bypasses permission checks.
 func (b *Bus) RawStore(addr uint32, size int, v uint32) *Fault {
-	switch {
-	case addr >= FlashBase && addr+uint32(size) <= FlashBase+uint32(len(b.flash)):
-		writeLE(b.flash[addr-FlashBase:], size, v)
+	switch k, off, d := b.resolve(addr, size); k {
+	case targetFlash:
+		writeLE(b.flash[off:], size, v)
 		return nil
-	case addr >= SRAMBase && addr+uint32(size) <= SRAMBase+uint32(len(b.sram)):
-		writeLE(b.sram[addr-SRAMBase:], size, v)
+	case targetSRAM:
+		writeLE(b.sram[off:], size, v)
 		return nil
-	case addr >= PPBBase && addr < PPBEnd:
+	case targetPPB:
 		b.ppbStore(addr, size, v)
 		return nil
-	default:
-		if d := b.DeviceAt(addr); d != nil {
-			d.Store(addr-d.Base(), size, v)
-			return nil
-		}
+	case targetDevice:
+		d.Store(off, size, v)
+		return nil
 	}
 	return &Fault{Kind: FaultBus, Addr: addr, Size: size, Write: true, Val: v, Privileged: true}
 }
@@ -309,7 +378,27 @@ func writeLE(b []byte, size int, v uint32) {
 
 // CopyMem copies n bytes inside simulated memory using raw access; the
 // monitor uses it for shadow synchronization after policy checks.
+// Flash/SRAM-to-SRAM copies take a bulk memmove path; everything else
+// (device windows, PPB, straddles) falls back to the byte loop, which
+// also preserves the historical forward-byte replication semantics for
+// overlapping ranges with dst inside [src, src+n).
 func (b *Bus) CopyMem(dst, src uint32, n int) *Fault {
+	if n > 1 {
+		var sbuf []byte
+		switch k, off, _ := b.resolve(src, n); k {
+		case targetFlash:
+			sbuf = b.flash[off : off+uint32(n)]
+		case targetSRAM:
+			sbuf = b.sram[off : off+uint32(n)]
+		}
+		if dOff, ok := contains(dst, SRAMBase, uint32(len(b.sram)), n); ok && sbuf != nil {
+			overlapFwd := src >= SRAMBase && dst > src && uint64(dst) < uint64(src)+uint64(n)
+			if !overlapFwd {
+				copy(b.sram[dOff:dOff+uint32(n)], sbuf)
+				return nil
+			}
+		}
+	}
 	for i := 0; i < n; i++ {
 		v, f := b.RawLoad(src+uint32(i), 1)
 		if f != nil {

@@ -187,3 +187,133 @@ func TestFaultError(t *testing.T) {
 		t.Errorf("fault formatting: %q", msg)
 	}
 }
+
+func TestBusDeviceStraddleFaults(t *testing.T) {
+	b := newTestBus()
+	d := &stubDevice{name: "USART2", base: USART2Base, size: 0x400}
+	b.Attach(d)
+	end := USART2Base + 0x400
+	// A word load whose last byte lands past the device window must be
+	// a bus error, not an out-of-range offset handed to the model.
+	if _, f := b.Load(end-2, 4, true); f == nil || f.Kind != FaultBus {
+		t.Errorf("straddling load fault = %v", f)
+	}
+	if f := b.Store(end-1, 4, 1, true); f == nil || f.Kind != FaultBus {
+		t.Errorf("straddling store fault = %v", f)
+	}
+	if _, f := b.RawLoad(end-2, 4); f == nil || f.Kind != FaultBus {
+		t.Errorf("straddling raw load fault = %v", f)
+	}
+	if f := b.RawStore(end-3, 4, 1); f == nil || f.Kind != FaultBus {
+		t.Errorf("straddling raw store fault = %v", f)
+	}
+	// The last fully-contained word is fine.
+	if _, f := b.Load(end-4, 4, true); f != nil {
+		t.Errorf("in-bounds final word faulted: %v", f)
+	}
+}
+
+func TestBusLastDeviceCacheAlternation(t *testing.T) {
+	b := newTestBus()
+	d1 := &stubDevice{name: "A", base: PeriphBase + 0x0000, size: 0x100}
+	d2 := &stubDevice{name: "B", base: PeriphBase + 0x1000, size: 0x100}
+	b.Attach(d1)
+	b.Attach(d2)
+	// Alternate between devices so every access after the first flips
+	// the last-device cache; routing must stay exact.
+	for i := 0; i < 8; i++ {
+		b.RawStore(d1.base+4, 4, uint32(10+i))
+		b.RawStore(d2.base+8, 4, uint32(20+i))
+		if v, _ := b.RawLoad(d1.base+4, 4); v != uint32(10+i) {
+			t.Fatalf("iter %d: device A read %d", i, v)
+		}
+		if v, _ := b.RawLoad(d2.base+8, 4); v != uint32(20+i) {
+			t.Fatalf("iter %d: device B read %d", i, v)
+		}
+	}
+	// Attaching a new device between the cached ones must invalidate the
+	// cache, not shadow the newcomer.
+	d3 := &stubDevice{name: "C", base: PeriphBase + 0x0800, size: 0x100}
+	b.Attach(d3)
+	b.RawStore(d3.base, 4, 77)
+	if v, _ := b.RawLoad(d3.base, 4); v != 77 {
+		t.Errorf("newly attached device unreachable through cache: %d", v)
+	}
+	if DeviceAtName(b, d1.base) != "A" || DeviceAtName(b, d3.base) != "C" {
+		t.Error("DeviceAt routing wrong after attach")
+	}
+}
+
+// DeviceAtName is a tiny test helper around DeviceAt.
+func DeviceAtName(b *Bus, addr uint32) string {
+	d := b.DeviceAt(addr)
+	if d == nil {
+		return ""
+	}
+	return d.Name()
+}
+
+func TestBusCopyMemBulkEquivalence(t *testing.T) {
+	// Non-overlapping SRAM-to-SRAM and flash-to-SRAM copies take the
+	// memmove fast path; results must match a byte loop exactly.
+	b := newTestBus()
+	for i := uint32(0); i < 64; i++ {
+		b.RawStore(SRAMBase+i, 1, 0xA0+i)
+		b.RawStore(FlashBase+i, 1, 0x40+i)
+	}
+	if f := b.CopyMem(SRAMBase+0x200, SRAMBase, 64); f != nil {
+		t.Fatalf("sram copy: %v", f)
+	}
+	if f := b.CopyMem(SRAMBase+0x300, FlashBase, 64); f != nil {
+		t.Fatalf("flash copy: %v", f)
+	}
+	for i := uint32(0); i < 64; i++ {
+		if v, _ := b.RawLoad(SRAMBase+0x200+i, 1); v != (0xA0+i)&0xFF {
+			t.Fatalf("sram copy byte %d = %#x", i, v)
+		}
+		if v, _ := b.RawLoad(SRAMBase+0x300+i, 1); v != (0x40+i)&0xFF {
+			t.Fatalf("flash copy byte %d = %#x", i, v)
+		}
+	}
+}
+
+func TestBusCopyMemOverlapSemantics(t *testing.T) {
+	b := newTestBus()
+	src := SRAMBase + 0x100
+	seed := func() {
+		for i := uint32(0); i < 8; i++ {
+			b.RawStore(src+i, 1, 1+i)
+		}
+	}
+	// dst inside [src, src+n): the historical forward byte loop
+	// replicates the first byte; the fast path must not change that.
+	seed()
+	if f := b.CopyMem(src+1, src, 4); f != nil {
+		t.Fatal(f)
+	}
+	for i := uint32(1); i <= 4; i++ {
+		if v, _ := b.RawLoad(src+i, 1); v != 1 {
+			t.Fatalf("forward-overlap byte %d = %d, want 1 (replication)", i, v)
+		}
+	}
+	// dst before src: forward copy is overlap-safe; plain move.
+	seed()
+	if f := b.CopyMem(src, src+1, 4); f != nil {
+		t.Fatal(f)
+	}
+	for i := uint32(0); i < 4; i++ {
+		if v, _ := b.RawLoad(src+i, 1); v != 2+i {
+			t.Fatalf("backward-overlap byte %d = %d, want %d", i, v, 2+i)
+		}
+	}
+}
+
+func TestBusCopyMemUnmappedFaults(t *testing.T) {
+	b := newTestBus()
+	if f := b.CopyMem(SRAMBase, 0x70000000, 8); f == nil || f.Kind != FaultBus {
+		t.Errorf("unmapped source fault = %v", f)
+	}
+	if f := b.CopyMem(0x70000000, SRAMBase, 8); f == nil || f.Kind != FaultBus {
+		t.Errorf("unmapped destination fault = %v", f)
+	}
+}

@@ -82,18 +82,25 @@ type Machine struct {
 	// here (a real, checked memory read).
 	GlobalAddr func(g *ir.Global, privileged bool) (uint32, *Fault)
 
-	// Function "addresses" for indirect calls.
-	funcAddr map[*ir.Function]uint32
-	funcAt   map[uint32]*ir.Function
+	// Per-function metadata (code address, frame size, alloca offsets)
+	// precomputed at NewMachine. metaByIdx is keyed by Function.Index()
+	// so the call hot path is a bounds check plus an identity compare,
+	// no map hashing; lateMeta catches functions registered after
+	// NewMachine or belonging to another module. funcAt resolves
+	// indirect-call targets.
+	metaByIdx []funcMeta
+	lateMeta  map[*ir.Function]*funcMeta
+	funcAt    map[uint32]*ir.Function
 
 	// MaxCycles guards against runaway programs in tests.
 	MaxCycles uint64
 
-	irqs    []irqBinding
-	inIRQ   bool
-	irqGate int // dispatch check countdown
+	irqs  []irqBinding
+	inIRQ bool
 
-	allocaOffs map[*ir.Function]map[*ir.Instr]int
+	// frames is the activation-record pool, indexed by call depth, so
+	// steady-state execution allocates nothing per call.
+	frames []*frame
 
 	// Halted is set when the program executed an OpHalt.
 	Halted bool
@@ -102,6 +109,17 @@ type Machine struct {
 	InstrCount  uint64
 	SwitchCount uint64 // operation/compartment switches observed
 	depth       int
+}
+
+// funcMeta is the per-function execution metadata computed once in
+// NewMachine. allocaOff is dense, indexed by instruction ID; it is nil
+// for functions without allocas. fn guards slice slots against index
+// collisions with functions from other modules.
+type funcMeta struct {
+	fn         *ir.Function
+	addr       uint32
+	localBytes uint32
+	allocaOff  []int32
 }
 
 type irqBinding struct {
@@ -129,12 +147,12 @@ func NewMachine(mod *ir.Module, bus *Bus, codeBase uint32) *Machine {
 		Bus:       bus,
 		Clock:     bus.Clock,
 		MaxCycles: 1 << 40,
-		funcAddr:  make(map[*ir.Function]uint32, len(mod.Functions)),
+		metaByIdx: make([]funcMeta, len(mod.Functions)),
 		funcAt:    make(map[uint32]*ir.Function, len(mod.Functions)),
 	}
 	addr := codeBase
-	for _, f := range mod.Functions {
-		m.funcAddr[f] = addr
+	for i, f := range mod.Functions {
+		m.metaByIdx[i] = buildFuncMeta(f, addr)
 		m.funcAt[addr] = f
 		addr += uint32(f.CodeSize())
 	}
@@ -144,8 +162,63 @@ func NewMachine(mod *ir.Module, bus *Bus, codeBase uint32) *Machine {
 	return m
 }
 
+// buildFuncMeta lays out fn's alloca slots and records its code address.
+func buildFuncMeta(fn *ir.Function, addr uint32) funcMeta {
+	fm := funcMeta{fn: fn, addr: addr}
+	off := int32(0)
+	fn.Instructions(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op != ir.OpAlloca {
+			return
+		}
+		if fm.allocaOff == nil {
+			fm.allocaOff = make([]int32, fn.NumRegs())
+		}
+		if id := in.ID(); id >= len(fm.allocaOff) {
+			grown := make([]int32, id+1)
+			copy(grown, fm.allocaOff)
+			fm.allocaOff = grown
+		}
+		fm.allocaOff[in.ID()] = off
+		off += int32((in.Off + 3) &^ 3)
+	})
+	fm.localBytes = uint32(off)
+	return fm
+}
+
+// metaFor returns fn's metadata, building it on demand for functions
+// registered after NewMachine (test harnesses do this). Such late
+// functions keep the zero address, matching the historical funcAddr-map
+// behavior.
+func (m *Machine) metaFor(fn *ir.Function) *funcMeta {
+	if i := fn.Index(); uint(i) < uint(len(m.metaByIdx)) {
+		if fm := &m.metaByIdx[i]; fm.fn == fn {
+			return fm
+		}
+	}
+	fm := m.lateMeta[fn]
+	if fm == nil {
+		late := buildFuncMeta(fn, 0)
+		fm = &late
+		if m.lateMeta == nil {
+			m.lateMeta = make(map[*ir.Function]*funcMeta)
+		}
+		m.lateMeta[fn] = fm
+	}
+	return fm
+}
+
 // FuncAddr returns the code address of fn.
-func (m *Machine) FuncAddr(fn *ir.Function) uint32 { return m.funcAddr[fn] }
+func (m *Machine) FuncAddr(fn *ir.Function) uint32 {
+	if i := fn.Index(); uint(i) < uint(len(m.metaByIdx)) {
+		if fm := &m.metaByIdx[i]; fm.fn == fn {
+			return fm.addr
+		}
+	}
+	if fm := m.lateMeta[fn]; fm != nil {
+		return fm.addr
+	}
+	return 0
+}
 
 // FuncAt returns the function whose code starts at addr, or nil.
 func (m *Machine) FuncAt(addr uint32) *ir.Function { return m.funcAt[addr] }
@@ -172,13 +245,24 @@ func (m *Machine) Run(fn *ir.Function, args ...uint32) (uint32, error) {
 
 // frame is one activation record. The first four arguments live in
 // "registers"; the rest are spilled to the simulated stack by the
-// caller (AAPCS), so they are subject to MPU stack protection.
+// caller (AAPCS), so they are subject to MPU stack protection. Frames
+// are pooled per call depth: regs/argbuf storage is reused across
+// calls, with regs zeroed on reuse so behavior matches a fresh file.
 type frame struct {
 	fn      *ir.Function
 	regs    []uint32
 	args    [4]uint32
 	nargs   int
-	argBase uint32 // address of spilled args
+	argBase uint32   // address of spilled args
+	argbuf  []uint32 // evalArgs scratch; valid until this frame's next call
+}
+
+// frameAt returns the pooled frame for one-based call depth d.
+func (m *Machine) frameAt(d int) *frame {
+	for len(m.frames) < d {
+		m.frames = append(m.frames, &frame{})
+	}
+	return m.frames[d-1]
 }
 
 func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
@@ -193,7 +277,18 @@ func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
 		m.Handlers.OnFuncEnter(fn)
 	}
 
-	fr := frame{fn: fn, regs: make([]uint32, fn.NumRegs())}
+	fm := m.metaFor(fn)
+	fr := m.frameAt(m.depth)
+	fr.fn = fn
+	if n := fn.NumRegs(); cap(fr.regs) < n {
+		fr.regs = make([]uint32, n)
+	} else {
+		fr.regs = fr.regs[:n]
+		for i := range fr.regs {
+			fr.regs[i] = 0
+		}
+	}
+	fr.args = [4]uint32{}
 	for i := 0; i < len(args) && i < 4; i++ {
 		fr.args[i] = args[i]
 	}
@@ -214,7 +309,7 @@ func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
 	fr.argBase = m.SP
 
 	// Reserve locals.
-	locals := uint32(fn.FrameLocalBytes())
+	locals := fm.localBytes
 	if m.SP-locals < m.StackLimit {
 		m.SP = savedSP
 		return 0, fmt.Errorf("%w in %s", ErrStackOverflow, fn.Name)
@@ -222,22 +317,21 @@ func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
 	m.SP -= locals
 	localBase := m.SP
 
-	ret, err := m.exec(&fr, localBase)
+	ret, err := m.exec(fr, localBase, fm)
 	m.SP = savedSP
 	m.Clock.Advance(CostRet)
 	return ret, err
 }
 
 // exec runs the block graph of fr.fn.
-func (m *Machine) exec(fr *frame, localBase uint32) (uint32, error) {
-	offs := m.allocaOffsets(fr.fn)
+func (m *Machine) exec(fr *frame, localBase uint32, fm *funcMeta) (uint32, error) {
 	blk := fr.fn.Entry()
 	for {
 		if err := m.tick(); err != nil {
 			return 0, err
 		}
 		for _, in := range blk.Instrs {
-			if err := m.step(fr, in, localBase, offs); err != nil {
+			if err := m.step(fr, in, localBase, fm); err != nil {
 				return 0, err
 			}
 		}
@@ -295,7 +389,7 @@ func (m *Machine) tick() error {
 	return nil
 }
 
-func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, offs map[*ir.Instr]int) error {
+func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) error {
 	m.Clock.Advance(CostInstr)
 	m.InstrCount++
 	switch in.Op {
@@ -333,7 +427,7 @@ func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, offs map[*ir.I
 		return m.storeChecked(addr, in.Typ.Size(), v)
 
 	case ir.OpAlloca:
-		fr.regs[in.ID()] = localBase + uint32(offs[in])
+		fr.regs[in.ID()] = localBase + uint32(fm.allocaOff[in.ID()])
 
 	case ir.OpFieldAddr:
 		base, err := m.eval(fr, in.Args[0])
@@ -433,12 +527,14 @@ func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 	if m.Handlers.SvcEnter != nil {
 		m.Privileged = true
 		newArgs, err := m.Handlers.SvcEnter(entry, args)
+		// Drop privilege before acting on the result so an error return
+		// cannot leak the exception-entry escalation to the caller.
+		m.Privileged = wasPriv
 		if err != nil {
 			return 0, fmt.Errorf("mach: svc enter %s: %w", entry.Name, err)
 		}
 		args = newArgs
 	}
-	m.Privileged = wasPriv
 	m.Clock.Advance(CostExcReturn)
 
 	ret, err := m.call(entry, args)
@@ -449,17 +545,26 @@ func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 	m.Clock.Advance(CostExcEntry)
 	if m.Handlers.SvcExit != nil {
 		m.Privileged = true
-		if err := m.Handlers.SvcExit(entry, ret); err != nil {
+		err := m.Handlers.SvcExit(entry, ret)
+		m.Privileged = wasPriv
+		if err != nil {
 			return 0, fmt.Errorf("mach: svc exit %s: %w", entry.Name, err)
 		}
 	}
-	m.Privileged = wasPriv
 	m.Clock.Advance(CostExcReturn)
 	return ret, nil
 }
 
+// evalArgs evaluates call operands into the frame's scratch buffer.
+// The returned slice aliases fr.argbuf and is valid only until this
+// frame issues its next call; callees consume it immediately (register
+// args are copied, the rest are spilled to the simulated stack) and the
+// monitor's SvcEnter copies before retaining.
 func (m *Machine) evalArgs(fr *frame, vals []ir.Value) ([]uint32, error) {
-	args := make([]uint32, len(vals))
+	if cap(fr.argbuf) < len(vals) {
+		fr.argbuf = make([]uint32, len(vals))
+	}
+	args := fr.argbuf[:len(vals)]
 	for i, v := range vals {
 		a, err := m.eval(fr, v)
 		if err != nil {
@@ -489,7 +594,7 @@ func (m *Machine) eval(fr *frame, v ir.Value) (uint32, error) {
 		}
 		return addr, nil
 	case *ir.Function:
-		return m.funcAddr[v], nil
+		return m.FuncAddr(v), nil
 	}
 	return 0, fmt.Errorf("mach: cannot evaluate operand %T", v)
 }
@@ -562,26 +667,6 @@ func (m *Machine) retryStore(f *Fault) error {
 		return f2
 	}
 	return nil
-}
-
-// allocaOffsets lazily assigns frame offsets to alloca slots.
-func (m *Machine) allocaOffsets(fn *ir.Function) map[*ir.Instr]int {
-	if m.allocaOffs == nil {
-		m.allocaOffs = make(map[*ir.Function]map[*ir.Instr]int)
-	}
-	if offs, ok := m.allocaOffs[fn]; ok {
-		return offs
-	}
-	offs := make(map[*ir.Instr]int)
-	off := 0
-	fn.Instructions(func(_ *ir.Block, in *ir.Instr) {
-		if in.Op == ir.OpAlloca {
-			offs[in] = off
-			off += (in.Off + 3) &^ 3
-		}
-	})
-	m.allocaOffs[fn] = offs
-	return offs
 }
 
 func evalBin(k ir.BinKind, a, b uint32) uint32 {

@@ -476,3 +476,118 @@ func TestFuncAddrMapping(t *testing.T) {
 		t.Error("function addresses not laid out by code size")
 	}
 }
+
+func TestInterpSvcEnterErrorRestoresPrivilege(t *testing.T) {
+	m := ir.NewModule("svcpriv")
+	task := ir.NewFunc(m, "task", "a.c", nil)
+	task.RetVoid()
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	mb.Svc(1, m.MustFunc("task"))
+	mb.RetVoid()
+
+	mm := testMachine(t, m)
+	mm.Handlers.SvcEnter = func(*ir.Function, []uint32) ([]uint32, error) {
+		return nil, errors.New("policy denied")
+	}
+	mm.Privileged = false
+	if _, err := mm.Run(m.MustFunc("main")); err == nil {
+		t.Fatal("SvcEnter error must abort")
+	}
+	if mm.Privileged {
+		t.Error("privilege leaked: SvcEnter error path left machine privileged")
+	}
+}
+
+func TestInterpSvcExitErrorRestoresPrivilege(t *testing.T) {
+	m := ir.NewModule("svcpriv2")
+	task := ir.NewFunc(m, "task", "a.c", nil)
+	task.RetVoid()
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	mb.Svc(1, m.MustFunc("task"))
+	mb.RetVoid()
+
+	mm := testMachine(t, m)
+	mm.Handlers.SvcExit = func(*ir.Function, uint32) error {
+		return errors.New("exit check failed")
+	}
+	mm.Privileged = false
+	if _, err := mm.Run(m.MustFunc("main")); err == nil {
+		t.Fatal("SvcExit error must abort")
+	}
+	if mm.Privileged {
+		t.Error("privilege leaked: SvcExit error path left machine privileged")
+	}
+}
+
+// TestInterpIRQDuringUnprivilegedOp interrupts an unprivileged busy
+// loop. The handler reads DWT_CYCCNT — a PPB register that bus-faults
+// for unprivileged code — so it only completes if exception entry
+// escalated; afterwards the pre-exception privilege level must be back.
+func TestInterpIRQDuringUnprivilegedOp(t *testing.T) {
+	m := ir.NewModule("irqpriv")
+	flag := m.AddGlobal(&ir.Global{Name: "cyccnt_copy", Typ: ir.I32})
+	h := ir.NewFunc(m, "TIM_IRQHandler", "stm32f4xx_it.c", nil)
+	h.F.IRQHandler = true
+	h.Store(ir.I32, flag, h.Load(ir.I32, ir.CI(DWTCyccnt)))
+	h.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "a.c", ir.I32)
+	loop := mb.NewBlock("loop")
+	done := mb.NewBlock("done")
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	v := mb.Load(ir.I32, flag)
+	mb.CondBr(v, done, loop)
+	mb.SetBlock(done)
+	mb.Ret(v)
+
+	mm := testMachine(t, m)
+	// Unprivileged code may touch SRAM (globals + stack) but nothing
+	// else; the handler's PPB read relies on hardware escalation.
+	mm.Bus.MPU.SetEnabled(true)
+	mm.Bus.MPU.MustSetRegion(0, Region{Enabled: true, Base: SRAMBase, SizeLog2: 18, Perm: APRW})
+	dev := &testIRQDev{stubDevice: stubDevice{name: "TIM", base: USART2Base, size: 0x400}, pending: true}
+	mm.BindIRQ(dev, m.MustFunc("TIM_IRQHandler"))
+	mm.Privileged = false
+	got, err := mm.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatalf("IRQ during unprivileged op: %v", err)
+	}
+	if got == 0 {
+		t.Error("handler never stored the privileged CYCCNT read")
+	}
+	if mm.Privileged {
+		t.Error("privilege not restored after IRQ return")
+	}
+}
+
+// TestInterpIRQHandlerFaultRestoresPrivilege makes the handler itself
+// take an unrecoverable fault; the abort must still demote back to the
+// pre-exception privilege level.
+func TestInterpIRQHandlerFaultRestoresPrivilege(t *testing.T) {
+	m := ir.NewModule("irqfault")
+	h := ir.NewFunc(m, "BAD_IRQHandler", "stm32f4xx_it.c", nil)
+	h.F.IRQHandler = true
+	h.Store(ir.I32, ir.CI(0x70000000), ir.CI(1)) // unmapped: BusFault, no handler
+	h.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	loop := mb.NewBlock("loop")
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	mb.Br(loop)
+
+	mm := testMachine(t, m)
+	mm.Bus.MPU.SetEnabled(true)
+	mm.Bus.MPU.MustSetRegion(0, Region{Enabled: true, Base: SRAMBase, SizeLog2: 18, Perm: APRW})
+	dev := &testIRQDev{stubDevice: stubDevice{name: "BAD", base: USART2Base, size: 0x400}, pending: true}
+	mm.BindIRQ(dev, m.MustFunc("BAD_IRQHandler"))
+	mm.Privileged = false
+	_, err := mm.Run(m.MustFunc("main"))
+	if err == nil || !strings.Contains(err.Error(), "IRQ handler") {
+		t.Fatalf("faulting handler should abort with IRQ context: %v", err)
+	}
+	if mm.Privileged {
+		t.Error("privilege leaked after faulting IRQ handler")
+	}
+}

@@ -141,9 +141,19 @@ type MPU struct {
 	Enabled bool
 	Regions [NumRegions]Region
 
+	// NoCache disables the micro-TLB, forcing every access through the
+	// architectural matching loop (the cache-transparency baseline).
+	NoCache bool
+
 	// reconfigs counts region register writes, an observability metric
 	// for the ablation benchmarks.
 	reconfigs uint64
+
+	// Micro-TLB state (tlb.go): gen invalidates, lastEnabled detects
+	// direct Enabled toggles lazily.
+	gen         uint64
+	lastEnabled bool
+	tlb         [tlbSize]tlbEntry
 }
 
 // SetRegion programs region i, validating size/alignment rules.
@@ -156,7 +166,31 @@ func (m *MPU) SetRegion(i int, r Region) error {
 	}
 	m.Regions[i] = r
 	m.reconfigs++
+	m.gen++
 	return nil
+}
+
+// ClearRegion disables region i without counting as a reconfiguration
+// register write (the runtimes use it to blank unused plan slots).
+func (m *MPU) ClearRegion(i int) {
+	m.Regions[i] = Region{}
+	m.gen++
+}
+
+// RestoreRegions reinstates a previously captured region file in one
+// step (the monitor's operation-exit path). The caller accounts the
+// cycle cost; validation is skipped because the snapshot was legal when
+// captured.
+func (m *MPU) RestoreRegions(regs [NumRegions]Region) {
+	m.Regions = regs
+	m.gen++
+}
+
+// SetEnabled turns the MPU on or off (the MPU_CTRL ENABLE bit).
+func (m *MPU) SetEnabled(on bool) {
+	m.Enabled = on
+	m.lastEnabled = on
+	m.gen++
 }
 
 // MustSetRegion is SetRegion for statically-correct configurations.
@@ -170,23 +204,48 @@ func (m *MPU) MustSetRegion(i int, r Region) {
 func (m *MPU) Reconfigs() uint64 { return m.reconfigs }
 
 // Allows reports whether the access passes the MPU. It implements the
-// full PMSAv7 matching rule including sub-region fall-through.
+// full PMSAv7 matching rule including sub-region fall-through, with the
+// per-block adjudication served from the micro-TLB (tlb.go).
 func (m *MPU) Allows(addr uint32, write, privileged bool) bool {
+	if m.Enabled != m.lastEnabled {
+		// Enabled was toggled by direct field write: invalidate lazily
+		// so entries cached under the previous configuration never leak
+		// across the transition.
+		m.lastEnabled = m.Enabled
+		m.gen++
+	}
 	if !m.Enabled {
 		return true
 	}
+	if m.NoCache {
+		if i := m.regionScan(addr); i >= 0 {
+			return m.Regions[i].Perm.allows(write, privileged)
+		}
+		return privileged
+	}
+	e := m.lookup(addr)
+	if e.bg {
+		// Background map: privileged default map, unprivileged faults.
+		return privileged
+	}
+	return e.perm.allows(write, privileged)
+}
+
+// regionScan is the architectural PMSAv7 matching loop: the
+// highest-numbered containing region with an active sub-region wins;
+// -1 means the background map adjudicates.
+func (m *MPU) regionScan(addr uint32) int {
 	for i := NumRegions - 1; i >= 0; i-- {
-		r := m.Regions[i]
+		r := &m.Regions[i]
 		if !r.contains(addr) {
 			continue
 		}
 		if !r.subregionEnabled(addr) {
 			continue // falls through to lower-numbered regions
 		}
-		return r.Perm.allows(write, privileged)
+		return i
 	}
-	// Background map: privileged default map, unprivileged faults.
-	return privileged
+	return -1
 }
 
 // RegionFor returns the index of the region that would adjudicate an
@@ -196,12 +255,7 @@ func (m *MPU) RegionFor(addr uint32) int {
 	if !m.Enabled {
 		return -1
 	}
-	for i := NumRegions - 1; i >= 0; i-- {
-		if m.Regions[i].contains(addr) && m.Regions[i].subregionEnabled(addr) {
-			return i
-		}
-	}
-	return -1
+	return m.regionScan(addr)
 }
 
 // RegionSizeFor returns the smallest legal MPU region size (log2) that

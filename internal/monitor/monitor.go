@@ -134,7 +134,7 @@ func boot(b *core.Build, bus *mach.Bus, usePMP bool) (*Monitor, error) {
 	} else {
 		mon.applyMPU(b.MPUFor(mon.cur))
 		mon.setSRD(0)
-		bus.MPU.Enabled = true
+		bus.MPU.SetEnabled(true)
 	}
 	m.Privileged = false
 	return mon, nil
@@ -331,7 +331,7 @@ func (mon *Monitor) svcExit(entry *ir.Function, _ uint32) error {
 		mon.pmp.Entries = ctx.savedPMP
 		mon.M.Clock.Advance(mach.NumPMPEntries * mach.CostMPUWrite)
 	} else {
-		mon.Bus.MPU.Regions = ctx.savedRegions
+		mon.Bus.MPU.RestoreRegions(ctx.savedRegions)
 		mon.setSRD(ctx.savedSRD)
 		mon.M.Clock.Advance(mach.NumRegions * mach.CostMPUWrite)
 	}
@@ -519,7 +519,7 @@ func (mon *Monitor) applyMPU(p core.OpMPU) {
 		if r.Enabled {
 			mon.Bus.MPU.MustSetRegion(i, r)
 		} else {
-			mon.Bus.MPU.Regions[i] = mach.Region{}
+			mon.Bus.MPU.ClearRegion(i)
 		}
 	}
 	mon.M.Clock.Advance(mach.NumRegions * mach.CostMPUWrite)

@@ -147,6 +147,24 @@ var (
 	RenderTable3   = exper.RenderTable3
 )
 
+// Simulator-throughput baseline (BENCH_mach.json) re-exports.
+type (
+	// BenchReport is the machine-readable simulator perf baseline.
+	BenchReport = exper.BenchReport
+	// BenchWorkload is one timed app × scheme run inside a BenchReport.
+	BenchWorkload = exper.BenchWorkload
+)
+
+var (
+	// CollectBench measures per-workload simulated MIPS and harness
+	// sweep timings at a scale.
+	CollectBench = exper.CollectBench
+	// MarshalBenchReport renders a report as indented JSON.
+	MarshalBenchReport = exper.MarshalBenchReport
+	// ValidateBenchReport checks a BENCH_mach.json document is complete.
+	ValidateBenchReport = exper.ValidateBenchReport
+)
+
 // CaseStudyResult reports Section 6.1's contrast: the same arbitrary
 // write targeting PinLock's KEY from a compromised Lock_Task, under
 // OPEC and under ACES.
