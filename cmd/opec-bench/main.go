@@ -15,6 +15,8 @@
 //	opec-bench -exp table1
 //	opec-bench -exp figure9 -quick
 //	opec-bench -exp casestudy
+//	opec-bench -exp inject -seed 1 -policy restart
+//	opec-bench -exp inject -quick -assert-contained
 //	opec-bench -exp bench -benchjson BENCH_mach.json
 //	opec-bench -validate BENCH_mach.json
 package main
@@ -29,9 +31,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | bench | all")
+	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | inject | bench | all")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	parallel := flag.Int("parallel", 0, "max concurrent per-app jobs (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "fault-injection campaign seed (-exp inject)")
+	policy := flag.String("policy", "abort", "recovery policy for -exp inject: abort | restart | quarantine")
+	assertContained := flag.Bool("assert-contained", false, "with -exp inject: exit non-zero unless every OPEC trial is contained")
 	benchjson := flag.String("benchjson", "", "write the simulator-throughput baseline (BENCH_mach.json) to this file; implies -exp bench unless another experiment is named")
 	validate := flag.String("validate", "", "validate an existing BENCH_mach.json and exit")
 	flag.Parse()
@@ -100,6 +105,25 @@ func main() {
 		fmt.Println("Section 6.1 case study: arbitrary write to KEY from compromised Lock_Task")
 		fmt.Printf("  under OPEC: blocked=%v (%s)\n", res.OPECBlocked, res.OPECFault)
 		fmt.Printf("  under ACES: KEY overwritten=%v\n", res.ACESKeyOverwritten)
+		ran = true
+	}
+	// Not part of -exp all: every trial compiles and runs a fresh
+	// workload, so a campaign multiplies the sweep's cost.
+	if strings.EqualFold(*exp, "inject") {
+		pol, err := opec.ParsePolicy(*policy)
+		fail(err)
+		rows, err := h.Inject(scale, opec.DefaultInjectConfig(*seed), pol)
+		fail(err)
+		fmt.Println(opec.RenderInject(rows))
+		if *assertContained {
+			for _, r := range rows {
+				if r.Scheme == "OPEC" && r.Contained() != r.Trials {
+					fail(fmt.Errorf("inject: %s under OPEC: only %d/%d trials contained (first escape: %s)",
+						r.App, r.Contained(), r.Trials, r.FirstEscape))
+				}
+			}
+			fmt.Println("assert-contained: every OPEC trial contained")
+		}
 		ran = true
 	}
 	// Not part of -exp all: the bench sweep re-times fresh runs and

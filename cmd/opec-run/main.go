@@ -8,6 +8,14 @@
 //	opec-run -app PinLock -mode opec
 //	opec-run -app TCP-Echo -mode vanilla
 //	opec-run -app FatFs-uSD -mode aces1
+//
+// With -inject, opec-run replays one fault-injection trial (the spec
+// syntax campaigns print) instead of a clean run, and exits non-zero
+// when the fault escapes its domain:
+//
+//	opec-run -app PinLock -mode opec -inject 'store:Lock_Task:1:KEY:0:-1:0xee'
+//	opec-run -app PinLock -mode opec -policy restart -inject 'store:Lock_Task:1:KEY:0:-1:0xee'
+//	opec-run -app PinLock -mode aces2 -inject 'store:Lock_Task:1:KEY:0:-1:0xee'
 package main
 
 import (
@@ -25,6 +33,8 @@ func main() {
 	appName := flag.String("app", "", "workload name")
 	mode := flag.String("mode", "opec", "vanilla | opec | opec-pmp | aces1 | aces2 | aces3")
 	trace := flag.Bool("trace", false, "print the per-task executed-function trace (the GDB-substitute)")
+	injectSpec := flag.String("inject", "", "replay one fault-injection trial (kind:func:n:target:off:bit:value[:args])")
+	policy := flag.String("policy", "abort", "recovery policy under -inject: abort | restart | quarantine")
 	flag.Parse()
 
 	if *appName == "" {
@@ -33,6 +43,11 @@ func main() {
 	}
 	app, err := opec.AppByName(*appName)
 	fail(err)
+
+	if *injectSpec != "" {
+		replayTrial(app, *mode, *injectSpec, *policy)
+		return
+	}
 	inst := app.New()
 
 	if *trace {
@@ -86,6 +101,43 @@ func main() {
 	if res.ACES != nil {
 		fmt.Printf("aces: compartment switches=%d emulator hits=%d privileged code=%dB\n",
 			res.ACES.Switches, res.ACES.EmulatorHits, res.ABld.PrivilegedCodeBytes())
+	}
+}
+
+// replayTrial runs one fault-injection trial and reports its verdict;
+// an uncontained verdict (escape or monitor crash) exits non-zero.
+func replayTrial(app *opec.App, mode, specText, policy string) {
+	spec, err := opec.ParseInjectSpec(specText)
+	fail(err)
+	pol, err := opec.ParsePolicy(policy)
+	fail(err)
+
+	var out opec.InjectOutcome
+	switch strings.ToLower(mode) {
+	case "opec":
+		out, err = opec.InjectOPEC(app, spec, pol, 0)
+	case "aces1":
+		out, err = opec.InjectACES(app, spec, opec.ACES1, 0)
+	case "aces2":
+		out, err = opec.InjectACES(app, spec, opec.ACES2, 0)
+	case "aces3":
+		out, err = opec.InjectACES(app, spec, opec.ACES3, 0)
+	default:
+		err = fmt.Errorf("mode %q does not support -inject (want opec | aces1 | aces2 | aces3)", mode)
+	}
+	fail(err)
+
+	fmt.Printf("%s under %s: trial %s\n", app.Name, mode, spec)
+	fmt.Printf("  verdict: %s\n", out.Verdict)
+	if out.Err != "" {
+		fmt.Printf("  detail:  %s\n", out.Err)
+	}
+	if out.Restarts > 0 || out.Quarantines > 0 {
+		fmt.Printf("  recovery: restarts=%d quarantines=%d restart_cycles=%d\n",
+			out.Restarts, out.Quarantines, out.RestartCycles)
+	}
+	if !out.Verdict.Contained() {
+		os.Exit(1)
 	}
 }
 

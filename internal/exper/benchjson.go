@@ -6,6 +6,10 @@ import (
 	"time"
 
 	"opec/internal/aces"
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/inject"
+	"opec/internal/monitor"
 	"opec/internal/run"
 )
 
@@ -18,7 +22,8 @@ import (
 // trajectory visible.
 
 // BenchSchema identifies the report format; bump on breaking changes.
-const BenchSchema = "opec-bench/mach/v1"
+// v2 added the recovery section (restart latency per workload).
+const BenchSchema = "opec-bench/mach/v2"
 
 // BenchSchemes is the fixed execution-scheme order of the report.
 var BenchSchemes = []string{"vanilla", "opec", "aces"}
@@ -43,6 +48,23 @@ type BenchExperiment struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// BenchRecovery is the restart-latency measurement of one workload:
+// the first planned rogue store from a non-default operation, replayed
+// under the RestartOperation policy, with the monitor's modeled restart
+// cost. Workloads whose trial catalogue has no restartable rogue store
+// have no entry.
+type BenchRecovery struct {
+	App  string `json:"app"`
+	Spec string `json:"spec"` // the replayable trial measured
+	// Restarts is the number of operation restarts the trial caused.
+	Restarts uint64 `json:"restarts"`
+	// RestartCycles is the total modeled cycles spent re-initializing
+	// (backoff + data/stack/relocation restoration + MPU reload).
+	RestartCycles uint64 `json:"restart_cycles"`
+	// CyclesPerRestart is RestartCycles / Restarts.
+	CyclesPerRestart float64 `json:"cycles_per_restart"`
+}
+
 // BenchReport is the top-level BENCH_mach.json document.
 type BenchReport struct {
 	Schema      string            `json:"schema"`
@@ -50,6 +72,7 @@ type BenchReport struct {
 	Parallel    int               `json:"parallel"`
 	Workloads   []BenchWorkload   `json:"workloads"`
 	Experiments []BenchExperiment `json:"experiments"`
+	Recovery    []BenchRecovery   `json:"recovery"`
 }
 
 // CollectBench measures simulator throughput at scale s. Workload runs
@@ -112,7 +135,59 @@ func CollectBench(s AppSet, parallel int) (*BenchReport, error) {
 			WallSeconds: time.Since(start).Seconds(),
 		})
 	}
+
+	for _, app := range AppsFor(s) {
+		rec, ok, err := measureRecovery(app)
+		if err != nil {
+			return nil, fmt.Errorf("bench recovery %s: %w", app.Name, err)
+		}
+		if ok {
+			rep.Recovery = append(rep.Recovery, rec)
+		}
+	}
 	return rep, nil
+}
+
+// benchRecoverySeed fixes the trial catalogue the recovery measurements
+// draw from, so the measured spec is stable across regenerations.
+const benchRecoverySeed = 1
+
+// measureRecovery times one operation restart on app: the first planned
+// rogue store from a non-default operation is contained by the MPU,
+// RestartOperation re-initializes the operation, and the monitor's
+// restart cycle counter is the latency. ok is false when the workload
+// plans no such trial or the trial never reached its trigger.
+func measureRecovery(app *apps.App) (BenchRecovery, bool, error) {
+	inst := app.New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		return BenchRecovery{}, false, err
+	}
+	var spec inject.Spec
+	found := false
+	for _, sp := range inject.Plan(b, inst.Devices, inject.DefaultConfig(benchRecoverySeed)) {
+		if sp.Kind == inject.RogueStore && sp.Func != "main" {
+			spec, found = sp, true
+			break
+		}
+	}
+	if !found {
+		return BenchRecovery{}, false, nil
+	}
+	out, err := inject.RunOPEC(app, spec, monitor.Policy{Kind: monitor.RestartOperation}, 0)
+	if err != nil {
+		return BenchRecovery{}, false, err
+	}
+	if out.Restarts == 0 || out.RestartCycles == 0 {
+		return BenchRecovery{}, false, nil
+	}
+	return BenchRecovery{
+		App:              app.Name,
+		Spec:             spec.String(),
+		Restarts:         out.Restarts,
+		RestartCycles:    out.RestartCycles,
+		CyclesPerRestart: float64(out.RestartCycles) / float64(out.Restarts),
+	}, true, nil
 }
 
 // benchOne times a single fresh run and derives throughput.
@@ -204,6 +279,29 @@ func ValidateBenchReport(data []byte) (*BenchReport, error) {
 	for _, name := range benchExperimentNames {
 		if !haveExp[name] {
 			return nil, fmt.Errorf("bench report: missing experiment timing %q", name)
+		}
+	}
+
+	// Recovery section: at least two workloads must demonstrate a
+	// measured restart (the recovery policies' acceptance floor), every
+	// entry must name a workload of the scale, replay as a valid spec,
+	// and carry a positive latency.
+	if len(rep.Recovery) < 2 {
+		return nil, fmt.Errorf("bench report: recovery section has %d workloads, want >= 2", len(rep.Recovery))
+	}
+	knownApp := make(map[string]bool)
+	for _, app := range AppsFor(scale) {
+		knownApp[app.Name] = true
+	}
+	for _, r := range rep.Recovery {
+		if !knownApp[r.App] {
+			return nil, fmt.Errorf("bench report: recovery entry for unknown workload %q", r.App)
+		}
+		if _, err := inject.ParseSpec(r.Spec); err != nil {
+			return nil, fmt.Errorf("bench report: recovery %s: %w", r.App, err)
+		}
+		if r.Restarts == 0 || r.RestartCycles == 0 || r.CyclesPerRestart <= 0 {
+			return nil, fmt.Errorf("bench report: degenerate recovery entry %s: %+v", r.App, r)
 		}
 	}
 	return &rep, nil

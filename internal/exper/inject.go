@@ -1,0 +1,193 @@
+package exper
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"opec/internal/aces"
+	"opec/internal/apps"
+	"opec/internal/inject"
+	"opec/internal/monitor"
+)
+
+// The fault-injection campaign experiment: every workload's seeded
+// trial catalogue (internal/inject) replayed under OPEC with a chosen
+// recovery policy and under the merged-region ACES configuration
+// (ACES-2, the §6.1 over-privilege vector), aggregated into one
+// containment row per workload × scheme. Trials are symbolic specs, so
+// a campaign at one seed is exactly reproducible and any row's first
+// escape can be replayed alone with `opec-run -inject`.
+
+// InjectRow aggregates one workload × scheme leg of a campaign.
+type InjectRow struct {
+	App    string `json:"app"`
+	Scheme string `json:"scheme"` // "OPEC" | "ACES-2"
+	Policy string `json:"policy"` // OPEC recovery policy; "-" under ACES
+	Trials int    `json:"trials"`
+	// Counts histograms the trial verdicts, indexed by inject.Verdict.
+	Counts [inject.NumVerdicts]int `json:"counts"`
+	// Restarts/Quarantines total the recovery-policy activity.
+	Restarts    uint64 `json:"restarts"`
+	Quarantines uint64 `json:"quarantines"`
+	// FirstEscape is the replay spec of the row's first escaped trial
+	// (`opec-run -inject <spec>` reproduces it), empty when contained.
+	FirstEscape string `json:"first_escape,omitempty"`
+}
+
+// Count returns the number of trials with verdict v.
+func (r *InjectRow) Count(v inject.Verdict) int { return r.Counts[v] }
+
+// Escapes returns the row's escaped-trial count.
+func (r *InjectRow) Escapes() int { return r.Counts[inject.Escaped] }
+
+// Contained returns the number of trials whose verdict kept the fault
+// inside its domain.
+func (r *InjectRow) Contained() int {
+	n := 0
+	for v := 0; v < inject.NumVerdicts; v++ {
+		if inject.Verdict(v).Contained() {
+			n += r.Counts[v]
+		}
+	}
+	return n
+}
+
+// Inject runs the fault-injection campaign: all workloads under OPEC
+// with the given recovery policy, plus the five comparison workloads
+// under ACES-2 against the identical trial list (minus gate trials,
+// which ACES cannot express). Each workload plans from its own
+// seed-derived sub-generator, so the campaign is deterministic per
+// (seed, scale) and insensitive to harness parallelism. Trials run on
+// a 4× budget of the workload's clean-run cycles, bounding hung runs.
+func (h *Harness) Inject(s AppSet, cfg inject.Config, pol monitor.Policy) ([]InjectRow, error) {
+	type job struct {
+		row    int
+		app    *apps.App
+		spec   inject.Spec
+		aces   bool
+		budget uint64
+	}
+	var rows []InjectRow
+	var jobs []job
+
+	acesSet := make(map[string]bool)
+	for _, app := range acesAppsFor(s) {
+		acesSet[app.Name] = true
+	}
+	for _, app := range AppsFor(s) {
+		a, err := h.Cache.opecArtifact(app, s)
+		if err != nil {
+			return nil, fmt.Errorf("inject: %w", err)
+		}
+		appCfg := cfg
+		appCfg.Seed = subSeed(cfg.Seed, app.Name)
+		specs := inject.Plan(a.b, a.inst.Devices, appCfg)
+
+		ro, err := h.Cache.OPECRun(app, s)
+		if err != nil {
+			return nil, fmt.Errorf("inject: %w", err)
+		}
+		row := len(rows)
+		rows = append(rows, InjectRow{
+			App: app.Name, Scheme: "OPEC",
+			Policy: pol.Kind.String(), Trials: len(specs),
+		})
+		for _, sp := range specs {
+			jobs = append(jobs, job{row: row, app: app, spec: sp, budget: 4 * ro.Cycles})
+		}
+
+		if !acesSet[app.Name] {
+			continue
+		}
+		ra, err := h.Cache.ACESRun(app, s, aces.FilenameNoOpt)
+		if err != nil {
+			return nil, fmt.Errorf("inject: %w", err)
+		}
+		row = len(rows)
+		arow := InjectRow{App: app.Name, Scheme: "ACES-2", Policy: "-"}
+		for _, sp := range specs {
+			if sp.Kind == inject.BadGate {
+				continue
+			}
+			arow.Trials++
+			jobs = append(jobs, job{row: row, app: app, spec: sp, aces: true, budget: 4 * ra.Cycles})
+		}
+		rows = append(rows, arow)
+	}
+
+	outs := make([]inject.Outcome, len(jobs))
+	err := h.forEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		var out inject.Outcome
+		var err error
+		if j.aces {
+			out, err = inject.RunACES(j.app, j.spec, aces.FilenameNoOpt, j.budget)
+		} else {
+			out, err = inject.RunOPEC(j.app, j.spec, pol, j.budget)
+		}
+		if err != nil {
+			return fmt.Errorf("inject: %s trial %s: %w", j.app.Name, j.spec, err)
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Aggregation follows job order, which is fixed at planning time —
+	// rows are identical at every parallelism level.
+	for i, j := range jobs {
+		r := &rows[j.row]
+		o := outs[i]
+		r.Counts[o.Verdict]++
+		r.Restarts += o.Restarts
+		r.Quarantines += o.Quarantines
+		if o.Verdict == inject.Escaped && r.FirstEscape == "" {
+			r.FirstEscape = o.Spec.String()
+		}
+	}
+	return rows, nil
+}
+
+// subSeed derives a workload's campaign seed, decoupling its trial
+// sampling from every other workload's.
+func subSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// RenderInject prints the campaign's containment table plus a replay
+// line for every row that escaped.
+func RenderInject(rows []InjectRow) string {
+	var sb strings.Builder
+	sb.WriteString("Fault injection: trial verdicts per workload (ESC = isolation escapes)\n")
+	fmt.Fprintf(&sb, "%-11s %-7s %-10s %6s %6s %5s %5s %5s %5s %6s %7s %5s %4s %5s %5s %5s\n",
+		"Application", "Scheme", "Policy", "Trials", "Untrig",
+		"MPU", "Sani", "Gate", "Recov", "Benign", "Corrupt", "Hung", "ESC", "Crash",
+		"Rst", "Quar")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11s %-7s %-10s %6d %6d %5d %5d %5d %5d %6d %7d %5d %4d %5d %5d %5d\n",
+			r.App, r.Scheme, r.Policy, r.Trials, r.Count(inject.Untriggered),
+			r.Count(inject.ContainedMPU), r.Count(inject.ContainedSanitize),
+			r.Count(inject.ContainedGate), r.Count(inject.Recovered),
+			r.Count(inject.Benign), r.Count(inject.Corrupted),
+			r.Count(inject.Hung), r.Escapes(), r.Count(inject.CrashedMonitor),
+			r.Restarts, r.Quarantines)
+	}
+	for _, r := range rows {
+		if r.FirstEscape != "" {
+			fmt.Fprintf(&sb, "  replay first escape of %s/%s: opec-run -app %s -mode %s -inject '%s'\n",
+				r.App, r.Scheme, r.App, replayMode(r.Scheme), r.FirstEscape)
+		}
+	}
+	return sb.String()
+}
+
+func replayMode(scheme string) string {
+	if scheme == "ACES-2" {
+		return "aces2"
+	}
+	return "opec"
+}

@@ -1,0 +1,273 @@
+package inject
+
+import (
+	"errors"
+	"fmt"
+
+	"opec/internal/aces"
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/mach"
+	"opec/internal/monitor"
+	"opec/internal/run"
+)
+
+// Outcome is one finished trial.
+type Outcome struct {
+	Spec    Spec
+	Verdict Verdict
+	Err     string // the run error, when there was one
+	// Recovery-policy activity observed during the trial (OPEC only).
+	Restarts    uint64
+	Quarantines uint64
+	// RestartCycles is the total modeled cost of the restarts.
+	RestartCycles uint64
+}
+
+// RunOPEC executes one trial under OPEC with the given recovery policy.
+// Each trial compiles a fresh workload instance: devices are stateful
+// and compilation instruments the module, so nothing can be shared. A
+// maxCycles of 0 keeps the instance's own budget.
+func RunOPEC(app *apps.App, spec Spec, pol monitor.Policy, maxCycles uint64) (out Outcome, err error) {
+	out.Spec = spec
+	inst := app.New()
+	if maxCycles > 0 {
+		inst.MaxCycles = maxCycles
+	}
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		return out, fmt.Errorf("inject: compile %s: %w", app.Name, err)
+	}
+	fire, state, err := buildFire(spec, inst, b.Board, nil)
+	if err != nil {
+		return out, err
+	}
+	trigger := inst.Mod.Func(spec.Func)
+	if trigger == nil {
+		return out, fmt.Errorf("inject: %s: no trigger function %q", app.Name, spec.Func)
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			out.Verdict = CrashedMonitor
+			out.Err = fmt.Sprintf("panic: %v", r)
+			err = nil
+		}
+	}()
+	res, runErr := run.OPECWith(inst, b, run.Options{
+		Policy: pol,
+		Arm: func(m *mach.Machine) {
+			m.Arm(&mach.Injection{Func: trigger, N: spec.N, Fire: fire})
+		},
+	})
+	var checkErr error
+	if runErr == nil {
+		checkErr = run.AndCheck(inst, res)
+	}
+	if res != nil && res.Mon != nil {
+		out.Restarts = res.Mon.Stats.Restarts
+		out.Quarantines = res.Mon.Stats.Quarantines
+		out.RestartCycles = res.Mon.Stats.RestartCycles
+	}
+	out.Verdict, out.Err = classify(state, out.Restarts+out.Quarantines, runErr, checkErr)
+	return out, nil
+}
+
+// RunACES executes one trial under the ACES baseline with the given
+// compartmentalization strategy. BadGate specs are reported Untriggered:
+// ACES has no supervisor-call gate to attack.
+func RunACES(app *apps.App, spec Spec, strat aces.Strategy, maxCycles uint64) (out Outcome, err error) {
+	out.Spec = spec
+	if spec.Kind == BadGate {
+		return out, nil
+	}
+	inst := app.New()
+	if maxCycles > 0 {
+		inst.MaxCycles = maxCycles
+	}
+	b, err := aces.Compile(inst.Mod, inst.Board, strat)
+	if err != nil {
+		return out, fmt.Errorf("inject: compile %s under %v: %w", app.Name, strat, err)
+	}
+	fire, state, err := buildFire(spec, inst, b.Board, b)
+	if err != nil {
+		return out, err
+	}
+	trigger := inst.Mod.Func(spec.Func)
+	if trigger == nil {
+		return out, fmt.Errorf("inject: %s: no trigger function %q", app.Name, spec.Func)
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			out.Verdict = CrashedMonitor
+			out.Err = fmt.Sprintf("panic: %v", r)
+			err = nil
+		}
+	}()
+	res, runErr := run.ACESWith(inst, b, run.Options{
+		Arm: func(m *mach.Machine) {
+			m.Arm(&mach.Injection{Func: trigger, N: spec.N, Fire: fire})
+		},
+	})
+	var checkErr error
+	if runErr == nil {
+		checkErr = run.AndCheck(inst, res)
+	}
+	out.Verdict, out.Err = classify(state, 0, runErr, checkErr)
+	return out, nil
+}
+
+// fireState is what the Fire hook observed, read after the run for
+// classification.
+type fireState struct {
+	fired  bool
+	landed bool // the perturbation reached its victim unimpeded
+}
+
+// buildFire compiles a Spec into the machine hook that performs it. The
+// aces build, when non-nil, resolves globals by their fixed ACES
+// layout; under OPEC resolution goes through the machine (relocation
+// table semantics, exactly like program code).
+func buildFire(spec Spec, inst *apps.Instance, board *mach.Board, ab *aces.Build) (func(*mach.Machine) error, *fireState, error) {
+	st := &fireState{}
+	resolveGlobal := func(m *mach.Machine, name string) (uint32, error) {
+		g := inst.Mod.Global(name)
+		if g == nil {
+			return 0, fmt.Errorf("inject: no global %q", name)
+		}
+		if ab != nil {
+			return ab.GlobalAddr[g] + spec.Off, nil
+		}
+		addr, f := m.GlobalAddr(g, m.Privileged)
+		if f != nil {
+			// Resolution itself faulted at the attacker's privilege:
+			// the protection unit stopped the probe.
+			return 0, f
+		}
+		return addr + spec.Off, nil
+	}
+
+	switch spec.Kind {
+	case RogueStore:
+		return func(m *mach.Machine) error {
+			st.fired = true
+			var addr uint32
+			if p := board.PeriphByName(spec.Target); p != nil {
+				addr = p.Base + spec.Off
+			} else {
+				a, err := resolveGlobal(m, spec.Target)
+				if err != nil {
+					return err
+				}
+				addr = a
+			}
+			if err := m.InjectStore(addr, 1, spec.Value); err != nil {
+				return err
+			}
+			st.landed = true
+			return nil
+		}, st, nil
+
+	case BitFlip:
+		return func(m *mach.Machine) error {
+			st.fired = true
+			// Soft error: flips the bit wherever the variable currently
+			// lives, beneath the protection unit (hardware, not code).
+			addr, err := resolveGlobal(m, spec.Target)
+			if err != nil {
+				return err
+			}
+			v, f := m.Bus.RawLoad(addr, 1)
+			if f != nil {
+				return f
+			}
+			m.Bus.RawStore(addr, 1, v^(1<<uint(spec.Bit)))
+			return nil
+		}, st, nil
+
+	case BadGate:
+		entry := inst.Mod.Func(spec.Target)
+		if entry == nil {
+			return nil, nil, fmt.Errorf("inject: no gate target %q", spec.Target)
+		}
+		return func(m *mach.Machine) error {
+			st.fired = true
+			if _, err := m.InjectSvc(entry, spec.Args); err != nil {
+				return err
+			}
+			return nil
+		}, st, nil
+
+	case StackExhaust:
+		return func(m *mach.Machine) error {
+			st.fired = true
+			m.SP = m.StackLimit + 16
+			return nil
+		}, st, nil
+
+	case PeriphCorrupt:
+		p := board.PeriphByName(spec.Target)
+		if p == nil {
+			return nil, nil, fmt.Errorf("inject: no peripheral %q", spec.Target)
+		}
+		return func(m *mach.Machine) error {
+			st.fired = true
+			m.Bus.RawStore(p.Base+spec.Off, 4, spec.Value)
+			return nil
+		}, st, nil
+	}
+	return nil, nil, fmt.Errorf("inject: unknown fault kind %d", spec.Kind)
+}
+
+// classify maps a trial's observations to its verdict. Precedence: a
+// write that landed is an escape no matter how the run ended; a clean
+// finish is judged by recovery activity and the workload's own
+// correctness check; failures are bucketed by which mechanism caught
+// them.
+func classify(st *fireState, recoveries uint64, runErr, checkErr error) (Verdict, string) {
+	if !st.fired {
+		return Untriggered, ""
+	}
+	if st.landed {
+		msg := ""
+		if runErr != nil {
+			msg = runErr.Error()
+		}
+		return Escaped, msg
+	}
+	if runErr == nil {
+		if recoveries > 0 {
+			if checkErr != nil {
+				return Corrupted, checkErr.Error()
+			}
+			return Recovered, ""
+		}
+		if checkErr != nil {
+			return Corrupted, checkErr.Error()
+		}
+		return Benign, ""
+	}
+	msg := runErr.Error()
+	switch {
+	case errors.Is(runErr, monitor.ErrSanitization):
+		return ContainedSanitize, msg
+	case isAbort(runErr):
+		return ContainedGate, msg
+	case isFault(runErr) || errors.Is(runErr, mach.ErrStackOverflow):
+		return ContainedMPU, msg
+	case errors.Is(runErr, mach.ErrCycleLimit):
+		return Hung, msg
+	}
+	return CrashedMonitor, msg
+}
+
+func isAbort(err error) bool {
+	var a *monitor.AbortError
+	return errors.As(err, &a)
+}
+
+func isFault(err error) bool {
+	var f *mach.Fault
+	return errors.As(err, &f)
+}

@@ -1,0 +1,210 @@
+package inject
+
+import (
+	"math/rand"
+	"sort"
+
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// Config sizes a campaign. All sampling is driven by Seed, so a config
+// identifies its trial list exactly.
+type Config struct {
+	Seed int64
+	// VictimsPerOp caps the foreign globals targeted by rogue stores
+	// from each operation (0 = all).
+	VictimsPerOp int
+	// PeriphsPerOp caps the foreign peripherals targeted by rogue
+	// stores from each operation (0 = all).
+	PeriphsPerOp int
+	// BitFlips is the number of soft-error trials per operation.
+	BitFlips int
+	// GateTrials caps the malformed-gate trials per workload.
+	GateTrials int
+	// StackTrials caps the stack-exhaustion trials per workload.
+	StackTrials int
+	// PeriphTrials caps the register-corruption trials per workload.
+	PeriphTrials int
+}
+
+// DefaultConfig returns the standard campaign shape at the given seed.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		VictimsPerOp: 3,
+		PeriphsPerOp: 1,
+		BitFlips:     2,
+		GateTrials:   2,
+		StackTrials:  2,
+		PeriphTrials: 2,
+	}
+}
+
+// Plan enumerates the campaign's trial list against one compiled
+// workload. The same build, devices and config produce the identical
+// list: iteration follows the build's deterministic operation order and
+// every sampled choice comes from the seeded generator.
+func Plan(b *core.Build, devices []mach.Device, cfg Config) []Spec {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var specs []Spec
+
+	// Attached peripherals resolvable through the board's datasheet
+	// (device blocks can land writes; detached address space would
+	// bus-fault in every scheme and prove nothing).
+	type periph struct {
+		name string
+		base uint32
+	}
+	var periphs []periph
+	for _, d := range devices {
+		if p := b.Board.FindPeriph(d.Base()); p != nil {
+			periphs = append(periphs, periph{name: p.Name, base: p.Base})
+		}
+	}
+	sort.Slice(periphs, func(i, j int) bool { return periphs[i].name < periphs[j].name })
+
+	for _, op := range b.Ops {
+		own := make(map[*ir.Global]bool, len(op.Globals))
+		for _, g := range op.Globals {
+			own[g] = true
+		}
+
+		// Rogue stores to every foreign global (the §6.1 payload
+		// generalized): globals some other operation owns or shadows
+		// but this one has no access to.
+		var victims []string
+		seen := map[string]bool{}
+		for _, other := range b.Ops {
+			if other == op {
+				continue
+			}
+			for _, g := range other.Globals {
+				if !own[g] && !seen[g.Name] {
+					seen[g.Name] = true
+					victims = append(victims, g.Name)
+				}
+			}
+		}
+		sort.Strings(victims)
+		for _, v := range sample(rng, victims, cfg.VictimsPerOp) {
+			specs = append(specs, Spec{
+				Kind: RogueStore, Func: op.Entry.Name, N: 1,
+				Target: v, Bit: -1, Value: 0xEE,
+			})
+		}
+
+		// Rogue stores to foreign peripherals. Skip anything inside the
+		// operation's own MPU peripheral regions: region-granularity
+		// over-coverage is an accepted cost of the MPU (Section 4.3),
+		// not an isolation escape.
+		var foreign []string
+		for _, p := range periphs {
+			covered := false
+			for _, r := range op.PeriphRegions {
+				if p.base >= r.Base && p.base < r.End() {
+					covered = true
+				}
+			}
+			if !covered {
+				foreign = append(foreign, p.name)
+			}
+		}
+		for _, v := range sample(rng, foreign, cfg.PeriphsPerOp) {
+			specs = append(specs, Spec{
+				Kind: RogueStore, Func: op.Entry.Name, N: 1,
+				Target: v, Off: 0x10, Bit: -1, Value: rng.Uint32(),
+			})
+		}
+
+		// Soft errors in the operation's own data.
+		for i := 0; i < cfg.BitFlips && len(op.Globals) > 0; i++ {
+			g := op.Globals[rng.Intn(len(op.Globals))]
+			specs = append(specs, Spec{
+				Kind: BitFlip, Func: op.Entry.Name, N: 1,
+				Target: g.Name, Off: uint32(rng.Intn(g.Size())), Bit: rng.Intn(8),
+			})
+		}
+	}
+
+	// Malformed gates (OPEC-specific surface; skipped under ACES, which
+	// has no gate to attack). Half the trials forge an SVC into a
+	// non-entry function, half call a real entry with garbage arguments.
+	var nonEntries []string
+	var argEntries []*ir.Function
+	for _, fn := range b.Mod.Functions {
+		if op := b.EntryOps[fn]; op != nil && op.Entry == fn {
+			if fn.Name != "main" && len(fn.Params) > 0 {
+				argEntries = append(argEntries, fn)
+			}
+			continue
+		}
+		if fn.Name != "main" {
+			nonEntries = append(nonEntries, fn.Name)
+		}
+	}
+	sort.Strings(nonEntries)
+	sort.Slice(argEntries, func(i, j int) bool { return argEntries[i].Name < argEntries[j].Name })
+	for i := 0; i < cfg.GateTrials; i++ {
+		if i%2 == 0 && len(nonEntries) > 0 {
+			specs = append(specs, Spec{
+				Kind: BadGate, Func: "main", N: 1,
+				Target: nonEntries[rng.Intn(len(nonEntries))], Bit: -1,
+			})
+		} else if len(argEntries) > 0 {
+			e := argEntries[rng.Intn(len(argEntries))]
+			args := make([]uint32, len(e.Params))
+			for j := range args {
+				args[j] = 0xFFFF_FFFF
+			}
+			specs = append(specs, Spec{
+				Kind: BadGate, Func: "main", N: 1,
+				Target: e.Name, Bit: -1, Args: args,
+			})
+		}
+	}
+
+	// Stack exhaustion at operation entries (non-default first: those
+	// exercise recovery; main's failure necessarily ends the program).
+	var entries []string
+	for _, op := range b.Ops {
+		if op.ID != 0 {
+			entries = append(entries, op.Entry.Name)
+		}
+	}
+	sort.Strings(entries)
+	for i := 0; i < cfg.StackTrials && i < len(entries); i++ {
+		specs = append(specs, Spec{Kind: StackExhaust, Func: entries[i], N: 1, Bit: -1})
+	}
+
+	// Peripheral register corruption (environmental, not adversarial):
+	// raw writes that no protection unit sees.
+	for i := 0; i < cfg.PeriphTrials && len(periphs) > 0; i++ {
+		p := periphs[rng.Intn(len(periphs))]
+		trigger := "main"
+		if len(entries) > 0 {
+			trigger = entries[i%len(entries)]
+		}
+		specs = append(specs, Spec{
+			Kind: PeriphCorrupt, Func: trigger, N: 1,
+			Target: p.name, Off: uint32(rng.Intn(16)) * 4, Bit: -1, Value: rng.Uint32(),
+		})
+	}
+	return specs
+}
+
+// sample returns up to max elements of names, chosen by the seeded
+// generator (all of them, in order, when max <= 0 or covers the list).
+func sample(rng *rand.Rand, names []string, max int) []string {
+	if max <= 0 || max >= len(names) {
+		return names
+	}
+	idx := rng.Perm(len(names))[:max]
+	sort.Ints(idx)
+	out := make([]string, 0, max)
+	for _, i := range idx {
+		out = append(out, names[i])
+	}
+	return out
+}

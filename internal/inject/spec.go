@@ -1,0 +1,188 @@
+// Package inject is the seeded fault-injection campaign engine: it
+// enumerates a deterministic catalogue of adversarial perturbations
+// against a compiled workload (generalizing the paper's §6.1
+// KEY-overwrite to every operation × every foreign global/peripheral),
+// replays each as one trial under OPEC or ACES, and classifies the
+// outcome into a containment verdict. Campaigns are symbolic: every
+// trial is described by a replayable Spec, so the same seed produces a
+// byte-identical verdict table and any single trial can be re-run with
+// `opec-run -inject <spec>`.
+package inject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind is a fault-catalogue entry.
+type Kind uint8
+
+const (
+	// RogueStore models a compromised operation issuing an arbitrary
+	// write to a foreign global or peripheral (the §6.1 payload).
+	RogueStore Kind = iota
+	// BitFlip models a soft error: one bit flipped in the operation's
+	// own data section, bypassing protection (SEU, not an attacker).
+	BitFlip
+	// BadGate models a malformed supervisor call: a forged gate into a
+	// non-entry function, or a real entry invoked with garbage
+	// arguments.
+	BadGate
+	// StackExhaust models runaway recursion: the stack pointer is
+	// dropped to just above the stack limit at operation entry.
+	StackExhaust
+	// PeriphCorrupt models peripheral register corruption (EMI/glitch):
+	// a raw write into a device register block.
+	PeriphCorrupt
+)
+
+var kindNames = [...]string{"store", "flip", "gate", "stack", "periph"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Verdict classifies one trial's outcome.
+type Verdict uint8
+
+const (
+	// Untriggered: the trigger point was never reached.
+	Untriggered Verdict = iota
+	// ContainedMPU: the perturbation was stopped by hardware — the
+	// protection unit, the stack guard, or a CPU execution fault (e.g. a
+	// corrupted code pointer taking a usage fault) — and the failure
+	// stayed inside the domain.
+	ContainedMPU
+	// ContainedSanitize: corrupted state was caught by the monitor's
+	// critical-variable sanitization at the operation switch.
+	ContainedSanitize
+	// ContainedGate: the monitor rejected the gate call itself.
+	ContainedGate
+	// Recovered: a recovery policy absorbed the failure and the
+	// workload completed with its correctness check passing.
+	Recovered
+	// Benign: the perturbation fired but the workload still completed
+	// and passed its correctness check.
+	Benign
+	// Corrupted: the workload completed but its correctness check
+	// failed — silent data corruption, contained to functional state.
+	Corrupted
+	// Hung: the workload exceeded its cycle budget.
+	Hung
+	// Escaped: the perturbation landed outside the faulting domain —
+	// the isolation mechanism failed to stop it.
+	Escaped
+	// CrashedMonitor: the trusted side itself failed (panic or an error
+	// no taxonomy bucket explains).
+	CrashedMonitor
+
+	// NumVerdicts counts the verdict values above.
+	NumVerdicts = int(CrashedMonitor) + 1
+)
+
+var verdictNames = [...]string{
+	"untriggered", "contained-mpu", "contained-sanitize", "contained-gate",
+	"recovered", "benign", "corrupted", "hung", "escaped", "crashed-monitor",
+}
+
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return fmt.Sprintf("verdict(%d)", v)
+}
+
+// Contained reports whether the verdict means the fault did not leave
+// its domain (every value except Escaped and CrashedMonitor).
+func (v Verdict) Contained() bool { return v != Escaped && v != CrashedMonitor }
+
+// Spec is one replayable trial: fire Kind when function Func is entered
+// for the N-th time, directed at Target.
+type Spec struct {
+	Kind Kind
+	// Func is the trigger: the fault fires at the N-th entry (1-based)
+	// of this function.
+	Func string
+	N    int
+	// Target names the victim: a global (RogueStore/BitFlip), a
+	// peripheral (RogueStore/PeriphCorrupt), or a function (BadGate).
+	Target string
+	Off    uint32 // byte offset into the victim
+	Bit    int    // bit index for BitFlip
+	Value  uint32 // stored value for RogueStore/PeriphCorrupt
+	Args   []uint32
+}
+
+// String renders the spec in the colon-separated replay syntax accepted
+// by ParseSpec and `opec-run -inject`:
+//
+//	kind:func:n:target:off:bit:value[:a1,a2,...]
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%s:%d:%s:%d:%d:%#x", s.Kind, s.Func, s.N, s.Target, s.Off, s.Bit, s.Value)
+	if len(s.Args) > 0 {
+		b.WriteByte(':')
+		for i, a := range s.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%#x", a)
+		}
+	}
+	return b.String()
+}
+
+// ParseSpec parses the replay syntax produced by Spec.String.
+func ParseSpec(text string) (Spec, error) {
+	parts := strings.Split(text, ":")
+	if len(parts) != 7 && len(parts) != 8 {
+		return Spec{}, fmt.Errorf("inject: spec %q: want kind:func:n:target:off:bit:value[:args]", text)
+	}
+	var s Spec
+	kind := -1
+	for i, n := range kindNames {
+		if parts[0] == n {
+			kind = i
+		}
+	}
+	if kind < 0 {
+		return Spec{}, fmt.Errorf("inject: spec %q: unknown kind %q", text, parts[0])
+	}
+	s.Kind = Kind(kind)
+	s.Func = parts[1]
+	n, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return Spec{}, fmt.Errorf("inject: spec %q: bad trigger count: %w", text, err)
+	}
+	s.N = n
+	s.Target = parts[3]
+	off, err := strconv.ParseUint(parts[4], 0, 32)
+	if err != nil {
+		return Spec{}, fmt.Errorf("inject: spec %q: bad offset: %w", text, err)
+	}
+	s.Off = uint32(off)
+	bit, err := strconv.Atoi(parts[5])
+	if err != nil {
+		return Spec{}, fmt.Errorf("inject: spec %q: bad bit: %w", text, err)
+	}
+	s.Bit = bit
+	val, err := strconv.ParseUint(parts[6], 0, 32)
+	if err != nil {
+		return Spec{}, fmt.Errorf("inject: spec %q: bad value: %w", text, err)
+	}
+	s.Value = uint32(val)
+	if len(parts) == 8 && parts[7] != "" {
+		for _, f := range strings.Split(parts[7], ",") {
+			a, err := strconv.ParseUint(f, 0, 32)
+			if err != nil {
+				return Spec{}, fmt.Errorf("inject: spec %q: bad argument %q: %w", text, f, err)
+			}
+			s.Args = append(s.Args, uint32(a))
+		}
+	}
+	return s, nil
+}

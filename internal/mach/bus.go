@@ -38,6 +38,7 @@ type FaultKind uint8
 const (
 	FaultMemManage FaultKind = iota // MPU permission violation
 	FaultBus                        // unprivileged PPB access or unmapped address
+	FaultUsage                      // control transfer to a non-function address
 )
 
 func (k FaultKind) String() string {
@@ -46,6 +47,8 @@ func (k FaultKind) String() string {
 		return "MemManage"
 	case FaultBus:
 		return "BusFault"
+	case FaultUsage:
+		return "UsageFault"
 	}
 	return "?"
 }
@@ -62,13 +65,16 @@ type Fault struct {
 }
 
 func (f *Fault) Error() string {
-	dir := "read"
-	if f.Write {
-		dir = "write"
-	}
 	lvl := "unprivileged"
 	if f.Privileged {
 		lvl = "privileged"
+	}
+	if f.Kind == FaultUsage {
+		return fmt.Sprintf("%s: %s jump to non-function address %#08x", f.Kind, lvl, f.Addr)
+	}
+	dir := "read"
+	if f.Write {
+		dir = "write"
 	}
 	return fmt.Sprintf("%s: %s %s of %d bytes at %#08x", f.Kind, lvl, dir, f.Size, f.Addr)
 }

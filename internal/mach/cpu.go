@@ -59,6 +59,11 @@ type Handlers struct {
 	// OnFuncEnter observes every function entry (the tracing hook that
 	// substitutes for the paper's GDB single-stepping).
 	OnFuncEnter func(fn *ir.Function)
+	// SvcFault is consulted, privileged, when a gated operation body
+	// fails. It decides between propagating, retrying the body
+	// (RestartOperation) and returning a sentinel (Quarantine). Halts
+	// never reach it.
+	SvcFault func(entry *ir.Function, err error) SvcFaultResolution
 }
 
 // Machine executes an ir.Module against a Bus with a privilege state
@@ -97,6 +102,9 @@ type Machine struct {
 
 	irqs  []irqBinding
 	inIRQ bool
+
+	// inj is the armed fault injection, if any (see Arm).
+	inj *Injection
 
 	// frames is the activation-record pool, indexed by call depth, so
 	// steady-state execution allocates nothing per call.
@@ -317,6 +325,18 @@ func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
 	m.SP -= locals
 	localBase := m.SP
 
+	// Entry-count injection trigger: fire with the frame established,
+	// so the hook's perturbation executes in this function's context.
+	if inj := m.inj; inj != nil && inj.Func == fn {
+		if inj.N--; inj.N <= 0 {
+			m.inj = nil
+			if err := inj.Fire(m); err != nil {
+				m.SP = savedSP
+				return 0, m.locate(fr, fm, err)
+			}
+		}
+	}
+
 	ret, err := m.exec(fr, localBase, fm)
 	m.SP = savedSP
 	m.Clock.Advance(CostRet)
@@ -332,7 +352,7 @@ func (m *Machine) exec(fr *frame, localBase uint32, fm *funcMeta) (uint32, error
 		}
 		for _, in := range blk.Instrs {
 			if err := m.step(fr, in, localBase, fm); err != nil {
-				return 0, err
+				return 0, m.locate(fr, fm, err)
 			}
 		}
 		m.Clock.Advance(CostInstr) // terminator
@@ -343,7 +363,7 @@ func (m *Machine) exec(fr *frame, localBase uint32, fm *funcMeta) (uint32, error
 		case ir.TermCondBr:
 			c, err := m.eval(fr, blk.Term.Cond)
 			if err != nil {
-				return 0, err
+				return 0, m.locate(fr, fm, err)
 			}
 			if c != 0 {
 				blk = blk.Term.Succs[0]
@@ -354,7 +374,11 @@ func (m *Machine) exec(fr *frame, localBase uint32, fm *funcMeta) (uint32, error
 			if blk.Term.Val == nil {
 				return 0, nil
 			}
-			return m.eval(fr, blk.Term.Val)
+			v, err := m.eval(fr, blk.Term.Val)
+			if err != nil {
+				return 0, m.locate(fr, fm, err)
+			}
+			return v, nil
 		default:
 			return 0, fmt.Errorf("mach: unterminated block %s in %s", blk.Name, fr.fn.Name)
 		}
@@ -389,7 +413,30 @@ func (m *Machine) tick() error {
 	return nil
 }
 
+// locate wraps err with the innermost faulting frame (function, code
+// address, instruction count), exactly once: outer frames pass an
+// existing ExecError through untouched. Halts and cycle-limit hits are
+// program outcomes, not located failures.
+func (m *Machine) locate(fr *frame, fm *funcMeta, err error) error {
+	if errors.Is(err, errHalt) || errors.Is(err, ErrCycleLimit) {
+		return err
+	}
+	var ee *ExecError
+	if errors.As(err, &ee) {
+		return err
+	}
+	return &ExecError{Fn: fr.fn.Name, PC: fm.addr, Instr: m.InstrCount, Err: err}
+}
+
 func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) error {
+	// Instruction-count injection trigger (cycle-point perturbations
+	// that are not tied to a function entry).
+	if inj := m.inj; inj != nil && inj.Func == nil && m.InstrCount >= inj.At {
+		m.inj = nil
+		if err := inj.Fire(m); err != nil {
+			return err
+		}
+	}
 	m.Clock.Advance(CostInstr)
 	m.InstrCount++
 	switch in.Op {
@@ -465,7 +512,11 @@ func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) 
 		}
 		callee := m.funcAt[target]
 		if callee == nil {
-			return fmt.Errorf("mach: icall to invalid address %#08x in %s", target, fr.fn.Name)
+			// The hardware model: branching to an address that is not a
+			// function entry escalates to a usage fault (corrupted code
+			// pointer), which the monitor's recovery policies can absorb
+			// exactly like a memory fault.
+			return &Fault{Kind: FaultUsage, Addr: target, Privileged: m.Privileged}
 		}
 		args, err := m.evalArgs(fr, in.Args[1:])
 		if err != nil {
@@ -519,7 +570,9 @@ func (m *Machine) dispatchCall(caller, callee *ir.Function, args []uint32) (uint
 
 // svcCall implements the SVC-wrapped operation entry: exception entry,
 // monitor enter (privileged), unprivileged body, exception for exit,
-// monitor exit.
+// monitor exit. A failing body consults the SvcFault handler, which may
+// re-enter it (RestartOperation) or complete the SVC with a sentinel
+// (Quarantine) instead of unwinding.
 func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 	m.SwitchCount++
 	m.Clock.Advance(CostExcEntry)
@@ -531,28 +584,52 @@ func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 		// cannot leak the exception-entry escalation to the caller.
 		m.Privileged = wasPriv
 		if err != nil {
+			var skip *SvcSkip
+			if errors.As(err, &skip) {
+				m.Clock.Advance(CostExcReturn)
+				return skip.Ret, nil
+			}
 			return 0, fmt.Errorf("mach: svc enter %s: %w", entry.Name, err)
 		}
 		args = newArgs
 	}
 	m.Clock.Advance(CostExcReturn)
 
-	ret, err := m.call(entry, args)
-	if err != nil {
-		return 0, err
-	}
-
-	m.Clock.Advance(CostExcEntry)
-	if m.Handlers.SvcExit != nil {
-		m.Privileged = true
-		err := m.Handlers.SvcExit(entry, ret)
-		m.Privileged = wasPriv
+	for {
+		ret, err := m.call(entry, args)
 		if err != nil {
-			return 0, fmt.Errorf("mach: svc exit %s: %w", entry.Name, err)
+			if m.Handlers.SvcFault == nil || errors.Is(err, errHalt) {
+				return 0, err
+			}
+			m.Clock.Advance(CostExcEntry)
+			m.Privileged = true
+			res := m.Handlers.SvcFault(entry, err)
+			m.Privileged = wasPriv
+			m.Clock.Advance(CostExcReturn)
+			switch res.Action {
+			case SvcRetry:
+				continue
+			case SvcReturn:
+				// The handler already unwound the operation context;
+				// running the exit hook would unwind it twice.
+				return res.Ret, nil
+			default:
+				return 0, err
+			}
 		}
+
+		m.Clock.Advance(CostExcEntry)
+		if m.Handlers.SvcExit != nil {
+			m.Privileged = true
+			err := m.Handlers.SvcExit(entry, ret)
+			m.Privileged = wasPriv
+			if err != nil {
+				return 0, fmt.Errorf("mach: svc exit %s: %w", entry.Name, err)
+			}
+		}
+		m.Clock.Advance(CostExcReturn)
+		return ret, nil
 	}
-	m.Clock.Advance(CostExcReturn)
-	return ret, nil
 }
 
 // evalArgs evaluates call operands into the frame's scratch buffer.

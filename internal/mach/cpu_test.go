@@ -216,8 +216,10 @@ func TestInterpICallBadTarget(t *testing.T) {
 	sig := ir.FuncType{Params: nil, Ret: ir.I32}
 	mb.Ret(mb.ICall(sig, mb.Load(ir.I32, fp)))
 	mm := testMachine(t, m)
-	if _, err := mm.Run(m.MustFunc("main")); err == nil || !strings.Contains(err.Error(), "icall") {
-		t.Errorf("bad icall error = %v", err)
+	_, err := mm.Run(m.MustFunc("main"))
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultUsage || f.Addr != 0x1234 {
+		t.Errorf("bad icall error = %v, want usage fault at 0x1234", err)
 	}
 }
 

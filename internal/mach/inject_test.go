@@ -1,0 +1,305 @@
+package mach
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"opec/internal/ir"
+)
+
+// taskModule builds main -> svc task -> helper, where task increments
+// counter each activation and helper stores its argument to out.
+func taskModule(rounds uint32) *ir.Module {
+	m := ir.NewModule("inject-test")
+	counter := m.AddGlobal(&ir.Global{Name: "counter", Typ: ir.I32})
+	out := m.AddGlobal(&ir.Global{Name: "out", Typ: ir.I32})
+
+	hb := ir.NewFunc(m, "helper", "a.c", nil, ir.P("v", ir.I32))
+	hb.Store(ir.I32, out, hb.Arg("v"))
+	hb.RetVoid()
+
+	tb := ir.NewFunc(m, "task", "a.c", nil)
+	c := tb.Load(ir.I32, counter)
+	tb.Store(ir.I32, counter, tb.Add(c, ir.CI(1)))
+	tb.Call(m.MustFunc("helper"), tb.Add(c, ir.CI(100)))
+	tb.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "a.c", nil)
+	loop := mb.NewBlock("loop")
+	done := mb.NewBlock("done")
+	i := mb.Alloca(ir.I32)
+	mb.Store(ir.I32, i, ir.CI(0))
+	mb.Br(loop)
+	mb.SetBlock(loop)
+	iv := mb.Load(ir.I32, i)
+	mb.Svc(1, m.MustFunc("task"))
+	next := mb.Add(iv, ir.CI(1))
+	mb.Store(ir.I32, i, next)
+	mb.CondBr(mb.Lt(next, ir.CI(rounds)), loop, done)
+	mb.SetBlock(done)
+	mb.RetVoid()
+	return m
+}
+
+func readGlobal(t *testing.T, mm *Machine, name string) uint32 {
+	t.Helper()
+	g := mm.Mod.Global(name)
+	addr, f := mm.GlobalAddr(g, true)
+	if f != nil {
+		t.Fatalf("resolve %s: %v", name, f)
+	}
+	v, f2 := mm.Bus.RawLoad(addr, 4)
+	if f2 != nil {
+		t.Fatalf("read %s: %v", name, f2)
+	}
+	return v
+}
+
+func TestInjectionFiresOnNthEntry(t *testing.T) {
+	m := taskModule(5)
+	mm := testMachine(t, m)
+	seen := uint32(0)
+	mm.Arm(&Injection{
+		Func: m.MustFunc("task"),
+		N:    3,
+		Fire: func(mm *Machine) error {
+			seen = readGlobal(t, mm, "counter")
+			return nil
+		},
+	})
+	if _, err := mm.Run(m.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+	// The trigger fires at entry of the third activation, before its
+	// body increments counter.
+	if seen != 2 {
+		t.Errorf("fired with counter = %d, want 2", seen)
+	}
+	if got := readGlobal(t, mm, "counter"); got != 5 {
+		t.Errorf("counter = %d after run, want 5 (injection must be one-shot)", got)
+	}
+}
+
+func TestInjectionFiresAtInstructionIndex(t *testing.T) {
+	m := taskModule(5)
+
+	// Reference run: count instructions.
+	ref := testMachine(t, m)
+	if _, err := ref.Run(m.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+	at := ref.InstrCount / 2
+
+	mm := testMachine(t, m)
+	var fireInstr uint64
+	mm.Arm(&Injection{
+		At: at,
+		Fire: func(mm *Machine) error {
+			fireInstr = mm.InstrCount
+			return nil
+		},
+	})
+	if _, err := mm.Run(m.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+	if fireInstr != at {
+		t.Errorf("fired at instruction %d, want %d", fireInstr, at)
+	}
+	if mm.InstrCount != ref.InstrCount {
+		t.Errorf("instruction count %d, want %d (no-op injection must be transparent)", mm.InstrCount, ref.InstrCount)
+	}
+}
+
+func TestInjectStoreRoutesThroughProtection(t *testing.T) {
+	m := taskModule(1)
+	mm := testMachine(t, m)
+	// The MPU is enabled with no regions configured; the rogue store
+	// issues unprivileged, so it faults while normal (privileged)
+	// execution proceeds through the background mapping.
+	mm.Bus.MPU.SetEnabled(true)
+	mm.Arm(&Injection{
+		Func: m.MustFunc("task"),
+		N:    1,
+		Fire: func(mm *Machine) error {
+			mm.Privileged = false
+			err := mm.InjectStore(SRAMBase, 4, 0xEE)
+			mm.Privileged = true
+			return err
+		},
+	})
+	_, err := mm.Run(m.MustFunc("main"))
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want a fault", err)
+	}
+	if f.Kind != FaultMemManage || !f.Write || f.Addr != SRAMBase {
+		t.Errorf("fault = %+v, want MemManage write at SRAMBase", f)
+	}
+}
+
+func TestSvcSkipShortCircuitsBody(t *testing.T) {
+	m := taskModule(3)
+	mm := testMachine(t, m)
+	calls := 0
+	mm.Handlers.SvcEnter = func(entry *ir.Function, args []uint32) ([]uint32, error) {
+		calls++
+		if calls == 2 {
+			return nil, &SvcSkip{Ret: 0x5EED}
+		}
+		return args, nil
+	}
+	if _, err := mm.Run(m.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+	// Activation 2 was skipped: the body ran only twice.
+	if got := readGlobal(t, mm, "counter"); got != 2 {
+		t.Errorf("counter = %d, want 2", got)
+	}
+	if calls != 3 {
+		t.Errorf("enter hook ran %d times, want 3", calls)
+	}
+}
+
+func TestSvcFaultRetryReentersBody(t *testing.T) {
+	m := taskModule(2)
+	mm := testMachine(t, m)
+	fired := false
+	mm.Arm(&Injection{
+		Func: m.MustFunc("task"),
+		N:    1,
+		Fire: func(mm *Machine) error {
+			fired = true
+			return errors.New("injected fault")
+		},
+	})
+	retries := 0
+	mm.Handlers.SvcFault = func(entry *ir.Function, err error) SvcFaultResolution {
+		if entry.Name != "task" {
+			t.Errorf("fault at entry %s, want task", entry.Name)
+		}
+		retries++
+		return SvcFaultResolution{Action: SvcRetry}
+	}
+	if _, err := mm.Run(m.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || retries != 1 {
+		t.Fatalf("fired=%v retries=%d, want one fired+retried fault", fired, retries)
+	}
+	// Both rounds completed after the retry.
+	if got := readGlobal(t, mm, "counter"); got != 2 {
+		t.Errorf("counter = %d, want 2", got)
+	}
+}
+
+func TestSvcFaultReturnSuppressesErrorAndSkipsExit(t *testing.T) {
+	m := taskModule(1)
+	mm := testMachine(t, m)
+	mm.Arm(&Injection{
+		Func: m.MustFunc("task"),
+		N:    1,
+		Fire: func(mm *Machine) error { return errors.New("injected fault") },
+	})
+	exits := 0
+	mm.Handlers.SvcExit = func(entry *ir.Function, ret uint32) error {
+		exits++
+		return nil
+	}
+	mm.Handlers.SvcFault = func(entry *ir.Function, err error) SvcFaultResolution {
+		return SvcFaultResolution{Action: SvcReturn, Ret: 0xD15A}
+	}
+	if _, err := mm.Run(m.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+	if exits != 0 {
+		t.Errorf("exit hook ran %d times, want 0 (handler already unwound)", exits)
+	}
+}
+
+func TestSvcFaultPropagateKeepsError(t *testing.T) {
+	m := taskModule(1)
+	mm := testMachine(t, m)
+	injected := errors.New("injected fault")
+	mm.Arm(&Injection{
+		Func: m.MustFunc("task"),
+		N:    1,
+		Fire: func(mm *Machine) error { return injected },
+	})
+	mm.Handlers.SvcFault = func(entry *ir.Function, err error) SvcFaultResolution {
+		return SvcFaultResolution{} // SvcPropagate
+	}
+	_, err := mm.Run(m.MustFunc("main"))
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected fault", err)
+	}
+}
+
+func TestSvcFaultRunsPrivilegedAndRestores(t *testing.T) {
+	m := taskModule(1)
+	mm := testMachine(t, m)
+	mm.Privileged = false
+	mm.Arm(&Injection{
+		Func: m.MustFunc("task"),
+		N:    1,
+		Fire: func(mm *Machine) error { return errors.New("injected fault") },
+	})
+	sawPriv := false
+	mm.Handlers.SvcFault = func(entry *ir.Function, err error) SvcFaultResolution {
+		sawPriv = mm.Privileged
+		return SvcFaultResolution{Action: SvcReturn}
+	}
+	if _, err := mm.Run(m.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+	if !sawPriv {
+		t.Error("SvcFault handler did not run privileged")
+	}
+	if mm.Privileged {
+		t.Error("privilege leaked after SvcFault resolution")
+	}
+}
+
+func TestExecErrorLocatesInnermostFrame(t *testing.T) {
+	m := taskModule(1)
+	mm := testMachine(t, m)
+	mm.Arm(&Injection{
+		Func: m.MustFunc("helper"),
+		N:    1,
+		Fire: func(mm *Machine) error {
+			return mm.InjectStore(0xFFFF_0000, 4, 1) // unmapped: bus fault
+		},
+	})
+	_, err := mm.Run(m.MustFunc("main"))
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want an ExecError", err)
+	}
+	if ee.Fn != "helper" {
+		t.Errorf("located in %q, want helper (innermost frame)", ee.Fn)
+	}
+	if ee.PC != mm.FuncAddr(m.MustFunc("helper")) {
+		t.Errorf("PC = %#x, want helper's code address %#x", ee.PC, mm.FuncAddr(m.MustFunc("helper")))
+	}
+	if !strings.Contains(err.Error(), "pc 0x") {
+		t.Errorf("error %q does not mention the PC", err)
+	}
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Errorf("fault not reachable through ExecError: %v", err)
+	}
+}
+
+func TestCycleLimitNotWrappedInExecError(t *testing.T) {
+	m := taskModule(1000)
+	mm := testMachine(t, m)
+	mm.MaxCycles = 500
+	_, err := mm.Run(m.MustFunc("main"))
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("err = %v, want cycle limit", err)
+	}
+	var ee *ExecError
+	if errors.As(err, &ee) {
+		t.Errorf("cycle limit wrapped in ExecError: %v", err)
+	}
+}

@@ -31,14 +31,23 @@ type Stats struct {
 	StackRelocs  uint64 // argument buffers relocated across sub-regions
 	PeriphRemaps uint64 // MPU virtualization events (region swaps)
 	Emulations   uint64 // PPB load/store emulations
+
+	// Recovery-policy activity (zero under the abort baseline).
+	Restarts      uint64 // operation restarts (RestartOperation policy)
+	Quarantines   uint64 // operations disabled (Quarantine policy)
+	Escapes       uint64 // faults the policy gave up on (retries exhausted)
+	RestartCycles uint64 // modeled cycles spent re-initializing + backoff
 }
 
 // AbortError is a monitor-initiated program abort (policy violation).
 type AbortError struct {
 	Reason string
+	Cause  error // sentinel classifying the violation, if any
 }
 
 func (e *AbortError) Error() string { return "opec-monitor: abort: " + e.Reason }
+
+func (e *AbortError) Unwrap() error { return e.Cause }
 
 // ErrSanitization is wrapped by aborts caused by a critical global
 // failing its developer-provided range check (Section 5.3).
@@ -52,8 +61,16 @@ type Monitor struct {
 
 	Stats Stats
 
+	// Policy selects the reaction to faults contained inside an
+	// operation (recovery.go). May be set any time before the faulting
+	// gate unwinds; the zero value aborts, as the paper does.
+	Policy Policy
+
 	cur      *core.Operation
 	ctxStack []*opContext
+
+	restarts    map[*core.Operation]int  // consecutive-fault counters
+	quarantined map[*core.Operation]bool // disabled operations
 
 	srd    uint8 // current stack sub-region disable mask (MPU backend)
 	rrNext int   // round-robin cursor over the peripheral regions
@@ -116,6 +133,7 @@ func boot(b *core.Build, bus *mach.Bus, usePMP bool) (*Monitor, error) {
 	m.GlobalAddr = mon.resolveGlobal
 	m.Handlers.SvcEnter = mon.svcEnter
 	m.Handlers.SvcExit = mon.svcExit
+	m.Handlers.SvcFault = mon.svcFault
 	m.Handlers.MemManage = mon.memManage
 	m.Handlers.BusFault = mon.busFault
 
@@ -155,27 +173,29 @@ func (mon *Monitor) Current() *core.Operation { return mon.cur }
 // the default operation's view.
 func (mon *Monitor) initMemory() {
 	b := mon.B
-	write := func(addr uint32, g *ir.Global) {
-		for i := 0; i < g.Size(); i++ {
-			var v uint32
-			if i < len(g.Init) {
-				v = uint32(g.Init[i])
-			}
-			mon.Bus.RawStore(addr+uint32(i), 1, v)
-		}
-	}
 	for g, a := range b.StaticAddr {
-		write(a, g)
+		mon.writeInit(a, g)
 	}
 	for g, a := range b.PublicAddr {
-		write(a, g)
+		mon.writeInit(a, g)
 	}
 	for _, op := range b.Ops {
 		for g, a := range b.ShadowAddr[op.ID] {
-			write(a, g)
+			mon.writeInit(a, g)
 		}
 	}
 	mon.updateRelocTable(b.Ops[0])
+}
+
+// writeInit stores g's boot-image initial value at addr.
+func (mon *Monitor) writeInit(addr uint32, g *ir.Global) {
+	for i := 0; i < g.Size(); i++ {
+		var v uint32
+		if i < len(g.Init) {
+			v = uint32(g.Init[i])
+		}
+		mon.Bus.RawStore(addr+uint32(i), 1, v)
+	}
 }
 
 // resolveGlobal implements the image's symbol semantics: fixed-home
@@ -203,6 +223,12 @@ func (mon *Monitor) svcEnter(entry *ir.Function, args []uint32) ([]uint32, error
 	next := b.EntryOps[entry]
 	if next == nil {
 		return nil, &AbortError{Reason: fmt.Sprintf("SVC for non-entry %s", entry.Name)}
+	}
+	if mon.quarantined[next] {
+		// The operation was disabled by the Quarantine policy: answer
+		// the gate call immediately with the sentinel, never switching.
+		mon.M.Clock.Advance(8)
+		return nil, &mach.SvcSkip{Ret: QuarantineSentinel}
 	}
 	prev := mon.cur
 	mon.Stats.Switches++
@@ -302,9 +328,12 @@ func (mon *Monitor) svcExit(entry *ir.Function, _ uint32) error {
 
 	// Sanitize + write back the exiting operation's shadows, then
 	// restore the previous operation's view.
-	if err := mon.syncOut(mon.cur); err != nil {
+	exited := mon.cur
+	if err := mon.syncOut(exited); err != nil {
 		return err
 	}
+	// A clean exit resets the operation's consecutive-fault counter.
+	delete(mon.restarts, exited)
 	mon.syncIn(ctx.op)
 	mon.updateRelocTable(ctx.op)
 	mon.redirectPointerFields(ctx.op)
@@ -369,7 +398,8 @@ func (mon *Monitor) syncOut(op *core.Operation) error {
 			if !g.Critical.Contains(v) {
 				return &AbortError{Reason: fmt.Sprintf(
 					"%v: %s=%d outside [%d,%d] leaving operation %s",
-					ErrSanitization, g.Name, v, g.Critical.Min, g.Critical.Max, op.Name)}
+					ErrSanitization, g.Name, v, g.Critical.Min, g.Critical.Max, op.Name),
+					Cause: ErrSanitization}
 			}
 		}
 		mon.Bus.CopyMem(b.PublicAddr[g], shadow, g.Size())

@@ -1,0 +1,214 @@
+package monitor_test
+
+import (
+	"errors"
+	"testing"
+
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/monitor"
+	"opec/internal/testprog"
+)
+
+// Regression for the abort path (mirroring the SvcEnter/SvcExit
+// privilege-leak fix): a sanitization abort must carry the
+// ErrSanitization sentinel and leave the machine unprivileged, i.e. in
+// a state consistent with re-entry.
+func TestSanitizationAbortLeavesPrivilegeConsistent(t *testing.T) {
+	m := testprog.PinLockLike()
+	du := m.MustFunc("do_unlock")
+	for _, in := range du.Entry().Instrs {
+		if in.Op == ir.OpStore {
+			if g, ok := in.Args[0].(*ir.Global); ok && g.Name == "lock_state" {
+				in.Args[1] = ir.CI(7) // outside critical range [0,1]
+			}
+		}
+	}
+	b, err := core.Compile(m, mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	testprog.Devices(bus, '1')
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	err = mon.Run()
+	if !errors.Is(err, monitor.ErrSanitization) {
+		t.Fatalf("err = %v, want ErrSanitization reachable through the abort", err)
+	}
+	if mon.M.Privileged {
+		t.Error("machine left privileged after sanitization abort")
+	}
+}
+
+// A one-shot rogue store (the §6.1 KEY overwrite issued at runtime)
+// faults, the RestartOperation policy re-initializes Lock_Task, and the
+// retry completes the whole PinLock session.
+func TestRestartRecoversOneShotFault(t *testing.T) {
+	mon, gpio := bootPinLock(t, '1')
+	mon.Policy = monitor.Policy{Kind: monitor.RestartOperation}
+	key := mon.B.Mod.Global("KEY")
+	keyPub := mon.B.PublicAddr[key]
+	mon.M.Arm(&mach.Injection{
+		Func: mon.B.Mod.MustFunc("Lock_Task"),
+		N:    1,
+		Fire: func(mm *mach.Machine) error {
+			// Unprivileged rogue write to KEY's public original: the MPU
+			// must reject it, and the error aborts Lock_Task's body.
+			return mm.InjectStore(keyPub, 1, 0xEE)
+		},
+	})
+	if err := mon.Run(); err != nil {
+		t.Fatalf("run under restart policy: %v", err)
+	}
+	if mon.Stats.Restarts != 1 || mon.Stats.Escapes != 0 {
+		t.Errorf("Restarts = %d, Escapes = %d, want 1 restart and no escape", mon.Stats.Restarts, mon.Stats.Escapes)
+	}
+	if mon.Stats.RestartCycles == 0 {
+		t.Error("restart charged no cycles")
+	}
+	if gpio.ODR != 1 {
+		t.Errorf("session did not complete after restart: ODR = %d", gpio.ODR)
+	}
+	pv, _ := mon.Bus.RawLoad(keyPub, 1)
+	if pv != ('1'*31+7)&0xFF {
+		t.Errorf("KEY corrupted despite containment: %d", pv)
+	}
+	if mon.M.Privileged {
+		t.Error("machine left privileged after recovered run")
+	}
+}
+
+// A persistent fault (the rogue store is compiled into the body, so
+// every retry re-faults) exhausts the bounded retries, counts an
+// escape, and propagates the original fault.
+func TestRestartExhaustionEscapes(t *testing.T) {
+	m := testprog.PinLockLike()
+	key := m.Global("KEY")
+	b, err := core.Compile(m, mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	(&irPatcher{m: m}).prependStore(m.MustFunc("Lock_Task"), key)
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	testprog.Devices(bus, '1')
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	mon.Policy = monitor.Policy{Kind: monitor.RestartOperation, MaxRestarts: 3}
+	err = mon.Run()
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage {
+		t.Fatalf("exhausted retries = %v, want the MemManage fault to propagate", err)
+	}
+	if mon.Stats.Restarts != 3 {
+		t.Errorf("Restarts = %d, want 3", mon.Stats.Restarts)
+	}
+	if mon.Stats.Escapes != 1 {
+		t.Errorf("Escapes = %d, want 1", mon.Stats.Escapes)
+	}
+}
+
+// Quarantine disables only the faulting operation: later gate calls
+// into it return the sentinel without running, while other operations
+// keep executing to completion.
+func TestQuarantineDisablesOnlyFaultingOperation(t *testing.T) {
+	m := ir.NewModule("quarantine")
+	secret := m.AddGlobal(&ir.Global{Name: "secret", Typ: ir.I32})
+	done := m.AddGlobal(&ir.Global{Name: "done", Typ: ir.I32})
+
+	keeper := ir.NewFunc(m, "keeper_task", "k.c", nil)
+	keeper.Store(ir.I32, secret, ir.CI(42))
+	keeper.RetVoid()
+
+	bad := ir.NewFunc(m, "bad_task", "b.c", nil)
+	bad.RetVoid()
+
+	good := ir.NewFunc(m, "good_task", "g.c", nil)
+	v := good.Load(ir.I32, done)
+	good.Store(ir.I32, done, good.Add(v, ir.CI(1)))
+	good.RetVoid()
+
+	mb := ir.NewFunc(m, "main", "m.c", ir.I32)
+	mb.Call(keeper.F)
+	mb.Call(bad.F)
+	mb.Call(good.F)
+	mb.Call(bad.F)
+	mb.Call(good.F)
+	mb.Ret(mb.Load(ir.I32, done))
+
+	b, err := core.Compile(m, mach.STM32F4Discovery(), core.Config{
+		Entries: []string{"keeper_task", "bad_task", "good_task"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model a compromise after compilation: bad_task gains a write to
+	// secret, which lives in keeper_task's data section.
+	(&irPatcher{m: m}).prependStore(m.MustFunc("bad_task"), secret)
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	mon.Policy = monitor.Policy{Kind: monitor.Quarantine}
+	got, err := mon.M.Run(m.MustFunc("main"))
+	if err != nil {
+		t.Fatalf("run under quarantine policy: %v", err)
+	}
+	if got != 2 {
+		t.Errorf("good_task completions = %d, want 2", got)
+	}
+	if mon.Stats.Quarantines != 1 {
+		t.Errorf("Quarantines = %d, want 1 (second gate call must skip, not re-quarantine)", mon.Stats.Quarantines)
+	}
+	var badOp *core.Operation
+	for _, op := range b.Ops {
+		if op.Name == "bad_task" {
+			badOp = op
+		}
+	}
+	if !mon.Quarantined(badOp) {
+		t.Error("bad_task not marked quarantined")
+	}
+	if mon.Current().Name != "main" {
+		t.Errorf("current operation after run = %s, want main", mon.Current().Name)
+	}
+	if mon.M.Privileged {
+		t.Error("machine left privileged after quarantine run")
+	}
+}
+
+// Under the default (abort) policy nothing changes: a fault still kills
+// the run and no recovery stats accrue.
+func TestAbortPolicyUnchanged(t *testing.T) {
+	m := testprog.PinLockLike()
+	key := m.Global("KEY")
+	b, err := core.Compile(m, mach.STM32F4Discovery(), testprog.PinLockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	(&irPatcher{m: m}).prependStore(m.MustFunc("Lock_Task"), key)
+	bus := mach.NewBus(b.Board.FlashSize, b.Board.SRAMSize, &mach.Clock{})
+	testprog.Devices(bus, '1')
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.M.MaxCycles = 10_000_000
+	err = mon.Run()
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage {
+		t.Fatalf("abort policy outcome = %v, want MemManage fault", err)
+	}
+	if mon.Stats.Restarts != 0 || mon.Stats.Quarantines != 0 || mon.Stats.Escapes != 0 {
+		t.Errorf("recovery stats accrued under abort policy: %+v", mon.Stats)
+	}
+}

@@ -76,14 +76,77 @@ func reader(m *mach.Machine, inst *apps.Instance) apps.ReadGlobal {
 	}
 }
 
-func finish(m *mach.Machine, err error) error {
+// finish normalizes a run's outcome. A failure is wrapped with where
+// the program was when it happened — the faulting operation or
+// compartment — so containment verdicts (and users) see where the
+// fault was caught, on top of the interpreter's ExecError which names
+// the faulting function and PC.
+func finish(m *mach.Machine, err error, where string) error {
 	if err != nil {
+		if where != "" {
+			return fmt.Errorf("run: in %s: %w", where, err)
+		}
 		return err
 	}
 	if !m.Halted {
 		return fmt.Errorf("run: program returned without reaching its halt point")
 	}
 	return nil
+}
+
+// Options tunes a run beyond the paper's defaults.
+type Options struct {
+	// Policy selects the monitor's fault-recovery policy (OPEC only).
+	Policy monitor.Policy
+	// Arm, when non-nil, runs right before execution starts — the
+	// fault-injection campaign uses it to arm a mach.Injection.
+	Arm func(m *mach.Machine)
+}
+
+// OPECWith is OPECPrecompiled with Options. Unlike the plain entry
+// points it returns the partial Result alongside a run error, so
+// callers can inspect monitor stats and memory after a contained
+// fault.
+func OPECWith(inst *apps.Instance, b *core.Build, opts Options) (*Result, error) {
+	bus, err := newBus(inst)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.Boot(b, bus)
+	if err != nil {
+		return nil, err
+	}
+	mon.Policy = opts.Policy
+	mon.M.MaxCycles = inst.MaxCycles
+	if opts.Arm != nil {
+		opts.Arm(mon.M)
+	}
+	res := &Result{Machine: mon.M, Read: reader(mon.M, inst), Mon: mon, Build: b}
+	err = mon.Run()
+	res.Cycles = mon.M.Clock.Now()
+	return res, finish(mon.M, err, "operation "+mon.Current().Name)
+}
+
+// ACESWith is ACESPrecompiled with Options (Policy does not apply: the
+// baseline runtime has no recovery). Like OPECWith it returns the
+// partial Result alongside a run error.
+func ACESWith(inst *apps.Instance, b *aces.Build, opts Options) (*Result, error) {
+	bus, err := newBus(inst)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := aces.Boot(b, bus)
+	if err != nil {
+		return nil, err
+	}
+	rt.M.MaxCycles = inst.MaxCycles
+	if opts.Arm != nil {
+		opts.Arm(rt.M)
+	}
+	res := &Result{Machine: rt.M, Read: reader(rt.M, inst), ACES: rt, ABld: b}
+	err = rt.Run()
+	res.Cycles = rt.M.Clock.Now()
+	return res, finish(rt.M, err, "compartment "+rt.Current().Name)
 }
 
 // Vanilla runs the instance as the unprotected baseline binary.
@@ -99,7 +162,7 @@ func Vanilla(inst *apps.Instance) (*Result, error) {
 	m := van.Instantiate(bus)
 	m.MaxCycles = inst.MaxCycles
 	_, err = m.Run(inst.Mod.MustFunc("main"))
-	if err := finish(m, err); err != nil {
+	if err := finish(m, err, ""); err != nil {
 		return nil, err
 	}
 	return &Result{Cycles: m.Clock.Now(), Machine: m, Read: reader(m, inst), Van: van}, nil
@@ -112,19 +175,7 @@ func OPEC(inst *apps.Instance) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	bus, err := newBus(inst)
-	if err != nil {
-		return nil, err
-	}
-	mon, err := monitor.Boot(b, bus)
-	if err != nil {
-		return nil, err
-	}
-	mon.M.MaxCycles = inst.MaxCycles
-	if err := finish(mon.M, mon.Run()); err != nil {
-		return nil, err
-	}
-	return &Result{Cycles: mon.M.Clock.Now(), Machine: mon.M, Read: reader(mon.M, inst), Mon: mon, Build: b}, nil
+	return OPECPrecompiled(inst, b)
 }
 
 // OPECPMP is OPEC on the RISC-V PMP backend (the paper's Section 7
@@ -143,7 +194,7 @@ func OPECPMP(inst *apps.Instance) (*Result, error) {
 		return nil, err
 	}
 	mon.M.MaxCycles = inst.MaxCycles
-	if err := finish(mon.M, mon.Run()); err != nil {
+	if err := finish(mon.M, mon.Run(), "operation "+mon.Current().Name); err != nil {
 		return nil, err
 	}
 	return &Result{Cycles: mon.M.Clock.Now(), Machine: mon.M, Read: reader(mon.M, inst), Mon: mon, Build: b}, nil
@@ -153,36 +204,20 @@ func OPECPMP(inst *apps.Instance) (*Result, error) {
 // with core.Compile (callers that inspect or modify the compiled module
 // — e.g. attack injection — before running).
 func OPECPrecompiled(inst *apps.Instance, b *core.Build) (*Result, error) {
-	bus, err := newBus(inst)
+	res, err := OPECWith(inst, b, Options{})
 	if err != nil {
 		return nil, err
 	}
-	mon, err := monitor.Boot(b, bus)
-	if err != nil {
-		return nil, err
-	}
-	mon.M.MaxCycles = inst.MaxCycles
-	if err := finish(mon.M, mon.Run()); err != nil {
-		return nil, err
-	}
-	return &Result{Cycles: mon.M.Clock.Now(), Machine: mon.M, Read: reader(mon.M, inst), Mon: mon, Build: b}, nil
+	return res, nil
 }
 
 // ACESPrecompiled is OPECPrecompiled's ACES counterpart.
 func ACESPrecompiled(inst *apps.Instance, b *aces.Build) (*Result, error) {
-	bus, err := newBus(inst)
+	res, err := ACESWith(inst, b, Options{})
 	if err != nil {
 		return nil, err
 	}
-	rt, err := aces.Boot(b, bus)
-	if err != nil {
-		return nil, err
-	}
-	rt.M.MaxCycles = inst.MaxCycles
-	if err := finish(rt.M, rt.Run()); err != nil {
-		return nil, err
-	}
-	return &Result{Cycles: rt.M.Clock.Now(), Machine: rt.M, Read: reader(rt.M, inst), ACES: rt, ABld: b}, nil
+	return res, nil
 }
 
 // ACES compiles the instance with the baseline's strategy and runs it
@@ -192,19 +227,7 @@ func ACES(inst *apps.Instance, strat aces.Strategy) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	bus, err := newBus(inst)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := aces.Boot(b, bus)
-	if err != nil {
-		return nil, err
-	}
-	rt.M.MaxCycles = inst.MaxCycles
-	if err := finish(rt.M, rt.Run()); err != nil {
-		return nil, err
-	}
-	return &Result{Cycles: rt.M.Clock.Now(), Machine: rt.M, Read: reader(rt.M, inst), ACES: rt, ABld: b}, nil
+	return ACESPrecompiled(inst, b)
 }
 
 // AndCheck runs the instance's correctness check against a result.

@@ -1,11 +1,15 @@
 package run_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"opec/internal/aces"
 	"opec/internal/apps"
 	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
 	"opec/internal/run"
 )
 
@@ -99,4 +103,71 @@ func TestPrecompiledMatchesStandardRun(t *testing.T) {
 // precompiled-path comparison.
 func compileFor(inst *apps.Instance) (*core.Build, error) {
 	return core.Compile(inst.Mod, inst.Board, inst.Cfg)
+}
+
+// A contained fault must come back located: the faulting operation from
+// the run wrapper, the faulting function and PC from the interpreter.
+func TestFaultErrorNamesOperationAndPC(t *testing.T) {
+	inst := apps.PinLockN(1).New()
+	b, err := compileFor(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §6.1 compromise: an arbitrary write to KEY prepended to
+	// Lock_Task after compilation.
+	lt := inst.Mod.MustFunc("Lock_Task")
+	key := inst.Mod.Global("KEY")
+	in := &ir.Instr{Op: ir.OpStore, Typ: ir.I8, Args: []ir.Value{key, ir.CI(0xEE)}}
+	lt.Entry().Instrs = append([]*ir.Instr{in}, lt.Entry().Instrs...)
+
+	_, err = run.OPECPrecompiled(inst, b)
+	if err == nil {
+		t.Fatal("attack unexpectedly survived")
+	}
+	if !strings.Contains(err.Error(), "operation Lock_Task") {
+		t.Errorf("error %q does not name the faulting operation", err)
+	}
+	var ee *mach.ExecError
+	if !errors.As(err, &ee) || ee.Fn != "Lock_Task" {
+		t.Errorf("error %q does not locate the faulting function", err)
+	}
+	if !strings.Contains(err.Error(), "pc 0x") {
+		t.Errorf("error %q does not mention the faulting PC", err)
+	}
+	var f *mach.Fault
+	if !errors.As(err, &f) || f.Kind != mach.FaultMemManage {
+		t.Errorf("underlying fault lost: %v", err)
+	}
+}
+
+// OPECWith must hand back the partial result on a contained fault so
+// callers can read monitor stats post-mortem, and the restart policy
+// must flow through Options.
+func TestOPECWithReturnsPartialResultAndPolicy(t *testing.T) {
+	inst := apps.PinLockN(1).New()
+	b, err := compileFor(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.OPECWith(inst, b, run.Options{
+		Arm: func(m *mach.Machine) {
+			m.Arm(&mach.Injection{
+				Func: inst.Mod.MustFunc("Lock_Task"),
+				N:    1,
+				Fire: func(mm *mach.Machine) error {
+					addr := b.PublicAddr[inst.Mod.Global("KEY")]
+					return mm.InjectStore(addr, 1, 0xEE)
+				},
+			})
+		},
+	})
+	if err == nil {
+		t.Fatal("abort policy should propagate the injected fault")
+	}
+	if res == nil || res.Mon == nil {
+		t.Fatal("no partial result on contained fault")
+	}
+	if res.Mon.Stats.Switches == 0 {
+		t.Error("partial result has empty stats")
+	}
 }

@@ -28,6 +28,7 @@ import (
 	"opec/internal/apps"
 	"opec/internal/core"
 	"opec/internal/exper"
+	"opec/internal/inject"
 	"opec/internal/ir"
 	"opec/internal/mach"
 	"opec/internal/monitor"
@@ -62,6 +63,42 @@ type (
 	// BuildCache memoizes compiled builds and finished runs keyed by
 	// (application, scheme, scale).
 	BuildCache = exper.Cache
+	// InjectSpec is one replayable fault-injection trial.
+	InjectSpec = inject.Spec
+	// InjectOutcome is one finished trial with its verdict.
+	InjectOutcome = inject.Outcome
+	// InjectConfig sizes a seeded fault-injection campaign.
+	InjectConfig = inject.Config
+	// InjectVerdict classifies a trial's outcome.
+	InjectVerdict = inject.Verdict
+	// InjectRow is one workload × scheme leg of a campaign.
+	InjectRow = exper.InjectRow
+	// RecoveryPolicy configures the monitor's reaction to contained
+	// faults (abort, restart with backoff, quarantine).
+	RecoveryPolicy = monitor.Policy
+)
+
+// The monitor's recovery policy kinds.
+const (
+	PolicyAbort      = monitor.Abort
+	PolicyRestart    = monitor.RestartOperation
+	PolicyQuarantine = monitor.Quarantine
+)
+
+// Fault-injection and recovery re-exports.
+var (
+	// ParseInjectSpec parses the replay syntax of opec-run -inject.
+	ParseInjectSpec = inject.ParseSpec
+	// DefaultInjectConfig is the standard campaign shape at a seed.
+	DefaultInjectConfig = inject.DefaultConfig
+	// ParsePolicy resolves a recovery policy name.
+	ParsePolicy = monitor.ParsePolicy
+	// InjectOPEC replays one trial under OPEC with a recovery policy.
+	InjectOPEC = inject.RunOPEC
+	// InjectACES replays one trial under an ACES strategy.
+	InjectACES = inject.RunACES
+	// RenderInject prints a campaign's containment table.
+	RenderInject = exper.RenderInject
 )
 
 // NewHarness returns an experiment harness with an empty build cache
