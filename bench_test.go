@@ -20,6 +20,7 @@ import (
 	"opec/internal/metrics"
 	"opec/internal/monitor"
 	"opec/internal/run"
+	"opec/internal/trace"
 )
 
 // benchApps is the experiment harness's reduced-size workload set.
@@ -203,6 +204,64 @@ func BenchmarkHarnessParallel(b *testing.B) {
 		h := exper.NewHarness(0)
 		sweep(b, h)
 		b.ReportMetric(float64(h.Cache.Misses()), "compiles")
+	}
+}
+
+// ---- Trace-path benchmarks ----
+
+// BenchmarkTraceDisabled is BenchmarkHarnessSerialCached's twin, named
+// for what it measures now that every simulator and monitor hot path
+// carries nil-guarded emit sites: the full sweep with tracing off. The
+// zero-cost-when-disabled contract is that this stays within noise of
+// the committed BenchmarkHarnessSerialCached baseline.
+func BenchmarkTraceDisabled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := exper.NewHarness(1)
+		sweep(b, h)
+	}
+}
+
+// BenchmarkTraceEmit measures the event path itself: the disabled
+// (nil-buffer) emit that every untraced run pays at each site, and the
+// enabled ring insertion for comparison. The disabled path must report
+// 0 allocs/op.
+func BenchmarkTraceEmit(b *testing.B) {
+	ev := trace.Event{Cycle: 1, Kind: trace.EvIRQ, Op: -1}
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf *trace.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Emit(ev)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := trace.NewBuffer(1 << 12)
+		for i := 0; i < b.N; i++ {
+			buf.Emit(ev)
+		}
+	})
+}
+
+// BenchmarkTracedRunOPEC is BenchmarkRunOPEC/PinLock with the event
+// bus attached — the cost of tracing when it is on.
+func BenchmarkTracedRunOPEC(b *testing.B) {
+	app := apps.PinLockN(5)
+	for i := 0; i < b.N; i++ {
+		inst := app.New()
+		bld, err := CompileOPEC(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := trace.NewBuffer(0)
+		res, err := run.OPECWith(inst, bld, run.Options{Trace: buf})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := run.AndCheck(inst, res); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(buf.Emitted()), "events")
 	}
 }
 

@@ -15,6 +15,7 @@
 //	opec-bench -exp table1
 //	opec-bench -exp figure9 -quick
 //	opec-bench -exp casestudy
+//	opec-bench -exp profile -quick
 //	opec-bench -exp inject -seed 1 -policy restart
 //	opec-bench -exp inject -quick -assert-contained
 //	opec-bench -exp bench -benchjson BENCH_mach.json
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | inject | bench | all")
+	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | profile | inject | bench | all")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	parallel := flag.Int("parallel", 0, "max concurrent per-app jobs (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "fault-injection campaign seed (-exp inject)")
@@ -97,6 +98,12 @@ func main() {
 		rows, err := h.Table3(scale)
 		fail(err)
 		fmt.Println(opec.RenderTable3(rows))
+		ran = true
+	}
+	if want("profile") {
+		rows, err := h.Profile(scale)
+		fail(err)
+		fmt.Println(opec.RenderProfile(rows))
 		ran = true
 	}
 	if want("casestudy") {

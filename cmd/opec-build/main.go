@@ -27,6 +27,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print member functions per domain")
 	jsonOut := flag.Bool("json", false, "emit the OPEC policy file as JSON")
 	runVet := flag.Bool("vet", false, "run the opec-vet isolation audit after the build (opec policy only)")
+	counters := flag.Bool("counters", false, "print the build's policy-size counters (unified registry render)")
 	flag.Parse()
 
 	if *list {
@@ -59,6 +60,11 @@ func main() {
 			return
 		}
 		printOPEC(b, *verbose)
+		if *counters {
+			reg := &opec.CounterRegistry{}
+			reg.Register(b)
+			fmt.Printf("\ncounters:\n%s", opec.RenderTraceCounters(reg.Snapshot()))
+		}
 		if *runVet {
 			fmt.Println()
 			fmt.Print(opec.Vet(b).Render())

@@ -9,6 +9,15 @@
 //	opec-run -app TCP-Echo -mode vanilla
 //	opec-run -app FatFs-uSD -mode aces1
 //
+// With -trace, the run records the cycle-stamped event stream (gate
+// crossings, exceptions, MPU programming, faults, recovery) and prints
+// it in the chosen format; -profile folds the same stream into
+// per-operation cycle attribution:
+//
+//	opec-run -app PinLock -mode opec -trace
+//	opec-run -app PinLock -mode opec -trace -trace-format chrome -trace-out pinlock.json
+//	opec-run -app PinLock -mode opec -profile
+//
 // With -inject, opec-run replays one fault-injection trial (the spec
 // syntax campaigns print) instead of a clean run, and exits non-zero
 // when the fault escapes its domain:
@@ -32,7 +41,14 @@ import (
 func main() {
 	appName := flag.String("app", "", "workload name")
 	mode := flag.String("mode", "opec", "vanilla | opec | opec-pmp | aces1 | aces2 | aces3")
-	trace := flag.Bool("trace", false, "print the per-task executed-function trace (the GDB-substitute)")
+	tasks := flag.Bool("tasks", false, "print the per-task executed-function listing (the GDB-substitute)")
+	doTrace := flag.Bool("trace", false, "record the run's event trace and print/export it")
+	traceFormat := flag.String("trace-format", "text", "trace export format: text | jsonl | chrome")
+	traceOut := flag.String("trace-out", "", "write the trace export to this file instead of stdout")
+	traceCheck := flag.Bool("trace-check", false, "validate the chrome export (parses, one slice per domain); implies -trace-format chrome")
+	doProfile := flag.Bool("profile", false, "print per-operation cycle attribution (implies tracing)")
+	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default)")
+	quick := flag.Bool("quick", false, "use the Quick-scale workload variant (shrunk rounds, as in tests/CI)")
 	injectSpec := flag.String("inject", "", "replay one fault-injection trial (kind:func:n:target:off:bit:value[:args])")
 	policy := flag.String("policy", "abort", "recovery policy under -inject: abort | restart | quarantine")
 	flag.Parse()
@@ -43,6 +59,17 @@ func main() {
 	}
 	app, err := opec.AppByName(*appName)
 	fail(err)
+	if *quick {
+		app = nil
+		for _, a := range opec.QuickApps() {
+			if a.Name == *appName {
+				app = a
+			}
+		}
+		if app == nil {
+			fail(fmt.Errorf("no quick-scale variant of %q", *appName))
+		}
+	}
 
 	if *injectSpec != "" {
 		replayTrial(app, *mode, *injectSpec, *policy)
@@ -50,7 +77,7 @@ func main() {
 	}
 	inst := app.New()
 
-	if *trace {
+	if *tasks {
 		tr, err := metrics.TraceTasks(inst)
 		fail(err)
 		for _, task := range tr.Order {
@@ -67,20 +94,37 @@ func main() {
 		return
 	}
 
+	if *traceCheck {
+		*doTrace = true
+		*traceFormat = "chrome"
+	}
+	var buf *opec.TraceBuffer
+	var prof *opec.Profiler
+	if *doTrace || *doProfile {
+		buf = opec.NewTraceBuffer(*traceCap)
+		if *doProfile {
+			prof = opec.NewProfiler(buf)
+		}
+	}
+	opts := opec.RunOptions{Trace: buf}
+
 	var res *opec.Result
 	switch strings.ToLower(*mode) {
 	case "vanilla":
-		res, err = opec.RunVanilla(inst)
+		res, err = opec.RunVanillaWith(inst, opts)
 	case "opec":
-		res, err = opec.RunOPEC(inst)
+		res, err = opec.RunOPECWith(inst, mustCompileOPEC(inst), opts)
 	case "opec-pmp":
+		if buf != nil {
+			fail(fmt.Errorf("mode opec-pmp does not support -trace/-profile"))
+		}
 		res, err = opec.RunOPECPMP(inst)
 	case "aces1":
-		res, err = opec.RunACES(inst, opec.ACES1)
+		res, err = opec.RunACESWith(inst, mustCompileACES(inst, opec.ACES1), opts)
 	case "aces2":
-		res, err = opec.RunACES(inst, opec.ACES2)
+		res, err = opec.RunACESWith(inst, mustCompileACES(inst, opec.ACES2), opts)
 	case "aces3":
-		res, err = opec.RunACES(inst, opec.ACES3)
+		res, err = opec.RunACESWith(inst, mustCompileACES(inst, opec.ACES3), opts)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -102,6 +146,93 @@ func main() {
 		fmt.Printf("aces: compartment switches=%d emulator hits=%d privileged code=%dB\n",
 			res.ACES.Switches, res.ACES.EmulatorHits, res.ABld.PrivilegedCodeBytes())
 	}
+
+	if buf != nil {
+		// Unified counter snapshot: machine (+ bus, MPU/TLB), monitor or
+		// ACES runtime, and the trace bus itself, in stable sorted order.
+		reg := &opec.CounterRegistry{}
+		reg.Register(res.Machine)
+		if res.Mon != nil {
+			reg.Register(&res.Mon.Stats)
+		}
+		if res.ACES != nil {
+			reg.Register(res.ACES)
+		}
+		reg.Register(buf)
+		fmt.Printf("counters:\n%s", indent(opec.RenderTraceCounters(reg.Snapshot())))
+	}
+
+	if prof != nil {
+		p := prof.Finish(res.Cycles)
+		fmt.Printf("profile:\n%s", indent(p.Render()))
+	}
+	if *doTrace {
+		exportTrace(buf, res, *traceFormat, *traceOut, *traceCheck)
+	}
+}
+
+// exportTrace serializes the recorded events and writes them to path
+// (or stdout), optionally validating the chrome form against the run's
+// domain names.
+func exportTrace(buf *opec.TraceBuffer, res *opec.Result, format, path string, check bool) {
+	var out []byte
+	var err error
+	switch format {
+	case "text":
+		out = []byte(buf.RenderText())
+	case "jsonl":
+		out, err = opec.ExportTraceJSONL(buf, res.Cycles)
+	case "chrome":
+		out, err = opec.ExportTraceChrome(buf, res.Cycles)
+	default:
+		err = fmt.Errorf("unknown trace format %q (want text | jsonl | chrome)", format)
+	}
+	fail(err)
+
+	if check {
+		fail(opec.ValidateChromeTrace(out, domainNames(res)))
+		fmt.Println("trace check passed: chrome export parses, every domain has a slice")
+	}
+	if path == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	fail(os.WriteFile(path, out, 0o644))
+	fmt.Printf("trace: wrote %d bytes to %s (%s)\n", len(out), path, format)
+}
+
+// domainNames lists the isolation domains a trace of this run must
+// contain slices for: operations under OPEC, compartments under ACES.
+func domainNames(res *opec.Result) []string {
+	var names []string
+	if res.Build != nil {
+		for _, op := range res.Build.Ops {
+			names = append(names, op.Name)
+		}
+	}
+	if res.ABld != nil {
+		for _, c := range res.ABld.Comps {
+			names = append(names, "comp:"+c.Name)
+		}
+	}
+	return names
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "    " + strings.Join(lines, "\n    ") + "\n"
+}
+
+func mustCompileOPEC(inst *opec.Instance) *opec.Build {
+	b, err := opec.CompileOPEC(inst)
+	fail(err)
+	return b
+}
+
+func mustCompileACES(inst *opec.Instance, s opec.Strategy) *opec.ACESBuild {
+	b, err := opec.CompileACES(inst, s)
+	fail(err)
+	return b
 }
 
 // replayTrial runs one fault-injection trial and reports its verdict;

@@ -31,7 +31,9 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	strict := flag.Bool("strict", false, "exit non-zero when error-severity diagnostics exist")
+	counters := flag.Bool("counters", false, "print the audit's totals as registry counters after each report")
 	flag.Parse()
+	showCounters = *counters
 
 	switch {
 	case *list:
@@ -57,6 +59,9 @@ func main() {
 	}
 }
 
+// showCounters appends the registry render to each text report.
+var showCounters bool
+
 // vetOne compiles and audits one workload, prints the report, and
 // returns the number of error-severity diagnostics.
 func vetOne(name string, jsonOut bool) int {
@@ -70,6 +75,11 @@ func vetOne(name string, jsonOut bool) int {
 		fmt.Println(string(data))
 	} else {
 		fmt.Print(rep.Render())
+		if showCounters {
+			reg := &opec.CounterRegistry{}
+			reg.Register(rep)
+			fmt.Printf("counters:\n%s", opec.RenderTraceCounters(reg.Snapshot()))
+		}
 	}
 	return rep.Count(opec.VetError)
 }

@@ -5,6 +5,7 @@ import (
 
 	"opec/internal/ir"
 	"opec/internal/mach"
+	"opec/internal/trace"
 )
 
 // Runtime is the ACES reference monitor: it interposes on every call
@@ -23,6 +24,9 @@ type Runtime struct {
 	// Stats for the comparison experiments.
 	Switches     uint64
 	EmulatorHits uint64
+
+	tr          *trace.Buffer
+	compNameIDs []uint32
 }
 
 // Runtime MPU region roles.
@@ -79,6 +83,70 @@ func Boot(b *Build, bus *mach.Bus) (*Runtime, error) {
 	return rt, nil
 }
 
+// AttachTrace connects the runtime and its machine to a trace buffer.
+// Compartment switches appear as OpActivate events keyed by compartment
+// ID, so the same profiler that attributes OPEC operations attributes
+// ACES compartments.
+func (rt *Runtime) AttachTrace(buf *trace.Buffer) {
+	rt.tr = buf
+	rt.M.AttachTrace(buf)
+	rt.compNameIDs = make([]uint32, len(rt.B.Comps))
+	for i, c := range rt.B.Comps {
+		rt.compNameIDs[i] = buf.Intern("comp:" + c.Name)
+	}
+	rt.emitActivate(rt.cur)
+}
+
+// compName returns the interned name id for a compartment.
+func (rt *Runtime) compName(c *Compartment) uint32 {
+	if c.ID >= 0 && c.ID < len(rt.compNameIDs) {
+		return rt.compNameIDs[c.ID]
+	}
+	return rt.tr.Intern("comp:" + c.Name)
+}
+
+// emitActivate records that c's compartment now owns the CPU.
+func (rt *Runtime) emitActivate(c *Compartment) {
+	if rt.tr == nil {
+		return
+	}
+	rt.tr.Emit(trace.Event{
+		Cycle: rt.M.Clock.Now(), Kind: trace.EvOpActivate,
+		Op: int32(c.ID), Arg: rt.compName(c),
+	})
+}
+
+// switchSpan records one compartment-switch span of dur cycles ending
+// now, mirroring the OPEC monitor's PhaseSwitch accounting.
+func (rt *Runtime) switchSpan(dur uint64) {
+	if rt.tr == nil {
+		return
+	}
+	rt.tr.Emit(trace.Event{
+		Cycle: rt.M.Clock.Now(), Dur: dur, Kind: trace.EvPhase,
+		Op: -1, Arg: uint32(trace.PhaseSwitch),
+	})
+}
+
+// emuSpan records one micro-emulator span of dur cycles ending now.
+func (rt *Runtime) emuSpan(dur uint64) {
+	if rt.tr == nil {
+		return
+	}
+	rt.tr.Emit(trace.Event{
+		Cycle: rt.M.Clock.Now(), Dur: dur, Kind: trace.EvPhase,
+		Op: -1, Arg: uint32(trace.PhaseEmu),
+	})
+}
+
+// Counters implements trace.CounterSource for the comparison runtime.
+func (rt *Runtime) Counters() []trace.Counter {
+	return []trace.Counter{
+		{Name: "aces.switches", Value: rt.Switches},
+		{Name: "aces.emulator_hits", Value: rt.EmulatorHits},
+	}
+}
+
 // Run executes main under the runtime.
 func (rt *Runtime) Run() error {
 	_, err := rt.M.Run(rt.B.Mod.MustFunc("main"))
@@ -96,10 +164,18 @@ func (rt *Runtime) onCall(caller, callee *ir.Function) error {
 	}
 	rt.stack = append(rt.stack, rt.cur)
 	rt.Switches++
+	rt.emitActivate(next) // entering compartment owns the switch-in cost
 	rt.M.Clock.Advance(SwitchCost)
 	rt.cur = next
 	rt.applyMPU(next)
 	rt.M.Privileged = next.Privileged
+	rt.switchSpan(SwitchCost)
+	if rt.tr != nil {
+		rt.tr.Emit(trace.Event{
+			Cycle: rt.M.Clock.Now(), Kind: trace.EvGateEnter,
+			Op: int32(next.ID), Arg: rt.tr.Intern(callee.Name),
+		})
+	}
 	return nil
 }
 
@@ -112,10 +188,18 @@ func (rt *Runtime) onReturn(caller, callee *ir.Function) error {
 	if prev == nil {
 		return nil
 	}
+	if rt.tr != nil {
+		rt.tr.Emit(trace.Event{
+			Cycle: rt.M.Clock.Now(), Kind: trace.EvGateExit,
+			Op: int32(rt.cur.ID), Arg: rt.tr.Intern(callee.Name),
+		})
+	}
 	rt.M.Clock.Advance(SwitchCost)
 	rt.cur = prev
 	rt.applyMPU(prev)
 	rt.M.Privileged = prev.Privileged
+	rt.switchSpan(SwitchCost)
+	rt.emitActivate(prev) // exiting compartment owns the switch-out cost
 	return nil
 }
 
@@ -129,6 +213,7 @@ func (rt *Runtime) memManage(f *mach.Fault) mach.FaultResolution {
 	if f.Addr >= rt.B.HeapBase && f.Addr < rt.B.HeapBase+rt.B.HeapSize && rt.cur.heapRegionNeeded() {
 		rt.EmulatorHits++
 		rt.M.Clock.Advance(60)
+		rt.emuSpan(60)
 		if f.Write {
 			rt.Bus.RawStore(f.Addr, f.Size, f.Val)
 			return mach.FaultResolution{Action: mach.FaultEmulated}
@@ -139,6 +224,7 @@ func (rt *Runtime) memManage(f *mach.Fault) mach.FaultResolution {
 	if f.Addr >= rt.B.StackLimit && f.Addr < rt.B.StackTop {
 		rt.EmulatorHits++
 		rt.M.Clock.Advance(60) // decode + allowlist walk + emulation
+		rt.emuSpan(60)
 		if f.Write {
 			rt.Bus.RawStore(f.Addr, f.Size, f.Val)
 			return mach.FaultResolution{Action: mach.FaultEmulated}

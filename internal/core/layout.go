@@ -8,6 +8,7 @@ import (
 	"opec/internal/image"
 	"opec/internal/ir"
 	"opec/internal/mach"
+	"opec/internal/trace"
 )
 
 // Build is the output of OPEC-Compiler for one program: the partitioned
@@ -95,6 +96,20 @@ func Compile(m *ir.Module, board *mach.Board, cfg Config) (*Build, error) {
 	}
 	b.instrument()
 	return b, nil
+}
+
+// Counters exposes the build's static policy-size figures through the
+// unified counter registry (sorted by name, like every source).
+func (b *Build) Counters() []trace.Counter {
+	return []trace.Counter{
+		{Name: "build.external_globals", Value: uint64(len(b.ExternalList))},
+		{Name: "build.flash_bytes", Value: uint64(b.FlashUsed)},
+		{Name: "build.instrumented_sites", Value: uint64(b.InstrumentedSites)},
+		{Name: "build.operations", Value: uint64(len(b.Ops))},
+		{Name: "build.public_bytes", Value: uint64(b.PublicBytes)},
+		{Name: "build.reloc_bytes", Value: uint64(b.RelocBytes)},
+		{Name: "build.sram_bytes", Value: uint64(b.SRAMUsed)},
+	}
 }
 
 // layout implements Section 4.4's program image generation on the

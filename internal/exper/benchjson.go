@@ -22,14 +22,15 @@ import (
 // trajectory visible.
 
 // BenchSchema identifies the report format; bump on breaking changes.
-// v2 added the recovery section (restart latency per workload).
-const BenchSchema = "opec-bench/mach/v2"
+// v2 added the recovery section (restart latency per workload); v3 the
+// profile section (per-workload cycle attribution + counter snapshot).
+const BenchSchema = "opec-bench/mach/v3"
 
 // BenchSchemes is the fixed execution-scheme order of the report.
 var BenchSchemes = []string{"vanilla", "opec", "aces"}
 
 // benchExperimentNames is the fixed harness-sweep order.
-var benchExperimentNames = []string{"table1", "figure9", "table2", "figure10", "figure11", "table3"}
+var benchExperimentNames = []string{"table1", "figure9", "table2", "figure10", "figure11", "table3", "profile"}
 
 // BenchWorkload is one timed run of one app under one scheme.
 type BenchWorkload struct {
@@ -73,6 +74,10 @@ type BenchReport struct {
 	Workloads   []BenchWorkload   `json:"workloads"`
 	Experiments []BenchExperiment `json:"experiments"`
 	Recovery    []BenchRecovery   `json:"recovery"`
+	// Profile is the per-workload attribution summary (the same rows
+	// `opec-bench -exp profile` renders), with each run's unified
+	// counter snapshot.
+	Profile []ProfileRow `json:"profile"`
 }
 
 // CollectBench measures simulator throughput at scale s. Workload runs
@@ -126,6 +131,8 @@ func CollectBench(s AppSet, parallel int) (*BenchReport, error) {
 			_, err = h.Figure11(s)
 		case "table3":
 			_, err = h.Table3(s)
+		case "profile":
+			rep.Profile, err = h.Profile(s)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("bench experiment %s: %w", name, err)
@@ -279,6 +286,31 @@ func ValidateBenchReport(data []byte) (*BenchReport, error) {
 	for _, name := range benchExperimentNames {
 		if !haveExp[name] {
 			return nil, fmt.Errorf("bench report: missing experiment timing %q", name)
+		}
+	}
+
+	// Profile section: one attribution row per workload of the scale,
+	// with live event streams, a unified counter snapshot, and a switch
+	// cost per activation matching the monitor's modeled gate round-trip
+	// within 5% (the attribution-consistency acceptance check).
+	haveProf := make(map[string]ProfileRow, len(rep.Profile))
+	for _, p := range rep.Profile {
+		haveProf[p.App] = p
+	}
+	for _, app := range AppsFor(scale) {
+		p, ok := haveProf[app.Name]
+		if !ok {
+			return nil, fmt.Errorf("bench report: missing profile row for %s", app.Name)
+		}
+		if p.Cycles == 0 || p.Events == 0 || len(p.Counters) == 0 {
+			return nil, fmt.Errorf("bench report: degenerate profile row %s: %+v", app.Name, p)
+		}
+		if p.Activations > 0 {
+			model := float64(monitor.ModeledSwitchCycles)
+			if p.SwitchPerActivation < 0.95*model || p.SwitchPerActivation > 1.05*model {
+				return nil, fmt.Errorf("bench report: profile %s: switch cycles/activation %.1f outside 5%% of modeled %d",
+					app.Name, p.SwitchPerActivation, monitor.ModeledSwitchCycles)
+			}
 		}
 	}
 

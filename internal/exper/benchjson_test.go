@@ -33,8 +33,8 @@ func TestBenchReportRoundTrip(t *testing.T) {
 			t.Errorf("%s/%s: SimMIPS = %v", w.App, w.Scheme, w.SimMIPS)
 		}
 	}
-	if len(rep.Experiments) != 6 {
-		t.Errorf("experiment count = %d, want 6", len(rep.Experiments))
+	if len(rep.Experiments) != 7 {
+		t.Errorf("experiment count = %d, want 7", len(rep.Experiments))
 	}
 }
 

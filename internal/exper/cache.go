@@ -33,6 +33,7 @@ import (
 	"opec/internal/core"
 	"opec/internal/metrics"
 	"opec/internal/run"
+	"opec/internal/trace"
 )
 
 // cacheKey identifies one artifact of the evaluation matrix.
@@ -213,6 +214,43 @@ func (c *Cache) ACESRun(app *apps.App, s AppSet, strat aces.Strategy) (*run.Resu
 		return nil, err
 	}
 	return v.(*run.Result), nil
+}
+
+// profileArtifact pairs a traced OPEC run with its event buffer and
+// finished per-operation profile.
+type profileArtifact struct {
+	res  *run.Result
+	buf  *trace.Buffer
+	prof *trace.Profile
+}
+
+// ProfileRun returns the memoized traced-and-profiled OPEC execution of
+// app at scale s. It compiles and runs a fresh instance rather than
+// reusing the plain "opec+run" artifact: attaching a trace mid-flight
+// would miss boot events, and a memoized run happens only once.
+func (c *Cache) ProfileRun(app *apps.App, s AppSet) (*run.Result, *trace.Buffer, *trace.Profile, error) {
+	v, err := c.get(cacheKey{app: app.Name, scale: s, scheme: "opec+profile"}, func() (interface{}, error) {
+		inst := app.New()
+		b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("compile %s under OPEC: %w", app.Name, err)
+		}
+		buf := trace.NewBuffer(0)
+		prof := trace.NewProfiler(buf)
+		res, err := run.OPECWith(inst, b, run.Options{Trace: buf})
+		if err != nil {
+			return nil, fmt.Errorf("profile %s under OPEC: %w", app.Name, err)
+		}
+		if err := run.AndCheck(inst, res); err != nil {
+			return nil, fmt.Errorf("check %s under OPEC: %w", app.Name, err)
+		}
+		return &profileArtifact{res: res, buf: buf, prof: prof.Finish(res.Cycles)}, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	a := v.(*profileArtifact)
+	return a.res, a.buf, a.prof, nil
 }
 
 // Trace returns the memoized task trace of app at scale s. The trace

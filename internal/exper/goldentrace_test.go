@@ -1,0 +1,91 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"opec/internal/apps"
+	"opec/internal/inject"
+	"opec/internal/mach"
+	"opec/internal/monitor"
+	"opec/internal/trace"
+)
+
+// keyOverwriteSpec is the §6.1 case study as a replayable trial: on
+// Lock_Task's first entry, a rogue store of 0xEE into KEY.
+var keyOverwriteSpec = inject.Spec{
+	Kind: inject.RogueStore, Func: "Lock_Task", N: 1,
+	Target: "KEY", Value: 0xEE,
+}
+
+// traceKeyOverwrite replays the exploit under the restart policy with a
+// trace attached and returns the deterministic text render.
+func traceKeyOverwrite(t *testing.T) string {
+	t.Helper()
+	buf := trace.NewBuffer(0)
+	out, err := inject.TraceOPEC(apps.PinLockN(1), keyOverwriteSpec,
+		monitor.Policy{Kind: monitor.RestartOperation}, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != inject.Recovered {
+		t.Fatalf("exploit verdict = %v, want %v", out.Verdict, inject.Recovered)
+	}
+	return buf.RenderText()
+}
+
+// TestGoldenKeyOverwriteTrace pins the event sequence of the paper's
+// KEY-overwrite exploit: the gate enters Lock_Task, the MPU raises a
+// MemManage write fault on KEY's public original, and the policy
+// restarts the operation — in that order, byte-identically across
+// repeated runs and with the simulator's lookup caches disabled
+// (extending the cache-transparency invariant to the event trace).
+func TestGoldenKeyOverwriteTrace(t *testing.T) {
+	golden := traceKeyOverwrite(t)
+
+	// Ordered containment chain: gate enter → MemManage fault → restart.
+	// Each link is anchored after the previous one; boot-time emulation
+	// faults (PPB accesses) precede the gate and must not satisfy the
+	// chain.
+	gate := strings.Index(golden, "gate-enter    gate=Lock_Task")
+	if gate < 0 {
+		t.Fatalf("no Lock_Task gate entry in trace:\n%s", golden)
+	}
+	fault := strings.Index(golden[gate:], "fault         kind=0 write")
+	if fault < 0 {
+		t.Fatalf("no MemManage write fault after the Lock_Task gate:\n%s", golden)
+	}
+	fault += gate
+	recovery := strings.Index(golden[fault:], "recovery      restart attempt=1")
+	if recovery < 0 {
+		t.Fatalf("no restart recovery after the fault:\n%s", golden)
+	}
+
+	if again := traceKeyOverwrite(t); again != golden {
+		t.Error("trace differs between identical runs")
+	}
+
+	saved := mach.DisableCaches
+	defer func() { mach.DisableCaches = saved }()
+	mach.DisableCaches = !saved
+	if uncached := traceKeyOverwrite(t); uncached != golden {
+		t.Error("trace differs with lookup caches toggled: caches are not transparent to events")
+	}
+}
+
+// TestProfileParallelismInvariant renders the profiling experiment at
+// two harness parallelism levels; like every other rendered table, the
+// output must be byte-identical.
+func TestProfileParallelismInvariant(t *testing.T) {
+	serial, err := NewHarness(1).Profile(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := NewHarness(4).Profile(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderProfile(serial), RenderProfile(wide); a != b {
+		t.Errorf("profile render differs across parallelism:\n--- parallel=1 ---\n%s\n--- parallel=4 ---\n%s", a, b)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"opec/internal/apps"
 	"opec/internal/inject"
 	"opec/internal/monitor"
+	"opec/internal/trace"
 )
 
 // The fault-injection campaign experiment: every workload's seeded
@@ -40,6 +41,24 @@ func (r *InjectRow) Count(v inject.Verdict) int { return r.Counts[v] }
 
 // Escapes returns the row's escaped-trial count.
 func (r *InjectRow) Escapes() int { return r.Counts[inject.Escaped] }
+
+// Counters implements trace.CounterSource: the row's verdict histogram
+// and recovery activity under dotted names, for the unified registry.
+func (r *InjectRow) Counters() []trace.Counter {
+	prefix := "inject." + strings.ToLower(r.Scheme) + "."
+	out := make([]trace.Counter, 0, inject.NumVerdicts+2)
+	for v := 0; v < inject.NumVerdicts; v++ {
+		out = append(out, trace.Counter{
+			Name:  prefix + inject.Verdict(v).String(),
+			Value: uint64(r.Counts[v]),
+		})
+	}
+	out = append(out,
+		trace.Counter{Name: prefix + "restarts", Value: r.Restarts},
+		trace.Counter{Name: prefix + "quarantines", Value: r.Quarantines},
+	)
+	return out
+}
 
 // Contained returns the number of trials whose verdict kept the fault
 // inside its domain.

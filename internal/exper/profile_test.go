@@ -1,0 +1,68 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"opec/internal/monitor"
+)
+
+// TestProfileSwitchModel checks the profiler's attribution against the
+// monitor's modeled gate cost: on clean MPU-backend runs every
+// activation is one enter+exit round trip, so the switch bucket per
+// activation must land within 5% of monitor.ModeledSwitchCycles.
+func TestProfileSwitchModel(t *testing.T) {
+	rows, err := NewHarness(0).Profile(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AppsFor(Quick)) {
+		t.Fatalf("got %d profile rows, want %d", len(rows), len(AppsFor(Quick)))
+	}
+	model := float64(monitor.ModeledSwitchCycles)
+	for _, r := range rows {
+		if r.Events == 0 {
+			t.Errorf("%s: no events traced", r.App)
+		}
+		if r.Activations == 0 {
+			continue // workload never leaves the default operation
+		}
+		if r.SwitchPerActivation < 0.95*model || r.SwitchPerActivation > 1.05*model {
+			t.Errorf("%s: switch cycles/activation = %.2f, want within 5%% of %v",
+				r.App, r.SwitchPerActivation, monitor.ModeledSwitchCycles)
+		}
+	}
+}
+
+// TestProfileBucketsPartitionOverhead checks that the per-domain wall
+// segments cover the whole run and the rendered table carries every
+// domain.
+func TestProfileBucketsPartitionOverhead(t *testing.T) {
+	rows, err := NewHarness(0).Profile(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		var wall uint64
+		for _, op := range r.Detail.Ops {
+			wall += op.WallCycles
+			if op.MonitorCycles() > op.WallCycles {
+				t.Errorf("%s/%s: monitor cycles %d exceed wall %d",
+					r.App, op.Op, op.MonitorCycles(), op.WallCycles)
+			}
+		}
+		// Attribution starts at the first activation, so the only
+		// uncovered cycles are the monitor's boot sequence.
+		if wall > r.Cycles {
+			t.Errorf("%s: wall segments sum to %d, more than the run's %d cycles", r.App, wall, r.Cycles)
+		} else if gap := r.Cycles - wall; gap > 4096 {
+			t.Errorf("%s: %d cycles unattributed, more than a boot sequence", r.App, gap)
+		}
+		text := RenderProfile([]ProfileRow{r})
+		for _, op := range r.Detail.Ops {
+			if !strings.Contains(text, op.Op) {
+				t.Errorf("%s: rendered profile missing domain %q", r.App, op.Op)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"opec/internal/mach"
 	"opec/internal/monitor"
 	"opec/internal/run"
+	"opec/internal/trace"
 )
 
 // Outcome is one finished trial.
@@ -28,7 +29,14 @@ type Outcome struct {
 // Each trial compiles a fresh workload instance: devices are stateful
 // and compilation instruments the module, so nothing can be shared. A
 // maxCycles of 0 keeps the instance's own budget.
-func RunOPEC(app *apps.App, spec Spec, pol monitor.Policy, maxCycles uint64) (out Outcome, err error) {
+func RunOPEC(app *apps.App, spec Spec, pol monitor.Policy, maxCycles uint64) (Outcome, error) {
+	return TraceOPEC(app, spec, pol, maxCycles, nil)
+}
+
+// TraceOPEC is RunOPEC with an event trace attached to the trial's run
+// (nil buf behaves exactly like RunOPEC). The golden-trace exploit
+// tests use it to assert the gate-fault-containment event sequence.
+func TraceOPEC(app *apps.App, spec Spec, pol monitor.Policy, maxCycles uint64, buf *trace.Buffer) (out Outcome, err error) {
 	out.Spec = spec
 	inst := app.New()
 	if maxCycles > 0 {
@@ -56,6 +64,7 @@ func RunOPEC(app *apps.App, spec Spec, pol monitor.Policy, maxCycles uint64) (ou
 	}()
 	res, runErr := run.OPECWith(inst, b, run.Options{
 		Policy: pol,
+		Trace:  buf,
 		Arm: func(m *mach.Machine) {
 			m.Arm(&mach.Injection{Func: trigger, N: spec.N, Fire: fire})
 		},

@@ -3,6 +3,8 @@ package mach
 import (
 	"fmt"
 	"sort"
+
+	"opec/internal/trace"
 )
 
 // ARMv7-M memory map anchors (Figure 2 of the paper).
@@ -137,11 +139,13 @@ type Bus struct {
 	// block thousands of times in a row; caching the last resolved
 	// device (with its bounds denormalized to plain words) skips the
 	// binary search. noDevCache pins the slow path for the
-	// cache-transparency comparison.
-	lastDev    Device
-	lastBase   uint32
-	lastEnd    uint32
-	noDevCache bool
+	// cache-transparency comparison; devCacheHits feeds the counter
+	// registry.
+	lastDev      Device
+	lastBase     uint32
+	lastEnd      uint32
+	noDevCache   bool
+	devCacheHits uint64
 
 	// dwtEnabled gates the cycle counter register.
 	dwtEnabled bool
@@ -156,9 +160,20 @@ func NewBus(flashSize, sramSize int, clk *Clock) *Bus {
 		sram:  make([]byte, sramSize),
 	}
 	b.MPU.NoCache = DisableCaches
+	b.MPU.Clock = clk
 	b.noDevCache = DisableCaches
 	b.Prot = b.MPU
 	return b
+}
+
+// Counters implements trace.CounterSource for the bus and its
+// protection unit.
+func (b *Bus) Counters() []trace.Counter {
+	cs := []trace.Counter{{Name: "mach.bus.dev_cache_hits", Value: b.devCacheHits}}
+	if b.MPU != nil {
+		cs = append(cs, b.MPU.Counters()...)
+	}
+	return cs
 }
 
 // Attach registers a device; overlapping ranges are a configuration
@@ -185,6 +200,7 @@ func (b *Bus) DeviceAt(addr uint32) Device { return b.deviceAt(addr) }
 // falling back to binary search over the sorted device list.
 func (b *Bus) deviceAt(addr uint32) Device {
 	if addr >= b.lastBase && addr < b.lastEnd && !b.noDevCache {
+		b.devCacheHits++
 		return b.lastDev
 	}
 	i := sort.Search(len(b.devices), func(i int) bool {

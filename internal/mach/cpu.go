@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"opec/internal/ir"
+	"opec/internal/trace"
 )
 
 // Cycle costs of the execution model. The absolute values approximate
@@ -113,9 +114,20 @@ type Machine struct {
 	// Halted is set when the program executed an OpHalt.
 	Halted bool
 
+	// Trace is the event bus. Nil (the default) disables tracing: every
+	// emission site is guarded by a nil check, so the untraced hot path
+	// is a pointer compare and the event path allocates nothing.
+	// Install with AttachTrace so function names are pre-interned.
+	Trace *trace.Buffer
+
+	// traceIDs caches interned function-name ids by Function.Index(),
+	// filled by AttachTrace.
+	traceIDs []uint32
+
 	// Stats.
 	InstrCount  uint64
 	SwitchCount uint64 // operation/compartment switches observed
+	frameReuse  uint64 // pooled-frame register reuses (vs. fresh allocations)
 	depth       int
 }
 
@@ -231,6 +243,64 @@ func (m *Machine) FuncAddr(fn *ir.Function) uint32 {
 // FuncAt returns the function whose code starts at addr, or nil.
 func (m *Machine) FuncAt(addr uint32) *ir.Function { return m.funcAt[addr] }
 
+// AttachTrace installs the event bus on the machine and its protection
+// unit, pre-interning every module function so traced call dispatch
+// never hashes a string.
+func (m *Machine) AttachTrace(buf *trace.Buffer) {
+	m.Trace = buf
+	m.traceIDs = make([]uint32, len(m.Mod.Functions))
+	for i, f := range m.Mod.Functions {
+		m.traceIDs[i] = buf.Intern(f.Name)
+	}
+	if m.Bus != nil && m.Bus.MPU != nil {
+		m.Bus.MPU.Trace = buf
+	}
+}
+
+// traceID resolves fn's interned name id, interning on demand for
+// functions outside the module (late registrations, other modules).
+func (m *Machine) traceID(fn *ir.Function) uint32 {
+	if i := fn.Index(); uint(i) < uint(len(m.traceIDs)) && m.metaByIdx[i].fn == fn {
+		return m.traceIDs[i]
+	}
+	return m.Trace.Intern(fn.Name)
+}
+
+// emitExc records one exception entry/return cost event. Callers guard
+// with m.Trace != nil and emit immediately after the matching
+// Clock.Advance, so the event's Dur mirrors the architected cost.
+func (m *Machine) emitExc(kind trace.Kind, class uint32, cost uint64) {
+	m.Trace.Emit(trace.Event{Cycle: m.Clock.Now(), Dur: cost, Kind: kind, Op: -1, Arg: class})
+}
+
+// emitFault records a fault event with the protection unit's region
+// verdict for the faulting address (-1 background map, -2 when a
+// non-MPU protection backend adjudicated).
+func (m *Machine) emitFault(f *Fault) {
+	region := -2
+	if mpu, ok := m.Bus.Prot.(*MPU); ok {
+		region = mpu.RegionFor(f.Addr)
+	}
+	m.Trace.Emit(trace.Event{
+		Cycle: m.Clock.Now(), Kind: trace.EvFault, Op: -1,
+		Arg: f.Addr, Arg2: trace.PackFaultInfo(uint8(f.Kind), f.Write, region),
+	})
+}
+
+// Counters implements trace.CounterSource for the machine, folding in
+// the bus and protection-unit counters.
+func (m *Machine) Counters() []trace.Counter {
+	cs := []trace.Counter{
+		{Name: "mach.instrs", Value: m.InstrCount},
+		{Name: "mach.switches", Value: m.SwitchCount},
+		{Name: "mach.frame_reuse", Value: m.frameReuse},
+	}
+	if m.Bus != nil {
+		cs = append(cs, m.Bus.Counters()...)
+	}
+	return cs
+}
+
 // BindIRQ routes the device's interrupt line to an IR handler function,
 // which executes privileged (hardware escalates on exception entry).
 func (m *Machine) BindIRQ(src IRQSource, handler *ir.Function) {
@@ -291,6 +361,7 @@ func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
 	if n := fn.NumRegs(); cap(fr.regs) < n {
 		fr.regs = make([]uint32, n)
 	} else {
+		m.frameReuse++
 		fr.regs = fr.regs[:n]
 		for i := range fr.regs {
 			fr.regs[i] = 0
@@ -401,8 +472,17 @@ func (m *Machine) tick() error {
 			wasPriv := m.Privileged
 			m.Privileged = true // hardware escalates for exception entry
 			m.Clock.Advance(CostExcEntry)
+			if m.Trace != nil {
+				m.emitExc(trace.EvExcEntry, trace.ExcIRQ, CostExcEntry)
+				m.Trace.Emit(trace.Event{
+					Cycle: m.Clock.Now(), Kind: trace.EvIRQ, Op: -1, Arg: m.traceID(b.handler),
+				})
+			}
 			_, err := m.call(b.handler, nil)
 			m.Clock.Advance(CostExcReturn)
+			if m.Trace != nil {
+				m.emitExc(trace.EvExcReturn, trace.ExcIRQ, CostExcReturn)
+			}
 			m.Privileged = wasPriv
 			m.inIRQ = false
 			if err != nil {
@@ -516,7 +596,11 @@ func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) 
 			// function entry escalates to a usage fault (corrupted code
 			// pointer), which the monitor's recovery policies can absorb
 			// exactly like a memory fault.
-			return &Fault{Kind: FaultUsage, Addr: target, Privileged: m.Privileged}
+			f := &Fault{Kind: FaultUsage, Addr: target, Privileged: m.Privileged}
+			if m.Trace != nil {
+				m.emitFault(f)
+			}
+			return f
 		}
 		args, err := m.evalArgs(fr, in.Args[1:])
 		if err != nil {
@@ -551,6 +635,12 @@ func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) 
 // dispatchCall runs the OnCall/OnReturn interposition (ACES compartment
 // switching) around a plain call.
 func (m *Machine) dispatchCall(caller, callee *ir.Function, args []uint32) (uint32, error) {
+	if m.Trace != nil {
+		m.Trace.Emit(trace.Event{
+			Cycle: m.Clock.Now(), Kind: trace.EvCall, Op: -1,
+			Arg: m.traceID(callee), Arg2: m.traceID(caller),
+		})
+	}
 	if m.Handlers.OnCall != nil {
 		if err := m.Handlers.OnCall(caller, callee); err != nil {
 			return 0, err
@@ -559,6 +649,11 @@ func (m *Machine) dispatchCall(caller, callee *ir.Function, args []uint32) (uint
 	ret, err := m.call(callee, args)
 	if err != nil {
 		return 0, err
+	}
+	if m.Trace != nil {
+		m.Trace.Emit(trace.Event{
+			Cycle: m.Clock.Now(), Kind: trace.EvCallRet, Op: -1, Arg: m.traceID(callee),
+		})
 	}
 	if m.Handlers.OnReturn != nil {
 		if err := m.Handlers.OnReturn(caller, callee); err != nil {
@@ -576,6 +671,9 @@ func (m *Machine) dispatchCall(caller, callee *ir.Function, args []uint32) (uint
 func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 	m.SwitchCount++
 	m.Clock.Advance(CostExcEntry)
+	if m.Trace != nil {
+		m.emitExc(trace.EvExcEntry, trace.ExcSVC, CostExcEntry)
+	}
 	wasPriv := m.Privileged
 	if m.Handlers.SvcEnter != nil {
 		m.Privileged = true
@@ -587,6 +685,9 @@ func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 			var skip *SvcSkip
 			if errors.As(err, &skip) {
 				m.Clock.Advance(CostExcReturn)
+				if m.Trace != nil {
+					m.emitExc(trace.EvExcReturn, trace.ExcSVC, CostExcReturn)
+				}
 				return skip.Ret, nil
 			}
 			return 0, fmt.Errorf("mach: svc enter %s: %w", entry.Name, err)
@@ -594,6 +695,9 @@ func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 		args = newArgs
 	}
 	m.Clock.Advance(CostExcReturn)
+	if m.Trace != nil {
+		m.emitExc(trace.EvExcReturn, trace.ExcSVC, CostExcReturn)
+	}
 
 	for {
 		ret, err := m.call(entry, args)
@@ -602,10 +706,16 @@ func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 				return 0, err
 			}
 			m.Clock.Advance(CostExcEntry)
+			if m.Trace != nil {
+				m.emitExc(trace.EvExcEntry, trace.ExcSVC, CostExcEntry)
+			}
 			m.Privileged = true
 			res := m.Handlers.SvcFault(entry, err)
 			m.Privileged = wasPriv
 			m.Clock.Advance(CostExcReturn)
+			if m.Trace != nil {
+				m.emitExc(trace.EvExcReturn, trace.ExcSVC, CostExcReturn)
+			}
 			switch res.Action {
 			case SvcRetry:
 				continue
@@ -619,6 +729,9 @@ func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 		}
 
 		m.Clock.Advance(CostExcEntry)
+		if m.Trace != nil {
+			m.emitExc(trace.EvExcEntry, trace.ExcSVC, CostExcEntry)
+		}
 		if m.Handlers.SvcExit != nil {
 			m.Privileged = true
 			err := m.Handlers.SvcExit(entry, ret)
@@ -628,6 +741,9 @@ func (m *Machine) svcCall(entry *ir.Function, args []uint32) (uint32, error) {
 			}
 		}
 		m.Clock.Advance(CostExcReturn)
+		if m.Trace != nil {
+			m.emitExc(trace.EvExcReturn, trace.ExcSVC, CostExcReturn)
+		}
 		return ret, nil
 	}
 }
@@ -701,6 +817,9 @@ func (m *Machine) storeChecked(addr uint32, size int, v uint32) error {
 // handleFault routes a fault to the matching handler; the handler runs
 // privileged (hardware exception entry).
 func (m *Machine) handleFault(f *Fault) (uint32, error) {
+	if m.Trace != nil {
+		m.emitFault(f)
+	}
 	var h func(*Fault) FaultResolution
 	switch f.Kind {
 	case FaultMemManage:
@@ -712,11 +831,20 @@ func (m *Machine) handleFault(f *Fault) (uint32, error) {
 		return 0, f
 	}
 	m.Clock.Advance(CostExcEntry)
+	if m.Trace != nil {
+		m.emitExc(trace.EvExcEntry, trace.ExcFault, CostExcEntry)
+	}
 	wasPriv := m.Privileged
 	m.Privileged = true
 	res := h(f)
 	m.Privileged = wasPriv
 	m.Clock.Advance(CostExcReturn)
+	if m.Trace != nil {
+		m.emitExc(trace.EvExcReturn, trace.ExcFault, CostExcReturn)
+		m.Trace.Emit(trace.Event{
+			Cycle: m.Clock.Now(), Kind: trace.EvFaultHandled, Op: -1, Arg: uint32(res.Action),
+		})
+	}
 
 	switch res.Action {
 	case FaultRetry:

@@ -11,7 +11,11 @@
 // merely recorded.
 package mach
 
-import "fmt"
+import (
+	"fmt"
+
+	"opec/internal/trace"
+)
 
 // AP is a region access-permission encoding (a simplified PMSAv7 AP
 // field: the combinations the OPEC and ACES runtimes need).
@@ -149,11 +153,42 @@ type MPU struct {
 	// for the ablation benchmarks.
 	reconfigs uint64
 
+	// Trace, when non-nil, receives region-program, enable and
+	// TLB-invalidation events; Clock stamps them (NewBus wires it).
+	Trace *trace.Buffer
+	Clock *Clock
+
 	// Micro-TLB state (tlb.go): gen invalidates, lastEnabled detects
-	// direct Enabled toggles lazily.
+	// direct Enabled toggles lazily. The hit/miss/invalidation counters
+	// feed the counter registry; with the cache disabled every access
+	// takes the architectural scan, so hits stay at zero.
 	gen         uint64
 	lastEnabled bool
+	tlbHits     uint64
+	tlbMisses   uint64
+	tlbInvals   uint64
 	tlb         [tlbSize]tlbEntry
+}
+
+// now returns the current cycle for event stamping (0 for detached
+// MPUs, which some tests build without a bus).
+func (m *MPU) now() uint64 {
+	if m.Clock == nil {
+		return 0
+	}
+	return m.Clock.Now()
+}
+
+// invalidate bumps the micro-TLB generation, accounting and tracing
+// the invalidation.
+func (m *MPU) invalidate() {
+	m.gen++
+	m.tlbInvals++
+	if m.Trace != nil {
+		m.Trace.Emit(trace.Event{
+			Cycle: m.now(), Kind: trace.EvTLBInval, Op: -1, Arg: uint32(m.gen),
+		})
+	}
 }
 
 // SetRegion programs region i, validating size/alignment rules.
@@ -166,7 +201,12 @@ func (m *MPU) SetRegion(i int, r Region) error {
 	}
 	m.Regions[i] = r
 	m.reconfigs++
-	m.gen++
+	m.invalidate()
+	if m.Trace != nil {
+		m.Trace.Emit(trace.Event{
+			Cycle: m.now(), Kind: trace.EvMPURegion, Op: -1, Arg: uint32(i), Arg2: r.Base,
+		})
+	}
 	return nil
 }
 
@@ -174,7 +214,12 @@ func (m *MPU) SetRegion(i int, r Region) error {
 // register write (the runtimes use it to blank unused plan slots).
 func (m *MPU) ClearRegion(i int) {
 	m.Regions[i] = Region{}
-	m.gen++
+	m.invalidate()
+	if m.Trace != nil {
+		m.Trace.Emit(trace.Event{
+			Cycle: m.now(), Kind: trace.EvMPURegion, Op: -1, Arg: uint32(i),
+		})
+	}
 }
 
 // RestoreRegions reinstates a previously captured region file in one
@@ -183,14 +228,28 @@ func (m *MPU) ClearRegion(i int) {
 // captured.
 func (m *MPU) RestoreRegions(regs [NumRegions]Region) {
 	m.Regions = regs
-	m.gen++
+	m.invalidate()
+	if m.Trace != nil {
+		// One event for the whole-file restore; Arg = NumRegions marks it
+		// as distinct from a single-region program.
+		m.Trace.Emit(trace.Event{
+			Cycle: m.now(), Kind: trace.EvMPURegion, Op: -1, Arg: NumRegions,
+		})
+	}
 }
 
 // SetEnabled turns the MPU on or off (the MPU_CTRL ENABLE bit).
 func (m *MPU) SetEnabled(on bool) {
 	m.Enabled = on
 	m.lastEnabled = on
-	m.gen++
+	m.invalidate()
+	if m.Trace != nil {
+		v := uint32(0)
+		if on {
+			v = 1
+		}
+		m.Trace.Emit(trace.Event{Cycle: m.now(), Kind: trace.EvMPUEnable, Op: -1, Arg: v})
+	}
 }
 
 // MustSetRegion is SetRegion for statically-correct configurations.
@@ -203,6 +262,17 @@ func (m *MPU) MustSetRegion(i int, r Region) {
 // Reconfigs returns the number of region writes so far.
 func (m *MPU) Reconfigs() uint64 { return m.reconfigs }
 
+// Counters implements trace.CounterSource: region writes plus the
+// micro-TLB hit/miss/invalidation tallies.
+func (m *MPU) Counters() []trace.Counter {
+	return []trace.Counter{
+		{Name: "mach.mpu.reconfigs", Value: m.reconfigs},
+		{Name: "mach.tlb.hits", Value: m.tlbHits},
+		{Name: "mach.tlb.misses", Value: m.tlbMisses},
+		{Name: "mach.tlb.invalidations", Value: m.tlbInvals},
+	}
+}
+
 // Allows reports whether the access passes the MPU. It implements the
 // full PMSAv7 matching rule including sub-region fall-through, with the
 // per-block adjudication served from the micro-TLB (tlb.go).
@@ -212,7 +282,7 @@ func (m *MPU) Allows(addr uint32, write, privileged bool) bool {
 		// so entries cached under the previous configuration never leak
 		// across the transition.
 		m.lastEnabled = m.Enabled
-		m.gen++
+		m.invalidate()
 	}
 	if !m.Enabled {
 		return true

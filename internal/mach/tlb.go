@@ -53,6 +53,7 @@ func (m *MPU) lookup(addr uint32) *tlbEntry {
 	block := addr >> MinRegionSizeLog2
 	e := &m.tlb[block&(tlbSize-1)]
 	if e.tag != block+1 || e.gen != m.gen {
+		m.tlbMisses++
 		e.tag = block + 1
 		e.gen = m.gen
 		if i := m.regionScan(addr); i >= 0 {
@@ -61,6 +62,8 @@ func (m *MPU) lookup(addr uint32) *tlbEntry {
 		} else {
 			e.bg = true
 		}
+	} else {
+		m.tlbHits++
 	}
 	return e
 }
@@ -68,4 +71,4 @@ func (m *MPU) lookup(addr uint32) *tlbEntry {
 // Invalidate drops every micro-TLB entry. Region and enable mutations
 // call it internally; it is exported for callers that mutate Regions
 // directly (tests, exotic backends).
-func (m *MPU) Invalidate() { m.gen++ }
+func (m *MPU) Invalidate() { m.invalidate() }

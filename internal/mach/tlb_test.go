@@ -112,6 +112,65 @@ func TestTLBReconfigsMetricUnchanged(t *testing.T) {
 	}
 }
 
+// TestTLBCounters pins the micro-TLB counter semantics: repeated
+// accesses to one block are one miss then hits, every invalidation is
+// counted, and the counters surface under their registry names.
+func TestTLBCounters(t *testing.T) {
+	var m MPU
+	m.SetEnabled(true) // one invalidation
+	m.MustSetRegion(0, Region{Enabled: true, Base: SRAMBase, SizeLog2: 10, Perm: APRW})
+	addr := SRAMBase + 0x20
+	for i := 0; i < 5; i++ {
+		m.Allows(addr, false, false)
+	}
+	if m.tlbMisses != 1 || m.tlbHits != 4 {
+		t.Errorf("hits/misses = %d/%d, want 4/1", m.tlbHits, m.tlbMisses)
+	}
+	if m.tlbInvals != 2 {
+		t.Errorf("invalidations = %d, want 2 (SetEnabled + SetRegion)", m.tlbInvals)
+	}
+	want := map[string]uint64{
+		"mach.mpu.reconfigs":     1,
+		"mach.tlb.hits":          4,
+		"mach.tlb.misses":        1,
+		"mach.tlb.invalidations": 2,
+	}
+	for _, c := range m.Counters() {
+		if v, ok := want[c.Name]; !ok || v != c.Value {
+			t.Errorf("counter %s = %d, want %d", c.Name, c.Value, want[c.Name])
+		}
+		delete(want, c.Name)
+	}
+	if len(want) != 0 {
+		t.Errorf("counters missing: %v", want)
+	}
+}
+
+// TestTLBCountersZeroWhenDisabled is the cache-ablation regression: with
+// the micro-TLB off (NoCache, as set by DisableCaches/OPEC_MACH_NOCACHE)
+// every access takes the architectural scan and the hit counter must
+// stay exactly zero — a non-zero value means the NoCache path leaked
+// through lookup().
+func TestTLBCountersZeroWhenDisabled(t *testing.T) {
+	var m MPU
+	m.NoCache = true
+	m.SetEnabled(true)
+	m.MustSetRegion(0, Region{Enabled: true, Base: SRAMBase, SizeLog2: 10, Perm: APRW})
+	addr := SRAMBase + 0x20
+	for i := 0; i < 100; i++ {
+		m.Allows(addr, false, false)
+		m.Allows(addr, true, true)
+	}
+	if m.tlbHits != 0 || m.tlbMisses != 0 {
+		t.Errorf("disabled cache recorded hits/misses = %d/%d, want 0/0", m.tlbHits, m.tlbMisses)
+	}
+	for _, c := range m.Counters() {
+		if c.Name == "mach.tlb.hits" && c.Value != 0 {
+			t.Errorf("registry reports %d TLB hits with the cache disabled", c.Value)
+		}
+	}
+}
+
 // TestTLBEquivalenceRandomized drives the cached and uncached matchers
 // over randomized region files (overlaps, sub-region disables, random
 // reprogramming) and demands bit-identical adjudication. This is the

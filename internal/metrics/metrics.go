@@ -18,6 +18,7 @@ import (
 	"opec/internal/image"
 	"opec/internal/ir"
 	"opec/internal/mach"
+	"opec/internal/trace"
 )
 
 // var2size sums the sizes of a set of global variables (the paper's
@@ -117,18 +118,44 @@ type TaskTrace struct {
 	Order []string
 }
 
-// TraceTasks runs the instance under the vanilla build with call
-// interposition and attributes every executed function to the
-// innermost active task. entries is the operation entry set (from the
-// instance's Config).
+// taskFolder folds the machine's EvCall/EvCallRet stream into a
+// TaskTrace, attributing every executed function to the innermost
+// active task. It runs as a streaming trace sink, so it sees every
+// event regardless of ring capacity.
+type taskFolder struct {
+	buf     *trace.Buffer
+	entries map[string]bool
+	stack   []string
+	record  func(task, fn string)
+}
+
+func (f *taskFolder) HandleEvent(e trace.Event) {
+	switch e.Kind {
+	case trace.EvCall:
+		name := f.buf.Name(e.Arg)
+		if f.entries[name] {
+			f.stack = append(f.stack, name)
+		}
+		f.record(f.stack[len(f.stack)-1], name)
+	case trace.EvCallRet:
+		name := f.buf.Name(e.Arg)
+		if f.entries[name] && len(f.stack) > 1 {
+			f.stack = f.stack[:len(f.stack)-1]
+		}
+	}
+}
+
+// TraceTasks runs the instance under the vanilla build with the event
+// trace attached and attributes every executed function to the
+// innermost active task by folding the call/return event stream.
+// entries is the operation entry set (from the instance's Config).
 func TraceTasks(inst *apps.Instance) (*TaskTrace, error) {
-	entrySet := make(map[*ir.Function]bool)
+	entrySet := make(map[string]bool)
 	for _, name := range inst.Cfg.Entries {
-		f := inst.Mod.Func(name)
-		if f == nil {
+		if inst.Mod.Func(name) == nil {
 			return nil, fmt.Errorf("metrics: entry %q not found", name)
 		}
-		entrySet[f] = true
+		entrySet[name] = true
 	}
 
 	van, err := image.BuildVanilla(inst.Mod, inst.Board)
@@ -162,32 +189,23 @@ func TraceTasks(inst *apps.Instance) (*TaskTrace, error) {
 	m.MaxCycles = inst.MaxCycles
 
 	tr := &TaskTrace{Executed: make(map[string]map[string]bool)}
-	stack := []string{"main"}
-	record := func(task string, fn *ir.Function) {
+	record := func(task, fn string) {
 		set := tr.Executed[task]
 		if set == nil {
 			set = make(map[string]bool)
 			tr.Executed[task] = set
 			tr.Order = append(tr.Order, task)
 		}
-		set[fn.Name] = true
+		set[fn] = true
 	}
-	m.Handlers.OnCall = func(_, callee *ir.Function) error {
-		if entrySet[callee] {
-			stack = append(stack, callee.Name)
-		}
-		record(stack[len(stack)-1], callee)
-		return nil
-	}
-	m.Handlers.OnReturn = func(_, callee *ir.Function) error {
-		if entrySet[callee] && len(stack) > 1 {
-			stack = stack[:len(stack)-1]
-		}
-		return nil
-	}
+	// A tiny ring suffices: the folder consumes the stream as a sink, so
+	// ring drops cannot lose attribution.
+	buf := trace.NewBuffer(64)
+	buf.Attach(&taskFolder{buf: buf, entries: entrySet, stack: []string{"main"}, record: record})
+	m.AttachTrace(buf)
 
 	mainFn := inst.Mod.MustFunc("main")
-	record("main", mainFn)
+	record("main", mainFn.Name)
 	if _, err := m.Run(mainFn); err != nil {
 		return nil, err
 	}

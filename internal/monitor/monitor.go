@@ -19,6 +19,7 @@ import (
 	"opec/internal/image"
 	"opec/internal/ir"
 	"opec/internal/mach"
+	"opec/internal/trace"
 )
 
 // Stats counts monitor activity; the evaluation and the ablation
@@ -32,12 +33,52 @@ type Stats struct {
 	PeriphRemaps uint64 // MPU virtualization events (region swaps)
 	Emulations   uint64 // PPB load/store emulations
 
+	// SanitizeRejects counts critical-variable range checks that failed
+	// at a gate (each one aborts or triggers recovery); SvcFaults counts
+	// policy consultations for faulting operation bodies.
+	SanitizeRejects uint64
+	SvcFaults       uint64
+
 	// Recovery-policy activity (zero under the abort baseline).
 	Restarts      uint64 // operation restarts (RestartOperation policy)
 	Quarantines   uint64 // operations disabled (Quarantine policy)
 	Escapes       uint64 // faults the policy gave up on (retries exhausted)
 	RestartCycles uint64 // modeled cycles spent re-initializing + backoff
 }
+
+// Counters implements trace.CounterSource; the slice is pre-sorted by
+// name, so it renders stably without callers re-sorting.
+func (s *Stats) Counters() []trace.Counter {
+	return []trace.Counter{
+		{Name: "monitor.emulations", Value: s.Emulations},
+		{Name: "monitor.escapes", Value: s.Escapes},
+		{Name: "monitor.periph_remaps", Value: s.PeriphRemaps},
+		{Name: "monitor.ptr_redirects", Value: s.PtrRedirects},
+		{Name: "monitor.quarantines", Value: s.Quarantines},
+		{Name: "monitor.reloc_updates", Value: s.RelocUpdates},
+		{Name: "monitor.restart_cycles", Value: s.RestartCycles},
+		{Name: "monitor.restarts", Value: s.Restarts},
+		{Name: "monitor.sanitize_rejects", Value: s.SanitizeRejects},
+		{Name: "monitor.stack_relocs", Value: s.StackRelocs},
+		{Name: "monitor.svc_faults", Value: s.SvcFaults},
+		{Name: "monitor.switches", Value: s.Switches},
+		{Name: "monitor.words_synced", Value: s.WordsSynced},
+	}
+}
+
+// switchBookkeeping is the fixed cycle cost charged at each gate enter
+// and exit for context save/restore bookkeeping.
+const switchBookkeeping = 32
+
+// ModeledSwitchCycles is the fixed, data-independent monitor cost of
+// one complete operation activation on the MPU backend: exception
+// entry/return around both monitor legs, enter/exit bookkeeping, the
+// stack sub-region write and the full region-file program (enter) and
+// restore (exit). Synchronization, relocation and emulation costs are
+// data-dependent and excluded; the profiler's switch bucket measures
+// exactly this quantity from live runs (the Table 4 consistency check).
+const ModeledSwitchCycles = 2 * (mach.CostExcEntry + mach.CostExcReturn +
+	switchBookkeeping + mach.CostMPUWrite + mach.NumRegions*mach.CostMPUWrite)
 
 // AbortError is a monitor-initiated program abort (policy violation).
 type AbortError struct {
@@ -79,6 +120,108 @@ type Monitor struct {
 	// plan comes from Build.PMPFor and stack hiding uses a precise TOR
 	// boundary instead of sub-regions.
 	pmp *mach.PMP
+
+	// Tracing state (AttachTrace). tr is nil when disabled; every
+	// emission site checks it. The span fields measure the gate
+	// enter/exit legs: span cycles minus the sync spans emitted inside
+	// give the fixed switch cost, so the profiler's buckets partition
+	// the monitor's clock advances exactly. syncMute suppresses sync
+	// spans while a recovery span covers the same cycles.
+	tr        *trace.Buffer
+	opNameIDs []uint32 // interned op names by op.ID
+	spanStart uint64
+	spanSync  uint64
+	spanOpen  bool
+	syncMute  bool
+}
+
+// AttachTrace installs the event bus on the monitor and its machine
+// (which forwards to the protection unit), interning operation names
+// and emitting the initial activation of the default operation.
+func (mon *Monitor) AttachTrace(buf *trace.Buffer) {
+	mon.tr = buf
+	mon.M.AttachTrace(buf)
+	maxID := 0
+	for _, op := range mon.B.Ops {
+		if op.ID > maxID {
+			maxID = op.ID
+		}
+	}
+	mon.opNameIDs = make([]uint32, maxID+1)
+	for _, op := range mon.B.Ops {
+		mon.opNameIDs[op.ID] = buf.Intern(op.Name)
+	}
+	mon.emitActivate(mon.cur)
+}
+
+// opName returns op's interned name id.
+func (mon *Monitor) opName(op *core.Operation) uint32 {
+	if op.ID >= 0 && op.ID < len(mon.opNameIDs) {
+		return mon.opNameIDs[op.ID]
+	}
+	return mon.tr.Intern(op.Name)
+}
+
+// emitActivate marks op as the owner of subsequent cycles.
+func (mon *Monitor) emitActivate(op *core.Operation) {
+	if mon.tr == nil {
+		return
+	}
+	mon.tr.Emit(trace.Event{
+		Cycle: mon.M.Clock.Now(), Kind: trace.EvOpActivate,
+		Op: int32(op.ID), Arg: mon.opName(op),
+	})
+}
+
+// spanBegin opens a gate-leg measurement at the current cycle.
+func (mon *Monitor) spanBegin() {
+	if mon.tr == nil {
+		return
+	}
+	mon.spanStart = mon.M.Clock.Now()
+	mon.spanSync = 0
+	mon.spanOpen = true
+}
+
+// spanEnd closes the open gate leg, emitting its fixed switch cost:
+// the leg's total cycles minus the sync spans emitted inside it.
+func (mon *Monitor) spanEnd() {
+	if mon.tr == nil || !mon.spanOpen {
+		return
+	}
+	mon.spanOpen = false
+	now := mon.M.Clock.Now()
+	mon.tr.Emit(trace.Event{
+		Cycle: now, Dur: now - mon.spanStart - mon.spanSync,
+		Kind: trace.EvPhase, Op: -1, Arg: uint32(trace.PhaseSwitch),
+	})
+}
+
+// syncSpan emits one synchronization span of dur cycles, accounting it
+// against the open gate leg. Recovery paths mute it: their single
+// recovery span already covers these cycles.
+func (mon *Monitor) syncSpan(dur uint64) {
+	if mon.tr == nil || mon.syncMute || dur == 0 {
+		return
+	}
+	mon.tr.Emit(trace.Event{
+		Cycle: mon.M.Clock.Now(), Dur: dur,
+		Kind: trace.EvPhase, Op: -1, Arg: uint32(trace.PhaseSync),
+	})
+	if mon.spanOpen {
+		mon.spanSync += dur
+	}
+}
+
+// emuSpan emits one emulation/virtualization span of dur cycles.
+func (mon *Monitor) emuSpan(dur uint64) {
+	if mon.tr == nil {
+		return
+	}
+	mon.tr.Emit(trace.Event{
+		Cycle: mon.M.Clock.Now(), Dur: dur,
+		Kind: trace.EvPhase, Op: -1, Arg: uint32(trace.PhaseEmu),
+	})
 }
 
 // opContext is the saved execution context of the previous operation
@@ -222,17 +365,36 @@ func (mon *Monitor) svcEnter(entry *ir.Function, args []uint32) ([]uint32, error
 	b := mon.B
 	next := b.EntryOps[entry]
 	if next == nil {
+		if mon.tr != nil {
+			mon.tr.Emit(trace.Event{
+				Cycle: mon.M.Clock.Now(), Kind: trace.EvGateReject, Op: -1,
+				Arg: mon.tr.Intern(entry.Name), Arg2: trace.RejectNonEntry,
+			})
+		}
 		return nil, &AbortError{Reason: fmt.Sprintf("SVC for non-entry %s", entry.Name)}
 	}
 	if mon.quarantined[next] {
 		// The operation was disabled by the Quarantine policy: answer
 		// the gate call immediately with the sentinel, never switching.
 		mon.M.Clock.Advance(8)
+		if mon.tr != nil {
+			mon.tr.Emit(trace.Event{
+				Cycle: mon.M.Clock.Now(), Kind: trace.EvGateReject, Op: int32(next.ID),
+				Arg: mon.tr.Intern(entry.Name), Arg2: trace.RejectQuarantined,
+			})
+			mon.tr.Emit(trace.Event{
+				Cycle: mon.M.Clock.Now(), Dur: 8,
+				Kind: trace.EvPhase, Op: -1, Arg: uint32(trace.PhaseSwitch),
+			})
+		}
 		return nil, &mach.SvcSkip{Ret: QuarantineSentinel}
 	}
 	prev := mon.cur
 	mon.Stats.Switches++
-	mon.M.Clock.Advance(32) // fixed switch bookkeeping
+	// The entering operation owns the switch-in cost from here on.
+	mon.emitActivate(next)
+	mon.spanBegin()
+	mon.M.Clock.Advance(switchBookkeeping)
 
 	// Write back the previous operation's shadows (with sanitization),
 	// then fill the next operation's shadows from the public originals.
@@ -314,6 +476,13 @@ func (mon *Monitor) svcEnter(entry *ir.Function, args []uint32) ([]uint32, error
 	}
 	mon.ctxStack = append(mon.ctxStack, ctx)
 	mon.cur = next
+	mon.spanEnd()
+	if mon.tr != nil {
+		mon.tr.Emit(trace.Event{
+			Cycle: mon.M.Clock.Now(), Kind: trace.EvGateEnter, Op: int32(next.ID),
+			Arg: mon.tr.Intern(entry.Name), Arg2: uint32(len(ctx.relocs)),
+		})
+	}
 	return newArgs, nil
 }
 
@@ -324,7 +493,14 @@ func (mon *Monitor) svcExit(entry *ir.Function, _ uint32) error {
 	}
 	ctx := mon.ctxStack[len(mon.ctxStack)-1]
 	mon.ctxStack = mon.ctxStack[:len(mon.ctxStack)-1]
-	mon.M.Clock.Advance(32)
+	if mon.tr != nil {
+		mon.tr.Emit(trace.Event{
+			Cycle: mon.M.Clock.Now(), Kind: trace.EvGateExit, Op: int32(mon.cur.ID),
+			Arg: mon.tr.Intern(entry.Name),
+		})
+	}
+	mon.spanBegin()
+	mon.M.Clock.Advance(switchBookkeeping)
 
 	// Sanitize + write back the exiting operation's shadows, then
 	// restore the previous operation's view.
@@ -342,6 +518,7 @@ func (mon *Monitor) svcExit(entry *ir.Function, _ uint32) error {
 	// deep-copied pointer fields to their original targets first so the
 	// caller never sees relocated addresses. Reverse order: nested
 	// buffers were recorded after their parents.
+	var copyBack uint64
 	for i := len(ctx.relocs) - 1; i >= 0; i-- {
 		r := ctx.relocs[i]
 		for _, fx := range r.fixups {
@@ -349,7 +526,9 @@ func (mon *Monitor) svcExit(entry *ir.Function, _ uint32) error {
 		}
 		mon.Bus.CopyMem(r.oldAddr, r.newAddr, r.size)
 		mon.M.Clock.Advance(uint64((r.size + 3) / 4 * mach.CostWordCopy))
+		copyBack += uint64((r.size + 3) / 4 * mach.CostWordCopy)
 	}
+	mon.syncSpan(copyBack)
 
 	// Restore stack pointer, protection-unit state and the
 	// virtualization cursor; general-purpose registers are cleared by
@@ -366,6 +545,10 @@ func (mon *Monitor) svcExit(entry *ir.Function, _ uint32) error {
 	}
 	mon.rrNext = ctx.savedRR
 	mon.cur = ctx.op
+	mon.spanEnd()
+	// Execution resumes in the previous operation; everything after this
+	// point (including the exception return) is attributed to it.
+	mon.emitActivate(ctx.op)
 	return nil
 }
 
@@ -381,6 +564,7 @@ func (mon *Monitor) relocateBuffer(ctx *opContext, src uint32, size int) (uint32
 	}
 	mon.Bus.CopyMem(dst, src, size)
 	mon.M.Clock.Advance(uint64((size + 3) / 4 * mach.CostWordCopy))
+	mon.syncSpan(uint64((size + 3) / 4 * mach.CostWordCopy))
 	mon.M.SP = dst
 	ctx.relocs = append(ctx.relocs, argReloc{oldAddr: src, newAddr: dst, size: size})
 	mon.Stats.StackRelocs++
@@ -395,7 +579,19 @@ func (mon *Monitor) syncOut(op *core.Operation) error {
 		shadow := b.ShadowAddr[op.ID][g]
 		if g.Critical != nil {
 			v, _ := mon.Bus.RawLoad(shadow, 4)
-			if !g.Critical.Contains(v) {
+			ok := g.Critical.Contains(v)
+			if mon.tr != nil {
+				verdict := uint32(0)
+				if !ok {
+					verdict = 1
+				}
+				mon.tr.Emit(trace.Event{
+					Cycle: mon.M.Clock.Now(), Kind: trace.EvSanitize,
+					Op: int32(op.ID), Arg: mon.tr.Intern(g.Name), Arg2: verdict,
+				})
+			}
+			if !ok {
+				mon.Stats.SanitizeRejects++
 				return &AbortError{Reason: fmt.Sprintf(
 					"%v: %s=%d outside [%d,%d] leaving operation %s",
 					ErrSanitization, g.Name, v, g.Critical.Min, g.Critical.Max, op.Name),
@@ -421,6 +617,7 @@ func (mon *Monitor) chargeSync(bytes int) {
 	words := uint64((bytes + 3) / 4)
 	mon.Stats.WordsSynced += words
 	mon.M.Clock.Advance(words * mach.CostWordCopy)
+	mon.syncSpan(words * mach.CostWordCopy)
 }
 
 // updateRelocTable points every external variable's slot at the
@@ -429,6 +626,7 @@ func (mon *Monitor) chargeSync(bytes int) {
 // the public section is unprivileged-read-only).
 func (mon *Monitor) updateRelocTable(op *core.Operation) {
 	b := mon.B
+	var cycles uint64
 	for _, g := range b.ExternalList {
 		addr, ok := b.ShadowAddr[op.ID][g]
 		if !ok {
@@ -437,7 +635,9 @@ func (mon *Monitor) updateRelocTable(op *core.Operation) {
 		mon.Bus.RawStore(b.RelocSlot[g], 4, addr)
 		mon.Stats.RelocUpdates++
 		mon.M.Clock.Advance(mach.CostMem)
+		cycles += mach.CostMem
 	}
+	mon.syncSpan(cycles)
 }
 
 // redirectPointerFields walks the recorded pointer fields of op's
@@ -462,6 +662,7 @@ func (mon *Monitor) redirectPointerFields(op *core.Operation) {
 				mon.Bus.RawStore(base+uint32(off), 4, own+tgtOff)
 				mon.Stats.PtrRedirects++
 				mon.M.Clock.Advance(2 * mach.CostMem)
+				mon.syncSpan(2 * mach.CostMem)
 			}
 		}
 	}
@@ -501,6 +702,7 @@ func (mon *Monitor) memManage(f *mach.Fault) mach.FaultResolution {
 					mon.rrNext = (mon.rrNext + 1) % nres
 					mon.pmp.MustSetEntry(slot, e)
 					mon.M.Clock.Advance(mach.CostMPUWrite)
+					mon.emuSpan(mach.CostMPUWrite)
 					mon.Stats.PeriphRemaps++
 					return mach.FaultResolution{Action: mach.FaultRetry}
 				}
@@ -514,6 +716,7 @@ func (mon *Monitor) memManage(f *mach.Fault) mach.FaultResolution {
 				mon.rrNext = (mon.rrNext + 1) % (mach.NumRegions - core.RegionPeriph0)
 				mon.Bus.MPU.MustSetRegion(slot, r)
 				mon.M.Clock.Advance(mach.CostMPUWrite)
+				mon.emuSpan(mach.CostMPUWrite)
 				mon.Stats.PeriphRemaps++
 				return mach.FaultResolution{Action: mach.FaultRetry}
 			}
@@ -530,6 +733,7 @@ func (mon *Monitor) busFault(f *mach.Fault) mach.FaultResolution {
 	if !f.Privileged && mach.IsCorePeriphAddr(f.Addr) && mon.cur.AllowsCoreAddr(f.Addr) {
 		mon.Stats.Emulations++
 		mon.M.Clock.Advance(20) // decode + emulate cost
+		mon.emuSpan(20)
 		if f.Write {
 			mon.Bus.RawStore(f.Addr, f.Size, f.Val)
 			return mach.FaultResolution{Action: mach.FaultEmulated}

@@ -25,6 +25,7 @@ import (
 	"opec/internal/core"
 	"opec/internal/ir"
 	"opec/internal/mach"
+	"opec/internal/trace"
 )
 
 // PolicyKind selects the monitor's reaction to a fault contained
@@ -112,6 +113,7 @@ func (mon *Monitor) Quarantined(op *core.Operation) bool { return mon.quarantine
 // faulting operation's own gate, whether the configured policy absorbs
 // the failure.
 func (mon *Monitor) svcFault(entry *ir.Function, err error) mach.SvcFaultResolution {
+	mon.Stats.SvcFaults++
 	op := mon.B.EntryOps[entry]
 	// Only the innermost faulting operation recovers: if the current
 	// operation is not this gate's, the failure belongs to (or already
@@ -125,6 +127,13 @@ func (mon *Monitor) svcFault(entry *ir.Function, err error) mach.SvcFaultResolut
 	case RestartOperation:
 		if mon.restarts[op] >= mon.Policy.maxRestarts() {
 			mon.Stats.Escapes++
+			if mon.tr != nil {
+				mon.tr.Emit(trace.Event{
+					Cycle: mon.M.Clock.Now(), Kind: trace.EvRecovery,
+					Op: int32(op.ID), Arg: trace.RecoveryEscape,
+					Arg2: uint32(mon.restarts[op]),
+				})
+			}
 			return mach.SvcFaultResolution{}
 		}
 		mon.restart(op)
@@ -146,9 +155,21 @@ func (mon *Monitor) restart(op *core.Operation) {
 	}
 	mon.restarts[op] = n + 1
 	mon.M.Clock.Advance(mon.Policy.backoffBase() << uint(n))
+	// The recovery span below covers reinit end-to-end; mute the inner
+	// sync-span emissions so the profiler doesn't count those cycles in
+	// both the sync and recovery buckets.
+	mon.syncMute = true
 	mon.reinitOperation(op)
+	mon.syncMute = false
 	mon.Stats.Restarts++
-	mon.Stats.RestartCycles += mon.M.Clock.Now() - start
+	dur := mon.M.Clock.Now() - start
+	mon.Stats.RestartCycles += dur
+	if mon.tr != nil {
+		mon.tr.Emit(trace.Event{
+			Cycle: mon.M.Clock.Now(), Dur: dur, Kind: trace.EvRecovery,
+			Op: int32(op.ID), Arg: trace.RecoveryRestart, Arg2: uint32(n + 1),
+		})
+	}
 }
 
 // reinitOperation restores op's view of memory to a re-enterable state:
@@ -219,6 +240,7 @@ func (mon *Monitor) reinitOperation(op *core.Operation) {
 // applied again, and svcEnter answers later gate calls with
 // QuarantineSentinel.
 func (mon *Monitor) quarantine(op *core.Operation) {
+	start := mon.M.Clock.Now()
 	if mon.quarantined == nil {
 		mon.quarantined = make(map[*core.Operation]bool)
 	}
@@ -228,6 +250,7 @@ func (mon *Monitor) quarantine(op *core.Operation) {
 
 	n := len(mon.ctxStack)
 	if n == 0 {
+		mon.emitRecovery(op, trace.RecoveryQuarantine, start)
 		return
 	}
 	ctx := mon.ctxStack[n-1]
@@ -236,8 +259,11 @@ func (mon *Monitor) quarantine(op *core.Operation) {
 
 	// The previous operation's shadows and the public originals are
 	// both untouched since this operation entered, so only the
-	// relocation table needs to swing back.
+	// relocation table needs to swing back. The recovery span covers the
+	// whole unwind, so inner sync spans are muted against double counts.
+	mon.syncMute = true
 	mon.updateRelocTable(ctx.op)
+	mon.syncMute = false
 
 	mon.M.SP = ctx.savedSP
 	if mon.pmp != nil {
@@ -250,4 +276,18 @@ func (mon *Monitor) quarantine(op *core.Operation) {
 	}
 	mon.rrNext = ctx.savedRR
 	mon.cur = ctx.op
+	mon.emitRecovery(op, trace.RecoveryQuarantine, start)
+	mon.emitActivate(ctx.op)
+}
+
+// emitRecovery traces one recovery action spanning [start, now].
+func (mon *Monitor) emitRecovery(op *core.Operation, action uint32, start uint64) {
+	if mon.tr == nil {
+		return
+	}
+	now := mon.M.Clock.Now()
+	mon.tr.Emit(trace.Event{
+		Cycle: now, Dur: now - start, Kind: trace.EvRecovery,
+		Op: int32(op.ID), Arg: action,
+	})
 }

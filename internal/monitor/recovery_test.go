@@ -43,6 +43,9 @@ func TestSanitizationAbortLeavesPrivilegeConsistent(t *testing.T) {
 	if mon.M.Privileged {
 		t.Error("machine left privileged after sanitization abort")
 	}
+	if mon.Stats.SanitizeRejects != 1 {
+		t.Errorf("SanitizeRejects = %d, want 1", mon.Stats.SanitizeRejects)
+	}
 }
 
 // A one-shot rogue store (the §6.1 KEY overwrite issued at runtime)
@@ -67,6 +70,9 @@ func TestRestartRecoversOneShotFault(t *testing.T) {
 	}
 	if mon.Stats.Restarts != 1 || mon.Stats.Escapes != 0 {
 		t.Errorf("Restarts = %d, Escapes = %d, want 1 restart and no escape", mon.Stats.Restarts, mon.Stats.Escapes)
+	}
+	if mon.Stats.SvcFaults != 1 {
+		t.Errorf("SvcFaults = %d, want 1 policy consultation", mon.Stats.SvcFaults)
 	}
 	if mon.Stats.RestartCycles == 0 {
 		t.Error("restart charged no cycles")

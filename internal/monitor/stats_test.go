@@ -1,0 +1,50 @@
+package monitor_test
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"opec/internal/monitor"
+	"opec/internal/trace"
+)
+
+// TestStatsCountersSortedAndComplete pins the registry contract: the
+// monitor's counter slice is pre-sorted by name, covers every Stats
+// field, and renders in that stable order.
+func TestStatsCountersSortedAndComplete(t *testing.T) {
+	var s monitor.Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(uint64(i + 1)) // distinct, non-zero per field
+	}
+	cs := s.Counters()
+	if len(cs) != v.NumField() {
+		t.Fatalf("Counters() has %d entries, Stats has %d fields", len(cs), v.NumField())
+	}
+	if !sort.SliceIsSorted(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name }) {
+		t.Errorf("Counters() not sorted by name: %+v", cs)
+	}
+	seen := make(map[uint64]bool)
+	for _, c := range cs {
+		if !strings.HasPrefix(c.Name, "monitor.") {
+			t.Errorf("counter %q outside the monitor namespace", c.Name)
+		}
+		if c.Value == 0 || seen[c.Value] {
+			t.Errorf("counter %q = %d: a Stats field is missing or duplicated", c.Name, c.Value)
+		}
+		seen[c.Value] = true
+	}
+
+	text := trace.RenderCounters(cs)
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != len(cs) {
+		t.Fatalf("render has %d lines, want %d", len(lines), len(cs))
+	}
+	for i, c := range cs {
+		if !strings.HasPrefix(lines[i], c.Name) {
+			t.Errorf("render line %d = %q, want %q first", i, lines[i], c.Name)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"opec/internal/image"
 	"opec/internal/mach"
 	"opec/internal/monitor"
+	"opec/internal/trace"
 )
 
 // Result captures one finished run.
@@ -101,6 +102,11 @@ type Options struct {
 	// Arm, when non-nil, runs right before execution starts — the
 	// fault-injection campaign uses it to arm a mach.Injection.
 	Arm func(m *mach.Machine)
+	// Trace, when non-nil, receives the run's event stream: exception
+	// entries, gate crossings, MPU programming, faults, recovery
+	// actions. Attached right after boot, before execution starts; nil
+	// keeps every emit site on its zero-cost path.
+	Trace *trace.Buffer
 }
 
 // OPECWith is OPECPrecompiled with Options. Unlike the plain entry
@@ -118,6 +124,9 @@ func OPECWith(inst *apps.Instance, b *core.Build, opts Options) (*Result, error)
 	}
 	mon.Policy = opts.Policy
 	mon.M.MaxCycles = inst.MaxCycles
+	if opts.Trace != nil {
+		mon.AttachTrace(opts.Trace)
+	}
 	if opts.Arm != nil {
 		opts.Arm(mon.M)
 	}
@@ -140,6 +149,9 @@ func ACESWith(inst *apps.Instance, b *aces.Build, opts Options) (*Result, error)
 		return nil, err
 	}
 	rt.M.MaxCycles = inst.MaxCycles
+	if opts.Trace != nil {
+		rt.AttachTrace(opts.Trace)
+	}
 	if opts.Arm != nil {
 		opts.Arm(rt.M)
 	}
@@ -151,6 +163,12 @@ func ACESWith(inst *apps.Instance, b *aces.Build, opts Options) (*Result, error)
 
 // Vanilla runs the instance as the unprotected baseline binary.
 func Vanilla(inst *apps.Instance) (*Result, error) {
+	return VanillaWith(inst, Options{})
+}
+
+// VanillaWith is Vanilla with Options (Policy does not apply; Trace
+// still records exceptions, IRQs and calls even with the MPU off).
+func VanillaWith(inst *apps.Instance, opts Options) (*Result, error) {
 	van, err := image.BuildVanilla(inst.Mod, inst.Board)
 	if err != nil {
 		return nil, err
@@ -161,11 +179,16 @@ func Vanilla(inst *apps.Instance) (*Result, error) {
 	}
 	m := van.Instantiate(bus)
 	m.MaxCycles = inst.MaxCycles
-	_, err = m.Run(inst.Mod.MustFunc("main"))
-	if err := finish(m, err, ""); err != nil {
-		return nil, err
+	if opts.Trace != nil {
+		m.AttachTrace(opts.Trace)
 	}
-	return &Result{Cycles: m.Clock.Now(), Machine: m, Read: reader(m, inst), Van: van}, nil
+	if opts.Arm != nil {
+		opts.Arm(m)
+	}
+	res := &Result{Machine: m, Read: reader(m, inst), Van: van}
+	_, err = m.Run(inst.Mod.MustFunc("main"))
+	res.Cycles = m.Clock.Now()
+	return res, finish(m, err, "")
 }
 
 // OPEC compiles the instance with OPEC-Compiler and runs it under

@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ---- JSONL ----
+
+// jsonlHeader is the first line of a JSONL export: the name table plus
+// the bookkeeping the ring cannot reconstruct from surviving events.
+type jsonlHeader struct {
+	Names      []string `json:"names"`
+	Dropped    uint64   `json:"dropped"`
+	FinalCycle uint64   `json:"final_cycle"`
+}
+
+// jsonlEvent is one event line. Kind is encoded by name so exports are
+// greppable and stable across taxonomy renumbering.
+type jsonlEvent struct {
+	C  uint64 `json:"c"`
+	D  uint64 `json:"d,omitempty"`
+	K  string `json:"k"`
+	Op int32  `json:"op"`
+	A  uint32 `json:"a,omitempty"`
+	B  uint32 `json:"b,omitempty"`
+}
+
+// ExportJSONL serializes the held events (oldest first) as one JSON
+// object per line, preceded by a header line carrying the name table,
+// the drop count and the run's final cycle.
+func ExportJSONL(b *Buffer, finalCycle uint64) ([]byte, error) {
+	var out bytes.Buffer
+	hdr := jsonlHeader{Names: b.Names(), Dropped: b.Dropped(), FinalCycle: finalCycle}
+	if err := json.NewEncoder(&out).Encode(hdr); err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(&out)
+	for _, e := range b.Events() {
+		le := jsonlEvent{C: e.Cycle, D: e.Dur, K: e.Kind.String(), Op: e.Op, A: e.Arg, B: e.Arg2}
+		if err := enc.Encode(le); err != nil {
+			return nil, err
+		}
+	}
+	return out.Bytes(), nil
+}
+
+// ImportJSONL reconstructs a buffer (and the run's final cycle) from
+// an ExportJSONL document. Export→Import→Export round-trips to
+// identical bytes.
+func ImportJSONL(data []byte) (*Buffer, uint64, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("trace: empty JSONL document")
+	}
+	var hdr jsonlHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, 0, fmt.Errorf("trace: JSONL header: %w", err)
+	}
+	var events []jsonlEvent
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var le jsonlEvent
+		if err := json.Unmarshal(sc.Bytes(), &le); err != nil {
+			return nil, 0, fmt.Errorf("trace: JSONL event %d: %w", len(events), err)
+		}
+		events = append(events, le)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	capacity := len(events)
+	if capacity == 0 {
+		capacity = 1
+	}
+	b := NewBuffer(capacity)
+	b.names = append([]string(nil), hdr.Names...)
+	if len(b.names) == 0 {
+		b.names = []string{"?"}
+	}
+	b.ids = make(map[string]uint32, len(b.names))
+	for i, n := range b.names {
+		if _, ok := b.ids[n]; !ok {
+			b.ids[n] = uint32(i)
+		}
+	}
+	b.importedDrops = hdr.Dropped
+	for i, le := range events {
+		k, ok := KindByName(le.K)
+		if !ok {
+			return nil, 0, fmt.Errorf("trace: JSONL event %d: unknown kind %q", i, le.K)
+		}
+		b.Emit(Event{Cycle: le.C, Dur: le.D, Kind: k, Op: le.Op, Arg: le.A, Arg2: le.B})
+	}
+	return b, hdr.FinalCycle, nil
+}
+
+// ---- Chrome trace_event ----
+
+// Virtual thread ids of the Chrome export. Perfetto renders each as a
+// named track; nested call slices stack on the calls track.
+const (
+	tidDomains = 1 // operation/compartment activation segments
+	tidMonitor = 2 // monitor phase spans, faults, recovery, sanitize
+	tidCalls   = 3 // function-call flame graph
+)
+
+// chromeEvent is one trace_event entry. Field order is the marshal
+// order, keeping exports deterministic.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// ExportChrome serializes the held events in Chrome trace_event format
+// (load via chrome://tracing or ui.perfetto.dev). Cycle timestamps map
+// onto the format's microsecond field one-to-one. Domain activation
+// segments and function calls become ph:"X" complete slices; faults,
+// recovery actions and sanitization rejects become ph:"i" instants.
+func ExportChrome(b *Buffer, finalCycle uint64) ([]byte, error) {
+	doc := chromeDoc{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"dropped": fmt.Sprint(b.Dropped()),
+			"source":  "opec-sim",
+		},
+	}
+	meta := func(tid int, name string) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+	meta(tidDomains, "domains")
+	meta(tidMonitor, "monitor")
+	meta(tidCalls, "calls")
+
+	slice := func(name, cat string, ts, dur uint64, tid int, args map[string]string) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: tid, Args: args,
+		})
+	}
+	instant := func(name, cat string, ts uint64, tid int, args map[string]string) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: 1, Tid: tid, S: "t", Args: args,
+		})
+	}
+
+	type open struct {
+		name string
+		ts   uint64
+	}
+	var curOp *open
+	var callStack []open
+	for _, e := range b.Events() {
+		switch e.Kind {
+		case EvOpActivate:
+			name := b.Name(e.Arg)
+			if curOp != nil {
+				slice(curOp.name, "domain", curOp.ts, e.Cycle-curOp.ts, tidDomains, nil)
+			}
+			curOp = &open{name: name, ts: e.Cycle}
+		case EvPhase:
+			slice(Phase(e.Arg).String(), "monitor", e.Cycle-e.Dur, e.Dur, tidMonitor, nil)
+		case EvExcEntry, EvExcReturn:
+			// Folded into the profile; as slices they would dominate the
+			// monitor track, so the export skips them.
+		case EvCall:
+			callStack = append(callStack, open{name: b.Name(e.Arg), ts: e.Cycle})
+		case EvCallRet:
+			// A wrapped ring can hold returns whose call was dropped; only
+			// pop on a name match so truncation degrades gracefully.
+			if n := len(callStack); n > 0 && callStack[n-1].name == b.Name(e.Arg) {
+				c := callStack[n-1]
+				callStack = callStack[:n-1]
+				slice(c.name, "call", c.ts, e.Cycle-c.ts, tidCalls, nil)
+			}
+		case EvFault:
+			kind, write, region := UnpackFaultInfo(e.Arg2)
+			dir := "read"
+			if write {
+				dir = "write"
+			}
+			instant("fault", "fault", e.Cycle, tidMonitor, map[string]string{
+				"addr":   fmt.Sprintf("%#08x", e.Arg),
+				"kind":   fmt.Sprint(kind),
+				"access": dir,
+				"region": fmt.Sprint(region),
+			})
+		case EvGateReject:
+			instant("gate-reject", "monitor", e.Cycle, tidMonitor, map[string]string{
+				"gate": b.Name(e.Arg), "reason": fmt.Sprint(e.Arg2),
+			})
+		case EvRecovery:
+			names := [...]string{"restart", "quarantine", "escape"}
+			name := "recovery"
+			if int(e.Arg) < len(names) {
+				name = names[e.Arg]
+			}
+			instant(name, "recovery", e.Cycle, tidMonitor, map[string]string{
+				"attempt": fmt.Sprint(e.Arg2), "cycles": fmt.Sprint(e.Dur),
+			})
+		case EvSanitize:
+			if e.Arg2 != 0 {
+				instant("sanitize-reject", "monitor", e.Cycle, tidMonitor, map[string]string{
+					"var": b.Name(e.Arg),
+				})
+			}
+		case EvIRQ:
+			instant("irq", "irq", e.Cycle, tidMonitor, map[string]string{
+				"handler": b.Name(e.Arg),
+			})
+		}
+	}
+	if curOp != nil && finalCycle >= curOp.ts {
+		slice(curOp.name, "domain", curOp.ts, finalCycle-curOp.ts, tidDomains, nil)
+	}
+	for i := len(callStack) - 1; i >= 0; i-- {
+		c := callStack[i]
+		if finalCycle >= c.ts {
+			slice(c.name, "call", c.ts, finalCycle-c.ts, tidCalls, nil)
+		}
+	}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+// ValidateChrome parses a Chrome trace export and checks it contains
+// at least one ph:"X" complete slice for every required domain name —
+// the CI smoke contract.
+func ValidateChrome(data []byte, requireOps []string) error {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: chrome export does not parse: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace: chrome export has no traceEvents")
+	}
+	slices := make(map[string]int)
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			slices[e.Name]++
+		}
+	}
+	for _, op := range requireOps {
+		if slices[op] == 0 {
+			return fmt.Errorf("trace: chrome export has no ph:\"X\" slice for domain %q", op)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRingOverwriteAndDropAccounting(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Emit(Event{Cycle: uint64(i), Kind: EvIRQ, Op: -1})
+	}
+	if got := b.Emitted(); got != 10 {
+		t.Fatalf("Emitted() = %d, want 10", got)
+	}
+	if got := b.Dropped(); got != 6 {
+		t.Fatalf("Dropped() = %d, want 6", got)
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events()) = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Cycle != want {
+			t.Errorf("event %d: cycle %d, want %d (oldest-first order)", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestNilBufferEmitIsNoop(t *testing.T) {
+	var b *Buffer
+	b.Emit(Event{Kind: EvIRQ}) // must not panic
+	if b.Dropped() != 0 || b.Emitted() != 0 {
+		t.Fatal("nil buffer reported activity")
+	}
+}
+
+// TestEmitZeroAllocs pins the zero-cost-when-disabled contract at its
+// sharpest point: the disabled (nil-buffer) emit allocates nothing, and
+// neither does steady-state ring insertion when enabled.
+func TestEmitZeroAllocs(t *testing.T) {
+	ev := Event{Cycle: 1, Kind: EvIRQ, Op: -1}
+	var nilBuf *Buffer
+	if n := testing.AllocsPerRun(1000, func() { nilBuf.Emit(ev) }); n != 0 {
+		t.Errorf("disabled emit allocates %v per op, want 0", n)
+	}
+	b := NewBuffer(64)
+	if n := testing.AllocsPerRun(1000, func() { b.Emit(ev) }); n != 0 {
+		t.Errorf("enabled ring emit allocates %v per op, want 0", n)
+	}
+}
+
+func TestInternStableIDs(t *testing.T) {
+	b := NewBuffer(8)
+	a := b.Intern("svc_gate")
+	if again := b.Intern("svc_gate"); again != a {
+		t.Fatalf("re-intern returned %d, want %d", again, a)
+	}
+	if b.Name(a) != "svc_gate" {
+		t.Fatalf("Name(%d) = %q", a, b.Name(a))
+	}
+	if b.Name(0) != "?" || b.Name(9999) != "?" {
+		t.Fatal("unknown ids must resolve to ?")
+	}
+}
+
+func TestSinkSeesDroppedEvents(t *testing.T) {
+	b := NewBuffer(2)
+	var seen int
+	b.Attach(handlerFunc(func(Event) { seen++ }))
+	for i := 0; i < 7; i++ {
+		b.Emit(Event{Kind: EvIRQ})
+	}
+	if seen != 7 {
+		t.Fatalf("sink saw %d events, want 7 (stream must precede ring drop)", seen)
+	}
+}
+
+type handlerFunc func(Event)
+
+func (f handlerFunc) HandleEvent(e Event) { f(e) }
+
+func sampleBuffer() *Buffer {
+	b := NewBuffer(64)
+	gate := b.Intern("uemf_do_forms")
+	b.Emit(Event{Cycle: 10, Dur: 12, Kind: EvExcEntry, Op: -1, Arg: ExcSVC})
+	b.Emit(Event{Cycle: 20, Kind: EvOpActivate, Op: 1, Arg: gate})
+	b.Emit(Event{Cycle: 90, Dur: 68, Kind: EvPhase, Op: -1, Arg: uint32(PhaseSwitch)})
+	b.Emit(Event{Cycle: 95, Kind: EvGateEnter, Op: 1, Arg: gate, Arg2: 2})
+	b.Emit(Event{Cycle: 120, Kind: EvFault, Op: 1, Arg: 0x20001000, Arg2: PackFaultInfo(1, true, 3)})
+	b.Emit(Event{Cycle: 150, Kind: EvOpActivate, Op: 0, Arg: b.Intern("main")})
+	return b
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	b := sampleBuffer()
+	out, err := ExportJSONL(b, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, final, err := ImportJSONL(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 200 {
+		t.Fatalf("imported final cycle %d, want 200", final)
+	}
+	out2, err := ExportJSONL(b2, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, out2) {
+		t.Fatalf("export → import → export not byte-identical:\n%s\nvs\n%s", out, out2)
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	b := sampleBuffer()
+	out, err := ExportChrome(b, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(out, []string{"uemf_do_forms", "main"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(out, []string{"nonexistent_op"}); err == nil {
+		t.Fatal("validation accepted a missing required slice")
+	}
+}
+
+func TestRenderTextDeterministic(t *testing.T) {
+	a := sampleBuffer().RenderText()
+	b := sampleBuffer().RenderText()
+	if a != b {
+		t.Fatal("RenderText not deterministic")
+	}
+	for _, want := range []string{"exc-entry", "op-activate", "gate-enter", "fault"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("render missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestRegistrySumsAndSorts(t *testing.T) {
+	r := &Registry{}
+	r.Register(counterSliceSource{{Name: "b.two", Value: 2}, {Name: "a.one", Value: 1}})
+	r.Register(counterSliceSource{{Name: "b.two", Value: 3}})
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d counters, want 2", len(snap))
+	}
+	if snap[0].Name != "a.one" || snap[1].Name != "b.two" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+	if snap[1].Value != 5 {
+		t.Fatalf("duplicate names must sum: got %d, want 5", snap[1].Value)
+	}
+	text := RenderCounters(snap)
+	if !strings.Contains(text, "a.one") || strings.Index(text, "a.one") > strings.Index(text, "b.two") {
+		t.Fatalf("rendered counters out of order:\n%s", text)
+	}
+}
+
+type counterSliceSource []Counter
+
+func (s counterSliceSource) Counters() []Counter { return s }
+
+func TestProfilerAttribution(t *testing.T) {
+	b := NewBuffer(64)
+	p := NewProfiler(b)
+	op := b.Intern("op:sensor")
+	b.Emit(Event{Cycle: 0, Kind: EvOpActivate, Op: 0, Arg: b.Intern("main")})
+	b.Emit(Event{Cycle: 100, Kind: EvOpActivate, Op: 1, Arg: op}) // switch-in starts
+	b.Emit(Event{Cycle: 112, Dur: 12, Kind: EvExcEntry, Op: -1, Arg: ExcSVC})
+	b.Emit(Event{Cycle: 160, Dur: 40, Kind: EvPhase, Op: -1, Arg: uint32(PhaseSwitch)})
+	b.Emit(Event{Cycle: 165, Dur: 5, Kind: EvPhase, Op: -1, Arg: uint32(PhaseSync)})
+	b.Emit(Event{Cycle: 165, Kind: EvGateEnter, Op: 1, Arg: op})
+	b.Emit(Event{Cycle: 400, Kind: EvOpActivate, Op: 0, Arg: 0}) // back to main
+	prof := p.Finish(500)
+
+	if len(prof.Ops) != 2 {
+		t.Fatalf("profile has %d domains, want 2", len(prof.Ops))
+	}
+	main, sensor := prof.Ops[0], prof.Ops[1]
+	if main.WallCycles != 100+100 {
+		t.Errorf("main wall = %d, want 200", main.WallCycles)
+	}
+	if sensor.WallCycles != 300 {
+		t.Errorf("sensor wall = %d, want 300", sensor.WallCycles)
+	}
+	if sensor.SwitchCycles != 52 {
+		t.Errorf("sensor switch = %d, want 52", sensor.SwitchCycles)
+	}
+	if sensor.SyncCycles != 5 {
+		t.Errorf("sensor sync = %d, want 5", sensor.SyncCycles)
+	}
+	if sensor.Activations != 1 {
+		t.Errorf("sensor activations = %d, want 1", sensor.Activations)
+	}
+	if got := sensor.AppCycles(); got != 300-57 {
+		t.Errorf("sensor app cycles = %d, want %d", got, 300-57)
+	}
+}

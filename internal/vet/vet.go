@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"opec/internal/core"
+	"opec/internal/trace"
 )
 
 // Severity grades a diagnostic. It is a string so reports round-trip
@@ -160,6 +161,17 @@ func (r *Report) Count(s Severity) int {
 		}
 	}
 	return n
+}
+
+// Counters exposes the audit's totals through the unified counter
+// registry (sorted by name, like every source).
+func (r *Report) Counters() []trace.Counter {
+	return []trace.Counter{
+		{Name: "vet.diags.error", Value: uint64(r.Count(SevError))},
+		{Name: "vet.diags.info", Value: uint64(r.Count(SevInfo))},
+		{Name: "vet.diags.warn", Value: uint64(r.Count(SevWarn))},
+		{Name: "vet.passes", Value: uint64(len(r.Passes))},
+	}
 }
 
 // JSON serializes the report.

@@ -18,6 +18,10 @@
 //     regenerate the paper's tables and figures; Render* print them.
 //   - Case study: PinLockCaseStudy reproduces Section 6.1's attack
 //     contrast between OPEC and ACES.
+//   - Observability: NewTraceBuffer + RunOPECWith attach the cycle-
+//     stamped event bus to a run; NewProfiler folds events into
+//     per-operation attribution; ExportTraceChrome / ExportTraceJSONL
+//     serialize traces; ProfileAll runs the profiling experiment.
 package opec
 
 import (
@@ -33,6 +37,7 @@ import (
 	"opec/internal/mach"
 	"opec/internal/monitor"
 	"opec/internal/run"
+	"opec/internal/trace"
 	"opec/internal/vet"
 )
 
@@ -51,6 +56,8 @@ type (
 	Operation = core.Operation
 	// Strategy selects an ACES partitioning policy.
 	Strategy = aces.Strategy
+	// ACESBuild is the ACES baseline's compile output.
+	ACESBuild = aces.Build
 	// Monitor is the runtime reference monitor of a booted OPEC image.
 	Monitor = monitor.Monitor
 	// VetReport is the output of the static isolation auditor.
@@ -131,6 +138,10 @@ const (
 // Apps returns the seven evaluation workloads at paper scale.
 func Apps() []*App { return apps.All() }
 
+// QuickApps returns the seven workloads at the harness's Quick scale
+// (shrunk rounds — the size tests, benchmarks and CI smokes use).
+func QuickApps() []*App { return exper.AppsFor(exper.Quick) }
+
 // AppByName returns a workload constructor by its paper name
 // ("PinLock", "Animation", "FatFs-uSD", "LCD-uSD", "TCP-Echo",
 // "Camera", "CoreMark").
@@ -182,6 +193,63 @@ var (
 	RenderFigure10 = exper.RenderFigure10
 	RenderFigure11 = exper.RenderFigure11
 	RenderTable3   = exper.RenderTable3
+)
+
+// Observability re-exports: the event trace bus, the profiler, and the
+// unified counter registry.
+type (
+	// TraceBuffer is the fixed-capacity event ring the simulator,
+	// monitor and ACES runtime emit into. A nil buffer disables tracing
+	// at zero cost.
+	TraceBuffer = trace.Buffer
+	// TraceEvent is one cycle-stamped event on the bus.
+	TraceEvent = trace.Event
+	// Profiler folds the live event stream into per-domain attribution.
+	Profiler = trace.Profiler
+	// Profile is a finished per-domain cycle-attribution breakdown.
+	Profile = trace.Profile
+	// OpProfile is one domain's share of a Profile.
+	OpProfile = trace.OpProfile
+	// Counter is one named monotonic count.
+	Counter = trace.Counter
+	// CounterRegistry merges counter sources into one sorted snapshot.
+	CounterRegistry = trace.Registry
+	// RunOptions tunes a run: recovery policy, injection arming, trace
+	// attachment.
+	RunOptions = run.Options
+	// ProfileRow is one workload's row of the profiling experiment.
+	ProfileRow = exper.ProfileRow
+)
+
+var (
+	// NewTraceBuffer allocates an event ring (0 = default capacity).
+	NewTraceBuffer = trace.NewBuffer
+	// NewProfiler attaches a profiler to a buffer's live stream.
+	NewProfiler = trace.NewProfiler
+	// ExportTraceJSONL serializes a trace as one JSON object per line.
+	ExportTraceJSONL = trace.ExportJSONL
+	// ImportTraceJSONL reloads a JSONL trace for re-export or analysis.
+	ImportTraceJSONL = trace.ImportJSONL
+	// ExportTraceChrome serializes a trace in Chrome trace_event format
+	// (chrome://tracing, Perfetto).
+	ExportTraceChrome = trace.ExportChrome
+	// ValidateChromeTrace checks a Chrome export parses and contains at
+	// least one duration slice per required operation.
+	ValidateChromeTrace = trace.ValidateChrome
+	// RenderTraceCounters prints a counter snapshot, one per line.
+	RenderTraceCounters = trace.RenderCounters
+	// RunVanillaWith / RunOPECWith / RunACESWith are the Options-taking
+	// run entry points (trace attachment, recovery policy, injection).
+	RunVanillaWith = run.VanillaWith
+	RunOPECWith    = run.OPECWith
+	RunACESWith    = run.ACESWith
+	// InjectOPECTraced replays one fault-injection trial with a trace
+	// buffer attached (the golden-trace path for Section 6.1).
+	InjectOPECTraced = inject.TraceOPEC
+	// ProfileAll runs the profiling experiment over every workload.
+	ProfileAll = exper.ProfileAll
+	// RenderProfile prints the profiling experiment's tables.
+	RenderProfile = exper.RenderProfile
 )
 
 // Simulator-throughput baseline (BENCH_mach.json) re-exports.
