@@ -96,12 +96,21 @@ func printOPEC(b *opec.Build, verbose bool) {
 		b.CodeBytes, b.MonitorCodeBytes, b.RODataBytes, b.MetadataBytes, b.FlashUsed)
 	fmt.Printf("sram:  public=%d reloc=%d heap=%d stack@%#x (total %d)\n\n",
 		b.PublicBytes, b.RelocBytes, b.HeapSize, b.StackBase, b.SRAMUsed)
+	proofs := map[int]string{}
+	if b.Proofs != nil {
+		for i := range b.Proofs.Domains {
+			d := &b.Proofs.Domains[i]
+			proofs[d.ID] = fmt.Sprintf("  proof: static=%d proven=%d (%.1f%%) rejected=%d runtime=%d\n",
+				d.Static, d.Proven, d.Coverage(), d.Rejected, d.Runtime)
+		}
+	}
 	for _, op := range b.Ops {
 		sec := b.OpSections[op.ID]
 		plan := b.MPUFor(op)
 		fmt.Printf("operation %-2d %-18s funcs=%-3d gvars=%-5dB section=[%#x +%d] periphRegions=%d virt=%v heap=%v core=%v\n",
 			op.ID, op.Name, len(op.Funcs), op.GlobalBytes(), sec.Addr, sec.RegionBytes(),
 			len(op.PeriphRegions), plan.Virtualized, op.UsesHeap, op.UsesCorePeriph)
+		fmt.Print(proofs[op.ID])
 		if verbose {
 			for _, f := range op.Funcs {
 				fmt.Printf("    %s (%s)\n", f.Name, f.File)

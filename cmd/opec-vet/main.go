@@ -1,19 +1,24 @@
 // Command opec-vet runs the static least-privilege and isolation
 // auditor over one workload's compiled OPEC build and prints the
 // resulting diagnostics: over-privilege findings, gate bypasses, MPU
-// layout lint, shared-data consistency and the dead-code surface, plus
-// the least-privilege gap metric.
+// layout lint, shared-data consistency, the dead-code surface, proof
+// coverage and taint findings, plus the least-privilege gap metric.
 //
 // Usage:
 //
 //	opec-vet -app PinLock
-//	opec-vet -app TCP-Echo -json
+//	opec-vet -app TCP-Echo -format json
+//	opec-vet -app PinLock -format json -diff baseline.vet.json
 //	opec-vet -all
 //	opec-vet -list
 //
-// Exit status: 0 when the audit ran (even with findings), 1 when any
-// error-severity diagnostic was found and -strict is set, 2 on usage or
-// compile failure.
+// The -diff mode compares against a baseline JSON report (written
+// earlier with -format json) and exits non-zero when any diagnostic not
+// present in the baseline appears — the CI regression gate.
+//
+// Exit status: 0 when the audit ran (even with findings), 1 when -diff
+// found new diagnostics or -strict found error-severity ones, 2 on
+// usage or compile failure.
 package main
 
 import (
@@ -29,11 +34,20 @@ func main() {
 	appName := flag.String("app", "", "workload name, case-insensitive (see -list)")
 	all := flag.Bool("all", false, "vet every workload")
 	list := flag.Bool("list", false, "list available workloads")
-	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	format := flag.String("format", "text", "output format: text or json")
+	jsonOut := flag.Bool("json", false, "deprecated alias for -format json")
+	diffPath := flag.String("diff", "", "baseline JSON report; exit 1 when new diagnostics appear")
 	strict := flag.Bool("strict", false, "exit non-zero when error-severity diagnostics exist")
 	counters := flag.Bool("counters", false, "print the audit's totals as registry counters after each report")
 	flag.Parse()
 	showCounters = *counters
+	if *jsonOut {
+		*format = "json"
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "opec-vet: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
 
 	switch {
 	case *list:
@@ -44,7 +58,7 @@ func main() {
 	case *all:
 		errors := 0
 		for _, a := range opec.Apps() {
-			errors += vetOne(a.Name, *jsonOut)
+			errors += vetOne(a.Name, *format, *diffPath)
 		}
 		if *strict && errors > 0 {
 			os.Exit(1)
@@ -54,7 +68,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "opec-vet: -app is required (try -list)")
 		os.Exit(2)
 	}
-	if errors := vetOne(*appName, *jsonOut); *strict && errors > 0 {
+	if errors := vetOne(*appName, *format, *diffPath); *strict && errors > 0 {
 		os.Exit(1)
 	}
 }
@@ -62,14 +76,15 @@ func main() {
 // showCounters appends the registry render to each text report.
 var showCounters bool
 
-// vetOne compiles and audits one workload, prints the report, and
-// returns the number of error-severity diagnostics.
-func vetOne(name string, jsonOut bool) int {
+// vetOne compiles and audits one workload, prints the report, applies
+// the -diff regression gate when a baseline is given, and returns the
+// number of error-severity diagnostics.
+func vetOne(name, format, diffPath string) int {
 	app := findApp(name)
 	b, err := opec.CompileOPEC(app.New())
 	fail(err)
 	rep := opec.Vet(b)
-	if jsonOut {
+	if format == "json" {
 		data, err := rep.JSON()
 		fail(err)
 		fmt.Println(string(data))
@@ -79,6 +94,17 @@ func vetOne(name string, jsonOut bool) int {
 			reg := &opec.CounterRegistry{}
 			reg.Register(rep)
 			fmt.Printf("counters:\n%s", opec.RenderTraceCounters(reg.Snapshot()))
+		}
+	}
+	if diffPath != "" {
+		old, err := opec.VetLoadReport(diffPath)
+		fail(err)
+		if fresh := opec.VetDiff(old, rep); len(fresh) > 0 {
+			fmt.Fprintf(os.Stderr, "opec-vet: %d diagnostics not in baseline %s:\n", len(fresh), diffPath)
+			for _, d := range fresh {
+				fmt.Fprintf(os.Stderr, "  %s %s: %s\n", d.Code, d.Severity, d.Message)
+			}
+			os.Exit(1)
 		}
 	}
 	return rep.Count(opec.VetError)

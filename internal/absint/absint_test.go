@@ -1,0 +1,419 @@
+package absint
+
+import (
+	"testing"
+
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+func TestIntervalBinOp(t *testing.T) {
+	cases := []struct {
+		name string
+		k    ir.BinKind
+		a, b Interval
+		want Interval
+	}{
+		{"add", ir.Add, Range(1, 3), Range(10, 20), Range(11, 23)},
+		{"add-wrap", ir.Add, Range(0, ^uint32(0)), Exact(1), Top},
+		{"sub", ir.Sub, Range(10, 20), Range(1, 3), Range(7, 19)},
+		{"sub-underflow", ir.Sub, Range(0, 5), Exact(3), Top},
+		{"mul", ir.Mul, Range(2, 4), Exact(8), Range(16, 32)},
+		{"mul-wrap", ir.Mul, Range(0, 1<<20), Exact(1 << 20), Top},
+		{"div", ir.Div, Range(10, 40), Range(2, 5), Range(2, 20)},
+		{"div-zero", ir.Div, Range(10, 40), Range(0, 5), Range(0, 40)},
+		{"rem", ir.Rem, Top, Exact(8), Range(0, 7)},
+		{"rem-identity", ir.Rem, Range(1, 5), Exact(8), Range(1, 5)},
+		{"and-partial", ir.And, Top, Exact(0xFF), Range(0, 0xFF)},
+		{"and", ir.And, Range(3, 12), Range(0, 6), Range(0, 6)},
+		{"or", ir.Or, Range(1, 4), Range(2, 5), Range(2, 7)},
+		{"shl", ir.Shl, Range(1, 3), Exact(4), Range(16, 48)},
+		{"shl-wrap", ir.Shl, Range(0, 1<<30), Exact(4), Top},
+		{"shr", ir.Shr, Range(0x100, 0x1FF), Exact(4), Range(0x10, 0x1F)},
+		{"shr-unknown-amt", ir.Shr, Range(0, 64), Top, Range(0, 64)},
+		{"cmp", ir.Lt, Top, Top, Range(0, 1)},
+		{"top-prop", ir.Add, Top, Exact(1), Top},
+	}
+	for _, c := range cases {
+		if got := binOp(c.k, c.a, c.b); !got.Eq(c.want) {
+			t.Errorf("%s: binOp = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIntervalJoinMeet(t *testing.T) {
+	if got := Range(1, 3).Join(Range(7, 9)); !got.Eq(Range(1, 9)) {
+		t.Errorf("Join = %v", got)
+	}
+	if got := Range(1, 3).Join(Top); !got.Eq(Top) {
+		t.Errorf("Join with top = %v", got)
+	}
+	if got := Range(1, 10).Meet(5, 20); !got.Eq(Range(5, 10)) {
+		t.Errorf("Meet = %v", got)
+	}
+	if got := Top.Meet(5, 20); !got.Eq(Range(5, 20)) {
+		t.Errorf("Meet on top = %v", got)
+	}
+	// Disjoint meet (unreachable edge) keeps the refinement.
+	if got := Range(1, 3).Meet(10, 20); !got.Eq(Range(10, 20)) {
+		t.Errorf("disjoint Meet = %v", got)
+	}
+}
+
+func TestCmpBounds(t *testing.T) {
+	max := ^uint32(0)
+	cases := []struct {
+		k      ir.BinKind
+		cv     uint32
+		taken  bool
+		lo, hi uint32
+		ok     bool
+	}{
+		{ir.Lt, 16, true, 0, 15, true},
+		{ir.Lt, 16, false, 16, max, true},
+		{ir.Lt, 0, true, 0, 0, false},
+		{ir.Le, 16, true, 0, 16, true},
+		{ir.Le, max, false, 0, 0, false},
+		{ir.Gt, 16, true, 17, max, true},
+		{ir.Gt, 16, false, 0, 16, true},
+		{ir.Ge, 16, false, 0, 15, true},
+		{ir.Eq, 7, true, 7, 7, true},
+		{ir.Eq, 7, false, 0, 0, false},
+		{ir.Ne, 7, false, 7, 7, true},
+		{ir.Ne, 7, true, 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, ok := cmpBounds(c.k, c.cv, c.taken)
+		if ok != c.ok || (ok && (lo != c.lo || hi != c.hi)) {
+			t.Errorf("cmpBounds(%v, %d, %v) = [%d,%d] ok=%v, want [%d,%d] ok=%v",
+				c.k, c.cv, c.taken, lo, hi, ok, c.lo, c.hi, c.ok)
+		}
+	}
+}
+
+// rwRegion builds an enabled APRW region.
+func rwRegion(base uint32, sizeLog2 uint8) mach.Region {
+	return mach.Region{Enabled: true, Base: base, SizeLog2: sizeLog2, Perm: mach.APRW}
+}
+
+func TestClassifyFixed(t *testing.T) {
+	var rf RegionFile
+	rf.StackSlot = -1
+	rf.PoolStart = mach.NumRegions
+	rf.Static[3] = rwRegion(0x2000_0100, 7) // 128 B of op data
+
+	if cl, reg := rf.Classify(Exact(0x2000_0120), 4, true); cl != Proven || reg != 3 {
+		t.Errorf("in-region store: %v region %d", cl, reg)
+	}
+	// Whole-interval containment is required.
+	if cl, _ := rf.Classify(Range(0x2000_0100, 0x2000_017C), 4, true); cl != Proven {
+		t.Errorf("spanning store: not proven")
+	}
+	// Straddling out of the region: mixed verdict.
+	if cl, _ := rf.Classify(Range(0x2000_0170, 0x2000_0190), 4, true); cl != Runtime {
+		t.Errorf("straddling store: not runtime")
+	}
+	// Fully outside everything: background denies unprivileged access.
+	if cl, reg := rf.Classify(Exact(0x2000_0800), 4, true); cl != Rejected || reg != -1 {
+		t.Errorf("out-of-plan store: %v region %d", cl, reg)
+	}
+	// Unknown address: no verdict.
+	if cl, _ := rf.Classify(Top, 4, true); cl != Runtime {
+		t.Errorf("unknown address: not runtime")
+	}
+	// Read-only region: reads prove, writes reject.
+	rf.Static[1] = mach.Region{Enabled: true, Base: 0x0800_0000, SizeLog2: 12, Perm: mach.APRO}
+	if cl, _ := rf.Classify(Exact(0x0800_0010), 4, false); cl != Proven {
+		t.Errorf("rodata read: not proven")
+	}
+	if cl, _ := rf.Classify(Exact(0x0800_0010), 4, true); cl != Rejected {
+		t.Errorf("rodata write: not rejected")
+	}
+}
+
+func TestClassifyStackSRDUnknown(t *testing.T) {
+	var rf RegionFile
+	rf.StackSlot = 2
+	rf.PoolStart = mach.NumRegions
+	rf.Static[2] = rwRegion(0x2000_4000, 12) // stack region, runtime-varying SRD
+
+	// The stack region alone cannot justify a proof: its SRD varies.
+	if cl, _ := rf.Classify(Exact(0x2000_4100), 4, true); cl != Runtime {
+		t.Errorf("stack access: not runtime")
+	}
+	// But when a lower region agrees, the verdict is certain regardless
+	// of the SRD state.
+	rf.Static[0] = mach.Region{Enabled: true, Base: 0, SizeLog2: 32, Perm: mach.APRW}
+	if cl, _ := rf.Classify(Exact(0x2000_4100), 4, true); cl != Proven {
+		t.Errorf("stack access with agreeing background: not proven")
+	}
+}
+
+func TestClassifyVirtualizedPool(t *testing.T) {
+	var rf RegionFile
+	rf.StackSlot = -1
+	rf.PoolStart = 4
+	rf.Virtualized = true
+	rf.Pool = []mach.Region{rwRegion(0x4000_0000, 10), rwRegion(0x4000_1000, 10)}
+
+	// A pool region covers the address but may not be resident, and the
+	// fall-through (background) disagrees: no verdict.
+	if cl, _ := rf.Classify(Exact(0x4000_0010), 4, true); cl != Runtime {
+		t.Errorf("maybe-resident peripheral: not runtime")
+	}
+	// Pool and fall-through agree (both allow): certain.
+	rf.Static[0] = mach.Region{Enabled: true, Base: 0, SizeLog2: 32, Perm: mach.APRW}
+	if cl, _ := rf.Classify(Exact(0x4000_0010), 4, true); cl != Proven {
+		t.Errorf("agreeing pool/background: not proven")
+	}
+	// Address covered by no pool region falls through normally.
+	if cl, _ := rf.Classify(Exact(0x4000_8000), 4, true); cl != Proven {
+		t.Errorf("non-pool address: not proven via background")
+	}
+}
+
+// buildLoopFunc constructs
+//
+//	for (i = 0; i < 16; i++) arr[i] = i;
+//
+// with i in a non-escaping stack slot, and returns the function and the
+// array store instruction.
+func buildLoopFunc(m *ir.Module, g *ir.Global) (*ir.Function, *ir.Instr) {
+	fb := ir.NewFunc(m, "looper", "t.c", nil)
+	slot := fb.Alloca(ir.I32)
+	fb.Store(ir.I32, slot, ir.CI(0))
+	loop := fb.NewBlock("loop")
+	body := fb.NewBlock("body")
+	done := fb.NewBlock("done")
+	fb.Br(loop)
+
+	fb.SetBlock(loop)
+	iv := fb.Load(ir.I32, slot)
+	fb.CondBr(fb.Lt(iv, ir.CI(16)), body, done)
+
+	fb.SetBlock(body)
+	st := fb.Store(ir.I32, fb.Index(g, ir.I32, iv), iv)
+	fb.Store(ir.I32, slot, fb.Add(iv, ir.CI(1)))
+	fb.Br(loop)
+
+	fb.SetBlock(done)
+	fb.RetVoid()
+	return fb.F, st
+}
+
+func TestAnalyzeCountedLoop(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.AddGlobal(&ir.Global{Name: "arr", Typ: ir.Array(ir.I32, 16)})
+	fn, st := buildLoopFunc(m, g)
+
+	const base = 0x2000_0100
+	var rf RegionFile
+	rf.StackSlot = -1
+	rf.PoolStart = mach.NumRegions
+	rf.Static[3] = rwRegion(base, 7)
+
+	dom := Domain{
+		ID: 0, Name: "op0", Funcs: []*ir.Function{fn},
+		GlobalAddr: func(gg *ir.Global) (uint32, bool) { return base, gg == g },
+		Regions:    rf,
+	}
+	res := Analyze(m, []Domain{dom})
+	if len(res.Domains) != 1 {
+		t.Fatalf("domains: %d", len(res.Domains))
+	}
+	dr := &res.Domains[0]
+
+	var arrAccess *Access
+	for i := range dr.Accesses {
+		if dr.Accesses[i].Instr == st {
+			arrAccess = &dr.Accesses[i]
+		}
+	}
+	if arrAccess == nil {
+		t.Fatal("array store not analyzed")
+	}
+	// Widening plus branch refinement must recover i ∈ [0, 15], so the
+	// store spans exactly the array: [base, base+60].
+	want := Range(base, base+60)
+	if !arrAccess.Addr.Eq(want) {
+		t.Fatalf("array store address = %v, want %v", arrAccess.Addr, want)
+	}
+	if arrAccess.Class != Proven || arrAccess.Region != 3 {
+		t.Fatalf("array store: %v region %d", arrAccess.Class, arrAccess.Region)
+	}
+
+	// Stack-slot traffic stays dynamically adjudicated.
+	for i := range dr.Accesses {
+		a := &dr.Accesses[i]
+		if a.Instr != st && a.Class != Runtime {
+			t.Errorf("stack access %v classified %v", a.Instr, a.Class)
+		}
+	}
+
+	// The certificate table carries exactly the proven store.
+	row := res.Certs[fn.Index()]
+	if row == nil || row[st.ID()]&certBit(true) == 0 {
+		t.Fatalf("missing store certificate")
+	}
+	for id, b := range row {
+		if id != st.ID() && b != 0 {
+			t.Errorf("unexpected certificate for instr %d", id)
+		}
+	}
+}
+
+// TestAnalyzeStackBounds checks the frame-address model: alloca results
+// carry the domain's stack bounds, so slot reads prove (the SRD-varying
+// stack region and the read-only background fall-through both admit
+// unprivileged reads) while slot writes stay dynamic (a gate-disabled
+// sub-region would fall through to the background's write denial).
+func TestAnalyzeStackBounds(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := ir.NewFunc(m, "frames", "t.c", nil)
+	slot := fb.Alloca(ir.I32)
+	st := fb.Store(ir.I32, slot, ir.CI(7))
+	ld := fb.Load(ir.I32, slot)
+	fb.Ret(ld)
+
+	const stackBase, stackTop = 0x2000_4000, 0x2000_5000
+	var rf RegionFile
+	rf.StackSlot = 2
+	rf.PoolStart = mach.NumRegions
+	rf.Static[0] = mach.Region{Enabled: true, SizeLog2: 32, Perm: mach.APPrivRWUnprivRO}
+	rf.Static[2] = rwRegion(stackBase, 12)
+
+	dom := Domain{
+		ID: 0, Name: "op0", Funcs: []*ir.Function{fb.F},
+		GlobalAddr: func(*ir.Global) (uint32, bool) { return 0, false },
+		Regions:    rf,
+		Stack:      Range(stackBase, stackTop-1),
+	}
+	res := Analyze(m, []Domain{dom})
+	dr := &res.Domains[0]
+	for i := range dr.Accesses {
+		a := &dr.Accesses[i]
+		switch a.Instr {
+		case ld:
+			if a.Class != Proven {
+				t.Errorf("slot read classified %v, want PROVEN", a.Class)
+			}
+		case st:
+			if a.Class != Runtime {
+				t.Errorf("slot write classified %v, want RUNTIME", a.Class)
+			}
+		}
+	}
+	row := res.Certs[fb.F.Index()]
+	if row == nil || row[ld.ID()]&certBit(false) == 0 {
+		t.Fatal("missing load certificate for stack read")
+	}
+	if row[st.ID()] != 0 {
+		t.Fatal("stack write must not be certified")
+	}
+
+	// Without stack bounds the read has no address and stays dynamic.
+	dom.Stack = Top
+	res = Analyze(m, []Domain{dom})
+	if res.Domains[0].Proven != 0 {
+		t.Fatalf("proven = %d without stack bounds, want 0", res.Domains[0].Proven)
+	}
+}
+
+func TestAnalyzeRejectsOutOfPlan(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.AddGlobal(&ir.Global{Name: "ext", Typ: ir.I32})
+	fb := ir.NewFunc(m, "writer", "t.c", nil)
+	st := fb.Store(ir.I32, g, ir.CI(1))
+	fb.RetVoid()
+
+	var rf RegionFile
+	rf.StackSlot = -1
+	rf.PoolStart = mach.NumRegions
+	rf.Static[3] = rwRegion(0x2000_0100, 7)
+
+	dom := Domain{
+		ID: 0, Name: "op0", Funcs: []*ir.Function{fb.F},
+		// ext lives outside the operation's plan.
+		GlobalAddr: func(gg *ir.Global) (uint32, bool) { return 0x2000_0800, gg == g },
+		Regions:    rf,
+	}
+	res := Analyze(m, []Domain{dom})
+	dr := &res.Domains[0]
+	if dr.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", dr.Rejected)
+	}
+	if dr.Accesses[0].Instr != st || dr.Accesses[0].Class != Rejected {
+		t.Fatalf("store not rejected: %+v", dr.Accesses[0])
+	}
+	if row := res.Certs[fb.F.Index()]; row != nil && row[st.ID()] != 0 {
+		t.Fatal("rejected access must not be certified")
+	}
+}
+
+// TestCertRequiresAllDomains checks the merge rule: a function shared by
+// two operations gets a certificate only when the access proves under
+// both plans.
+func TestCertRequiresAllDomains(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.AddGlobal(&ir.Global{Name: "v", Typ: ir.I32})
+	fb := ir.NewFunc(m, "shared", "t.c", nil)
+	st := fb.Store(ir.I32, g, ir.CI(1))
+	fb.RetVoid()
+
+	var inPlan RegionFile
+	inPlan.StackSlot = -1
+	inPlan.PoolStart = mach.NumRegions
+	inPlan.Static[3] = rwRegion(0x2000_0100, 7)
+
+	var emptyPlan RegionFile
+	emptyPlan.StackSlot = -1
+	emptyPlan.PoolStart = mach.NumRegions
+
+	addr := func(gg *ir.Global) (uint32, bool) { return 0x2000_0110, gg == g }
+	doms := []Domain{
+		{ID: 0, Name: "op0", Funcs: []*ir.Function{fb.F}, GlobalAddr: addr, Regions: inPlan},
+		{ID: 1, Name: "op1", Funcs: []*ir.Function{fb.F}, GlobalAddr: addr, Regions: inPlan},
+	}
+	res := Analyze(m, doms)
+	if row := res.Certs[fb.F.Index()]; row == nil || row[st.ID()]&certBit(true) == 0 {
+		t.Fatal("store proven under both domains must be certified")
+	}
+
+	// Same function, but the second operation's plan does not admit the
+	// store (it would be adjudicated — and denied — at runtime there).
+	doms[1].Regions = emptyPlan
+	res = Analyze(m, doms)
+	if res.Domains[1].Rejected != 1 {
+		t.Fatalf("op1 rejected = %d, want 1", res.Domains[1].Rejected)
+	}
+	if row := res.Certs[fb.F.Index()]; row != nil && row[st.ID()] != 0 {
+		t.Fatal("certificate must require proof under every containing domain")
+	}
+}
+
+func TestAnalyzeUnreachableBlockIsRuntime(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.AddGlobal(&ir.Global{Name: "v", Typ: ir.I32})
+	fb := ir.NewFunc(m, "dead", "t.c", nil)
+	dead := fb.NewBlock("dead")
+	fb.RetVoid()
+	fb.SetBlock(dead)
+	fb.Store(ir.I32, g, ir.CI(1))
+	fb.RetVoid()
+
+	var rf RegionFile
+	rf.StackSlot = -1
+	rf.PoolStart = mach.NumRegions
+	rf.Static[3] = rwRegion(0x2000_0100, 7)
+
+	dom := Domain{
+		ID: 0, Name: "op0", Funcs: []*ir.Function{fb.F},
+		GlobalAddr: func(gg *ir.Global) (uint32, bool) { return 0x2000_0110, gg == g },
+		Regions:    rf,
+	}
+	res := Analyze(m, []Domain{dom})
+	dr := &res.Domains[0]
+	if dr.Static != 1 || dr.Runtime != 1 {
+		t.Fatalf("unreachable access: static=%d runtime=%d", dr.Static, dr.Runtime)
+	}
+}

@@ -1,0 +1,186 @@
+package absint
+
+import (
+	"math"
+
+	"opec/internal/mach"
+)
+
+// Class is the verdict for one static memory access under one
+// operation's MPU plan.
+type Class uint8
+
+// Access classes. Runtime is the zero value: with no proof either way,
+// the access falls back to dynamic adjudication.
+const (
+	Runtime  Class = iota // dynamically adjudicated (no static verdict)
+	Proven                // always admitted by the plan; checkable at compile time
+	Rejected              // provably denied by the plan: a compile-time error
+)
+
+func (c Class) String() string {
+	switch c {
+	case Proven:
+		return "PROVEN"
+	case Rejected:
+		return "REJECTED"
+	}
+	return "RUNTIME"
+}
+
+// RegionFile is the proof engine's model of one operation's protection
+// state while the operation runs unprivileged: the static region file,
+// the peripheral/heap pool the monitor may rotate through the high
+// slots, and which parts vary at runtime. Two sources of runtime
+// variation are modeled conservatively:
+//
+//   - the stack region's SRD mask changes at every gate (frame hiding),
+//     so a sub-region may or may not be disabled — its verdict must
+//     agree with the fall-through adjudication to count;
+//   - when the pool exceeds the reserved slots (Virtualized), slots
+//     PoolStart..7 hold an unknown subset of Pool at any instant — a
+//     verdict is certain only if every pool region covering the address
+//     agrees with the fall-through verdict.
+type RegionFile struct {
+	Static      [mach.NumRegions]mach.Region
+	Pool        []mach.Region
+	Virtualized bool
+	StackSlot   int // region index whose SRD varies at runtime (-1: none)
+	PoolStart   int // first slot the monitor may re-program (8: none)
+}
+
+// Tri-state adjudication verdicts.
+const (
+	vDeny    = -1
+	vUnknown = 0
+	vAllow   = +1
+)
+
+// permTri maps a region permission to a certain allow/deny for an
+// unprivileged access. AP encodings are privilege-monotonic
+// (mach.AP.AllowsUnprivileged), so an unprivileged allow also covers
+// privileged replays of the same access.
+func permTri(p mach.AP, write bool) int {
+	if p.AllowsUnprivileged(write) {
+		return vAllow
+	}
+	return vDeny
+}
+
+// maxSpanBlocks caps how many 32-byte adjudication blocks Classify will
+// walk for one access; wider spans (≥ 256 KiB) stay RUNTIME.
+const maxSpanBlocks = 1 << 13
+
+// Classify adjudicates a static access whose address lies in addr and
+// whose width is size bytes. It returns the class and, for Proven and
+// Rejected, the deciding region slot (-1 for the background map).
+//
+// The verdict is computed per 32-byte block — the finest granule at
+// which a PMSAv7 decision can change (region bases and sub-region
+// boundaries are ≥ 32-byte aligned) — and the access is Proven only if
+// every block in [Lo, Hi+size) is certainly admitted, Rejected only if
+// every block is certainly denied.
+func (rf *RegionFile) Classify(addr Interval, size int, write bool) (Class, int) {
+	if !addr.Known || size <= 0 {
+		return Runtime, -1
+	}
+	end := uint64(addr.Hi) + uint64(size) - 1
+	if end > math.MaxUint32 {
+		return Runtime, -1 // the span may wrap the address space
+	}
+	if uint32(end) >= mach.PPBBase {
+		// The Private Peripheral Bus is outside the MPU's jurisdiction:
+		// the bus adjudicates it by privilege alone and the monitor
+		// emulates legitimate unprivileged accesses after the fault.
+		return Runtime, -1
+	}
+	first := addr.Lo >> mach.MinRegionSizeLog2
+	last := uint32(end) >> mach.MinRegionSizeLog2
+	if uint64(last)-uint64(first) >= maxSpanBlocks {
+		return Runtime, -1
+	}
+	verdict, region := 0, -2
+	for blk := first; ; blk++ {
+		a := blk << mach.MinRegionSizeLog2
+		if a < addr.Lo {
+			a = addr.Lo
+		}
+		v, reg := rf.adjudicate(a, write)
+		if v == vUnknown {
+			return Runtime, -1
+		}
+		if region == -2 {
+			verdict, region = v, reg
+		} else if v != verdict {
+			return Runtime, -1 // mixed allow/deny across the span
+		}
+		if blk == last {
+			break
+		}
+	}
+	if verdict == vAllow {
+		return Proven, region
+	}
+	return Rejected, region
+}
+
+// adjudicate returns the certain verdict for one address, or vUnknown
+// when runtime region-state variation can change the outcome.
+func (rf *RegionFile) adjudicate(a uint32, write bool) (int, int) {
+	if !rf.Virtualized {
+		return rf.scanFixed(a, mach.NumRegions-1, write)
+	}
+	// Virtualized high slots: any subset of the pool may be resident.
+	// A pool region that covers the address would win over every fixed
+	// region below PoolStart, but its residency is unknown; certainty
+	// requires every covering pool region and the fall-through verdict
+	// to agree.
+	poolV := 0
+	poolReg := -1
+	for i := range rf.Pool {
+		r := rf.Pool[i]
+		if !r.Contains(a) {
+			continue
+		}
+		v := permTri(r.Perm, write)
+		if poolV == 0 {
+			poolV, poolReg = v, rf.PoolStart+i
+		} else if poolV != v {
+			return vUnknown, -1
+		}
+	}
+	low, lowReg := rf.scanFixed(a, rf.PoolStart-1, write)
+	if poolV == 0 {
+		return low, lowReg
+	}
+	if low == poolV {
+		return low, poolReg
+	}
+	return vUnknown, -1
+}
+
+// scanFixed is the architectural highest-region-wins scan over the
+// static slots 0..top, with the stack slot's SRD treated as unknown:
+// its verdict counts only when it agrees with the fall-through.
+func (rf *RegionFile) scanFixed(a uint32, top int, write bool) (int, int) {
+	for i := top; i >= 0; i-- {
+		r := rf.Static[i]
+		if !r.Contains(a) {
+			continue
+		}
+		if i == rf.StackSlot {
+			v := permTri(r.Perm, write)
+			fall, _ := rf.scanFixed(a, i-1, write)
+			if v == fall {
+				return v, i
+			}
+			return vUnknown, -1
+		}
+		if !r.SubregionEnabled(a) {
+			continue
+		}
+		return permTri(r.Perm, write), i
+	}
+	// Background map with PRIVDEFENA: unprivileged access faults.
+	return vDeny, -1
+}

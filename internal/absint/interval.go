@@ -1,0 +1,208 @@
+package absint
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"opec/internal/ir"
+)
+
+// Interval is one element of the value-range domain: the set of uint32
+// values [Lo, Hi] a register or stack slot may hold. The zero value is
+// ⊤ (unknown: any value); there is no ⊥ — unreachable states are
+// represented by blocks that never receive an input state.
+type Interval struct {
+	Lo, Hi uint32
+	Known  bool
+}
+
+// Top is the unknown interval.
+var Top = Interval{}
+
+// Exact returns the singleton interval {v}.
+func Exact(v uint32) Interval { return Interval{Lo: v, Hi: v, Known: true} }
+
+// Range returns [lo, hi]; callers guarantee lo <= hi.
+func Range(lo, hi uint32) Interval { return Interval{Lo: lo, Hi: hi, Known: true} }
+
+func (iv Interval) String() string {
+	if !iv.Known {
+		return "⊤"
+	}
+	if iv.Lo == iv.Hi {
+		return fmt.Sprintf("[%#x]", iv.Lo)
+	}
+	return fmt.Sprintf("[%#x,%#x]", iv.Lo, iv.Hi)
+}
+
+// IsExact reports whether the interval is a singleton.
+func (iv Interval) IsExact() bool { return iv.Known && iv.Lo == iv.Hi }
+
+// Join is the lattice join: the smallest interval containing both.
+func (iv Interval) Join(o Interval) Interval {
+	if !iv.Known || !o.Known {
+		return Top
+	}
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	return Range(lo, hi)
+}
+
+// Meet intersects the interval with a refinement [lo, hi] (branch
+// conditions). A disjoint meet means the edge is unreachable under the
+// current approximation; returning the refinement alone stays sound
+// (any value is a valid description of an unreachable state).
+func (iv Interval) Meet(lo, hi uint32) Interval {
+	if !iv.Known {
+		return Range(lo, hi)
+	}
+	nlo, nhi := iv.Lo, iv.Hi
+	if lo > nlo {
+		nlo = lo
+	}
+	if hi < nhi {
+		nhi = hi
+	}
+	if nlo > nhi {
+		return Range(lo, hi)
+	}
+	return Range(nlo, nhi)
+}
+
+// Eq reports structural equality (used by the fixpoint's change test).
+func (iv Interval) Eq(o Interval) bool {
+	if !iv.Known || !o.Known {
+		return iv.Known == o.Known
+	}
+	return iv.Lo == o.Lo && iv.Hi == o.Hi
+}
+
+// maxOf returns the largest value representable in a load of size bytes.
+func maxOf(size int) uint32 {
+	switch size {
+	case 1:
+		return 0xFF
+	case 2:
+		return 0xFFFF
+	}
+	return math.MaxUint32
+}
+
+// binOp is the abstract transfer of one binary operator, mirroring the
+// interpreter's evalBin on sets of values. Anything that may wrap or
+// whose bound is not worth tracking collapses to ⊤; comparisons always
+// produce [0,1].
+func binOp(k ir.BinKind, a, b Interval) Interval {
+	switch k {
+	case ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge:
+		return Range(0, 1)
+	}
+	if !a.Known || !b.Known {
+		// A few operators bound their result from one known side even
+		// when the other is unknown.
+		switch k {
+		case ir.And:
+			if a.Known {
+				return Range(0, a.Hi)
+			}
+			if b.Known {
+				return Range(0, b.Hi)
+			}
+		case ir.Rem:
+			if b.Known && b.IsExact() && b.Lo > 0 {
+				return Range(0, b.Lo-1)
+			}
+		case ir.Shr:
+			if b.Known && b.IsExact() {
+				sh := b.Lo & 31
+				if sh > 0 {
+					return Range(0, math.MaxUint32>>sh)
+				}
+			}
+			if a.Known {
+				return Range(0, a.Hi) // shifting right never grows
+			}
+		}
+		return Top
+	}
+	switch k {
+	case ir.Add:
+		lo := uint64(a.Lo) + uint64(b.Lo)
+		hi := uint64(a.Hi) + uint64(b.Hi)
+		if hi > math.MaxUint32 {
+			return Top // may wrap
+		}
+		return Range(uint32(lo), uint32(hi))
+	case ir.Sub:
+		if b.Hi <= a.Lo {
+			return Range(a.Lo-b.Hi, a.Hi-b.Lo)
+		}
+		return Top // may wrap below zero
+	case ir.Mul:
+		hi := uint64(a.Hi) * uint64(b.Hi)
+		if hi > math.MaxUint32 {
+			return Top
+		}
+		return Range(a.Lo*b.Lo, uint32(hi))
+	case ir.Div:
+		if b.Lo == 0 {
+			return Range(0, a.Hi) // UDIV yields 0 on divide-by-zero
+		}
+		return Range(a.Lo/b.Hi, a.Hi/b.Lo)
+	case ir.Rem:
+		if b.IsExact() && b.Lo > 0 {
+			if a.Hi < b.Lo {
+				return a // remainder is the identity below the modulus
+			}
+			return Range(0, b.Lo-1)
+		}
+		if b.Hi > 0 {
+			return Range(0, b.Hi-1)
+		}
+		return Range(0, 0) // modulus provably zero: ARM returns 0
+	case ir.And:
+		hi := a.Hi
+		if b.Hi < hi {
+			hi = b.Hi
+		}
+		return Range(0, hi)
+	case ir.Or, ir.Xor:
+		// Bounded by the next power of two covering both operands.
+		m := a.Hi | b.Hi
+		if m == math.MaxUint32 {
+			return Top
+		}
+		hi := uint32(1)<<bits.Len32(m) - 1
+		lo := uint32(0)
+		if k == ir.Or {
+			lo = a.Lo // a|b >= a and >= b for unsigned values
+			if b.Lo > lo {
+				lo = b.Lo
+			}
+		}
+		return Range(lo, hi)
+	case ir.Shl:
+		if b.IsExact() {
+			sh := b.Lo & 31
+			hi := uint64(a.Hi) << sh
+			if hi > math.MaxUint32 {
+				return Top
+			}
+			return Range(a.Lo<<sh, uint32(hi))
+		}
+		return Top
+	case ir.Shr:
+		if b.IsExact() {
+			sh := b.Lo & 31
+			return Range(a.Lo>>sh, a.Hi>>sh)
+		}
+		return Range(0, a.Hi)
+	}
+	return Top
+}

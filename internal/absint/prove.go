@@ -1,0 +1,289 @@
+package absint
+
+import (
+	"sort"
+
+	"opec/internal/ir"
+)
+
+// Domain is one proof domain: an operation's member functions, its
+// global-address resolution (shadow copies make addresses operation-
+// dependent), and the model of its MPU plan. The core compiler builds
+// one Domain per operation.
+type Domain struct {
+	ID         int
+	Name       string
+	Funcs      []*ir.Function
+	GlobalAddr func(*ir.Global) (uint32, bool)
+	Regions    RegionFile
+
+	// Stack bounds every frame (alloca) address: the interpreter
+	// refuses to establish a frame whose locals would drop below the
+	// stack limit, so [StackLimit, StackTop) confines every slot. The
+	// zero value (⊤) disables stack-address reasoning.
+	Stack Interval
+
+	// Callees resolves an OpICall's possible targets (the compiler
+	// wires the points-to results in). nil, or a nil result, means the
+	// targets are unknown and every address-taken member function must
+	// be assumed callable with arbitrary arguments.
+	Callees func(*ir.Instr) []*ir.Function
+}
+
+// Access is the verdict for one static load or store under one domain.
+type Access struct {
+	Fn     *ir.Function
+	Instr  *ir.Instr
+	Write  bool
+	Addr   Interval
+	Size   int
+	Class  Class
+	Region int // deciding region slot for Proven/Rejected (-1: background)
+}
+
+// DomainResult aggregates the verdicts for one domain.
+type DomainResult struct {
+	ID       int
+	Name     string
+	Accesses []Access
+	Static   int // total static accesses analyzed
+	Proven   int
+	Rejected int
+	Runtime  int
+}
+
+// Coverage returns the proof coverage in percent (proven static
+// accesses over all static accesses).
+func (d *DomainResult) Coverage() float64 {
+	if d.Static == 0 {
+		return 0
+	}
+	return 100 * float64(d.Proven) / float64(d.Static)
+}
+
+// Result is the full proof-engine output for a build: per-domain
+// verdicts plus the merged certificate table the interpreter consumes.
+type Result struct {
+	Domains []DomainResult
+
+	// Certs is indexed [ir.Function.Index()][instr ID] with
+	// mach.CertLoad / mach.CertStore bits. A bit is set only when the
+	// access is Proven under EVERY domain the function belongs to:
+	// unprivileged execution of the function can occur under any of
+	// them, so the certificate must hold in all. Functions in no domain
+	// (IRQ-only code) get no certificates.
+	Certs [][]byte
+}
+
+// Static, Proven, Rejected, Runtime return totals across all domains.
+func (r *Result) Static() int   { return r.total(func(d *DomainResult) int { return d.Static }) }
+func (r *Result) Proven() int   { return r.total(func(d *DomainResult) int { return d.Proven }) }
+func (r *Result) Rejected() int { return r.total(func(d *DomainResult) int { return d.Rejected }) }
+func (r *Result) Runtime() int  { return r.total(func(d *DomainResult) int { return d.Runtime }) }
+
+func (r *Result) total(f func(*DomainResult) int) int {
+	n := 0
+	for i := range r.Domains {
+		n += f(&r.Domains[i])
+	}
+	return n
+}
+
+// addressTakenFuncs returns the functions whose address escapes as a
+// value anywhere in the module (instruction operand or terminator
+// value) — the candidate targets of an unresolvable indirect call.
+func addressTakenFuncs(mod *ir.Module) map[*ir.Function]bool {
+	taken := map[*ir.Function]bool{}
+	for _, f := range mod.Functions {
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			for _, a := range in.Args {
+				if fn, ok := a.(*ir.Function); ok {
+					taken[fn] = true
+				}
+			}
+		})
+		for _, b := range f.Blocks {
+			if fn, ok := b.Term.Val.(*ir.Function); ok {
+				taken[fn] = true
+			}
+		}
+	}
+	return taken
+}
+
+// paramIntervals builds the domain's parameter summary: for each member
+// function, the join over every call site *inside the domain* of the
+// statically evaluable arguments (constants and global addresses under
+// this operation's relocation view). This is sound for certificate use
+// because unprivileged execution of a member function is only reachable
+// through the domain's own call chain: a gate crossing re-enters via
+// the monitor, which is why OpSvc sites are never recorded (the monitor
+// also rewrites pointer gate arguments during stack relocation) — entry
+// functions therefore keep ⊤ parameters. An indirect call with unknown
+// targets forces every address-taken member to ⊤.
+func paramIntervals(d *Domain, addrTaken map[*ir.Function]bool) map[*ir.Param]Interval {
+	member := make(map[*ir.Function]bool, len(d.Funcs))
+	for _, f := range d.Funcs {
+		member[f] = true
+	}
+	iv := map[*ir.Param]Interval{}
+	seen := map[*ir.Param]bool{}
+	join := func(p *ir.Param, v Interval) {
+		if !seen[p] {
+			seen[p] = true
+			iv[p] = v
+		} else {
+			iv[p] = iv[p].Join(v)
+		}
+	}
+	record := func(callee *ir.Function, args []ir.Value) {
+		if !member[callee] {
+			return
+		}
+		for i, p := range callee.Params {
+			if i >= len(args) {
+				join(p, Top)
+				continue
+			}
+			switch a := args[i].(type) {
+			case ir.Const:
+				join(p, Exact(a.V))
+			case *ir.Global:
+				if addr, ok := d.GlobalAddr(a); ok {
+					join(p, Exact(addr))
+				} else {
+					join(p, Top)
+				}
+			default:
+				join(p, Top)
+			}
+		}
+	}
+	unknownICall := false
+	for _, f := range d.Funcs {
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpCall:
+				record(in.Fn, in.Args)
+			case ir.OpICall:
+				var targets []*ir.Function
+				if d.Callees != nil {
+					targets = d.Callees(in)
+				}
+				if len(targets) == 0 {
+					unknownICall = true
+					return
+				}
+				for _, c := range targets {
+					record(c, in.Args[1:])
+				}
+			}
+		})
+	}
+	if unknownICall {
+		for _, f := range d.Funcs {
+			if !addrTaken[f] {
+				continue
+			}
+			for _, p := range f.Params {
+				seen[p] = true
+				iv[p] = Top
+			}
+		}
+	}
+	return iv
+}
+
+// certBit is the cert-bit numbering (mirrors mach.CertLoad/CertStore;
+// duplicated to keep this package independent of the interpreter's
+// import graph direction).
+func certBit(write bool) byte {
+	if write {
+		return 1 << 1
+	}
+	return 1 << 0
+}
+
+// Analyze runs the proof engine over every domain and merges the
+// per-domain verdicts into the certificate table. Domains are processed
+// in ID order so results render deterministically.
+func Analyze(mod *ir.Module, domains []Domain) *Result {
+	sort.SliceStable(domains, func(i, j int) bool { return domains[i].ID < domains[j].ID })
+
+	res := &Result{Certs: make([][]byte, len(mod.Functions))}
+
+	// provenIn[fn][instrID] counts, per cert bit, the domains that
+	// proved the access; a bit is emitted when the count equals the
+	// number of domains containing fn.
+	type cnt struct{ load, store int }
+	provenIn := map[*ir.Function]map[int]*cnt{}
+	domCount := map[*ir.Function]int{}
+
+	addrTaken := addressTakenFuncs(mod)
+	for di := range domains {
+		d := &domains[di]
+		dr := DomainResult{ID: d.ID, Name: d.Name}
+		params := paramIntervals(d, addrTaken)
+		for _, fn := range d.Funcs {
+			domCount[fn]++
+			for _, r := range analyzeFunc(fn, d.GlobalAddr, params, d.Stack) {
+				cl, reg := d.Regions.Classify(r.addr, r.size, r.write)
+				dr.Accesses = append(dr.Accesses, Access{
+					Fn: fn, Instr: r.in, Write: r.write,
+					Addr: r.addr, Size: r.size, Class: cl, Region: reg,
+				})
+				dr.Static++
+				switch cl {
+				case Proven:
+					dr.Proven++
+					m := provenIn[fn]
+					if m == nil {
+						m = map[int]*cnt{}
+						provenIn[fn] = m
+					}
+					c := m[r.in.ID()]
+					if c == nil {
+						c = &cnt{}
+						m[r.in.ID()] = c
+					}
+					if r.write {
+						c.store++
+					} else {
+						c.load++
+					}
+				case Rejected:
+					dr.Rejected++
+				default:
+					dr.Runtime++
+				}
+			}
+		}
+		res.Domains = append(res.Domains, dr)
+	}
+
+	for fn, n := range domCount {
+		idx := fn.Index()
+		if idx < 0 || idx >= len(res.Certs) {
+			continue
+		}
+		var row []byte
+		for id, c := range provenIn[fn] {
+			var bitSet byte
+			if c.load == n {
+				bitSet |= certBit(false)
+			}
+			if c.store == n {
+				bitSet |= certBit(true)
+			}
+			if bitSet == 0 {
+				continue
+			}
+			if row == nil {
+				row = make([]byte, fn.NumRegs())
+			}
+			row[id] |= bitSet
+		}
+		res.Certs[idx] = row
+	}
+	return res
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"testing"
+
+	"opec/internal/ir"
+)
+
+// TestPointsToFuncAddrThroughNestedAggregate checks that a function
+// address stored into an inner field of a nested aggregate is found by
+// FuncsPointedBy on a load taken through a *different* access path: the
+// solver is field-insensitive (one contents slot per object), so any
+// path into the object must recover the pointer.
+func TestPointsToFuncAddrThroughNestedAggregate(t *testing.T) {
+	m := ir.NewModule("nested")
+	slotT := ir.Struct("slot",
+		ir.Field{Name: "pad", Typ: ir.I32},
+		ir.Field{Name: "fn", Typ: ir.Ptr(ir.I32)})
+	table := m.AddGlobal(&ir.Global{Name: "table", Typ: ir.Array(slotT, 4)})
+
+	hb := ir.NewFunc(m, "handler", "t.c", nil)
+	hb.RetVoid()
+
+	// init: table[2].fn = &handler
+	fb := ir.NewFunc(m, "init", "t.c", nil)
+	slot := fb.Index(table, slotT, ir.CI(2))
+	field := fb.Field(slot, slotT, "fn")
+	fb.Store(ir.Ptr(ir.I32), field, hb.F)
+	fb.RetVoid()
+
+	// use: p = table[0].fn (different index — same abstract object)
+	ub := ir.NewFunc(m, "use", "t.c", nil)
+	uslot := ub.Index(table, slotT, ir.CI(0))
+	ufield := ub.Field(uslot, slotT, "fn")
+	p := ub.Load(ir.Ptr(ir.I32), ufield)
+	ub.ICall(ir.FuncType{}, p)
+	ub.RetVoid()
+
+	pts := SolvePointsTo(m)
+	fs := pts.FuncsPointedBy(p)
+	if len(fs) != 1 || fs[0] != hb.F {
+		t.Fatalf("FuncsPointedBy through nested aggregate = %v, want [handler]", names(fs))
+	}
+}
+
+// TestPointsToFuncAddrThroughWordCopy models the IR's memcpy idiom — a
+// word-wise load/store copy between aggregates — and checks the
+// function address survives the copy: the conservative load/store
+// constraints must flow contents(src) into contents(dst).
+func TestPointsToFuncAddrThroughWordCopy(t *testing.T) {
+	m := ir.NewModule("copy")
+	pt := ir.Ptr(ir.I32)
+	src := m.AddGlobal(&ir.Global{Name: "src", Typ: ir.Array(pt, 4)})
+	dst := m.AddGlobal(&ir.Global{Name: "dst", Typ: ir.Array(pt, 4)})
+
+	hb := ir.NewFunc(m, "handler", "t.c", nil)
+	hb.RetVoid()
+
+	// seed: src[1] = &handler
+	sb := ir.NewFunc(m, "seed", "t.c", nil)
+	sb.Store(pt, sb.Index(src, pt, ir.CI(1)), hb.F)
+	sb.RetVoid()
+
+	// copy: for i in 0..3: dst[i] = src[i]  (unrolled word copy)
+	cb := ir.NewFunc(m, "copy", "t.c", nil)
+	for i := 0; i < 4; i++ {
+		v := cb.Load(pt, cb.Index(src, pt, ir.CI(uint32(i))))
+		cb.Store(pt, cb.Index(dst, pt, ir.CI(uint32(i))), v)
+	}
+	cb.RetVoid()
+
+	// use: p = dst[3]
+	ub := ir.NewFunc(m, "use", "t.c", nil)
+	p := ub.Load(pt, ub.Index(dst, pt, ir.CI(3)))
+	ub.ICall(ir.FuncType{}, p)
+	ub.RetVoid()
+
+	pts := SolvePointsTo(m)
+	fs := pts.FuncsPointedBy(p)
+	if len(fs) != 1 || fs[0] != hb.F {
+		t.Fatalf("FuncsPointedBy through word copy = %v, want [handler]", names(fs))
+	}
+}
+
+// TestFuncsPointedByUnknown checks the degenerate cases: an operand the
+// solver never saw, a constant, and a pointer holding no function
+// objects must all yield nil (the callers' "unknown targets" signal).
+func TestFuncsPointedByUnknown(t *testing.T) {
+	m := ir.NewModule("empty")
+	g := m.AddGlobal(&ir.Global{Name: "data", Typ: ir.I32})
+	fb := ir.NewFunc(m, "f", "t.c", ir.I32)
+	ld := fb.Load(ir.I32, g)
+	fb.Ret(ld)
+
+	pts := SolvePointsTo(m)
+	if fs := pts.FuncsPointedBy(ir.CI(0)); fs != nil {
+		t.Errorf("FuncsPointedBy(const) = %v, want nil", names(fs))
+	}
+	if fs := pts.FuncsPointedBy(ld); fs != nil {
+		t.Errorf("FuncsPointedBy(data load) = %v, want nil", names(fs))
+	}
+	// A value from a different module was never interned: no node.
+	other := ir.NewModule("other")
+	ob := ir.NewFunc(other, "o", "t.c", ir.I32)
+	unseen := ob.Load(ir.I32, other.AddGlobal(&ir.Global{Name: "x", Typ: ir.I32}))
+	ob.Ret(unseen)
+	if fs := pts.FuncsPointedBy(unseen); fs != nil {
+		t.Errorf("FuncsPointedBy(unseen value) = %v, want nil", names(fs))
+	}
+}
+
+func names(fs []*ir.Function) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Name)
+	}
+	return out
+}

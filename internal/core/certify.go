@@ -1,0 +1,66 @@
+package core
+
+import (
+	"opec/internal/absint"
+	"opec/internal/ir"
+)
+
+// certify runs the abstract-interpretation proof engine over every
+// operation: each operation becomes one proof domain whose region file
+// is its Section 5.2 MPU plan and whose global addressing matches the
+// monitor's relocation-table semantics while that operation is current.
+// The result feeds three consumers: the vet PROVE/TAINT reporting, the
+// interpreter's proof-guided MPU-check elision (mach.InstallProofs),
+// and the bench proof-coverage tables.
+//
+// It runs after instrument() — the OpCall→OpSvc rewrite mutates
+// instructions in place without renumbering, so certificate indices
+// (function index, instruction ID) match what the interpreter executes.
+func (b *Build) certify() {
+	domains := make([]absint.Domain, 0, len(b.Ops))
+	for _, op := range b.Ops {
+		plan := b.MPUFor(op)
+		domains = append(domains, absint.Domain{
+			ID:         op.ID,
+			Name:       op.Name,
+			Funcs:      op.Funcs,
+			GlobalAddr: b.globalAddrUnder(op),
+			Callees: func(in *ir.Instr) []*ir.Function {
+				return b.Analysis.PTS.FuncsPointedBy(in.Args[0])
+			},
+			Stack: absint.Range(b.StackLimit, b.StackTop-1),
+			Regions: absint.RegionFile{
+				Static:      plan.Static,
+				Pool:        plan.Pool,
+				Virtualized: plan.Virtualized,
+				StackSlot:   RegionStack,
+				PoolStart:   RegionPeriph0,
+			},
+		})
+	}
+	b.Proofs = absint.Analyze(b.Mod, domains)
+}
+
+// globalAddrUnder returns the address a direct global operand resolves
+// to while op is the current operation — mirroring, statically, the
+// monitor's resolveGlobal plus updateRelocTable: fixed-home globals
+// resolve directly; externals resolve through their relocation slot,
+// which the switch path points at op's shadow copy (or the public
+// original when op does not access the variable).
+func (b *Build) globalAddrUnder(op *Operation) func(*ir.Global) (uint32, bool) {
+	shadows := b.ShadowAddr[op.ID]
+	return func(g *ir.Global) (uint32, bool) {
+		if a, ok := b.StaticAddr[g]; ok {
+			return a, true
+		}
+		if _, ok := b.RelocSlot[g]; ok {
+			if a, ok := shadows[g]; ok {
+				return a, true
+			}
+		}
+		if a, ok := b.PublicAddr[g]; ok {
+			return a, true
+		}
+		return 0, false
+	}
+}

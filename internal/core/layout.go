@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"opec/internal/absint"
 	"opec/internal/analysis"
 	"opec/internal/image"
 	"opec/internal/ir"
@@ -75,6 +76,12 @@ type Build struct {
 
 	FlashUsed int
 	SRAMUsed  int
+
+	// Proofs is the abstract-interpretation proof-engine result: every
+	// static access classified per operation, plus the merged
+	// certificate table the interpreter consumes for MPU-check elision
+	// (see internal/absint and certify.go).
+	Proofs *absint.Result
 }
 
 // Compile runs the full OPEC-Compiler pipeline on m: analysis,
@@ -95,6 +102,7 @@ func Compile(m *ir.Module, board *mach.Board, cfg Config) (*Build, error) {
 		return nil, err
 	}
 	b.instrument()
+	b.certify()
 	return b, nil
 }
 

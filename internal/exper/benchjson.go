@@ -9,6 +9,7 @@ import (
 	"opec/internal/apps"
 	"opec/internal/core"
 	"opec/internal/inject"
+	"opec/internal/mach"
 	"opec/internal/monitor"
 	"opec/internal/run"
 )
@@ -23,8 +24,10 @@ import (
 
 // BenchSchema identifies the report format; bump on breaking changes.
 // v2 added the recovery section (restart latency per workload); v3 the
-// profile section (per-workload cycle attribution + counter snapshot).
-const BenchSchema = "opec-bench/mach/v3"
+// profile section (per-workload cycle attribution + counter snapshot);
+// v4 the proof section (static proof coverage + simulator throughput
+// with and without proof-guided MPU-check elision).
+const BenchSchema = "opec-bench/mach/v4"
 
 // BenchSchemes is the fixed execution-scheme order of the report.
 var BenchSchemes = []string{"vanilla", "opec", "aces"}
@@ -66,6 +69,23 @@ type BenchRecovery struct {
 	CyclesPerRestart float64 `json:"cycles_per_restart"`
 }
 
+// BenchProof is one workload's proof-engine summary: the static proof
+// coverage of its OPEC build and the simulator throughput of the OPEC
+// scheme with certificate consumption on (the default) versus off
+// (OPEC_MACH_NOPROOF) — the elision win. Cycle counts are identical
+// either way (the elided path charges the same modeled cost); only
+// wall-clock throughput moves.
+type BenchProof struct {
+	App         string  `json:"app"`
+	Static      int     `json:"static_accesses"`
+	Proven      int     `json:"proven"`
+	Rejected    int     `json:"rejected"`
+	CoveragePct float64 `json:"coverage_pct"`
+	// SimMIPSElide / SimMIPSNoProof are one timed OPEC run each.
+	SimMIPSElide   float64 `json:"sim_mips_elide"`
+	SimMIPSNoProof float64 `json:"sim_mips_noproof"`
+}
+
 // BenchReport is the top-level BENCH_mach.json document.
 type BenchReport struct {
 	Schema      string            `json:"schema"`
@@ -78,6 +98,9 @@ type BenchReport struct {
 	// `opec-bench -exp profile` renders), with each run's unified
 	// counter snapshot.
 	Profile []ProfileRow `json:"profile"`
+	// Proof is the per-workload proof-coverage and elision-throughput
+	// section (schema v4).
+	Proof []BenchProof `json:"proof"`
 }
 
 // CollectBench measures simulator throughput at scale s. Workload runs
@@ -152,7 +175,53 @@ func CollectBench(s AppSet, parallel int) (*BenchReport, error) {
 			rep.Recovery = append(rep.Recovery, rec)
 		}
 	}
+
+	for _, app := range AppsFor(s) {
+		pr, err := measureProof(app)
+		if err != nil {
+			return nil, fmt.Errorf("bench proof %s: %w", app.Name, err)
+		}
+		rep.Proof = append(rep.Proof, pr)
+	}
 	return rep, nil
+}
+
+// measureProof collects one workload's proof-coverage summary and the
+// elision throughput pair: two serial timed OPEC runs, one consuming
+// certificates (the default) and one with proof consumption disabled.
+// The runs execute serially and restore the global kill switch, so the
+// measurement composes with any surrounding sweep.
+func measureProof(app *apps.App) (BenchProof, error) {
+	inst := app.New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		return BenchProof{}, err
+	}
+	pr := BenchProof{App: app.Name}
+	if p := b.Proofs; p != nil {
+		pr.Static, pr.Proven, pr.Rejected = p.Static(), p.Proven(), p.Rejected()
+		if pr.Static > 0 {
+			pr.CoveragePct = 100 * float64(pr.Proven) / float64(pr.Static)
+		}
+	}
+
+	saved := mach.DisableProofs
+	defer func() { mach.DisableProofs = saved }()
+
+	mach.DisableProofs = false
+	we, err := benchOne(app.Name, "opec", func() (*run.Result, error) { return run.OPEC(app.New()) })
+	if err != nil {
+		return BenchProof{}, err
+	}
+	pr.SimMIPSElide = we.SimMIPS
+
+	mach.DisableProofs = true
+	wn, err := benchOne(app.Name, "opec", func() (*run.Result, error) { return run.OPEC(app.New()) })
+	if err != nil {
+		return BenchProof{}, err
+	}
+	pr.SimMIPSNoProof = wn.SimMIPS
+	return pr, nil
 }
 
 // benchRecoverySeed fixes the trial catalogue the recovery measurements
@@ -312,6 +381,38 @@ func ValidateBenchReport(data []byte) (*BenchReport, error) {
 					app.Name, p.SwitchPerActivation, monitor.ModeledSwitchCycles)
 			}
 		}
+	}
+
+	// Proof section (v4): one row per workload with a sane coverage
+	// figure and positive throughput on both sides of the kill switch.
+	// The proof engine's acceptance floor — coverage of at least half
+	// the static accesses on at least five workloads — is enforced here
+	// so a precision regression cannot regenerate a valid baseline.
+	haveProof := make(map[string]BenchProof, len(rep.Proof))
+	for _, p := range rep.Proof {
+		haveProof[p.App] = p
+	}
+	covered := 0
+	for _, app := range AppsFor(scale) {
+		p, ok := haveProof[app.Name]
+		if !ok {
+			return nil, fmt.Errorf("bench report: missing proof row for %s", app.Name)
+		}
+		if p.Static <= 0 || p.Proven <= 0 || p.CoveragePct <= 0 || p.CoveragePct > 100 {
+			return nil, fmt.Errorf("bench report: degenerate proof row %s: %+v", app.Name, p)
+		}
+		if p.Rejected != 0 {
+			return nil, fmt.Errorf("bench report: proof row %s has %d rejected accesses — the build should not have compiled", app.Name, p.Rejected)
+		}
+		if p.SimMIPSElide <= 0 || p.SimMIPSNoProof <= 0 {
+			return nil, fmt.Errorf("bench report: proof row %s lacks throughput: %+v", app.Name, p)
+		}
+		if p.CoveragePct >= 50 {
+			covered++
+		}
+	}
+	if n := len(AppsFor(scale)); n >= 5 && covered < 5 {
+		return nil, fmt.Errorf("bench report: proof coverage >= 50%% on %d of %d workloads, want >= 5", covered, n)
 	}
 
 	// Recovery section: at least two workloads must demonstrate a

@@ -1,0 +1,93 @@
+package exper
+
+import (
+	"testing"
+
+	"opec/internal/core"
+	"opec/internal/mach"
+)
+
+// TestProofTransparency is the acceptance check for proof-guided
+// MPU-check elision: with certificate consumption disabled
+// (OPEC_MACH_NOPROOF semantics), every rendered experiment table must be
+// byte-identical and every run's final cycle count value-identical to
+// the eliding sweep. Proofs may buy wall-clock time only — never
+// architected behavior.
+func TestProofTransparency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full double sweep in -short mode")
+	}
+	saved := mach.DisableProofs
+	defer func() { mach.DisableProofs = saved }()
+
+	mach.DisableProofs = false
+	elideOut, elideCycles := sweepAll(t, Quick)
+	mach.DisableProofs = true
+	checkOut, checkCycles := sweepAll(t, Quick)
+
+	if elideOut != checkOut {
+		t.Errorf("rendered experiment output differs with proofs disabled:\n--- eliding ---\n%s\n--- checked ---\n%s", elideOut, checkOut)
+	}
+	for k, e := range elideCycles {
+		if c := checkCycles[k]; e != c {
+			t.Errorf("%s: final cycles = %d eliding vs %d checked", k, e, c)
+		}
+	}
+	if len(elideCycles) == 0 {
+		t.Fatal("no per-run cycle counts compared")
+	}
+}
+
+// TestProofParanoidSweep re-runs the experiment sweep with every elided
+// access re-adjudicated through the full protection check
+// (OPEC_MACH_PARANOID semantics): any disagreement between a static
+// certificate and the dynamic verdict panics inside the interpreter and
+// fails the sweep — the differential soundness check for the proof
+// engine, across every workload and scheme the harness exercises.
+func TestProofParanoidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paranoid sweep in -short mode")
+	}
+	savedP, savedD := mach.ParanoidProofs, mach.DisableProofs
+	defer func() { mach.ParanoidProofs, mach.DisableProofs = savedP, savedD }()
+	mach.ParanoidProofs, mach.DisableProofs = true, false
+
+	sweepAll(t, Quick)
+}
+
+// TestProofCoverageFloor pins the proof engine's precision acceptance
+// floor: at least five of the seven workloads must certify at least
+// half of their static memory accesses, and no build may contain a
+// provably-faulting (rejected) access.
+func TestProofCoverageFloor(t *testing.T) {
+	covered, total := 0, 0
+	for _, app := range AppsFor(Quick) {
+		inst := app.New()
+		b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Proofs == nil {
+			t.Fatalf("%s: build has no proof result", app.Name)
+		}
+		static, proven, rejected := b.Proofs.Static(), b.Proofs.Proven(), b.Proofs.Rejected()
+		if static == 0 {
+			t.Fatalf("%s: no static accesses analyzed", app.Name)
+		}
+		if rejected != 0 {
+			t.Errorf("%s: %d provably-faulting accesses", app.Name, rejected)
+		}
+		cov := 100 * float64(proven) / float64(static)
+		t.Logf("%s: static=%d proven=%d coverage=%.1f%%", app.Name, static, proven, cov)
+		total++
+		if cov >= 50 {
+			covered++
+		}
+	}
+	if total != 7 {
+		t.Fatalf("workload count = %d, want 7", total)
+	}
+	if covered < 5 {
+		t.Errorf("proof coverage >= 50%% on %d of %d workloads, want >= 5", covered, total)
+	}
+}

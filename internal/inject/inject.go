@@ -66,6 +66,10 @@ func TraceOPEC(app *apps.App, spec Spec, pol monitor.Policy, maxCycles uint64, b
 		Policy: pol,
 		Trace:  buf,
 		Arm: func(m *mach.Machine) {
+			// Campaigns run fully adjudicated: an injected bit-flip can
+			// steer a certified access outside its proven interval, and
+			// real hardware checks every access regardless of proofs.
+			m.InstallProofs(nil)
 			m.Arm(&mach.Injection{Func: trigger, N: spec.N, Fire: fire})
 		},
 	})

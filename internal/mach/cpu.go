@@ -125,21 +125,25 @@ type Machine struct {
 	traceIDs []uint32
 
 	// Stats.
-	InstrCount  uint64
-	SwitchCount uint64 // operation/compartment switches observed
-	frameReuse  uint64 // pooled-frame register reuses (vs. fresh allocations)
-	depth       int
+	InstrCount   uint64
+	SwitchCount  uint64 // operation/compartment switches observed
+	frameReuse   uint64 // pooled-frame register reuses (vs. fresh allocations)
+	proofElided  uint64 // accesses satisfied by a static certificate
+	proofChecked uint64 // accesses dynamically adjudicated
+	depth        int
 }
 
 // funcMeta is the per-function execution metadata computed once in
 // NewMachine. allocaOff is dense, indexed by instruction ID; it is nil
 // for functions without allocas. fn guards slice slots against index
-// collisions with functions from other modules.
+// collisions with functions from other modules. certs is the function's
+// access-certificate row (InstallProofs); nil means fully checked.
 type funcMeta struct {
 	fn         *ir.Function
 	addr       uint32
 	localBytes uint32
 	allocaOff  []int32
+	certs      []byte
 }
 
 type irqBinding struct {
@@ -294,6 +298,8 @@ func (m *Machine) Counters() []trace.Counter {
 		{Name: "mach.instrs", Value: m.InstrCount},
 		{Name: "mach.switches", Value: m.SwitchCount},
 		{Name: "mach.frame_reuse", Value: m.frameReuse},
+		{Name: "mach.proofs.elided", Value: m.proofElided},
+		{Name: "mach.proofs.checked", Value: m.proofChecked},
 	}
 	if m.Bus != nil {
 		cs = append(cs, m.Bus.Counters()...)
@@ -536,7 +542,13 @@ func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) 
 		if err != nil {
 			return err
 		}
-		v, err := m.loadChecked(addr, in.Typ.Size())
+		var v uint32
+		if c := fm.certs; c != nil && uint(in.ID()) < uint(len(c)) &&
+			c[in.ID()]&CertLoad != 0 && !m.Privileged && !DisableProofs {
+			v, err = m.loadProven(addr, in.Typ.Size())
+		} else {
+			v, err = m.loadChecked(addr, in.Typ.Size())
+		}
 		if err != nil {
 			return err
 		}
@@ -550,6 +562,10 @@ func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) 
 		v, err := m.eval(fr, in.Args[1])
 		if err != nil {
 			return err
+		}
+		if c := fm.certs; c != nil && uint(in.ID()) < uint(len(c)) &&
+			c[in.ID()]&CertStore != 0 && !m.Privileged && !DisableProofs {
+			return m.storeProven(addr, in.Typ.Size(), v)
 		}
 		return m.storeChecked(addr, in.Typ.Size(), v)
 
@@ -796,6 +812,7 @@ func (m *Machine) eval(fr *frame, v ir.Value) (uint32, error) {
 // to the installed handlers.
 func (m *Machine) loadChecked(addr uint32, size int) (uint32, error) {
 	m.Clock.Advance(CostMem)
+	m.proofChecked++
 	v, f := m.Bus.Load(addr, size, m.Privileged)
 	if f == nil {
 		return v, nil
@@ -806,6 +823,7 @@ func (m *Machine) loadChecked(addr uint32, size int) (uint32, error) {
 // storeChecked performs a store with privilege/MPU checks.
 func (m *Machine) storeChecked(addr uint32, size int, v uint32) error {
 	m.Clock.Advance(CostMem)
+	m.proofChecked++
 	f := m.Bus.Store(addr, size, v, m.Privileged)
 	if f == nil {
 		return nil

@@ -296,6 +296,11 @@ func boot(b *core.Build, bus *mach.Bus, usePMP bool) (*Monitor, error) {
 		mon.applyMPU(b.MPUFor(mon.cur))
 		mon.setSRD(0)
 		bus.MPU.SetEnabled(true)
+		// Certificates are proven against the ARMv7-M region plans; they
+		// do not transfer to the PMP backend's different layout.
+		if b.Proofs != nil {
+			m.InstallProofs(b.Proofs.Certs)
+		}
 	}
 	m.Privileged = false
 	return mon, nil

@@ -1,0 +1,40 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Diff returns the diagnostics present in cur but absent from old — the
+// regression set a CI gate fails on. Matching is by full diagnostic
+// equality (code, severity, anchors, message), so a finding that merely
+// moved between anchors counts as new; resolved diagnostics never fail
+// the gate.
+func Diff(old, cur *Report) []Diagnostic {
+	seen := make(map[Diagnostic]bool, len(old.Diags))
+	for _, d := range old.Diags {
+		seen[d] = true
+	}
+	var fresh []Diagnostic
+	for _, d := range cur.Diags {
+		if !seen[d] {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh
+}
+
+// LoadReport parses a JSON report previously written by Report.JSON —
+// the baseline input of the -diff regression gate.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("vet: parsing baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}

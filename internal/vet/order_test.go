@@ -1,0 +1,128 @@
+package vet_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/vet"
+)
+
+// documentedOrder is the pass pipeline as DESIGN.md §7 and the package
+// doc present it. A new pass must be appended here, in the docs and in
+// the pipeline together.
+var documentedOrder = []string{
+	"over-privilege", "gate-bypass", "mpu-layout",
+	"shared-data", "dead-code", "prove", "taint",
+}
+
+// TestPassOrder locks the pipeline order: Report.Passes must list the
+// documented passes, in the documented order, on every report.
+func TestPassOrder(t *testing.T) {
+	if got := vet.PassNames(); !reflect.DeepEqual(got, documentedOrder) {
+		t.Fatalf("PassNames() = %v, want %v", got, documentedOrder)
+	}
+	rep := vet.Run(compileMini(t, nil))
+	if !reflect.DeepEqual(rep.Passes, documentedOrder) {
+		t.Fatalf("Report.Passes = %v, want %v", rep.Passes, documentedOrder)
+	}
+}
+
+// TestDiagnosticsSorted checks the report's global ordering contract:
+// diagnostics sort by (code, op, func, global, message), which also
+// keeps every pass's findings contiguous.
+func TestDiagnosticsSorted(t *testing.T) {
+	inst := apps.PinLockN(1).New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := vet.Run(b)
+	if len(rep.Diags) < 2 {
+		t.Fatalf("want several diagnostics to order, got %d", len(rep.Diags))
+	}
+	key := func(d vet.Diagnostic) [5]string {
+		return [5]string{d.Code, d.Op, d.Func, d.Global, d.Message}
+	}
+	for i := 1; i < len(rep.Diags); i++ {
+		a, b := key(rep.Diags[i-1]), key(rep.Diags[i])
+		less := false
+		for f := 0; f < len(a); f++ {
+			if a[f] != b[f] {
+				less = a[f] < b[f]
+				break
+			}
+		}
+		if !less && a != b {
+			t.Errorf("diagnostics %d and %d out of order: %v > %v", i-1, i, a, b)
+		}
+	}
+}
+
+// TestGoldenJSON locks PinLock's machine-readable report — the baseline
+// the CI -diff smoke runs against. Regenerate with -update.
+func TestGoldenJSON(t *testing.T) {
+	inst := apps.PinLock().New()
+	b, err := core.Compile(inst.Mod, inst.Board, inst.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := vet.Run(b)
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "pinlock.vet.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("PinLock JSON report drifted from %s (run with -update)", golden)
+	}
+
+	// The snapshot must load back as a -diff baseline and self-diff
+	// empty; an unseen diagnostic must trip the gate.
+	old, err := vet.LoadReport(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh := vet.Diff(old, rep); len(fresh) != 0 {
+		t.Errorf("self-diff produced %d diagnostics: %v", len(fresh), fresh)
+	}
+	mutated := *rep
+	mutated.Diags = append(mutated.Diags, vet.Diagnostic{
+		Code: "TEST999", Severity: vet.SevError, Message: "synthetic regression",
+	})
+	if fresh := vet.Diff(old, &mutated); len(fresh) != 1 {
+		t.Errorf("diff after injecting a finding = %d diagnostics, want 1", len(fresh))
+	}
+}
+
+// TestDiff exercises the regression-gate semantics directly: resolved
+// diagnostics never fail the gate, new and moved ones do.
+func TestDiff(t *testing.T) {
+	d := func(code, fn, msg string) vet.Diagnostic {
+		return vet.Diagnostic{Code: code, Severity: vet.SevWarn, Func: fn, Message: msg}
+	}
+	old := &vet.Report{Diags: []vet.Diagnostic{d("A1", "f", "x"), d("B2", "g", "y")}}
+	cur := &vet.Report{Diags: []vet.Diagnostic{d("A1", "f", "x")}}
+	if fresh := vet.Diff(old, cur); len(fresh) != 0 {
+		t.Errorf("resolved diagnostic counted as new: %v", fresh)
+	}
+	cur.Diags = append(cur.Diags, d("B2", "h", "y")) // same finding, new anchor
+	fresh := vet.Diff(old, cur)
+	if len(fresh) != 1 || fresh[0].Func != "h" {
+		t.Errorf("moved diagnostic not flagged: %v", fresh)
+	}
+}

@@ -1,0 +1,91 @@
+package vet
+
+import (
+	"fmt"
+
+	"opec/internal/absint"
+)
+
+// OpProof is one operation's proof-coverage: how many of its static
+// memory accesses the abstract-interpretation engine certified as
+// always inside the operation's MPU plan.
+type OpProof struct {
+	Op       string `json:"op"`
+	Static   int    `json:"static"`
+	Proven   int    `json:"proven"`
+	Rejected int    `json:"rejected"`
+	Runtime  int    `json:"runtime"`
+}
+
+// Coverage returns the percentage of static accesses proven in-region.
+func (p OpProof) Coverage() float64 {
+	if p.Static == 0 {
+		return 0
+	}
+	return 100 * float64(p.Proven) / float64(p.Static)
+}
+
+// ProofMetric aggregates the per-operation proof coverage.
+type ProofMetric struct {
+	PerOp    []OpProof `json:"per_op"`
+	Static   int       `json:"static"`
+	Proven   int       `json:"proven"`
+	Rejected int       `json:"rejected"`
+	Runtime  int       `json:"runtime"`
+}
+
+// Coverage returns the image-wide proof coverage percentage.
+func (p ProofMetric) Coverage() float64 {
+	return OpProof{Static: p.Static, Proven: p.Proven}.Coverage()
+}
+
+// proofMetric folds the proof-engine result into the report metric.
+func proofMetric(ctx *context) ProofMetric {
+	var m ProofMetric
+	if ctx.b.Proofs == nil {
+		return m
+	}
+	for i := range ctx.b.Proofs.Domains {
+		d := &ctx.b.Proofs.Domains[i]
+		m.PerOp = append(m.PerOp, OpProof{
+			Op: d.Name, Static: d.Static, Proven: d.Proven,
+			Rejected: d.Rejected, Runtime: d.Runtime,
+		})
+		m.Static += d.Static
+		m.Proven += d.Proven
+		m.Rejected += d.Rejected
+		m.Runtime += d.Runtime
+	}
+	return m
+}
+
+// passProve surfaces the proof engine's REJECTED verdicts: a static
+// access whose address interval lies provably outside the operation's
+// MPU plan would fault on every execution — a compile-time isolation
+// error the paper's toolchain would only discover at runtime.
+func passProve(ctx *context) []Diagnostic {
+	if ctx.b.Proofs == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for i := range ctx.b.Proofs.Domains {
+		d := &ctx.b.Proofs.Domains[i]
+		for _, a := range d.Accesses {
+			if a.Class != absint.Rejected {
+				continue
+			}
+			kind := "load"
+			if a.Write {
+				kind = "store"
+			}
+			diags = append(diags, Diagnostic{
+				Code: "PROVE001", Severity: SevError,
+				Op: d.Name, Func: a.Fn.Name,
+				Message: fmt.Sprintf(
+					"%d-byte %s at instruction %d has address %v, provably outside the operation's MPU plan: it faults on every execution",
+					a.Size, kind, a.Instr.ID(), a.Addr),
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,264 @@
+package vet
+
+import (
+	"fmt"
+
+	"opec/internal/analysis"
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// passTaint tracks peripheral-read values (device registers are
+// attacker-influenced input in the paper's threat model) through the
+// whole module and warns when one reaches a security-relevant sink
+// without passing a sanitizing operation:
+//
+//	TAINT001 — an unsanitized peripheral value is stored to a
+//	           safety-critical global (one carrying a developer
+//	           ValueRange); the monitor's sanitization only checks the
+//	           value at operation switches, not at the store itself
+//	TAINT002 — an unsanitized peripheral value is passed as a gate
+//	           argument, crossing an isolation boundary as input to
+//	           another operation
+//
+// Sanitizers are the operations that destroy attacker control of the
+// value: comparisons (produce a fresh boolean) and And/Rem/Div against
+// a constant (range-bound the result).
+func passTaint(ctx *context) []Diagnostic {
+	t := newTaintState(ctx)
+	t.fixpoint()
+	return t.findings()
+}
+
+type taintState struct {
+	ctx *context
+	// val marks tainted SSA values (*ir.Instr, *ir.Param).
+	val map[ir.Value]bool
+	// obj marks tainted memory objects: *ir.Global or an alloca *ir.Instr.
+	obj map[ir.Value]bool
+	// ret marks functions whose return value may be tainted.
+	ret     map[*ir.Function]bool
+	changed bool
+}
+
+func newTaintState(ctx *context) *taintState {
+	return &taintState{
+		ctx: ctx,
+		val: make(map[ir.Value]bool),
+		obj: make(map[ir.Value]bool),
+		ret: make(map[*ir.Function]bool),
+	}
+}
+
+func (t *taintState) taintVal(v ir.Value) {
+	if !t.val[v] {
+		t.val[v] = true
+		t.changed = true
+	}
+}
+
+func (t *taintState) taintObj(o ir.Value) {
+	if !t.obj[o] {
+		t.obj[o] = true
+		t.changed = true
+	}
+}
+
+func (t *taintState) tainted(v ir.Value) bool {
+	switch v.(type) {
+	case *ir.Instr, *ir.Param:
+		return t.val[v]
+	}
+	return false
+}
+
+// isPeriphSource reports whether the load reads a general (non-core)
+// peripheral register through a statically resolvable address.
+func (t *taintState) isPeriphSource(in *ir.Instr) bool {
+	base := analysis.ResolveStaticBase(in.Args[0])
+	if !base.IsConst || base.Global != nil || mach.IsCorePeriphAddr(base.Const) {
+		return false
+	}
+	return t.ctx.b.Board.FindPeriph(base.Const) != nil
+}
+
+// baseObject chases an address through field/index arithmetic to the
+// object it denotes: a global, an alloca, or something untracked.
+func baseObject(v ir.Value) ir.Value {
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			return v
+		}
+		switch in.Op {
+		case ir.OpFieldAddr, ir.OpIndexAddr:
+			v = in.Args[0]
+		default:
+			return in
+		}
+	}
+}
+
+// sanitizes reports whether the binary operation destroys taint:
+// comparisons yield a fresh 0/1, and masking/reducing against a
+// constant bounds the result's range.
+func sanitizes(in *ir.Instr) bool {
+	switch in.Kind {
+	case ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge:
+		return true
+	case ir.And, ir.Rem, ir.Div:
+		_, c0 := in.Args[0].(ir.Const)
+		_, c1 := in.Args[1].(ir.Const)
+		return c0 || c1
+	}
+	return false
+}
+
+// fixpoint iterates the whole-module propagation until stable; the
+// taint sets only grow, so termination is immediate.
+func (t *taintState) fixpoint() {
+	for {
+		t.changed = false
+		for _, f := range t.ctx.b.Mod.Functions {
+			t.propagateFunc(f)
+		}
+		if !t.changed {
+			return
+		}
+	}
+}
+
+func (t *taintState) propagateFunc(f *ir.Function) {
+	pts := t.ctx.b.Analysis.PTS
+	f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpLoad:
+			if t.isPeriphSource(in) {
+				t.taintVal(in)
+				return
+			}
+			base := analysis.ResolveStaticBase(in.Args[0])
+			if base.Global != nil && t.obj[base.Global] {
+				t.taintVal(in)
+			} else if o := baseObject(in.Args[0]); t.obj[o] {
+				t.taintVal(in)
+			}
+
+		case ir.OpStore:
+			if !t.tainted(in.Args[1]) {
+				return
+			}
+			base := analysis.ResolveStaticBase(in.Args[0])
+			if base.Global != nil {
+				t.taintObj(base.Global)
+			} else if o, ok := baseObject(in.Args[0]).(*ir.Instr); ok && o.Op == ir.OpAlloca {
+				t.taintObj(o)
+			}
+
+		case ir.OpBin:
+			if sanitizes(in) {
+				return
+			}
+			if t.tainted(in.Args[0]) || t.tainted(in.Args[1]) {
+				t.taintVal(in)
+			}
+
+		case ir.OpFieldAddr, ir.OpIndexAddr:
+			for _, a := range in.Args {
+				if t.tainted(a) {
+					t.taintVal(in)
+				}
+			}
+
+		case ir.OpCall:
+			t.propagateCall(in, in.Fn, in.Args)
+
+		case ir.OpSvc:
+			if in.Fn != nil {
+				t.propagateCall(in, in.Fn, in.Args)
+			}
+
+		case ir.OpICall:
+			for _, callee := range pts.FuncsPointedBy(in.Args[0]) {
+				t.propagateCall(in, callee, in.Args[1:])
+			}
+		}
+	})
+	for _, b := range f.Blocks {
+		if b.Term.Op == ir.TermRet && b.Term.Val != nil && t.tainted(b.Term.Val) {
+			if !t.ret[f] {
+				t.ret[f] = true
+				t.changed = true
+			}
+		}
+	}
+}
+
+// propagateCall flows argument taint into the callee's parameters and
+// the callee's return taint into the call result.
+func (t *taintState) propagateCall(site *ir.Instr, callee *ir.Function, args []ir.Value) {
+	for i, a := range args {
+		if i < len(callee.Params) && t.tainted(a) {
+			t.taintVal(callee.Params[i])
+		}
+	}
+	if t.ret[callee] {
+		t.taintVal(site)
+	}
+}
+
+// findings scans the converged state for sink violations.
+func (t *taintState) findings() []Diagnostic {
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	emit := func(d Diagnostic) {
+		key := d.Code + "|" + d.Op + "|" + d.Func + "|" + d.Global + "|" + d.Message
+		if !seen[key] {
+			seen[key] = true
+			diags = append(diags, d)
+		}
+	}
+	b := t.ctx.b
+	for _, f := range b.Mod.Functions {
+		f.Instructions(func(_ *ir.Block, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpStore:
+				if !t.tainted(in.Args[1]) {
+					return
+				}
+				base := analysis.ResolveStaticBase(in.Args[0])
+				if base.Global == nil || base.Global.Critical == nil {
+					return
+				}
+				emit(Diagnostic{
+					Code: "TAINT001", Severity: SevWarn,
+					Func: f.Name, Global: base.Global.Name,
+					Message: fmt.Sprintf(
+						"peripheral-read value stored unsanitized to safety-critical global %s; range enforcement happens only at the next operation switch",
+						base.Global.Name),
+				})
+			case ir.OpSvc:
+				if in.Fn == nil {
+					return
+				}
+				for i, a := range in.Args {
+					if !t.tainted(a) {
+						continue
+					}
+					d := Diagnostic{
+						Code: "TAINT002", Severity: SevWarn,
+						Func: f.Name,
+						Message: fmt.Sprintf(
+							"peripheral-read value passed unsanitized as argument %d of gate %s",
+							i, in.Fn.Name),
+					}
+					if op := b.EntryOps[in.Fn]; op != nil {
+						d.Op = op.Name
+					}
+					emit(d)
+				}
+			}
+		})
+	}
+	return diags
+}

@@ -8,7 +8,7 @@
 // image actually grants — the role compartment-linkage audits play in
 // CompartOS and the compartment-escape verification plays in UCCA.
 //
-// Five passes ship:
+// Seven passes ship:
 //
 //	over-privilege — permissions granted but never exercised by any
 //	                 instruction reachable from the operation entry,
@@ -21,6 +21,11 @@
 //	                 or sanitize lists (SHARE...)
 //	dead-code      — functions unreachable from any entry or IRQ root,
 //	                 dead data, privileged-only surface (DEAD...)
+//	prove          — abstract-interpretation verdicts: per-operation
+//	                 proof-coverage metric plus provably out-of-plan
+//	                 accesses (PROVE...)
+//	taint          — peripheral-read values flowing unsanitized into
+//	                 critical stores or gate arguments (TAINT...)
 //
 // All output is deterministically ordered so reports can be diffed and
 // golden-tested.
@@ -97,6 +102,7 @@ type Report struct {
 	Passes []string     `json:"passes"`
 	Diags  []Diagnostic `json:"diagnostics"`
 	Gap    GapMetric    `json:"least_privilege_gap"`
+	Proof  ProofMetric  `json:"proof_coverage"`
 }
 
 // passes is the fixed pass pipeline; each returns its diagnostics in
@@ -110,6 +116,8 @@ var passes = []struct {
 	{"mpu-layout", passMPU},
 	{"shared-data", passShared},
 	{"dead-code", passDead},
+	{"prove", passProve},
+	{"taint", passTaint},
 }
 
 // PassNames returns the pipeline's pass names in execution order.
@@ -149,6 +157,7 @@ func Run(b *core.Build) *Report {
 		return a.Message < b.Message
 	})
 	rep.Gap = gapMetric(ctx)
+	rep.Proof = proofMetric(ctx)
 	return rep
 }
 
@@ -190,6 +199,12 @@ func (r *Report) Render() string {
 	for _, g := range r.Gap.PerOp {
 		fmt.Fprintf(&sb, "  op %-18s granted=%-8s accessed=%-8s gap=%.1f%%\n",
 			g.Op, fmt.Sprintf("%dB", g.GrantedBytes), fmt.Sprintf("%dB", g.AccessedBytes), g.Percent())
+	}
+	fmt.Fprintf(&sb, "proof coverage: static=%d proven=%d (%.1f%%) rejected=%d runtime=%d\n",
+		r.Proof.Static, r.Proof.Proven, r.Proof.Coverage(), r.Proof.Rejected, r.Proof.Runtime)
+	for _, p := range r.Proof.PerOp {
+		fmt.Fprintf(&sb, "  op %-18s static=%-6d proven=%-6d coverage=%.1f%%\n",
+			p.Op, p.Static, p.Proven, p.Coverage())
 	}
 	for _, d := range r.Diags {
 		var where []string

@@ -175,8 +175,15 @@ func CompileACES(inst *Instance, s Strategy) (*aces.Build, error) {
 }
 
 // Vet runs the static least-privilege and isolation auditor
-// (opec-vet's five passes) over a compiled build.
+// (opec-vet's seven passes) over a compiled build.
 func Vet(b *Build) *VetReport { return vet.Run(b) }
+
+// VetDiff returns the diagnostics in cur that are absent from old — the
+// regression set opec-vet's -diff gate fails on.
+func VetDiff(old, cur *VetReport) []VetDiagnostic { return vet.Diff(old, cur) }
+
+// VetLoadReport parses a JSON vet report (a -diff baseline).
+func VetLoadReport(path string) (*VetReport, error) { return vet.LoadReport(path) }
 
 // Evaluation harness re-exports.
 var (
