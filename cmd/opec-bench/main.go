@@ -18,6 +18,7 @@
 //	opec-bench -exp profile -quick
 //	opec-bench -exp inject -seed 1 -policy restart
 //	opec-bench -exp inject -quick -assert-contained
+//	opec-bench -exp inject -quick -inject-engine diff
 //	opec-bench -exp bench -benchjson BENCH_mach.json
 //	opec-bench -validate BENCH_mach.json
 package main
@@ -38,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-injection campaign seed (-exp inject)")
 	policy := flag.String("policy", "abort", "recovery policy for -exp inject: abort | restart | quarantine")
 	assertContained := flag.Bool("assert-contained", false, "with -exp inject: exit non-zero unless every OPEC trial is contained")
+	injectEngine := flag.String("inject-engine", "fork", "trial engine for -exp inject: fork (boot once per row, fork every trial) | boot (power-on per trial) | diff (run both, exit non-zero unless byte-identical)")
 	benchjson := flag.String("benchjson", "", "write the simulator-throughput baseline (BENCH_mach.json) to this file; implies -exp bench unless another experiment is named")
 	validate := flag.String("validate", "", "validate an existing BENCH_mach.json and exit")
 	flag.Parse()
@@ -119,9 +121,47 @@ func main() {
 	if strings.EqualFold(*exp, "inject") {
 		pol, err := opec.ParsePolicy(*policy)
 		fail(err)
-		rows, err := h.Inject(scale, opec.DefaultInjectConfig(*seed), pol)
+		cfg := opec.DefaultInjectConfig(*seed)
+		var rows []opec.InjectRow
+		switch strings.ToLower(*injectEngine) {
+		case "fork":
+			rows, err = h.InjectWith(scale, cfg, pol, opec.EngineFork)
+		case "boot":
+			rows, err = h.InjectWith(scale, cfg, pol, opec.EngineBoot)
+		case "diff":
+			// The correctness invariant, end to end: the same campaign on
+			// both engines must agree byte for byte — rendered table,
+			// per-trial verdicts, error text, cycles, recovery counters.
+			var boot []opec.InjectRow
+			boot, err = h.InjectWith(scale, cfg, pol, opec.EngineBoot)
+			fail(err)
+			rows, err = h.InjectWith(scale, cfg, pol, opec.EngineFork)
+			fail(err)
+			if !opec.InjectRunsIdentical(boot, rows) {
+				fmt.Print(opec.RenderInject(boot))
+				fmt.Print(opec.RenderInject(rows))
+				fail(fmt.Errorf("inject: fork engine diverged from power-on engine"))
+			}
+			trials := 0
+			for _, r := range rows {
+				trials += r.Trials
+			}
+			fmt.Printf("differential: fork == boot over %d trials\n", trials)
+		default:
+			err = fmt.Errorf("unknown -inject-engine %q (want fork | boot | diff)", *injectEngine)
+		}
 		fail(err)
 		fmt.Println(opec.RenderInject(rows))
+		quickFlag := ""
+		if *quick {
+			quickFlag = " -quick"
+		}
+		for _, r := range rows {
+			if r.SnapID != "" && len(r.Outcomes) > 0 {
+				fmt.Printf("  replay any %s/%s trial: opec-run -app %s -mode %s%s -replay '%s@<spec>'\n",
+					r.App, r.Scheme, r.App, replayMode(r.Scheme), quickFlag, r.SnapID)
+			}
+		}
 		if *assertContained {
 			for _, r := range rows {
 				if r.Scheme == "OPEC" && r.Contained() != r.Trials {
@@ -153,6 +193,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "opec-bench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// replayMode maps a campaign scheme to the opec-run -mode that
+// replays its trials.
+func replayMode(scheme string) string {
+	if scheme == "ACES-2" {
+		return "aces2"
+	}
+	return "opec"
 }
 
 func fail(err error) {

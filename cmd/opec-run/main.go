@@ -25,6 +25,15 @@
 //	opec-run -app PinLock -mode opec -inject 'store:Lock_Task:1:KEY:0:-1:0xee'
 //	opec-run -app PinLock -mode opec -policy restart -inject 'store:Lock_Task:1:KEY:0:-1:0xee'
 //	opec-run -app PinLock -mode aces2 -inject 'store:Lock_Task:1:KEY:0:-1:0xee'
+//
+// With -replay, opec-run replays one trial of a fork-engine campaign
+// from its snapshot coordinate — the snapshot id the campaign printed
+// plus the trial spec, joined by '@'. The workload is rebuilt and
+// checkpointed (compilation and boot are deterministic), the rebuilt
+// checkpoint's id must match the coordinate, and the single trial runs
+// forked from it:
+//
+//	opec-run -app PinLock -mode opec -replay '26a2a02199ee8ebb@store:Lock_Task:1:KEY:0:-1:0xee'
 package main
 
 import (
@@ -50,7 +59,8 @@ func main() {
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default)")
 	quick := flag.Bool("quick", false, "use the Quick-scale workload variant (shrunk rounds, as in tests/CI)")
 	injectSpec := flag.String("inject", "", "replay one fault-injection trial (kind:func:n:target:off:bit:value[:args])")
-	policy := flag.String("policy", "abort", "recovery policy under -inject: abort | restart | quarantine")
+	replaySpec := flag.String("replay", "", "replay one fork-engine campaign trial from '<snapshot-id>@<spec>'")
+	policy := flag.String("policy", "abort", "recovery policy under -inject/-replay: abort | restart | quarantine")
 	flag.Parse()
 
 	if *appName == "" {
@@ -73,6 +83,10 @@ func main() {
 
 	if *injectSpec != "" {
 		replayTrial(app, *mode, *injectSpec, *policy)
+		return
+	}
+	if *replaySpec != "" {
+		replayFromSnapshot(app, *mode, *replaySpec, *policy)
 		return
 	}
 	inst := app.New()
@@ -257,11 +271,54 @@ func replayTrial(app *opec.App, mode, specText, policy string) {
 		err = fmt.Errorf("mode %q does not support -inject (want opec | aces1 | aces2 | aces3)", mode)
 	}
 	fail(err)
+	reportTrial(app, mode, spec, out)
+}
 
+// replayFromSnapshot replays one fork-engine campaign trial from its
+// '<snapshot-id>@<spec>' coordinate: rebuild and checkpoint the
+// workload, verify the checkpoint hashes to the recorded id, fork the
+// single trial. The '@' separator keeps the coordinate unambiguous —
+// specs use ':' internally.
+func replayFromSnapshot(app *opec.App, mode, coord, policy string) {
+	id, specText, ok := strings.Cut(coord, "@")
+	if !ok || id == "" || specText == "" {
+		fail(fmt.Errorf("-replay wants '<snapshot-id>@<spec>', got %q", coord))
+	}
+	spec, err := opec.ParseInjectSpec(specText)
+	fail(err)
+	pol, err := opec.ParsePolicy(policy)
+	fail(err)
+
+	var forge *opec.Forge
+	switch strings.ToLower(mode) {
+	case "opec":
+		forge, err = opec.NewForge(app)
+	case "aces2":
+		forge, err = opec.NewACESForge(app, opec.ACES2)
+	default:
+		err = fmt.Errorf("mode %q does not support -replay (want opec | aces2, the campaign schemes)", mode)
+	}
+	fail(err)
+	if got := forge.SnapshotID(); got != id {
+		fail(fmt.Errorf("snapshot id mismatch: rebuilt checkpoint is %s, coordinate names %s (different workload scale or build?)", got, id))
+	}
+
+	out, err := forge.Run(spec, pol, 0)
+	fail(err)
+	fmt.Printf("replayed from snapshot %s\n", id)
+	reportTrial(app, mode, spec, out)
+}
+
+// reportTrial prints a trial's verdict and exits non-zero when the
+// fault escaped its domain.
+func reportTrial(app *opec.App, mode string, spec opec.InjectSpec, out opec.InjectOutcome) {
 	fmt.Printf("%s under %s: trial %s\n", app.Name, mode, spec)
 	fmt.Printf("  verdict: %s\n", out.Verdict)
 	if out.Err != "" {
 		fmt.Printf("  detail:  %s\n", out.Err)
+	}
+	if out.Cycles > 0 {
+		fmt.Printf("  cycles:  %d\n", out.Cycles)
 	}
 	if out.Restarts > 0 || out.Quarantines > 0 {
 		fmt.Printf("  recovery: restarts=%d quarantines=%d restart_cycles=%d\n",

@@ -1,0 +1,33 @@
+package aces
+
+// Snapshot is a checkpoint of the ACES runtime's own state (the
+// compartment cursor, its call stack and the stat counters), the
+// baseline counterpart of monitor.Snapshot. Machine state is captured
+// separately by mach.Snapshot.
+type Snapshot struct {
+	cur          *Compartment
+	stack        []*Compartment
+	switches     uint64
+	emulatorHits uint64
+}
+
+// Snapshot captures the runtime state.
+func (rt *Runtime) Snapshot() *Snapshot {
+	return &Snapshot{
+		cur:          rt.cur,
+		stack:        append([]*Compartment(nil), rt.stack...),
+		switches:     rt.Switches,
+		emulatorHits: rt.EmulatorHits,
+	}
+}
+
+// Restore rewinds the runtime to the snapshot. Trace attachment is
+// cleared; the caller re-attaches per trial like a fresh boot.
+func (rt *Runtime) Restore(s *Snapshot) {
+	rt.cur = s.cur
+	rt.stack = append([]*Compartment(nil), s.stack...)
+	rt.Switches = s.switches
+	rt.EmulatorHits = s.emulatorHits
+	rt.tr = nil
+	rt.compNameIDs = nil
+}

@@ -26,8 +26,10 @@ import (
 // v2 added the recovery section (restart latency per workload); v3 the
 // profile section (per-workload cycle attribution + counter snapshot);
 // v4 the proof section (static proof coverage + simulator throughput
-// with and without proof-guided MPU-check elision).
-const BenchSchema = "opec-bench/mach/v4"
+// with and without proof-guided MPU-check elision); v5 the snapshot
+// section (checkpoint-restore latency and fork-vs-boot campaign
+// throughput).
+const BenchSchema = "opec-bench/mach/v5"
 
 // BenchSchemes is the fixed execution-scheme order of the report.
 var BenchSchemes = []string{"vanilla", "opec", "aces"}
@@ -86,6 +88,33 @@ type BenchProof struct {
 	SimMIPSNoProof float64 `json:"sim_mips_noproof"`
 }
 
+// BenchSnapshot is the fork-engine measurement (schema v5): the same
+// seeded quick-sweep campaign run on the power-on engine and on the
+// boot-once/fork-many engine, with the byte-identity differential and
+// the isolated checkpoint-restore latency. The campaign always runs at
+// quick scale — the section measures the engine, not the workloads.
+type BenchSnapshot struct {
+	// Workloads/Trials size the measured campaign (rows × trial lists).
+	Workloads int `json:"workloads"`
+	Trials    int `json:"trials"`
+	// ForkMicros is the mean wall-clock cost of one checkpoint restore
+	// (Forge.Reset), timed in isolation on the first quick workload.
+	ForkMicros float64 `json:"fork_micros"`
+	// Boot/Fork wall times and trial throughputs for the whole campaign,
+	// planning included, at the report's parallelism.
+	BootWallSeconds  float64 `json:"boot_wall_seconds"`
+	ForkWallSeconds  float64 `json:"fork_wall_seconds"`
+	BootTrialsPerSec float64 `json:"boot_trials_per_sec"`
+	ForkTrialsPerSec float64 `json:"fork_trials_per_sec"`
+	// Speedup is ForkTrialsPerSec / BootTrialsPerSec; the acceptance
+	// floor is 10×.
+	Speedup float64 `json:"speedup"`
+	// Identical reports the correctness differential: both engines
+	// rendered byte-identical verdict tables and agreed on every
+	// trial's verdict, error text, cycle count and recovery counters.
+	Identical bool `json:"identical"`
+}
+
 // BenchReport is the top-level BENCH_mach.json document.
 type BenchReport struct {
 	Schema      string            `json:"schema"`
@@ -101,6 +130,9 @@ type BenchReport struct {
 	// Proof is the per-workload proof-coverage and elision-throughput
 	// section (schema v4).
 	Proof []BenchProof `json:"proof"`
+	// Snapshot is the fork-engine latency/throughput/differential
+	// section (schema v5).
+	Snapshot *BenchSnapshot `json:"snapshot"`
 }
 
 // CollectBench measures simulator throughput at scale s. Workload runs
@@ -183,7 +215,140 @@ func CollectBench(s AppSet, parallel int) (*BenchReport, error) {
 		}
 		rep.Proof = append(rep.Proof, pr)
 	}
+
+	snap, err := measureSnapshot(parallel)
+	if err != nil {
+		return nil, fmt.Errorf("bench snapshot: %w", err)
+	}
+	rep.Snapshot = &snap
 	return rep, nil
+}
+
+// snapshotSweepConfig shapes the snapshot section's quick sweep: a
+// dense malformed-gate fuzz of every workload's supervisor-call
+// surface. Gate trials fire at the first entry of main and die inside
+// the gate check, so per-trial cost is dominated by what the engines
+// differ on — power-on reconstruction versus checkpoint restore — and
+// the recorded speedup measures the engine, not the simulator. (On the
+// mixed default campaign the simulated post-injection run dominates
+// both engines equally; see DESIGN.md §11.) This is also the
+// fuzzing-shaped workload the fork engine exists for: high volumes of
+// short adversarial trials against the gate/parser surface. (The
+// planner has no all-gate shape — a zero victim cap means "all", so
+// gateOnly prunes the planned rows down to their gate trials.)
+var snapshotSweepConfig = inject.Config{
+	Seed: benchRecoverySeed, VictimsPerOp: 1, PeriphsPerOp: 1, GateTrials: 160,
+}
+
+// gateOnly restricts every planned row to its forged-SVC gate trials
+// (the garbage-argument variant is dropped too: a sanitizer that lets
+// garbage through runs a full session, which measures the simulator
+// rather than the engine).
+func gateOnly(plans []*rowPlan) {
+	for _, p := range plans {
+		var specs []inject.Spec
+		for _, sp := range p.specs {
+			if sp.Kind == inject.BadGate && len(sp.Args) == 0 {
+				specs = append(specs, sp)
+			}
+		}
+		p.specs = specs
+		p.row.Trials = len(specs)
+	}
+}
+
+// measureSnapshot runs the gate-fuzz quick sweep on both trial engines
+// and compares them: wall-clock throughput for the headline speedup
+// and the full per-trial differential for the Identical flag. Planning
+// (which memoizes each workload's compile and clean-run budget in the
+// shared cache) happens once, untimed — the walls cover exactly the
+// trial execution the engines disagree on.
+func measureSnapshot(parallel int) (BenchSnapshot, error) {
+	pol := monitor.Policy{}
+	h := NewHarness(parallel)
+
+	bootPlans, err := h.planInject(Quick, snapshotSweepConfig, pol)
+	if err != nil {
+		return BenchSnapshot{}, err
+	}
+	gateOnly(bootPlans)
+	start := time.Now()
+	if err := h.runInjectBoot(bootPlans, pol); err != nil {
+		return BenchSnapshot{}, err
+	}
+	bootWall := time.Since(start).Seconds()
+	boot := aggregateInject(bootPlans)
+
+	forkPlans, err := h.planInject(Quick, snapshotSweepConfig, pol)
+	if err != nil {
+		return BenchSnapshot{}, err
+	}
+	gateOnly(forkPlans)
+	start = time.Now()
+	if err := h.runInjectFork(forkPlans, pol); err != nil {
+		return BenchSnapshot{}, err
+	}
+	forkWall := time.Since(start).Seconds()
+	fork := aggregateInject(forkPlans)
+
+	sn := BenchSnapshot{
+		Workloads:       len(fork),
+		BootWallSeconds: bootWall,
+		ForkWallSeconds: forkWall,
+		Identical:       InjectRunsIdentical(boot, fork),
+	}
+	for _, r := range fork {
+		sn.Trials += r.Trials
+	}
+	if bootWall > 0 {
+		sn.BootTrialsPerSec = float64(sn.Trials) / bootWall
+	}
+	if forkWall > 0 {
+		sn.ForkTrialsPerSec = float64(sn.Trials) / forkWall
+	}
+	if sn.BootTrialsPerSec > 0 {
+		sn.Speedup = sn.ForkTrialsPerSec / sn.BootTrialsPerSec
+	}
+
+	// Isolated checkpoint-restore latency on the first quick workload.
+	forge, err := inject.NewForge(AppsFor(Quick)[0])
+	if err != nil {
+		return BenchSnapshot{}, err
+	}
+	const resets = 100
+	start = time.Now()
+	for i := 0; i < resets; i++ {
+		if err := forge.Reset(); err != nil {
+			return BenchSnapshot{}, err
+		}
+	}
+	sn.ForkMicros = time.Since(start).Seconds() / resets * 1e6
+	return sn, nil
+}
+
+// InjectRunsIdentical is the fork-vs-boot differential: byte-identical
+// rendered tables and per-trial agreement on verdict, error text,
+// cycles and recovery counters. The bench snapshot section and
+// opec-bench's -inject-engine diff mode both gate on it.
+func InjectRunsIdentical(boot, fork []InjectRow) bool {
+	if RenderInject(boot) != RenderInject(fork) || len(boot) != len(fork) {
+		return false
+	}
+	for i := range fork {
+		fr, br := fork[i], boot[i]
+		if len(fr.Outcomes) != len(br.Outcomes) {
+			return false
+		}
+		for k := range fr.Outcomes {
+			fo, bo := fr.Outcomes[k], br.Outcomes[k]
+			if fo.Verdict != bo.Verdict || fo.Err != bo.Err || fo.Cycles != bo.Cycles ||
+				fo.Restarts != bo.Restarts || fo.Quarantines != bo.Quarantines ||
+				fo.RestartCycles != bo.RestartCycles {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // measureProof collects one workload's proof-coverage summary and the
@@ -413,6 +578,25 @@ func ValidateBenchReport(data []byte) (*BenchReport, error) {
 	}
 	if n := len(AppsFor(scale)); n >= 5 && covered < 5 {
 		return nil, fmt.Errorf("bench report: proof coverage >= 50%% on %d of %d workloads, want >= 5", covered, n)
+	}
+
+	// Snapshot section (v5): the fork engine must have run the quick
+	// campaign, matched the power-on engine byte for byte, and cleared
+	// the 10× throughput floor.
+	if rep.Snapshot == nil {
+		return nil, fmt.Errorf("bench report: missing snapshot section")
+	}
+	sn := rep.Snapshot
+	if sn.Workloads <= 0 || sn.Trials <= 0 || sn.ForkMicros <= 0 ||
+		sn.BootWallSeconds <= 0 || sn.ForkWallSeconds <= 0 ||
+		sn.BootTrialsPerSec <= 0 || sn.ForkTrialsPerSec <= 0 {
+		return nil, fmt.Errorf("bench report: degenerate snapshot section: %+v", sn)
+	}
+	if !sn.Identical {
+		return nil, fmt.Errorf("bench report: fork engine diverged from the power-on engine")
+	}
+	if sn.Speedup < 10 {
+		return nil, fmt.Errorf("bench report: fork-engine speedup %.1fx below the 10x floor", sn.Speedup)
 	}
 
 	// Recovery section: at least two workloads must demonstrate a

@@ -34,6 +34,15 @@ type InjectRow struct {
 	// FirstEscape is the replay spec of the row's first escaped trial
 	// (`opec-run -inject <spec>` reproduces it), empty when contained.
 	FirstEscape string `json:"first_escape,omitempty"`
+	// SnapID is the pre-injection checkpoint identity when the row ran
+	// on the fork engine (empty on the power-on engine). Any trial of
+	// the row replays exactly from `snap id + spec`:
+	// `opec-run -replay '<snap_id>@<spec>'`.
+	SnapID string `json:"snap_id,omitempty"`
+	// Outcomes holds the row's per-trial outcomes in planning order —
+	// the fork-vs-boot differential compares them trial by trial. Not
+	// serialized: the aggregate fields above are the reportable result.
+	Outcomes []inject.Outcome `json:"-"`
 }
 
 // Count returns the number of trials with verdict v.
@@ -72,24 +81,92 @@ func (r *InjectRow) Contained() int {
 	return n
 }
 
-// Inject runs the fault-injection campaign: all workloads under OPEC
-// with the given recovery policy, plus the five comparison workloads
-// under ACES-2 against the identical trial list (minus gate trials,
-// which ACES cannot express). Each workload plans from its own
-// seed-derived sub-generator, so the campaign is deterministic per
-// (seed, scale) and insensitive to harness parallelism. Trials run on
-// a 4× budget of the workload's clean-run cycles, bounding hung runs.
-func (h *Harness) Inject(s AppSet, cfg inject.Config, pol monitor.Policy) ([]InjectRow, error) {
-	type job struct {
-		row    int
-		app    *apps.App
-		spec   inject.Spec
-		aces   bool
-		budget uint64
-	}
-	var rows []InjectRow
-	var jobs []job
+// InjectEngine selects how a campaign executes its trials.
+type InjectEngine int
 
+// Campaign engines.
+const (
+	// EngineFork boots each (workload, scheme) row once, checkpoints at
+	// the pre-injection point, and forks every trial from the snapshot.
+	// This is the default: per-trial cost drops from
+	// construct+compile+prove+boot+run to restore+run.
+	EngineFork InjectEngine = iota
+	// EngineBoot builds every trial from power-on — the reference
+	// semantics. The differential smoke proves EngineFork renders a
+	// byte-identical table against it.
+	EngineBoot
+)
+
+func (e InjectEngine) String() string {
+	if e == EngineBoot {
+		return "boot"
+	}
+	return "fork"
+}
+
+// rowPlan is one workload × scheme leg: its aggregate row plus the
+// exact trial list and per-trial budget, fixed at planning time.
+type rowPlan struct {
+	row    InjectRow
+	app    *apps.App
+	aces   bool
+	budget uint64
+	specs  []inject.Spec
+}
+
+// Inject runs the fault-injection campaign on the fork engine: all
+// workloads under OPEC with the given recovery policy, plus the five
+// comparison workloads under ACES-2 against the identical trial list
+// (minus gate trials, which ACES cannot express).
+func (h *Harness) Inject(s AppSet, cfg inject.Config, pol monitor.Policy) ([]InjectRow, error) {
+	return h.InjectWith(s, cfg, pol, EngineFork)
+}
+
+// InjectWith is Inject with an explicit trial engine. Each workload
+// plans from its own seed-derived sub-generator, so the campaign is
+// deterministic per (seed, scale) and insensitive to harness
+// parallelism — and, by the forge's byte-identity contract, to the
+// engine: both engines render the same table. Trials run on a 4×
+// budget of the workload's clean-run cycles, bounding hung runs.
+func (h *Harness) InjectWith(s AppSet, cfg inject.Config, pol monitor.Policy, engine InjectEngine) ([]InjectRow, error) {
+	plans, err := h.planInject(s, cfg, pol)
+	if err != nil {
+		return nil, err
+	}
+	if engine == EngineBoot {
+		err = h.runInjectBoot(plans, pol)
+	} else {
+		err = h.runInjectFork(plans, pol)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return aggregateInject(plans), nil
+}
+
+// aggregateInject folds each plan's per-trial outcomes into its row,
+// in planning order — rows are identical at every parallelism level
+// and on either engine.
+func aggregateInject(plans []*rowPlan) []InjectRow {
+	rows := make([]InjectRow, len(plans))
+	for i := range plans {
+		r := plans[i].row
+		for _, o := range r.Outcomes {
+			r.Counts[o.Verdict]++
+			r.Restarts += o.Restarts
+			r.Quarantines += o.Quarantines
+			if o.Verdict == inject.Escaped && r.FirstEscape == "" {
+				r.FirstEscape = o.Spec.String()
+			}
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// planInject fixes the campaign's rows, trial lists and budgets.
+func (h *Harness) planInject(s AppSet, cfg inject.Config, pol monitor.Policy) ([]*rowPlan, error) {
+	var plans []*rowPlan
 	acesSet := make(map[string]bool)
 	for _, app := range acesAppsFor(s) {
 		acesSet[app.Name] = true
@@ -107,14 +184,13 @@ func (h *Harness) Inject(s AppSet, cfg inject.Config, pol monitor.Policy) ([]Inj
 		if err != nil {
 			return nil, fmt.Errorf("inject: %w", err)
 		}
-		row := len(rows)
-		rows = append(rows, InjectRow{
-			App: app.Name, Scheme: "OPEC",
-			Policy: pol.Kind.String(), Trials: len(specs),
+		plans = append(plans, &rowPlan{
+			row: InjectRow{
+				App: app.Name, Scheme: "OPEC",
+				Policy: pol.Kind.String(), Trials: len(specs),
+			},
+			app: app, budget: 4 * ro.Cycles, specs: specs,
 		})
-		for _, sp := range specs {
-			jobs = append(jobs, job{row: row, app: app, spec: sp, budget: 4 * ro.Cycles})
-		}
 
 		if !acesSet[app.Name] {
 			continue
@@ -123,50 +199,87 @@ func (h *Harness) Inject(s AppSet, cfg inject.Config, pol monitor.Policy) ([]Inj
 		if err != nil {
 			return nil, fmt.Errorf("inject: %w", err)
 		}
-		row = len(rows)
-		arow := InjectRow{App: app.Name, Scheme: "ACES-2", Policy: "-"}
+		ap := &rowPlan{
+			row: InjectRow{App: app.Name, Scheme: "ACES-2", Policy: "-"},
+			app: app, aces: true, budget: 4 * ra.Cycles,
+		}
 		for _, sp := range specs {
 			if sp.Kind == inject.BadGate {
 				continue
 			}
-			arow.Trials++
-			jobs = append(jobs, job{row: row, app: app, spec: sp, aces: true, budget: 4 * ra.Cycles})
+			ap.row.Trials++
+			ap.specs = append(ap.specs, sp)
 		}
-		rows = append(rows, arow)
+		plans = append(plans, ap)
 	}
+	return plans, nil
+}
 
-	outs := make([]inject.Outcome, len(jobs))
-	err := h.forEach(len(jobs), func(i int) error {
+// runInjectBoot executes every trial from power-on, fanning the flat
+// trial list over the worker pool.
+func (h *Harness) runInjectBoot(plans []*rowPlan, pol monitor.Policy) error {
+	type job struct {
+		plan *rowPlan
+		idx  int
+	}
+	var jobs []job
+	for _, p := range plans {
+		p.row.Outcomes = make([]inject.Outcome, len(p.specs))
+		for i := range p.specs {
+			jobs = append(jobs, job{plan: p, idx: i})
+		}
+	}
+	return h.forEach(len(jobs), func(i int) error {
 		j := jobs[i]
+		sp := j.plan.specs[j.idx]
 		var out inject.Outcome
 		var err error
-		if j.aces {
-			out, err = inject.RunACES(j.app, j.spec, aces.FilenameNoOpt, j.budget)
+		if j.plan.aces {
+			out, err = inject.RunACES(j.plan.app, sp, aces.FilenameNoOpt, j.plan.budget)
 		} else {
-			out, err = inject.RunOPEC(j.app, j.spec, pol, j.budget)
+			out, err = inject.RunOPEC(j.plan.app, sp, pol, j.plan.budget)
 		}
 		if err != nil {
-			return fmt.Errorf("inject: %s trial %s: %w", j.app.Name, j.spec, err)
+			return fmt.Errorf("inject: %s trial %s: %w", j.plan.app.Name, sp, err)
 		}
-		outs[i] = out
+		j.plan.row.Outcomes[j.idx] = out
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	// Aggregation follows job order, which is fixed at planning time —
-	// rows are identical at every parallelism level.
-	for i, j := range jobs {
-		r := &rows[j.row]
-		o := outs[i]
-		r.Counts[o.Verdict]++
-		r.Restarts += o.Restarts
-		r.Quarantines += o.Quarantines
-		if o.Verdict == inject.Escaped && r.FirstEscape == "" {
-			r.FirstEscape = o.Spec.String()
+}
+
+// runInjectFork executes each row on its own forge: boot once,
+// checkpoint, fork every trial from the snapshot. Parallelism moves up
+// a level — across rows rather than trials — because a forge's
+// machine is inherently serial.
+func (h *Harness) runInjectFork(plans []*rowPlan, pol monitor.Policy) error {
+	return h.forEach(len(plans), func(i int) error {
+		p := plans[i]
+		var forge *inject.Forge
+		var err error
+		if p.aces {
+			forge, err = inject.NewACESForge(p.app, aces.FilenameNoOpt)
+		} else {
+			forge, err = inject.NewForge(p.app)
 		}
-	}
-	return rows, nil
+		if err != nil {
+			return fmt.Errorf("inject: %s: %w", p.app.Name, err)
+		}
+		p.row.SnapID = forge.SnapshotID()
+		p.row.Outcomes = make([]inject.Outcome, len(p.specs))
+		for k, sp := range p.specs {
+			var out inject.Outcome
+			if p.aces {
+				out, err = forge.Run(sp, monitor.Policy{}, p.budget)
+			} else {
+				out, err = forge.Run(sp, pol, p.budget)
+			}
+			if err != nil {
+				return fmt.Errorf("inject: %s trial %s: %w", p.app.Name, sp, err)
+			}
+			p.row.Outcomes[k] = out
+		}
+		return nil
+	})
 }
 
 // subSeed derives a workload's campaign seed, decoupling its trial

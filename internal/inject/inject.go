@@ -18,6 +18,11 @@ type Outcome struct {
 	Spec    Spec
 	Verdict Verdict
 	Err     string // the run error, when there was one
+	// Cycles is the run's final cycle count (0 when the run panicked
+	// before producing a result). Forked and power-on-booted trials of
+	// the same spec report the same value — the determinism invariant
+	// the differential mode checks.
+	Cycles uint64
 	// Recovery-policy activity observed during the trial (OPEC only).
 	Restarts    uint64
 	Quarantines uint64
@@ -77,10 +82,13 @@ func TraceOPEC(app *apps.App, spec Spec, pol monitor.Policy, maxCycles uint64, b
 	if runErr == nil {
 		checkErr = run.AndCheck(inst, res)
 	}
-	if res != nil && res.Mon != nil {
-		out.Restarts = res.Mon.Stats.Restarts
-		out.Quarantines = res.Mon.Stats.Quarantines
-		out.RestartCycles = res.Mon.Stats.RestartCycles
+	if res != nil {
+		out.Cycles = res.Cycles
+		if res.Mon != nil {
+			out.Restarts = res.Mon.Stats.Restarts
+			out.Quarantines = res.Mon.Stats.Quarantines
+			out.RestartCycles = res.Mon.Stats.RestartCycles
+		}
 	}
 	out.Verdict, out.Err = classify(state, out.Restarts+out.Quarantines, runErr, checkErr)
 	return out, nil
@@ -126,6 +134,9 @@ func RunACES(app *apps.App, spec Spec, strat aces.Strategy, maxCycles uint64) (o
 	var checkErr error
 	if runErr == nil {
 		checkErr = run.AndCheck(inst, res)
+	}
+	if res != nil {
+		out.Cycles = res.Cycles
 	}
 	out.Verdict, out.Err = classify(state, 0, runErr, checkErr)
 	return out, nil

@@ -130,8 +130,10 @@ type Bus struct {
 	// Swap in a *PMP to model a RISC-V PMP platform.
 	Prot Protection
 
-	flash []byte
-	sram  []byte
+	// Flash and SRAM are page-addressable copy-on-write memories so a
+	// machine checkpoint shares pages with the live run (pagedmem.go).
+	flash *pagedMem
+	sram  *pagedMem
 
 	devices []Device // sorted by base address
 
@@ -156,8 +158,8 @@ func NewBus(flashSize, sramSize int, clk *Clock) *Bus {
 	b := &Bus{
 		MPU:   &MPU{},
 		Clock: clk,
-		flash: make([]byte, flashSize),
-		sram:  make([]byte, sramSize),
+		flash: newPagedMem(flashSize),
+		sram:  newPagedMem(sramSize),
 	}
 	b.MPU.NoCache = DisableCaches
 	b.MPU.Clock = clk
@@ -215,8 +217,8 @@ func (b *Bus) deviceAt(addr uint32) Device {
 }
 
 // FlashSize and SRAMSize report configured capacities.
-func (b *Bus) FlashSize() int { return len(b.flash) }
-func (b *Bus) SRAMSize() int  { return len(b.sram) }
+func (b *Bus) FlashSize() int { return b.flash.size }
+func (b *Bus) SRAMSize() int  { return b.sram.size }
 
 // targetKind classifies an address after one resolution pass.
 type targetKind uint8
@@ -245,10 +247,10 @@ func contains(addr, base uint32, length uint32, size int) (uint32, bool) {
 // raises a bus error for partially-decoded transfers, and handing the
 // device model an out-of-range offset would let it misbehave silently.
 func (b *Bus) resolve(addr uint32, size int) (targetKind, uint32, Device) {
-	if off, ok := contains(addr, FlashBase, uint32(len(b.flash)), size); ok {
+	if off, ok := contains(addr, FlashBase, uint32(b.flash.size), size); ok {
 		return targetFlash, off, nil
 	}
-	if off, ok := contains(addr, SRAMBase, uint32(len(b.sram)), size); ok {
+	if off, ok := contains(addr, SRAMBase, uint32(b.sram.size), size); ok {
 		return targetSRAM, off, nil
 	}
 	if addr >= PPBBase && addr < PPBEnd {
@@ -283,9 +285,9 @@ func (b *Bus) Load(addr uint32, size int, privileged bool) (uint32, *Fault) {
 	}
 	switch k {
 	case targetFlash:
-		return readLE(b.flash[off:], size), nil
+		return b.flash.readLE(off, size), nil
 	case targetSRAM:
-		return readLE(b.sram[off:], size), nil
+		return b.sram.readLE(off, size), nil
 	default:
 		return d.Load(off, size), nil
 	}
@@ -309,9 +311,9 @@ func (b *Bus) Store(addr uint32, size int, v uint32, privileged bool) *Fault {
 	}
 	switch k {
 	case targetFlash:
-		writeLE(b.flash[off:], size, v)
+		b.flash.writeLE(off, size, v)
 	case targetSRAM:
-		writeLE(b.sram[off:], size, v)
+		b.sram.writeLE(off, size, v)
 	default:
 		d.Store(off, size, v)
 	}
@@ -324,9 +326,9 @@ func (b *Bus) Store(addr uint32, size int, v uint32, privileged bool) *Fault {
 func (b *Bus) RawLoad(addr uint32, size int) (uint32, *Fault) {
 	switch k, off, d := b.resolve(addr, size); k {
 	case targetFlash:
-		return readLE(b.flash[off:], size), nil
+		return b.flash.readLE(off, size), nil
 	case targetSRAM:
-		return readLE(b.sram[off:], size), nil
+		return b.sram.readLE(off, size), nil
 	case targetPPB:
 		return b.ppbLoad(addr, size), nil
 	case targetDevice:
@@ -339,10 +341,10 @@ func (b *Bus) RawLoad(addr uint32, size int) (uint32, *Fault) {
 func (b *Bus) RawStore(addr uint32, size int, v uint32) *Fault {
 	switch k, off, d := b.resolve(addr, size); k {
 	case targetFlash:
-		writeLE(b.flash[off:], size, v)
+		b.flash.writeLE(off, size, v)
 		return nil
 	case targetSRAM:
-		writeLE(b.sram[off:], size, v)
+		b.sram.writeLE(off, size, v)
 		return nil
 	case targetPPB:
 		b.ppbStore(addr, size, v)
@@ -406,18 +408,23 @@ func writeLE(b []byte, size int, v uint32) {
 // overlapping ranges with dst inside [src, src+n).
 func (b *Bus) CopyMem(dst, src uint32, n int) *Fault {
 	if n > 1 {
+		// The bulk path additionally requires both ranges to sit inside
+		// one page each (view returns nil on a straddle); the byte loop
+		// below is value-identical for every case the views decline.
 		var sbuf []byte
 		switch k, off, _ := b.resolve(src, n); k {
 		case targetFlash:
-			sbuf = b.flash[off : off+uint32(n)]
+			sbuf = b.flash.view(off, n)
 		case targetSRAM:
-			sbuf = b.sram[off : off+uint32(n)]
+			sbuf = b.sram.view(off, n)
 		}
-		if dOff, ok := contains(dst, SRAMBase, uint32(len(b.sram)), n); ok && sbuf != nil {
+		if dOff, ok := contains(dst, SRAMBase, uint32(b.sram.size), n); ok && sbuf != nil {
 			overlapFwd := src >= SRAMBase && dst > src && uint64(dst) < uint64(src)+uint64(n)
 			if !overlapFwd {
-				copy(b.sram[dOff:dOff+uint32(n)], sbuf)
-				return nil
+				if dbuf := b.sram.writableView(dOff, n); dbuf != nil {
+					copy(dbuf, sbuf)
+					return nil
+				}
 			}
 		}
 	}

@@ -128,9 +128,9 @@ func (b *Bus) LoadProven(addr uint32, size int, privileged bool) (uint32, *Fault
 	case targetNone:
 		return 0, &Fault{Kind: FaultBus, Addr: addr, Size: size, Privileged: privileged}
 	case targetFlash:
-		return readLE(b.flash[off:], size), nil
+		return b.flash.readLE(off, size), nil
 	case targetSRAM:
-		return readLE(b.sram[off:], size), nil
+		return b.sram.readLE(off, size), nil
 	default:
 		return d.Load(off, size), nil
 	}
@@ -149,9 +149,9 @@ func (b *Bus) StoreProven(addr uint32, size int, v uint32, privileged bool) *Fau
 	case targetNone:
 		return &Fault{Kind: FaultBus, Addr: addr, Write: true, Size: size, Val: v, Privileged: privileged}
 	case targetFlash:
-		writeLE(b.flash[off:], size, v)
+		b.flash.writeLE(off, size, v)
 	case targetSRAM:
-		writeLE(b.sram[off:], size, v)
+		b.sram.writeLE(off, size, v)
 	default:
 		d.Store(off, size, v)
 	}

@@ -1,0 +1,92 @@
+package monitor
+
+import "opec/internal/core"
+
+// Snapshot is a checkpoint of the monitor's own runtime state — the
+// recovery bookkeeping, operation context stack and stat counters that
+// live beside the machine state a mach.Snapshot captures. The campaign
+// forge pairs the two: restore the machine, then the monitor, and the
+// pair is indistinguishable from a freshly booted run.
+type Snapshot struct {
+	stats       Stats
+	cur         *core.Operation
+	ctxStack    []*opContext
+	restarts    map[*core.Operation]int
+	quarantined map[*core.Operation]bool
+	srd         uint8
+	rrNext      int
+}
+
+// Snapshot captures the monitor's runtime state. The context stack and
+// recovery maps are deep-copied so trial execution cannot reach back
+// into the checkpoint.
+func (mon *Monitor) Snapshot() *Snapshot {
+	return &Snapshot{
+		stats:       mon.Stats,
+		cur:         mon.cur,
+		ctxStack:    copyCtxStack(mon.ctxStack),
+		restarts:    copyOpInts(mon.restarts),
+		quarantined: copyOpBools(mon.quarantined),
+		srd:         mon.srd,
+		rrNext:      mon.rrNext,
+	}
+}
+
+// Restore rewinds the monitor to the snapshot (deep-copying again, so
+// one snapshot restores any number of trials). Trace attachment and
+// span state are cleared — the caller re-attaches per trial, exactly
+// as a fresh boot would.
+func (mon *Monitor) Restore(s *Snapshot) {
+	mon.Stats = s.stats
+	mon.cur = s.cur
+	mon.ctxStack = copyCtxStack(s.ctxStack)
+	mon.restarts = copyOpInts(s.restarts)
+	mon.quarantined = copyOpBools(s.quarantined)
+	mon.srd = s.srd
+	mon.rrNext = s.rrNext
+	mon.tr = nil
+	mon.opNameIDs = nil
+	mon.spanStart = 0
+	mon.spanSync = 0
+	mon.spanOpen = false
+	mon.syncMute = false
+}
+
+func copyCtxStack(stack []*opContext) []*opContext {
+	if stack == nil {
+		return nil
+	}
+	out := make([]*opContext, len(stack))
+	for i, ctx := range stack {
+		cp := *ctx
+		cp.relocs = make([]argReloc, len(ctx.relocs))
+		for j, rl := range ctx.relocs {
+			rl.fixups = append([]ptrFixup(nil), rl.fixups...)
+			cp.relocs[j] = rl
+		}
+		out[i] = &cp
+	}
+	return out
+}
+
+func copyOpInts(m map[*core.Operation]int) map[*core.Operation]int {
+	if m == nil {
+		return nil
+	}
+	out := make(map[*core.Operation]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyOpBools(m map[*core.Operation]bool) map[*core.Operation]bool {
+	if m == nil {
+		return nil
+	}
+	out := make(map[*core.Operation]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

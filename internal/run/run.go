@@ -107,6 +107,10 @@ type Options struct {
 	// actions. Attached right after boot, before execution starts; nil
 	// keeps every emit site on its zero-cost path.
 	Trace *trace.Buffer
+	// MaxCycles, when non-zero, overrides the instance's cycle budget
+	// for this run (the campaign forge sets per-trial budgets on a
+	// shared checkpointed machine).
+	MaxCycles uint64
 }
 
 // OPECWith is OPECPrecompiled with Options. Unlike the plain entry
@@ -124,6 +128,9 @@ func OPECWith(inst *apps.Instance, b *core.Build, opts Options) (*Result, error)
 	}
 	mon.Policy = opts.Policy
 	mon.M.MaxCycles = inst.MaxCycles
+	if opts.MaxCycles > 0 {
+		mon.M.MaxCycles = opts.MaxCycles
+	}
 	if opts.Trace != nil {
 		mon.AttachTrace(opts.Trace)
 	}
@@ -149,6 +156,9 @@ func ACESWith(inst *apps.Instance, b *aces.Build, opts Options) (*Result, error)
 		return nil, err
 	}
 	rt.M.MaxCycles = inst.MaxCycles
+	if opts.MaxCycles > 0 {
+		rt.M.MaxCycles = opts.MaxCycles
+	}
 	if opts.Trace != nil {
 		rt.AttachTrace(opts.Trace)
 	}

@@ -80,9 +80,23 @@ type (
 	InjectVerdict = inject.Verdict
 	// InjectRow is one workload × scheme leg of a campaign.
 	InjectRow = exper.InjectRow
+	// InjectEngine selects how a campaign executes its trials
+	// (boot-once/fork-many versus power-on per trial).
+	InjectEngine = exper.InjectEngine
+	// Forge is the boot-once/fork-many trial engine for one workload:
+	// compile and boot once, checkpoint, fork every trial from the
+	// snapshot. Its SnapshotID plus a spec is a complete replay
+	// coordinate (opec-run -replay).
+	Forge = inject.Forge
 	// RecoveryPolicy configures the monitor's reaction to contained
 	// faults (abort, restart with backoff, quarantine).
 	RecoveryPolicy = monitor.Policy
+)
+
+// Campaign trial engines.
+const (
+	EngineFork = exper.EngineFork
+	EngineBoot = exper.EngineBoot
 )
 
 // The monitor's recovery policy kinds.
@@ -106,6 +120,14 @@ var (
 	InjectACES = inject.RunACES
 	// RenderInject prints a campaign's containment table.
 	RenderInject = exper.RenderInject
+	// NewForge boots one workload under OPEC and checkpoints it at the
+	// pre-injection point; NewACESForge does the same under an ACES
+	// strategy.
+	NewForge     = inject.NewForge
+	NewACESForge = inject.NewACESForge
+	// InjectRunsIdentical is the fork-vs-boot campaign differential:
+	// byte-identical tables and per-trial agreement.
+	InjectRunsIdentical = exper.InjectRunsIdentical
 )
 
 // NewHarness returns an experiment harness with an empty build cache
