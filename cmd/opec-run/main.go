@@ -61,7 +61,15 @@ func main() {
 	injectSpec := flag.String("inject", "", "replay one fault-injection trial (kind:func:n:target:off:bit:value[:args])")
 	replaySpec := flag.String("replay", "", "replay one fork-engine campaign trial from '<snapshot-id>@<spec>'")
 	policy := flag.String("policy", "abort", "recovery policy under -inject/-replay: abort | restart | quarantine")
+	backend := flag.String("backend", "", "execution backend: interp | xlat (default: OPEC_MACH_BACKEND, else interp); results are byte-identical, only wall-clock differs")
 	flag.Parse()
+
+	if *backend != "" { // leave the OPEC_MACH_BACKEND default in place otherwise
+		if err := opec.SetExecBackend(*backend); err != nil {
+			fmt.Fprintln(os.Stderr, "opec-run:", err)
+			os.Exit(2)
+		}
+	}
 
 	if *appName == "" {
 		fmt.Fprintln(os.Stderr, "opec-run: -app is required")

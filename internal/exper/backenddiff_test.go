@@ -1,0 +1,96 @@
+package exper
+
+import (
+	"testing"
+
+	"opec/internal/monitor"
+	"opec/internal/run"
+)
+
+// Backend equivalence at the experiment layer: every rendered artifact
+// — evaluation tables, the §6.1 golden trace, campaign verdict tables
+// (including the fork engine) — must be byte-identical whether the
+// workloads execute on the interpreter or on the translation engine.
+// The tables embed absolute cycle counts, so this pins timing, not
+// just final answers.
+
+// underBackend runs fn with the process-default backend overridden.
+func underBackend(t *testing.T, backend string, fn func()) {
+	t.Helper()
+	saved := run.DefaultBackend
+	defer func() { run.DefaultBackend = saved }()
+	if err := run.SetDefaultBackend(backend); err != nil {
+		t.Fatal(err)
+	}
+	fn()
+}
+
+func TestRenderedTablesBackendIdentity(t *testing.T) {
+	render := func(backend string) (t1, f9 string) {
+		underBackend(t, backend, func() {
+			h := NewHarness(0)
+			rows, err := h.Table1(Quick)
+			if err != nil {
+				t.Fatalf("%s Table1: %v", backend, err)
+			}
+			t1 = RenderTable1(rows)
+			fig, err := h.Figure9(Quick)
+			if err != nil {
+				t.Fatalf("%s Figure9: %v", backend, err)
+			}
+			f9 = RenderFigure9(fig)
+		})
+		return
+	}
+	t1i, f9i := render(run.BackendInterp)
+	t1x, f9x := render(run.BackendXlat)
+	if t1i != t1x {
+		t.Errorf("Table 1 differs across backends:\n--- interp ---\n%s--- xlat ---\n%s", t1i, t1x)
+	}
+	if f9i != f9x {
+		t.Errorf("Figure 9 differs across backends:\n--- interp ---\n%s--- xlat ---\n%s", f9i, f9x)
+	}
+}
+
+// TestGoldenKeyOverwriteTraceXlat extends the golden-trace invariant to
+// the translation engine: the §6.1 exploit's full event stream renders
+// byte-identically on both backends.
+func TestGoldenKeyOverwriteTraceXlat(t *testing.T) {
+	var golden, xlat string
+	underBackend(t, run.BackendInterp, func() { golden = traceKeyOverwrite(t) })
+	underBackend(t, run.BackendXlat, func() { xlat = traceKeyOverwrite(t) })
+	if golden != xlat {
+		t.Errorf("golden trace differs under xlat:\n--- interp ---\n%s--- xlat ---\n%s", golden, xlat)
+	}
+}
+
+// TestInjectCampaignBackendIdentity runs the seeded campaign on both
+// backends and engines: the interp boot table is the oracle; the xlat
+// boot and xlat fork tables must match it byte for byte. The fork leg
+// is the end-to-end check that forked machines with warm translation
+// caches and Arm-cleared certificates replay exactly.
+func TestInjectCampaignBackendIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign replays every workload in -short mode")
+	}
+	cfg := tinyCampaign(11)
+	pol := monitor.Policy{Kind: monitor.RestartOperation}
+
+	table := func(backend string, engine InjectEngine) (out string) {
+		underBackend(t, backend, func() {
+			rows, err := NewHarness(0).InjectWith(Quick, cfg, pol, engine)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", backend, engine, err)
+			}
+			out = RenderInject(rows)
+		})
+		return
+	}
+	oracle := table(run.BackendInterp, EngineBoot)
+	if got := table(run.BackendXlat, EngineBoot); got != oracle {
+		t.Errorf("xlat boot campaign differs:\n--- interp ---\n%s--- xlat ---\n%s", oracle, got)
+	}
+	if got := table(run.BackendXlat, EngineFork); got != oracle {
+		t.Errorf("xlat fork campaign differs:\n--- interp/boot ---\n%s--- xlat/fork ---\n%s", oracle, got)
+	}
+}

@@ -28,8 +28,9 @@ import (
 // v4 the proof section (static proof coverage + simulator throughput
 // with and without proof-guided MPU-check elision); v5 the snapshot
 // section (checkpoint-restore latency and fork-vs-boot campaign
-// throughput).
-const BenchSchema = "opec-bench/mach/v5"
+// throughput); v6 the backend section (threaded-code translation vs
+// interpreter A/B on the dispatch-bound sweep and every workload).
+const BenchSchema = "opec-bench/mach/v6"
 
 // BenchSchemes is the fixed execution-scheme order of the report.
 var BenchSchemes = []string{"vanilla", "opec", "aces"}
@@ -133,6 +134,8 @@ type BenchReport struct {
 	// Snapshot is the fork-engine latency/throughput/differential
 	// section (schema v5).
 	Snapshot *BenchSnapshot `json:"snapshot"`
+	// Backend is the execution-backend A/B section (schema v6).
+	Backend *BenchBackend `json:"backend"`
 }
 
 // CollectBench measures simulator throughput at scale s. Workload runs
@@ -221,6 +224,11 @@ func CollectBench(s AppSet, parallel int) (*BenchReport, error) {
 		return nil, fmt.Errorf("bench snapshot: %w", err)
 	}
 	rep.Snapshot = &snap
+
+	rep.Backend, err = measureBackend(s)
+	if err != nil {
+		return nil, fmt.Errorf("bench backend: %w", err)
+	}
 	return rep, nil
 }
 
@@ -597,6 +605,38 @@ func ValidateBenchReport(data []byte) (*BenchReport, error) {
 	}
 	if sn.Speedup < 10 {
 		return nil, fmt.Errorf("bench report: fork-engine speedup %.1fx below the 10x floor", sn.Speedup)
+	}
+
+	// Backend section (v6): the dispatch-bound sweep must clear the
+	// translation-engine speedup floor, and every per-app A/B must have
+	// finished both backends at identical cycle and instruction counts
+	// (the exactness invariant) with sane throughput on both sides.
+	if rep.Backend == nil {
+		return nil, fmt.Errorf("bench report: missing backend section")
+	}
+	bb := rep.Backend
+	if bb.DispatchInstrs == 0 || bb.DispatchInterpSimMIPS <= 0 || bb.DispatchXlatSimMIPS <= 0 {
+		return nil, fmt.Errorf("bench report: degenerate backend dispatch sweep: %+v", bb)
+	}
+	if bb.DispatchSpeedup < BackendSpeedupFloor {
+		return nil, fmt.Errorf("bench report: translation-engine dispatch speedup %.2fx below the %.1fx floor",
+			bb.DispatchSpeedup, float64(BackendSpeedupFloor))
+	}
+	haveBack := make(map[string]BenchBackendApp, len(bb.Apps))
+	for _, a := range bb.Apps {
+		haveBack[a.App] = a
+	}
+	for _, app := range AppsFor(scale) {
+		a, ok := haveBack[app.Name]
+		if !ok {
+			return nil, fmt.Errorf("bench report: missing backend row for %s", app.Name)
+		}
+		if a.InterpSimMIPS <= 0 || a.XlatSimMIPS <= 0 {
+			return nil, fmt.Errorf("bench report: degenerate backend row %s: %+v", app.Name, a)
+		}
+		if !a.CyclesEqual {
+			return nil, fmt.Errorf("bench report: backend row %s: translation engine diverged from the interpreter", app.Name)
+		}
 	}
 
 	// Recovery section: at least two workloads must demonstrate a

@@ -107,6 +107,10 @@ type Machine struct {
 	// inj is the armed fault injection, if any (see Arm).
 	inj *Injection
 
+	// backend is the installed execution backend; nil selects the
+	// interpreter (see backend.go).
+	backend Backend
+
 	// frames is the activation-record pool, indexed by call depth, so
 	// steady-state execution allocates nothing per call.
 	frames []*frame
@@ -335,10 +339,12 @@ func (m *Machine) Run(fn *ir.Function, args ...uint32) (uint32, error) {
 type frame struct {
 	fn      *ir.Function
 	regs    []uint32
+	ncap    int // nominal file size: running max of NumRegs at this depth
 	args    [4]uint32
 	nargs   int
 	argBase uint32   // address of spilled args
 	argbuf  []uint32 // evalArgs scratch; valid until this frame's next call
+	env     Env      // backend activation view; reused per call at this depth
 }
 
 // frameAt returns the pooled frame for one-based call depth d.
@@ -364,10 +370,19 @@ func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
 	fm := m.metaFor(fn)
 	fr := m.frameAt(m.depth)
 	fr.fn = fn
-	if n := fn.NumRegs(); cap(fr.regs) < n {
+	// The reuse counter tracks the nominal file size (running max of
+	// NumRegs at this depth), not raw slice capacity: a backend's
+	// Env.RegsN may grow the storage past any function's own file, and
+	// that host-side growth must not skew an observable counter.
+	n := fn.NumRegs()
+	if fr.ncap >= n {
+		m.frameReuse++
+	} else {
+		fr.ncap = n
+	}
+	if cap(fr.regs) < n {
 		fr.regs = make([]uint32, n)
 	} else {
-		m.frameReuse++
 		fr.regs = fr.regs[:n]
 		for i := range fr.regs {
 			fr.regs[i] = 0
@@ -414,7 +429,14 @@ func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
 		}
 	}
 
-	ret, err := m.exec(fr, localBase, fm)
+	var ret uint32
+	var err error
+	if m.backend != nil {
+		fr.env = Env{m: m, fr: fr, fm: fm, localBase: localBase, priv: m.Privileged}
+		ret, err = m.backend.Exec(&fr.env)
+	} else {
+		ret, err = m.exec(fr, localBase, fm)
+	}
 	m.SP = savedSP
 	m.Clock.Advance(CostRet)
 	return ret, err
@@ -423,12 +445,17 @@ func (m *Machine) call(fn *ir.Function, args []uint32) (uint32, error) {
 // exec runs the block graph of fr.fn.
 func (m *Machine) exec(fr *frame, localBase uint32, fm *funcMeta) (uint32, error) {
 	blk := fr.fn.Entry()
+	// Hoisted out of the per-instruction path: the certificate row and
+	// alloca offsets are activation constants, and reading them through
+	// fm on every load/store costs a dependent pointer chase in the
+	// hottest loop the simulator has.
+	certs, allocaOff := fm.certs, fm.allocaOff
 	for {
 		if err := m.tick(); err != nil {
 			return 0, err
 		}
 		for _, in := range blk.Instrs {
-			if err := m.step(fr, in, localBase, fm); err != nil {
+			if err := m.step(fr, in, localBase, certs, allocaOff); err != nil {
 				return 0, m.locate(fr, fm, err)
 			}
 		}
@@ -514,7 +541,7 @@ func (m *Machine) locate(fr *frame, fm *funcMeta, err error) error {
 	return &ExecError{Fn: fr.fn.Name, PC: fm.addr, Instr: m.InstrCount, Err: err}
 }
 
-func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) error {
+func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, certs []byte, allocaOff []int32) error {
 	// Instruction-count injection trigger (cycle-point perturbations
 	// that are not tied to a function entry).
 	if inj := m.inj; inj != nil && inj.Func == nil && m.InstrCount >= inj.At {
@@ -543,7 +570,7 @@ func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) 
 			return err
 		}
 		var v uint32
-		if c := fm.certs; c != nil && uint(in.ID()) < uint(len(c)) &&
+		if c := certs; c != nil && uint(in.ID()) < uint(len(c)) &&
 			c[in.ID()]&CertLoad != 0 && !m.Privileged && !DisableProofs {
 			v, err = m.loadProven(addr, in.Typ.Size())
 		} else {
@@ -563,14 +590,14 @@ func (m *Machine) step(fr *frame, in *ir.Instr, localBase uint32, fm *funcMeta) 
 		if err != nil {
 			return err
 		}
-		if c := fm.certs; c != nil && uint(in.ID()) < uint(len(c)) &&
+		if c := certs; c != nil && uint(in.ID()) < uint(len(c)) &&
 			c[in.ID()]&CertStore != 0 && !m.Privileged && !DisableProofs {
 			return m.storeProven(addr, in.Typ.Size(), v)
 		}
 		return m.storeChecked(addr, in.Typ.Size(), v)
 
 	case ir.OpAlloca:
-		fr.regs[in.ID()] = localBase + uint32(fm.allocaOff[in.ID()])
+		fr.regs[in.ID()] = localBase + uint32(allocaOff[in.ID()])
 
 	case ir.OpFieldAddr:
 		base, err := m.eval(fr, in.Args[0])
@@ -891,6 +918,11 @@ func (m *Machine) retryStore(f *Fault) error {
 	}
 	return nil
 }
+
+// EvalBin exposes the interpreter's binary-operator semantics (ARM
+// UDIV divide-by-zero result, 5-bit shift masking) to execution
+// backends, so a translated operator can never drift from the oracle.
+func EvalBin(k ir.BinKind, a, b uint32) uint32 { return evalBin(k, a, b) }
 
 func evalBin(k ir.BinKind, a, b uint32) uint32 {
 	switch k {

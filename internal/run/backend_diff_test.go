@@ -1,0 +1,250 @@
+package run_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"opec/internal/apps"
+	"opec/internal/core"
+	"opec/internal/ir"
+	"opec/internal/mach"
+	"opec/internal/run"
+)
+
+// The backend differential fuzzer: generate random mixed workloads —
+// bounded loops, the full binary-operator set, arrays, stack
+// round-trips, spilled arguments — and run each under the vanilla and
+// OPEC build flavours with both execution backends. The translation
+// engine must be observably identical to the interpreter: same return,
+// same error text, same absolute cycle count, same final memory and
+// the same counter readings. A paranoid-mode sweep rides along so the
+// re-adjudicated proof paths are fuzzed too.
+
+// genMixedProgram builds a random always-terminating program that is
+// deliberately heavy on translation-unit shapes: long pure runs (fused
+// into superinstructions), cmp+branch loop back-edges, load+op+store
+// peepholes, helper calls with spilled arguments.
+func genMixedProgram(rng *rand.Rand) (*ir.Module, core.Config) {
+	m := ir.NewModule("bfuzz")
+	nGlobals := 2 + rng.Intn(5)
+	var globals []*ir.Global
+	for i := 0; i < nGlobals; i++ {
+		globals = append(globals, m.AddGlobal(&ir.Global{
+			Name: fmt.Sprintf("g%d", i), Typ: ir.I32,
+			Init: []byte{byte(rng.Intn(256)), byte(rng.Intn(4)), 0, 0},
+		}))
+	}
+	arr := m.AddGlobal(&ir.Global{Name: "arr", Typ: ir.Array(ir.I32, 8)})
+
+	mix := ir.NewFunc(m, "mix", "util.c", ir.I32, ir.P("a", ir.I32), ir.P("b", ir.I32))
+	mix.Ret(mix.Add(mix.Mul(mix.Arg("a"), ir.CI(31)), mix.Arg("b")))
+
+	// Six parameters: the last two always travel through the simulated
+	// stack, exercising the spilled-argument accessors on every call.
+	wide := ir.NewFunc(m, "mix6", "util.c", ir.I32,
+		ir.P("a", ir.I32), ir.P("b", ir.I32), ir.P("c", ir.I32),
+		ir.P("d", ir.I32), ir.P("e", ir.I32), ir.P("f", ir.I32))
+	{
+		s := wide.Xor(wide.Arg("a"), wide.Arg("b"))
+		s = wide.Add(s, wide.Mul(wide.Arg("c"), ir.CI(7)))
+		s = wide.Xor(s, wide.Arg("d"))
+		s = wide.Add(s, wide.Arg("e"))
+		s = wide.Xor(s, wide.Arg("f"))
+		wide.Ret(s)
+	}
+
+	ops := []ir.BinKind{
+		ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or, ir.Xor,
+		ir.Shl, ir.Shr, ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge,
+	}
+
+	nTasks := 1 + rng.Intn(4)
+	var entries []string
+	for t := 0; t < nTasks; t++ {
+		name := fmt.Sprintf("task%d", t)
+		entries = append(entries, name)
+		fb := ir.NewFunc(m, name, fmt.Sprintf("task%d.c", t), nil)
+
+		// A bounded counting loop per task: cmp+branch back-edge, a
+		// random body of RMW steps inside.
+		iters := 1 + rng.Intn(6)
+		loop := fb.NewBlock("loop")
+		done := fb.NewBlock("done")
+		iSlot := fb.Alloca(ir.I32)
+		fb.Store(ir.I32, iSlot, ir.CI(0))
+		fb.Br(loop)
+		fb.SetBlock(loop)
+		iv := fb.Load(ir.I32, iSlot)
+
+		steps := 1 + rng.Intn(5)
+		for s := 0; s < steps; s++ {
+			src := globals[rng.Intn(len(globals))]
+			dst := globals[rng.Intn(len(globals))]
+			v := fb.Load(ir.I32, src)
+			switch rng.Intn(6) {
+			case 0:
+				// Load+op+store peephole shape with a random operator;
+				// |1 keeps divide/shift operands well-behaved without
+				// dodging the wraparound cases (they're deterministic).
+				k := ops[rng.Intn(len(ops))]
+				fb.Store(ir.I32, dst, fb.Bin(k, v, ir.CI(uint32(rng.Intn(100))|1)))
+			case 1:
+				// A long pure run: chained ALU ops before one store.
+				a := fb.Add(v, iv)
+				b := fb.Mul(a, ir.CI(uint32(1+rng.Intn(7))))
+				c := fb.Xor(b, ir.CI(uint32(rng.Intn(1<<16))))
+				d := fb.Shr(c, ir.CI(uint32(rng.Intn(33))))
+				fb.Store(ir.I32, dst, fb.Or(d, ir.CI(1)))
+			case 2:
+				w := fb.Load(ir.I32, dst)
+				fb.Store(ir.I32, dst, fb.Call(mix.F, v, w))
+			case 3:
+				w := fb.Load(ir.I32, dst)
+				fb.Store(ir.I32, dst, fb.Call(wide.F, v, w, iv,
+					ir.CI(uint32(rng.Intn(256))), w, v))
+			case 4:
+				// Array element addressed by a masked induction value.
+				el := fb.Index(arr, ir.I32, fb.And(fb.Add(iv, v), ir.CI(7)))
+				w := fb.Load(ir.I32, el)
+				fb.Store(ir.I32, el, fb.Add(w, v))
+				fb.Store(ir.I32, dst, w)
+			case 5:
+				slot := fb.Alloca(ir.I32)
+				fb.Store(ir.I32, slot, v)
+				fb.Store(ir.I32, dst, fb.Load(ir.I32, slot))
+			}
+		}
+
+		nx := fb.Add(iv, ir.CI(1))
+		fb.Store(ir.I32, iSlot, nx)
+		fb.CondBr(fb.Lt(nx, ir.CI(uint32(iters))), loop, done)
+		fb.SetBlock(done)
+		fb.RetVoid()
+	}
+
+	mb := ir.NewFunc(m, "main", "main.c", nil)
+	rounds := 1 + rng.Intn(3)
+	for r := 0; r < rounds; r++ {
+		for t := 0; t < nTasks; t++ {
+			mb.Call(m.MustFunc(fmt.Sprintf("task%d", t)))
+		}
+	}
+	mb.Halt()
+	mb.RetVoid()
+
+	return m, core.Config{Entries: entries}
+}
+
+// backendObs is everything one run exposes: outcome, time, memory,
+// and the full counter set.
+type backendObs struct {
+	err      string
+	cycles   uint64
+	globals  []uint32
+	counters string
+}
+
+func observeRun(t *testing.T, res *run.Result, err error, m *ir.Module) backendObs {
+	t.Helper()
+	o := backendObs{}
+	if err != nil {
+		o.err = err.Error()
+	}
+	if res == nil {
+		return o
+	}
+	o.cycles = res.Cycles
+	var sb strings.Builder
+	for _, c := range res.Machine.Counters() {
+		fmt.Fprintf(&sb, "%s=%d\n", c.Name, c.Value)
+	}
+	o.counters = sb.String()
+	for _, g := range m.Globals {
+		addr, f := res.Machine.GlobalAddr(g, true)
+		if f != nil {
+			t.Fatalf("resolve %s: %v", g.Name, f)
+		}
+		v, f := res.Machine.Bus.RawLoad(addr, 4)
+		if f != nil {
+			t.Fatalf("read %s: %v", g.Name, f)
+		}
+		o.globals = append(o.globals, v)
+	}
+	return o
+}
+
+func compareObs(t *testing.T, scheme string, oi, ox backendObs) {
+	t.Helper()
+	if oi.err != ox.err {
+		t.Errorf("%s err:\n  interp: %s\n  xlat:   %s", scheme, oi.err, ox.err)
+	}
+	if oi.cycles != ox.cycles {
+		t.Errorf("%s cycles: interp=%d xlat=%d", scheme, oi.cycles, ox.cycles)
+	}
+	if oi.counters != ox.counters {
+		t.Errorf("%s counters diverge:\n--- interp ---\n%s--- xlat ---\n%s", scheme, oi.counters, ox.counters)
+	}
+	if len(oi.globals) != len(ox.globals) {
+		t.Fatalf("%s global count: %d vs %d", scheme, len(oi.globals), len(ox.globals))
+	}
+	for i := range oi.globals {
+		if oi.globals[i] != ox.globals[i] {
+			t.Errorf("%s g%d: interp=%#x xlat=%#x", scheme, i, oi.globals[i], ox.globals[i])
+		}
+	}
+}
+
+// TestDifferentialInterpVsXlat is the tentpole acceptance suite: 250
+// seeds x {vanilla, OPEC} x {interp, xlat} = 1000 mixed-workload runs,
+// every observable compared. Every 10th seed additionally repeats the
+// OPEC pair under ParanoidProofs, so elided accesses keep being
+// re-adjudicated under translation.
+func TestDifferentialInterpVsXlat(t *testing.T) {
+	const trials = 250
+	board := mach.STM32F4Discovery()
+	for seed := int64(0); seed < trials; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			vanilla := func(backend string) (backendObs, *ir.Module) {
+				m, _ := genMixedProgram(rand.New(rand.NewSource(seed)))
+				inst := &apps.Instance{
+					Mod: m, Board: board, Clk: &mach.Clock{},
+					MaxCycles: 10_000_000,
+				}
+				res, err := run.VanillaWith(inst, run.Options{Backend: backend})
+				return observeRun(t, res, err, m), m
+			}
+			oi, _ := vanilla(run.BackendInterp)
+			ox, _ := vanilla(run.BackendXlat)
+			compareObs(t, "vanilla", oi, ox)
+
+			opec := func(backend string) backendObs {
+				m, cfg := genMixedProgram(rand.New(rand.NewSource(seed)))
+				b, err := core.Compile(m, board, cfg)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				inst := &apps.Instance{
+					Mod: m, Cfg: cfg, Board: board, Clk: &mach.Clock{},
+					MaxCycles: 10_000_000,
+				}
+				res, rerr := run.OPECWith(inst, b, run.Options{Backend: backend})
+				return observeRun(t, res, rerr, m)
+			}
+			pi := opec(run.BackendInterp)
+			px := opec(run.BackendXlat)
+			compareObs(t, "opec", pi, px)
+
+			if seed%10 == 0 {
+				saved := mach.ParanoidProofs
+				mach.ParanoidProofs = true
+				qi := opec(run.BackendInterp)
+				qx := opec(run.BackendXlat)
+				mach.ParanoidProofs = saved
+				compareObs(t, "opec-paranoid", qi, qx)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package xlat_test
+
+import (
+	"testing"
+
+	"opec/internal/ir"
+	"opec/internal/xlat"
+)
+
+// aluModule builds the dispatch-bound extreme: counted loops over long
+// unrolled pure-ALU blocks. Two shapes bracket the micro-op engine:
+//
+//   - chain: every op consumes the previous result, so execution is
+//     serialized on the register-file store-to-load latency — the
+//     worst case for the translated loop.
+//   - stream: four independent lanes, so the host core can overlap
+//     micro-ops across iterations — peak dispatch throughput, the
+//     number threaded-code translation exists to improve.
+func aluModule(independent bool) *ir.Module {
+	name := "chain"
+	if independent {
+		name = "stream"
+	}
+	m := ir.NewModule("alu")
+	fb := ir.NewFunc(m, name, "b.c", ir.I32, ir.P("n", ir.I32))
+	loop := fb.NewBlock("loop")
+	done := fb.NewBlock("done")
+	iSlot := fb.Alloca(ir.I32)
+	fb.Store(ir.I32, iSlot, ir.CI(0))
+	fb.Br(loop)
+	fb.SetBlock(loop)
+	iv := fb.Load(ir.I32, iSlot)
+	lanes := [4]*ir.Instr{iv, iv, iv, iv}
+	v := iv
+	for k := 0; k < 60; k++ {
+		src := v
+		if independent {
+			src = lanes[k%4]
+		}
+		var r *ir.Instr
+		switch k % 5 {
+		case 0:
+			r = fb.Add(src, ir.CI(uint32(k+3)))
+		case 1:
+			r = fb.Mul(src, ir.CI(5))
+		case 2:
+			r = fb.Xor(src, iv)
+		case 3:
+			r = fb.Shr(src, ir.CI(3))
+		case 4:
+			r = fb.Or(src, ir.CI(1))
+		}
+		if independent {
+			lanes[k%4] = r
+		}
+		v = r
+	}
+	if independent {
+		v = fb.Xor(fb.Xor(lanes[0], lanes[1]), fb.Xor(lanes[2], lanes[3]))
+	}
+	nx := fb.Add(iv, fb.Add(fb.And(v, ir.CI(0)), ir.CI(1)))
+	fb.Store(ir.I32, iSlot, nx)
+	fb.CondBr(fb.Lt(nx, fb.Arg("n")), loop, done)
+	fb.SetBlock(done)
+	fb.Ret(iv)
+	return m
+}
+
+// BenchmarkALU reports instr_ns (host seconds per simulated
+// instruction) for both ALU shapes on both backends.
+func BenchmarkALU(b *testing.B) {
+	for _, shape := range []string{"chain", "stream"} {
+		m := aluModule(shape == "stream")
+		for _, backend := range []string{"interp", "xlat"} {
+			b.Run(shape+"/"+backend, func(b *testing.B) {
+				mm := newMachine(b, m)
+				mm.MaxCycles = 1 << 62
+				if backend == "xlat" {
+					mm.SetBackend(xlat.New())
+				}
+				fn := m.MustFunc(shape)
+				const iters = 5_000
+				if _, err := mm.Run(fn, iters); err != nil {
+					b.Fatal(err)
+				}
+				start := mm.InstrCount
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := mm.Run(fn, iters); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				instr := float64(mm.InstrCount-start) / float64(b.N)
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/instr, "instr_ns")
+			})
+		}
+	}
+}

@@ -1,0 +1,730 @@
+package xlat
+
+import (
+	"opec/internal/ir"
+	"opec/internal/mach"
+)
+
+// A "pure" operand is one whose evaluation cannot fault, touch memory,
+// or advance the clock: constants, virtual registers, the four
+// register-passed arguments, and code addresses (resolved against the
+// machine at translation time). Globals are NOT pure — under OPEC a
+// global operand is a checked read through the relocation table — and
+// neither are stack-spilled parameters.
+//
+// Every pure operand is resolved at translation time to an index into
+// the extended register file (see prog): constants and code addresses
+// get deduplicated constant-pool slots, register-passed parameters get
+// pooled copies installed at activation entry. The micro-op inner loop
+// therefore has no operand-mode dispatch at all — both sources are
+// unconditional register reads.
+
+// Micro-op kinds 0..15 are ir.BinKind operators verbatim; the rest are
+// the remaining pure address computations. OpFieldAddr lowers to Add
+// with a pooled-constant operand.
+const (
+	kAlloca = uint8(16) + iota // dst = localBase + imm
+	kIndex                     // dst = a + b*imm
+)
+
+// microOp is one pure instruction in a superinstruction: a flat
+// 8-byte op whose operands are extended-register indices, so executing
+// a run of them is a tight array walk with no interface dispatch,
+// operand switch, per-instruction clock bookkeeping, or (because the
+// uint8 indices are provably inside the regFile window) bounds checks.
+type microOp struct {
+	kind, dst, a, b uint8
+	imm             uint32 // alloca frame offset / index element size
+}
+
+// runMicro executes a micro-op run against the activation's extended
+// register file. Callers have already settled the clock (StepN or
+// per-op Step).
+func runMicro(ops []microOp, regs *[regFile]uint32, localBase uint32) {
+	for i := range ops {
+		op := ops[i]
+		a, b := regs[op.a], regs[op.b]
+		var r uint32
+		switch op.kind {
+		case uint8(ir.Add):
+			r = a + b
+		case uint8(ir.Sub):
+			r = a - b
+		case uint8(ir.Mul):
+			r = a * b
+		case uint8(ir.Div):
+			if b != 0 {
+				r = a / b
+			}
+		case uint8(ir.Rem):
+			if b != 0 {
+				r = a % b
+			}
+		case uint8(ir.And):
+			r = a & b
+		case uint8(ir.Or):
+			r = a | b
+		case uint8(ir.Xor):
+			r = a ^ b
+		case uint8(ir.Shl):
+			r = a << (b & 31)
+		case uint8(ir.Shr):
+			r = a >> (b & 31)
+		case uint8(ir.Eq):
+			if a == b {
+				r = 1
+			}
+		case uint8(ir.Ne):
+			if a != b {
+				r = 1
+			}
+		case uint8(ir.Lt):
+			if a < b {
+				r = 1
+			}
+		case uint8(ir.Le):
+			if a <= b {
+				r = 1
+			}
+		case uint8(ir.Gt):
+			if a > b {
+				r = 1
+			}
+		case uint8(ir.Ge):
+			if a >= b {
+				r = 1
+			}
+		case kAlloca:
+			r = localBase + op.imm
+		case kIndex:
+			r = a + b*op.imm
+		}
+		regs[op.dst] = r
+	}
+}
+
+// makePureRun wraps a micro-op run as one superinstruction step. The
+// fast path batches all n instruction prologues into a single clock
+// advance — legal because nothing in the run can observe the clock —
+// and the exact path (taken while an injection is armed, when the
+// per-instruction trigger point matters) replays the interpreter's
+// step-by-step prologue around each op.
+func makePureRun(ops []microOp) stepFn {
+	n := uint64(len(ops))
+	return func(e *mach.Env) error {
+		regs, lb := (*[regFile]uint32)(e.Regs()), e.LocalBase()
+		if e.StepN(n) {
+			runMicro(ops, regs, lb)
+			return nil
+		}
+		for i := range ops {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			runMicro(ops[i:i+1], regs, lb)
+		}
+		return nil
+	}
+}
+
+// valFn evaluates one (possibly impure) operand at run time.
+type valFn func(e *mach.Env) (uint32, error)
+
+// xc is the per-variant translation context. e is used at translation
+// time only (code-address and alloca-offset resolution); translated
+// closures must never capture it — they receive the live activation's
+// Env at run time.
+type xc struct {
+	e     *mach.Env
+	priv  bool
+	certs []byte
+	bidx  map[*ir.Block]int
+
+	base     int               // fn.NumRegs(): first extended-file slot
+	ext      []uint32          // constant-pool initial values
+	extIdx   map[uint32]uint16 // constant value -> pool slot
+	paramReg [4]int32          // param index -> pool slot, -1 unassigned
+}
+
+// constReg interns a constant into the extended register file.
+func (c *xc) constReg(v uint32) uint16 {
+	if r, ok := c.extIdx[v]; ok {
+		return r
+	}
+	r := uint16(c.base + len(c.ext))
+	c.ext = append(c.ext, v)
+	c.extIdx[v] = r
+	return r
+}
+
+// paramSlot interns register-passed parameter i; run installs its
+// value over the reserved pool slot at activation entry.
+func (c *xc) paramSlot(i int) uint16 {
+	if c.paramReg[i] >= 0 {
+		return uint16(c.paramReg[i])
+	}
+	r := uint16(c.base + len(c.ext))
+	c.ext = append(c.ext, 0)
+	c.paramReg[i] = int32(r)
+	return r
+}
+
+// translate builds the (priv, certs) variant of fn. Functions with
+// shapes the translator does not handle fall back to the interpreter
+// wholesale — never per-instruction, so the cycle structure of a
+// translated activation is always all-or-nothing.
+func translate(e *mach.Env, fn *ir.Function, priv bool, certs []byte) *prog {
+	fallback := &prog{priv: priv, certs: certs, interp: true}
+	if len(fn.Blocks) == 0 || fn.NumRegs() > regFile {
+		return fallback
+	}
+	p := &prog{priv: priv, certs: certs, base: fn.NumRegs()}
+	c := &xc{
+		e: e, priv: priv, certs: certs,
+		bidx:     make(map[*ir.Block]int, len(fn.Blocks)),
+		base:     p.base,
+		extIdx:   make(map[uint32]uint16),
+		paramReg: [4]int32{-1, -1, -1, -1},
+	}
+	for i, b := range fn.Blocks {
+		c.bidx[b] = i
+	}
+	p.blocks = make([]block, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		tb, ok := c.block(b)
+		if !ok {
+			return fallback
+		}
+		p.blocks[i] = tb
+	}
+	if c.base+len(c.ext) > regFile {
+		// Registers plus pool overflow the fixed regFile window; the
+		// closures built above hold truncated uint8 indices and are
+		// discarded unrun.
+		return fallback
+	}
+	p.ext = c.ext
+	for i, r := range c.paramReg {
+		if r >= 0 {
+			p.params = append(p.params, paramCopy{slot: uint16(r), idx: uint8(i)})
+		}
+	}
+	return p
+}
+
+// block compiles one basic block: pure runs are accumulated into
+// micro-op superinstructions, impure instructions become dedicated
+// closures, and the block's last comparison fuses into a conditional
+// terminator when possible.
+func (c *xc) block(b *ir.Block) (block, bool) {
+	instrs := b.Instrs
+
+	// Compare+branch fusion: a pure OpBin that is the block's last
+	// instruction and the conditional terminator's condition executes
+	// inside the terminator closure (still writing its register, for
+	// any later uses of the value).
+	var fuseCmp *ir.Instr
+	if b.Term.Op == ir.TermCondBr && len(instrs) > 0 {
+		if ci, ok := b.Term.Cond.(*ir.Instr); ok && ci == instrs[len(instrs)-1] && ci.Op == ir.OpBin {
+			if _, aok := c.pureSrc(ci.Args[0]); aok {
+				if _, bok := c.pureSrc(ci.Args[1]); bok {
+					fuseCmp = ci
+					instrs = instrs[:len(instrs)-1]
+				}
+			}
+		}
+	}
+
+	var steps []stepFn
+	var pend []microOp
+	flush := func() {
+		if len(pend) > 0 {
+			steps = append(steps, makePureRun(pend))
+			pend = nil
+		}
+	}
+	for i := 0; i < len(instrs); {
+		if s, n := c.peephole(instrs[i:]); s != nil {
+			flush()
+			steps = append(steps, s)
+			i += n
+			continue
+		}
+		in := instrs[i]
+		if op, ok := c.micro(in); ok {
+			pend = append(pend, op)
+			i++
+			continue
+		}
+		s := c.step(in)
+		if s == nil {
+			return block{}, false
+		}
+		flush()
+		steps = append(steps, s)
+		i++
+	}
+	flush()
+
+	term := c.term(b, fuseCmp)
+	if term == nil {
+		return block{}, false
+	}
+	return block{steps: steps, term: term}, true
+}
+
+// pureSrc resolves a pure operand to its extended-register index,
+// reporting !ok for operand kinds whose evaluation has side effects.
+func (c *xc) pureSrc(v ir.Value) (uint16, bool) {
+	switch v := v.(type) {
+	case ir.Const:
+		return c.constReg(v.V), true
+	case *ir.Instr:
+		return uint16(v.ID()), true
+	case *ir.Param:
+		if v.Index < 4 {
+			return c.paramSlot(v.Index), true
+		}
+	case *ir.Function:
+		return c.constReg(c.e.FuncAddr(v)), true
+	}
+	return 0, false
+}
+
+// val compiles an operand accessor, pure or impure. A nil return means
+// the operand kind is untranslatable.
+func (c *xc) val(v ir.Value) valFn {
+	switch v := v.(type) {
+	case ir.Const:
+		k := v.V
+		return func(*mach.Env) (uint32, error) { return k, nil }
+	case *ir.Instr:
+		id := v.ID()
+		return func(e *mach.Env) (uint32, error) { return e.Reg(id), nil }
+	case *ir.Param:
+		idx := v.Index
+		if idx < 4 {
+			return func(e *mach.Env) (uint32, error) { return e.Args()[idx], nil }
+		}
+		return func(e *mach.Env) (uint32, error) { return e.SpilledArg(idx) }
+	case *ir.Global:
+		return func(e *mach.Env) (uint32, error) { return e.GlobalAddr(v) }
+	case *ir.Function:
+		k := c.e.FuncAddr(v)
+		return func(*mach.Env) (uint32, error) { return k, nil }
+	}
+	return nil
+}
+
+// vals compiles a call's operand list; nil means untranslatable.
+func (c *xc) vals(vs []ir.Value) []valFn {
+	fns := make([]valFn, len(vs))
+	for i, v := range vs {
+		if fns[i] = c.val(v); fns[i] == nil {
+			return nil
+		}
+	}
+	return fns
+}
+
+// micro lowers a side-effect-free instruction with pure operands to a
+// micro-op.
+func (c *xc) micro(in *ir.Instr) (microOp, bool) {
+	op := microOp{dst: uint8(in.ID())}
+	switch in.Op {
+	case ir.OpBin:
+		a, ok := c.pureSrc(in.Args[0])
+		if !ok {
+			return microOp{}, false
+		}
+		b, ok := c.pureSrc(in.Args[1])
+		if !ok {
+			return microOp{}, false
+		}
+		op.kind, op.a, op.b = uint8(in.Kind), uint8(a), uint8(b)
+	case ir.OpAlloca:
+		op.kind, op.imm = kAlloca, uint32(c.e.AllocaOff(in.ID()))
+	case ir.OpFieldAddr:
+		a, ok := c.pureSrc(in.Args[0])
+		if !ok {
+			return microOp{}, false
+		}
+		op.kind, op.a, op.b = uint8(ir.Add), uint8(a), uint8(c.constReg(uint32(in.Off)))
+	case ir.OpIndexAddr:
+		a, ok := c.pureSrc(in.Args[0])
+		if !ok {
+			return microOp{}, false
+		}
+		b, ok := c.pureSrc(in.Args[1])
+		if !ok {
+			return microOp{}, false
+		}
+		op.kind, op.a, op.b, op.imm = kIndex, uint8(a), uint8(b), uint32(in.Off)
+	default:
+		return microOp{}, false
+	}
+	return op, true
+}
+
+// loader binds an instruction's load path at translation time: proven
+// (certificate-elided) or fully adjudicated. The proven binding still
+// honors the DisableProofs kill switch dynamically inside LoadProven.
+func (c *xc) loader(id int) func(*mach.Env, uint32, int) (uint32, error) {
+	if !c.priv && rowHas(c.certs, id, mach.CertLoad) {
+		return (*mach.Env).LoadProven
+	}
+	return (*mach.Env).Load
+}
+
+// storer is loader's store counterpart.
+func (c *xc) storer(id int) func(*mach.Env, uint32, int, uint32) error {
+	if !c.priv && rowHas(c.certs, id, mach.CertStore) {
+		return (*mach.Env).StoreProven
+	}
+	return (*mach.Env).Store
+}
+
+func rowHas(row []byte, id int, bit byte) bool {
+	return row != nil && uint(id) < uint(len(row)) && row[id]&bit != 0
+}
+
+// peephole recognizes the load+bin+store shape (a read-modify-write on
+// pure addresses) and fuses it into one closure: three exact step
+// prologues, one dispatch.
+func (c *xc) peephole(ins []*ir.Instr) (stepFn, int) {
+	if len(ins) < 3 {
+		return nil, 0
+	}
+	ld, bin, st := ins[0], ins[1], ins[2]
+	if ld.Op != ir.OpLoad || bin.Op != ir.OpBin || st.Op != ir.OpStore {
+		return nil, 0
+	}
+	if st.Args[1] != ir.Value(bin) {
+		return nil, 0
+	}
+	la, ok := c.pureSrc(ld.Args[0])
+	if !ok {
+		return nil, 0
+	}
+	sa, ok := c.pureSrc(st.Args[0])
+	if !ok {
+		return nil, 0
+	}
+	// Each bin operand is either the just-loaded value or pure; the
+	// load's register is written before the bin reads it, so plain
+	// pure sources cover both cases.
+	ba, ok := c.pureSrc(bin.Args[0])
+	if !ok {
+		return nil, 0
+	}
+	bb, ok := c.pureSrc(bin.Args[1])
+	if !ok {
+		return nil, 0
+	}
+	load, store := c.loader(ld.ID()), c.storer(st.ID())
+	lid, bid := ld.ID(), bin.ID()
+	lsize, ssize := ld.Typ.Size(), st.Typ.Size()
+	kind := bin.Kind
+	return func(e *mach.Env) error {
+		if err := e.Step(); err != nil {
+			return err
+		}
+		regs := e.Regs()
+		v, err := load(e, regs[la], lsize)
+		if err != nil {
+			return err
+		}
+		regs[lid] = v
+		if err := e.Step(); err != nil {
+			return err
+		}
+		r := mach.EvalBin(kind, regs[ba], regs[bb])
+		regs[bid] = r
+		if err := e.Step(); err != nil {
+			return err
+		}
+		return store(e, regs[sa], ssize, r)
+	}, 3
+}
+
+// step compiles one impure instruction to a closure. Every closure
+// begins with the exact per-instruction prologue (injection trigger +
+// CostInstr), then routes the architected effect through Env.
+func (c *xc) step(in *ir.Instr) stepFn {
+	switch in.Op {
+	case ir.OpBin:
+		af, bf := c.val(in.Args[0]), c.val(in.Args[1])
+		if af == nil || bf == nil {
+			return nil
+		}
+		id, kind := in.ID(), in.Kind
+		return func(e *mach.Env) error {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			a, err := af(e)
+			if err != nil {
+				return err
+			}
+			b, err := bf(e)
+			if err != nil {
+				return err
+			}
+			e.SetReg(id, mach.EvalBin(kind, a, b))
+			return nil
+		}
+
+	case ir.OpFieldAddr:
+		af := c.val(in.Args[0])
+		if af == nil {
+			return nil
+		}
+		id, off := in.ID(), uint32(in.Off)
+		return func(e *mach.Env) error {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			base, err := af(e)
+			if err != nil {
+				return err
+			}
+			e.SetReg(id, base+off)
+			return nil
+		}
+
+	case ir.OpIndexAddr:
+		af, bf := c.val(in.Args[0]), c.val(in.Args[1])
+		if af == nil || bf == nil {
+			return nil
+		}
+		id, scale := in.ID(), uint32(in.Off)
+		return func(e *mach.Env) error {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			base, err := af(e)
+			if err != nil {
+				return err
+			}
+			idx, err := bf(e)
+			if err != nil {
+				return err
+			}
+			e.SetReg(id, base+idx*scale)
+			return nil
+		}
+
+	case ir.OpLoad:
+		af := c.val(in.Args[0])
+		if af == nil {
+			return nil
+		}
+		load := c.loader(in.ID())
+		id, size := in.ID(), in.Typ.Size()
+		return func(e *mach.Env) error {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			addr, err := af(e)
+			if err != nil {
+				return err
+			}
+			v, err := load(e, addr, size)
+			if err != nil {
+				return err
+			}
+			e.SetReg(id, v)
+			return nil
+		}
+
+	case ir.OpStore:
+		af, vf := c.val(in.Args[0]), c.val(in.Args[1])
+		if af == nil || vf == nil {
+			return nil
+		}
+		store := c.storer(in.ID())
+		size := in.Typ.Size()
+		return func(e *mach.Env) error {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			addr, err := af(e)
+			if err != nil {
+				return err
+			}
+			v, err := vf(e)
+			if err != nil {
+				return err
+			}
+			return store(e, addr, size, v)
+		}
+
+	case ir.OpCall:
+		afs := c.vals(in.Args)
+		if afs == nil {
+			return nil
+		}
+		callee, id := in.Fn, in.ID()
+		return func(e *mach.Env) error {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			args := e.ArgBuf(len(afs))
+			for i, af := range afs {
+				v, err := af(e)
+				if err != nil {
+					return err
+				}
+				args[i] = v
+			}
+			ret, err := e.Call(callee, args)
+			if err != nil {
+				return err
+			}
+			e.SetReg(id, ret)
+			return nil
+		}
+
+	case ir.OpICall:
+		tf := c.val(in.Args[0])
+		afs := c.vals(in.Args[1:])
+		if tf == nil || afs == nil {
+			return nil
+		}
+		id := in.ID()
+		return func(e *mach.Env) error {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			target, err := tf(e)
+			if err != nil {
+				return err
+			}
+			callee, err := e.ICallee(target)
+			if err != nil {
+				return err
+			}
+			args := e.ArgBuf(len(afs))
+			for i, af := range afs {
+				v, err := af(e)
+				if err != nil {
+					return err
+				}
+				args[i] = v
+			}
+			ret, err := e.Call(callee, args)
+			if err != nil {
+				return err
+			}
+			e.SetReg(id, ret)
+			return nil
+		}
+
+	case ir.OpSvc:
+		afs := c.vals(in.Args)
+		if afs == nil {
+			return nil
+		}
+		entry, id := in.Fn, in.ID()
+		return func(e *mach.Env) error {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			args := e.ArgBuf(len(afs))
+			for i, af := range afs {
+				v, err := af(e)
+				if err != nil {
+					return err
+				}
+				args[i] = v
+			}
+			ret, err := e.Svc(entry, args)
+			if err != nil {
+				return err
+			}
+			e.SetReg(id, ret)
+			return nil
+		}
+
+	case ir.OpHalt:
+		return func(e *mach.Env) error {
+			if err := e.Step(); err != nil {
+				return err
+			}
+			return e.Halt()
+		}
+	}
+	return nil
+}
+
+// term compiles a block terminator. fuseCmp, when non-nil, is the
+// block's trailing pure comparison, executed inside the conditional
+// branch (the cmp+branch superinstruction).
+func (c *xc) term(b *ir.Block, fuseCmp *ir.Instr) termFn {
+	t := b.Term
+	switch t.Op {
+	case ir.TermBr:
+		next := c.bidx[t.Succs[0]]
+		return func(e *mach.Env) (int, uint32, bool, error) {
+			e.TermStep()
+			return next, 0, false, nil
+		}
+
+	case ir.TermCondBr:
+		tIdx, fIdx := c.bidx[t.Succs[0]], c.bidx[t.Succs[1]]
+		if fuseCmp != nil {
+			a, _ := c.pureSrc(fuseCmp.Args[0])
+			bv, _ := c.pureSrc(fuseCmp.Args[1])
+			kind, cid := fuseCmp.Kind, fuseCmp.ID()
+			return func(e *mach.Env) (int, uint32, bool, error) {
+				if err := e.Step(); err != nil { // the comparison's own prologue
+					return 0, 0, false, err
+				}
+				regs := e.Regs()
+				cv := mach.EvalBin(kind, regs[a], regs[bv])
+				regs[cid] = cv
+				e.TermStep()
+				if cv != 0 {
+					return tIdx, 0, false, nil
+				}
+				return fIdx, 0, false, nil
+			}
+		}
+		cf := c.val(t.Cond)
+		if cf == nil {
+			return nil
+		}
+		return func(e *mach.Env) (int, uint32, bool, error) {
+			e.TermStep()
+			cv, err := cf(e)
+			if err != nil {
+				return 0, 0, false, err
+			}
+			if cv != 0 {
+				return tIdx, 0, false, nil
+			}
+			return fIdx, 0, false, nil
+		}
+
+	case ir.TermRet:
+		if t.Val == nil {
+			return func(e *mach.Env) (int, uint32, bool, error) {
+				e.TermStep()
+				return 0, 0, true, nil
+			}
+		}
+		vf := c.val(t.Val)
+		if vf == nil {
+			return nil
+		}
+		return func(e *mach.Env) (int, uint32, bool, error) {
+			e.TermStep()
+			v, err := vf(e)
+			if err != nil {
+				return 0, 0, false, err
+			}
+			return 0, v, true, nil
+		}
+	}
+	return nil
+}
