@@ -19,6 +19,8 @@
 //	opec-bench -exp inject -seed 1 -policy restart
 //	opec-bench -exp inject -quick -assert-contained
 //	opec-bench -exp inject -quick -inject-engine diff
+//	opec-bench -exp fuzz -quick -fuzz-budget 2000 -assert-contained
+//	opec-bench -exp fuzz -quick -fuzz-random
 //	opec-bench -exp bench -benchjson BENCH_mach.json
 //	opec-bench -validate BENCH_mach.json
 package main
@@ -33,12 +35,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | profile | inject | bench | all")
+	exp := flag.String("exp", "all", "table1 | figure9 | table2 | figure10 | figure11 | table3 | casestudy | profile | inject | fuzz | bench | all")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	parallel := flag.Int("parallel", 0, "max concurrent per-app jobs (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "fault-injection campaign seed (-exp inject)")
 	policy := flag.String("policy", "abort", "recovery policy for -exp inject: abort | restart | quarantine")
-	assertContained := flag.Bool("assert-contained", false, "with -exp inject: exit non-zero unless every OPEC trial is contained")
+	assertContained := flag.Bool("assert-contained", false, "with -exp inject/fuzz: exit non-zero unless every OPEC trial is contained")
+	fuzzBudget := flag.Int("fuzz-budget", opec.FuzzBudget, "fuzz inputs to execute (-exp fuzz); -seed seeds the campaign")
+	fuzzRandom := flag.Bool("fuzz-random", false, "with -exp fuzz: ablate coverage guidance (same mutators, corpus frozen at the seeds)")
 	injectEngine := flag.String("inject-engine", "fork", "trial engine for -exp inject: fork (boot once per row, fork every trial) | boot (power-on per trial) | diff (run both, exit non-zero unless byte-identical)")
 	benchjson := flag.String("benchjson", "", "write the simulator-throughput baseline (BENCH_mach.json) to this file; implies -exp bench unless another experiment is named")
 	validate := flag.String("validate", "", "validate an existing BENCH_mach.json and exit")
@@ -175,6 +179,30 @@ func main() {
 				}
 			}
 			fmt.Println("assert-contained: every OPEC trial contained")
+		}
+		ran = true
+	}
+	// Not part of -exp all: a fuzzing campaign's cost is set by its
+	// budget, not the sweep's shape.
+	if strings.EqualFold(*exp, "fuzz") {
+		pol, err := opec.ParsePolicy(*policy)
+		fail(err)
+		rep, err := h.Fuzz(scale, *seed, *fuzzBudget, *fuzzRandom, pol, *backend)
+		fail(err)
+		fmt.Print(opec.RenderFuzz(rep))
+		quickFlag := ""
+		if *quick {
+			quickFlag = " -quick"
+		}
+		if len(rep.Findings) > 0 {
+			fmt.Printf("  replay any finding: opec-run -app %s -mode opec%s -max-cycles %d -replay '%s@<spec>'\n",
+				rep.App, quickFlag, rep.TrialCycles, rep.SnapshotID)
+		}
+		if *assertContained {
+			if n := rep.Escapes(); n > 0 {
+				fail(fmt.Errorf("fuzz: %d of %d inputs escaped isolation", n, rep.Inputs))
+			}
+			fmt.Println("assert-contained: every fuzz input contained")
 		}
 		ran = true
 	}

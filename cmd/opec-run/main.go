@@ -61,6 +61,7 @@ func main() {
 	injectSpec := flag.String("inject", "", "replay one fault-injection trial (kind:func:n:target:off:bit:value[:args])")
 	replaySpec := flag.String("replay", "", "replay one fork-engine campaign trial from '<snapshot-id>@<spec>'")
 	policy := flag.String("policy", "abort", "recovery policy under -inject/-replay: abort | restart | quarantine")
+	maxCycles := flag.Uint64("max-cycles", 0, "cycle budget for -inject/-replay trials (0 = unlimited); fuzzing campaigns print their trial budget, and replaying a hung finding needs the same budget to reproduce its verdict")
 	backend := flag.String("backend", "", "execution backend: interp | xlat (default: OPEC_MACH_BACKEND, else interp); results are byte-identical, only wall-clock differs")
 	flag.Parse()
 
@@ -90,11 +91,11 @@ func main() {
 	}
 
 	if *injectSpec != "" {
-		replayTrial(app, *mode, *injectSpec, *policy)
+		replayTrial(app, *mode, *injectSpec, *policy, *maxCycles)
 		return
 	}
 	if *replaySpec != "" {
-		replayFromSnapshot(app, *mode, *replaySpec, *policy)
+		replayFromSnapshot(app, *mode, *replaySpec, *policy, *maxCycles)
 		return
 	}
 	inst := app.New()
@@ -259,7 +260,7 @@ func mustCompileACES(inst *opec.Instance, s opec.Strategy) *opec.ACESBuild {
 
 // replayTrial runs one fault-injection trial and reports its verdict;
 // an uncontained verdict (escape or monitor crash) exits non-zero.
-func replayTrial(app *opec.App, mode, specText, policy string) {
+func replayTrial(app *opec.App, mode, specText, policy string, maxCycles uint64) {
 	spec, err := opec.ParseInjectSpec(specText)
 	fail(err)
 	pol, err := opec.ParsePolicy(policy)
@@ -268,13 +269,13 @@ func replayTrial(app *opec.App, mode, specText, policy string) {
 	var out opec.InjectOutcome
 	switch strings.ToLower(mode) {
 	case "opec":
-		out, err = opec.InjectOPEC(app, spec, pol, 0)
+		out, err = opec.InjectOPEC(app, spec, pol, maxCycles)
 	case "aces1":
-		out, err = opec.InjectACES(app, spec, opec.ACES1, 0)
+		out, err = opec.InjectACES(app, spec, opec.ACES1, maxCycles)
 	case "aces2":
-		out, err = opec.InjectACES(app, spec, opec.ACES2, 0)
+		out, err = opec.InjectACES(app, spec, opec.ACES2, maxCycles)
 	case "aces3":
-		out, err = opec.InjectACES(app, spec, opec.ACES3, 0)
+		out, err = opec.InjectACES(app, spec, opec.ACES3, maxCycles)
 	default:
 		err = fmt.Errorf("mode %q does not support -inject (want opec | aces1 | aces2 | aces3)", mode)
 	}
@@ -287,7 +288,7 @@ func replayTrial(app *opec.App, mode, specText, policy string) {
 // workload, verify the checkpoint hashes to the recorded id, fork the
 // single trial. The '@' separator keeps the coordinate unambiguous —
 // specs use ':' internally.
-func replayFromSnapshot(app *opec.App, mode, coord, policy string) {
+func replayFromSnapshot(app *opec.App, mode, coord, policy string, maxCycles uint64) {
 	id, specText, ok := strings.Cut(coord, "@")
 	if !ok || id == "" || specText == "" {
 		fail(fmt.Errorf("-replay wants '<snapshot-id>@<spec>', got %q", coord))
@@ -311,7 +312,7 @@ func replayFromSnapshot(app *opec.App, mode, coord, policy string) {
 		fail(fmt.Errorf("snapshot id mismatch: rebuilt checkpoint is %s, coordinate names %s (different workload scale or build?)", got, id))
 	}
 
-	out, err := forge.Run(spec, pol, 0)
+	out, err := forge.Run(spec, pol, maxCycles)
 	fail(err)
 	fmt.Printf("replayed from snapshot %s\n", id)
 	reportTrial(app, mode, spec, out)

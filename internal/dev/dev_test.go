@@ -243,6 +243,116 @@ func TestEthMACFrames(t *testing.T) {
 	}
 }
 
+func TestEthMACQueueValidation(t *testing.T) {
+	clk := &mach.Clock{}
+	e := NewEthMAC(clk, 100)
+	e.QueueFrame(nil)
+	e.QueueFrame([]byte{})
+	e.QueueFrame(make([]byte, EthMaxFrame+1))
+	if e.QueueLen() != 0 || e.DroppedFrames != 3 {
+		t.Fatalf("invalid frames queued: len=%d dropped=%d", e.QueueLen(), e.DroppedFrames)
+	}
+	e.QueueFrame(make([]byte, EthMaxFrame)) // exactly at the cap: accepted
+	e.QueueFrame([]byte{1})
+	if e.QueueLen() != 2 || e.DroppedFrames != 3 {
+		t.Errorf("valid frames rejected: len=%d dropped=%d", e.QueueLen(), e.DroppedFrames)
+	}
+	qs := e.QueuedFrames()
+	if len(qs) != 2 || len(qs[0]) != EthMaxFrame || len(qs[1]) != 1 {
+		t.Errorf("QueuedFrames = %d frames", len(qs))
+	}
+	qs[1][0] = 99 // copies: mutating the snapshot must not touch the queue
+	if e.rxQueue[1][0] != 1 {
+		t.Error("QueuedFrames aliases the live queue")
+	}
+}
+
+func TestEthMACReplaceFrame(t *testing.T) {
+	clk := &mach.Clock{}
+	e := NewEthMAC(clk, 100)
+	e.QueueFrame([]byte{1, 2, 3, 4})
+	e.QueueFrame([]byte{5, 6, 7, 8})
+	if e.ReplaceFrame(-1, []byte{9}) || e.ReplaceFrame(2, []byte{9}) {
+		t.Error("out-of-range slot replaced")
+	}
+	if e.ReplaceFrame(0, nil) || e.ReplaceFrame(0, make([]byte, EthMaxFrame+1)) {
+		t.Error("invalid frame accepted")
+	}
+	// Partially drain frame 0, then replace it: the FIFO cursor must
+	// rewind so the guest reads the new frame from its start.
+	clk.Advance(100)
+	e.Load(EthRXFIFO, 4)
+	src := []byte{0xAA, 0xBB}
+	if !e.ReplaceFrame(0, src) {
+		t.Fatal("valid replacement rejected")
+	}
+	src[0] = 0 // replacement must have copied
+	if w := e.Load(EthRXFIFO, 4); w != 0xBBAA {
+		t.Errorf("FIFO after replace = %#x, want 0xBBAA", w)
+	}
+	if !e.ReplaceFrame(1, []byte{9}) || e.rxQueue[1][0] != 9 {
+		t.Error("replacement of queued frame failed")
+	}
+}
+
+func TestEthMACTxLenClamp(t *testing.T) {
+	clk := &mach.Clock{}
+	e := NewEthMAC(clk, 100)
+	// A hostile guest programs a huge TX length; the MAC clamps to its
+	// FIFO capacity instead of sizing a host allocation from it.
+	e.Store(EthTXLEN, 4, 0xFFFF_FFFF)
+	e.Store(EthTXFIFO, 4, 0x04030201)
+	e.Store(EthTXGO, 4, 1)
+	if len(e.TxFrames) != 1 || len(e.TxFrames[0]) != EthMaxFrame {
+		t.Fatalf("TX frame len = %d, want clamp to %d", len(e.TxFrames[0]), EthMaxFrame)
+	}
+	// Words pushed past the FIFO capacity fall off the end.
+	e.Store(EthTXLEN, 4, EthMaxFrame)
+	for i := 0; i < EthMaxFrame; i++ {
+		e.Store(EthTXFIFO, 4, uint32(i))
+	}
+	if len(e.txBuf) > EthMaxFrame+3 {
+		t.Errorf("TX FIFO grew to %d bytes", len(e.txBuf))
+	}
+}
+
+func TestEthMACUnknownRegsRAZWI(t *testing.T) {
+	clk := &mach.Clock{}
+	e := NewEthMAC(clk, 100)
+	e.QueueFrame([]byte{1, 2, 3, 4})
+	for _, off := range []uint32{0x1C, 0x100, 0x13FC} {
+		e.Store(off, 4, 0xDEADBEEF)
+		if v := e.Load(off, 4); v != 0 {
+			t.Errorf("unknown offset %#x reads %#x, want RAZ", off, v)
+		}
+	}
+	if e.QueueLen() != 1 || len(e.TxFrames) != 0 {
+		t.Error("unknown-offset writes perturbed MAC state")
+	}
+}
+
+// A load that starts inside the ETH window but runs past its end must
+// resolve to no target and raise a bus fault, not reach the device.
+func TestEthMACStraddleFaults(t *testing.T) {
+	clk := &mach.Clock{}
+	bus := mach.NewBus(1<<20, 64<<10, clk)
+	e := NewEthMAC(clk, 100)
+	if err := bus.Attach(e); err != nil {
+		t.Fatal(err)
+	}
+	end := e.Base() + e.Size()
+	if _, f := bus.Load(end-2, 4, true); f == nil || f.Kind != mach.FaultBus {
+		t.Errorf("straddling load fault = %v, want bus fault", f)
+	}
+	if f := bus.Store(end-2, 4, 0, true); f == nil || f.Kind != mach.FaultBus {
+		t.Errorf("straddling store fault = %v, want bus fault", f)
+	}
+	// Last fully in-window word is a normal RAZ/WI register access.
+	if _, f := bus.Load(end-4, 4, true); f != nil {
+		t.Errorf("in-window load faulted: %v", f)
+	}
+}
+
 func TestPacketBuilders(t *testing.T) {
 	valid := BuildTCPFrame(0x0A000001, 0x0A000002, 40000, 7, 5, 6, TCPPsh|TCPAck, []byte("echo me"))
 	payload, ok := ParseEchoPayload(valid)

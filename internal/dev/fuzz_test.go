@@ -1,0 +1,40 @@
+package dev
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseEchoPayload throws arbitrary bytes at the host-side frame
+// parser. Properties: no panic on any input (the parser reads
+// length fields out of attacker bytes), a failed parse returns no
+// payload, and a successful parse returns a payload that is exactly
+// the in-bounds tail the headers describe.
+func FuzzParseEchoPayload(f *testing.F) {
+	valid := BuildTCPFrame(0x0A000001, 0x0A000002, 40000, 7, 1, 1, TCPPsh|TCPAck, []byte("ping"))
+	f.Add(valid)
+	f.Add(CorruptChecksum(valid))
+	f.Add(BuildUDPFrame(0x0A000001, 0x0A000002, []byte("x")))
+	f.Add([]byte{})
+	f.Add(valid[:EthHeaderLen+IPHeaderLen]) // truncated mid-headers
+	short := append([]byte(nil), valid...)
+	short[EthHeaderLen+2] = 0xFF // IP total length past the frame end
+	short[EthHeaderLen+3] = 0xFF
+	f.Add(short)
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		payload, ok := ParseEchoPayload(frame)
+		if !ok {
+			if payload != nil {
+				t.Fatal("failed parse returned a payload")
+			}
+			return
+		}
+		if len(payload) > len(frame)-EthHeaderLen-IPHeaderLen-TCPHeaderLen {
+			t.Fatalf("payload of %d bytes from a %d-byte frame", len(payload), len(frame))
+		}
+		start := EthHeaderLen + IPHeaderLen + TCPHeaderLen
+		if !bytes.Equal(payload, frame[start:start+len(payload)]) {
+			t.Fatal("payload is not the frame tail the headers describe")
+		}
+	})
+}

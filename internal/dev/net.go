@@ -17,6 +17,12 @@ const (
 	EthTXGO   = 0x18 // write 1: transmit
 )
 
+// EthMaxFrame bounds every frame the MAC will accept, on either path:
+// host-queued receive frames and guest-programmed transmit lengths. A
+// real MAC has a fixed FIFO; modelling one keeps a hostile guest from
+// turning EthTXLEN into an arbitrary host allocation.
+const EthMaxFrame = 2048
+
 // EthMAC models the MAC with a scripted receive queue (cycle-paced
 // frame arrival) and captured transmit frames.
 type EthMAC struct {
@@ -31,6 +37,12 @@ type EthMAC struct {
 	txBuf []byte
 	// TxFrames collects every transmitted frame.
 	TxFrames [][]byte
+
+	// DroppedFrames counts host-queued frames rejected by validation
+	// (zero-length or over EthMaxFrame). Host-side diagnostics only —
+	// deliberately not part of the snapshot state, so probing the MAC
+	// with bad frames never perturbs fork determinism.
+	DroppedFrames int
 }
 
 // NewEthMAC creates the MAC with the given inter-frame pacing.
@@ -38,12 +50,47 @@ func NewEthMAC(clk *mach.Clock, interval uint64) *EthMAC {
 	return &EthMAC{Clk: clk, Interval: interval}
 }
 
-// QueueFrame schedules an incoming frame.
+// QueueFrame schedules an incoming frame. Zero-length and oversized
+// frames are dropped (counted in DroppedFrames): a frame the wire could
+// not carry must not reach the guest-visible register file, where
+// EthRXLEN would otherwise advertise a length the FIFO can't back.
 func (e *EthMAC) QueueFrame(frame []byte) {
+	if len(frame) == 0 || len(frame) > EthMaxFrame {
+		e.DroppedFrames++
+		return
+	}
 	if len(e.rxQueue) == 0 {
 		e.rxReadyAt = e.Clk.Now() + e.Interval
 	}
 	e.rxQueue = append(e.rxQueue, frame)
+}
+
+// QueueLen reports the number of frames still queued for receive.
+func (e *EthMAC) QueueLen() int { return len(e.rxQueue) }
+
+// QueuedFrames returns copies of the queued receive frames, in arrival
+// order — the fuzzing engine's seed corpus.
+func (e *EthMAC) QueuedFrames() [][]byte {
+	out := make([][]byte, len(e.rxQueue))
+	for i, f := range e.rxQueue {
+		out[i] = append([]byte(nil), f...)
+	}
+	return out
+}
+
+// ReplaceFrame swaps queued receive frame i for the given bytes,
+// subject to the same validation as QueueFrame. It reports whether the
+// replacement happened; out-of-range slots and invalid frames are
+// rejected. The frame is copied, so the caller's buffer may be reused.
+func (e *EthMAC) ReplaceFrame(i int, frame []byte) bool {
+	if i < 0 || i >= len(e.rxQueue) || len(frame) == 0 || len(frame) > EthMaxFrame {
+		return false
+	}
+	e.rxQueue[i] = append([]byte(nil), frame...)
+	if i == 0 {
+		e.rxPos = 0
+	}
+	return true
 }
 
 // Name, Base, Size implement mach.Device.
@@ -80,6 +127,9 @@ func (e *EthMAC) Load(off uint32, _ int) uint32 {
 		e.rxPos += 4
 		return w
 	}
+	// Unknown in-window offsets read as zero (RAZ), matching the UART's
+	// register-file convention. Accesses that straddle the device window
+	// never reach here: the bus resolves them to no target and faults.
 	return 0
 }
 
@@ -93,9 +143,20 @@ func (e *EthMAC) Store(off uint32, _ int, v uint32) {
 			e.rxReadyAt = e.Clk.Now() + e.Interval
 		}
 	case EthTXLEN:
+		// Clamp to the FIFO capacity: the guest programs a length, the
+		// hardware has EthMaxFrame bytes of buffer. An unclamped length
+		// would otherwise size a host allocation at EthTXGO.
+		if v > EthMaxFrame {
+			v = EthMaxFrame
+		}
 		e.txLen = int(v)
 		e.txBuf = e.txBuf[:0]
 	case EthTXFIFO:
+		// Words pushed past the FIFO capacity fall off the end (WI),
+		// like any full hardware FIFO.
+		if len(e.txBuf) >= EthMaxFrame {
+			return
+		}
 		var b [4]byte
 		binary.LittleEndian.PutUint32(b[:], v)
 		e.txBuf = append(e.txBuf, b[:]...)
@@ -106,6 +167,7 @@ func (e *EthMAC) Store(off uint32, _ int, v uint32) {
 			e.TxFrames = append(e.TxFrames, frame)
 		}
 	}
+	// Unknown in-window offsets are write-ignored (WI); see Load.
 }
 
 // ---- Host-side packet construction for the TCP-Echo workload ----
@@ -155,6 +217,18 @@ func BuildTCPFrame(srcIP, dstIP uint32, srcPort, dstPort uint16, seq, ack uint32
 	binary.BigEndian.PutUint16(tcp[14:], 0x2000) // window
 	copy(tcp[TCPHeaderLen:], payload)
 	return f
+}
+
+// FixChecksum recomputes the IP header checksum in place, when the
+// frame is long enough to carry one. Mutation-based fuzzers pair it
+// with field mutations: a frame that is malformed *and* checksum-valid
+// penetrates past the stack's validation into the TCP state machine.
+func FixChecksum(frame []byte) {
+	if len(frame) < EthHeaderLen+IPHeaderLen {
+		return
+	}
+	ip := frame[EthHeaderLen:]
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:IPHeaderLen]))
 }
 
 // CorruptChecksum flips the IP checksum, producing an invalid packet.

@@ -29,8 +29,10 @@ import (
 // with and without proof-guided MPU-check elision); v5 the snapshot
 // section (checkpoint-restore latency and fork-vs-boot campaign
 // throughput); v6 the backend section (threaded-code translation vs
-// interpreter A/B on the dispatch-bound sweep and every workload).
-const BenchSchema = "opec-bench/mach/v6"
+// interpreter A/B on the dispatch-bound sweep and every workload); v7
+// the fuzz section (coverage-guided campaign throughput plus the
+// guided-vs-random unique-edge inequality).
+const BenchSchema = "opec-bench/mach/v7"
 
 // BenchSchemes is the fixed execution-scheme order of the report.
 var BenchSchemes = []string{"vanilla", "opec", "aces"}
@@ -116,6 +118,35 @@ type BenchSnapshot struct {
 	Identical bool `json:"identical"`
 }
 
+// BenchFuzz is the adversarial-fuzzing section (schema v7): the
+// standard-shape campaign (FuzzSeed, FuzzBudget) against the quick
+// frame-queue workload, run guided and as the random ablation.
+// Campaigns are deterministic, so the recorded unique-edge counts are
+// facts of the (seed, budget) pair; only WallSeconds and InputsPerSec
+// vary between regenerations.
+type BenchFuzz struct {
+	App    string `json:"app"`
+	Seed   int64  `json:"seed"`
+	Inputs int    `json:"inputs"` // per campaign (guided and random alike)
+	// WallSeconds / InputsPerSec time the guided campaign, boot and
+	// calibration included, at the report's parallelism.
+	WallSeconds  float64 `json:"wall_seconds"`
+	InputsPerSec float64 `json:"inputs_per_sec"`
+	// UniqueEdgesGuided must exceed UniqueEdgesRandom — the
+	// coverage-feedback acceptance inequality; EdgeRatio is their
+	// quotient.
+	UniqueEdgesGuided int     `json:"unique_edges_guided"`
+	UniqueEdgesRandom int     `json:"unique_edges_random"`
+	EdgeRatio         float64 `json:"edge_ratio"`
+	// CorpusFrames/CorpusGates size the guided corpus after the run.
+	CorpusFrames int `json:"corpus_frames"`
+	CorpusGates  int `json:"corpus_gates"`
+	// Findings counts the guided campaign's non-clean trials; Escapes
+	// totals isolation escapes across both campaigns and must be zero.
+	Findings int `json:"findings"`
+	Escapes  int `json:"escapes"`
+}
+
 // BenchReport is the top-level BENCH_mach.json document.
 type BenchReport struct {
 	Schema      string            `json:"schema"`
@@ -136,6 +167,8 @@ type BenchReport struct {
 	Snapshot *BenchSnapshot `json:"snapshot"`
 	// Backend is the execution-backend A/B section (schema v6).
 	Backend *BenchBackend `json:"backend"`
+	// Fuzz is the adversarial-fuzzing section (schema v7).
+	Fuzz *BenchFuzz `json:"fuzz"`
 }
 
 // CollectBench measures simulator throughput at scale s. Workload runs
@@ -229,7 +262,52 @@ func CollectBench(s AppSet, parallel int) (*BenchReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench backend: %w", err)
 	}
+
+	fz, err := measureFuzz(parallel)
+	if err != nil {
+		return nil, fmt.Errorf("bench fuzz: %w", err)
+	}
+	rep.Fuzz = &fz
 	return rep, nil
+}
+
+// measureFuzz runs the standard-shape fuzzing campaign twice — guided,
+// then the random ablation — on the quick frame-queue workload, timing
+// the guided leg for throughput. Like the snapshot section, it always
+// runs at quick scale: the section measures the engine. The strict
+// guided>random inequality is validated by ValidateBenchReport, so a
+// baseline can only regenerate while coverage feedback still earns its
+// keep.
+func measureFuzz(parallel int) (BenchFuzz, error) {
+	h := NewHarness(parallel)
+	pol := monitor.Policy{}
+	start := time.Now()
+	guided, err := h.Fuzz(Quick, FuzzSeed, FuzzBudget, false, pol, "")
+	if err != nil {
+		return BenchFuzz{}, err
+	}
+	wall := time.Since(start).Seconds()
+	random, err := h.Fuzz(Quick, FuzzSeed, FuzzBudget, true, pol, "")
+	if err != nil {
+		return BenchFuzz{}, err
+	}
+	f := BenchFuzz{
+		App: guided.App, Seed: guided.Seed, Inputs: guided.Inputs,
+		WallSeconds:       wall,
+		UniqueEdgesGuided: guided.UniqueEdges,
+		UniqueEdgesRandom: random.UniqueEdges,
+		CorpusFrames:      guided.CorpusFrames,
+		CorpusGates:       guided.CorpusGates,
+		Findings:          guided.TotalFindings,
+		Escapes:           guided.Escapes() + random.Escapes(),
+	}
+	if wall > 0 {
+		f.InputsPerSec = float64(guided.Inputs) / wall
+	}
+	if random.UniqueEdges > 0 {
+		f.EdgeRatio = float64(guided.UniqueEdges) / float64(random.UniqueEdges)
+	}
+	return f, nil
 }
 
 // snapshotSweepConfig shapes the snapshot section's quick sweep: a
@@ -637,6 +715,26 @@ func ValidateBenchReport(data []byte) (*BenchReport, error) {
 		if !a.CyclesEqual {
 			return nil, fmt.Errorf("bench report: backend row %s: translation engine diverged from the interpreter", app.Name)
 		}
+	}
+
+	// Fuzz section (v7): the guided campaign must have run the standard
+	// shape with sane throughput, beaten the random ablation on unique
+	// edges (strictly — the coverage-feedback acceptance inequality),
+	// and contained every input.
+	if rep.Fuzz == nil {
+		return nil, fmt.Errorf("bench report: missing fuzz section")
+	}
+	fz := rep.Fuzz
+	if fz.App == "" || fz.Inputs <= 0 || fz.WallSeconds <= 0 || fz.InputsPerSec <= 0 ||
+		fz.UniqueEdgesGuided <= 0 || fz.UniqueEdgesRandom <= 0 || fz.Findings <= 0 {
+		return nil, fmt.Errorf("bench report: degenerate fuzz section: %+v", fz)
+	}
+	if fz.UniqueEdgesGuided <= fz.UniqueEdgesRandom {
+		return nil, fmt.Errorf("bench report: guided fuzzing found %d unique edges, random ablation %d — coverage feedback bought nothing",
+			fz.UniqueEdgesGuided, fz.UniqueEdgesRandom)
+	}
+	if fz.Escapes != 0 {
+		return nil, fmt.Errorf("bench report: fuzz campaigns recorded %d isolation escapes", fz.Escapes)
 	}
 
 	// Recovery section: at least two workloads must demonstrate a

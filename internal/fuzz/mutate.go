@@ -1,0 +1,161 @@
+package fuzz
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"opec/internal/dev"
+	"opec/internal/inject"
+)
+
+// Mutators are pure functions of (rng, input): every random draw comes
+// from the campaign's single seeded generator, consumed only between
+// execution barriers, so the mutation sequence is a function of the
+// seed and the merged corpus alone.
+
+// tcpFlagMenu is the flag-combination menu the flag mutator draws from:
+// legal handshake shapes, illegal combinations (SYN|FIN), and the
+// kitchen sink.
+var tcpFlagMenu = [...]byte{
+	0, dev.TCPSyn, dev.TCPFin, dev.TCPAck, dev.TCPPsh | dev.TCPAck,
+	dev.TCPSyn | dev.TCPFin, dev.TCPSyn | dev.TCPAck, 0xFF,
+}
+
+// mutateFrame returns a mutated copy of frame, always a frame the MAC
+// will accept (1..EthMaxFrame bytes) so no input is silently dropped at
+// the device. Half the mutators are destructive (bit flips, lies in
+// length fields, truncation — probing the parser's validation); half
+// are repair-style: they mutate a protocol field and then re-fix the IP
+// checksum, so the frame passes validation and carries its malformation
+// into the TCP state machine. Repair-style mutants are where guided
+// retention compounds — each retained mutant is a checksum-valid
+// beachhead for the next mutation.
+func mutateFrame(rng *rand.Rand, frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	tcpOff := dev.EthHeaderLen + dev.IPHeaderLen
+	deep := len(out) >= tcpOff+dev.TCPHeaderLen
+	switch rng.Intn(12) {
+	case 0: // single bit flip
+		i := rng.Intn(len(out))
+		out[i] ^= 1 << uint(rng.Intn(8))
+	case 1: // random byte
+		out[rng.Intn(len(out))] = byte(rng.Intn(256))
+	case 2: // truncate (fragmented delivery)
+		out = out[:1+rng.Intn(len(out))]
+	case 3: // extend with trailing garbage
+		n := 1 + rng.Intn(16)
+		for i := 0; i < n && len(out) < dev.EthMaxFrame; i++ {
+			out = append(out, byte(rng.Intn(256)))
+		}
+	case 4: // corrupt the IP header checksum
+		if off := dev.EthHeaderLen + 10; off < len(out) {
+			out[off] ^= byte(1 + rng.Intn(255))
+		} else {
+			out[rng.Intn(len(out))] ^= 0xFF
+		}
+	case 5: // lie in the IP total-length field (targets the parser's bounds)
+		if off := dev.EthHeaderLen + 2; off+1 < len(out) {
+			out[off] = byte(rng.Intn(256))
+			out[off+1] = byte(rng.Intn(256))
+		} else {
+			out[0] ^= 0xFF
+		}
+	case 6: // splice: delete an interior run
+		if len(out) > 2 {
+			i := rng.Intn(len(out) - 1)
+			j := i + 1 + rng.Intn(len(out)-i-1)
+			out = append(out[:i], out[j:]...)
+		} else {
+			out[0] = byte(rng.Intn(256))
+		}
+	case 7: // zero a 4-byte run (stuck-at-zero link)
+		i := rng.Intn(len(out))
+		for k := 0; k < 4 && i+k < len(out); k++ {
+			out[i+k] = 0
+		}
+	case 8: // repair: rewrite the TCP flags, keep the frame valid
+		if deep {
+			out[tcpOff+13] = tcpFlagMenu[rng.Intn(len(tcpFlagMenu))]
+			dev.FixChecksum(out)
+		} else {
+			out[rng.Intn(len(out))] ^= 0xFF
+		}
+	case 9: // repair: scramble sequence/ack numbers, keep the frame valid
+		if deep {
+			for i := 0; i < 8; i++ {
+				out[tcpOff+4+i] = byte(rng.Intn(256))
+			}
+			dev.FixChecksum(out)
+		} else {
+			out[0] = byte(rng.Intn(256))
+		}
+	case 10: // repair: mutate a payload byte, keep the frame valid
+		if deep && len(out) > tcpOff+dev.TCPHeaderLen {
+			i := tcpOff + dev.TCPHeaderLen + rng.Intn(len(out)-tcpOff-dev.TCPHeaderLen)
+			out[i] = byte(rng.Intn(256))
+			dev.FixChecksum(out)
+		} else {
+			out[len(out)-1] ^= byte(1 + rng.Intn(255))
+		}
+	case 11: // repair: resize the payload and keep headers consistent
+		if deep {
+			n := rng.Intn(48)
+			out = out[:tcpOff+dev.TCPHeaderLen]
+			for i := 0; i < n && len(out) < dev.EthMaxFrame; i++ {
+				out = append(out, byte('a'+i%26))
+			}
+			binary.BigEndian.PutUint16(out[dev.EthHeaderLen+2:],
+				uint16(dev.IPHeaderLen+dev.TCPHeaderLen+n))
+			dev.FixChecksum(out)
+		} else {
+			out = out[:1+rng.Intn(len(out))]
+		}
+	}
+	if len(out) == 0 {
+		out = []byte{0}
+	}
+	if len(out) > dev.EthMaxFrame {
+		out = out[:dev.EthMaxFrame]
+	}
+	return out
+}
+
+// gateBoundary holds the classic boundary values malformed-argument
+// probes cycle through.
+var gateBoundary = [...]uint32{0, 1, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF}
+
+// mutateGate returns a perturbed copy of a BadGate spec. entries and
+// nonEntries are the sorted retargeting candidates (real operation
+// entries taking arguments, and non-entry functions a forged SVC can
+// aim at).
+func mutateGate(rng *rand.Rand, s inject.Spec, entries, nonEntries []string) inject.Spec {
+	out := s
+	out.Args = append([]uint32(nil), s.Args...)
+	switch rng.Intn(4) {
+	case 0: // flip one argument bit
+		if len(out.Args) > 0 {
+			i := rng.Intn(len(out.Args))
+			out.Args[i] ^= 1 << uint(rng.Intn(32))
+		} else {
+			out.Args = []uint32{gateBoundary[rng.Intn(len(gateBoundary))]}
+		}
+	case 1: // boundary value
+		v := gateBoundary[rng.Intn(len(gateBoundary))]
+		if len(out.Args) > 0 {
+			out.Args[rng.Intn(len(out.Args))] = v
+		} else {
+			out.Args = []uint32{v}
+		}
+	case 2: // retarget the gate
+		pool := nonEntries
+		if rng.Intn(2) == 0 && len(entries) > 0 {
+			pool = entries
+		}
+		if len(pool) > 0 {
+			out.Target = pool[rng.Intn(len(pool))]
+		}
+	case 3: // fire at a later trigger entry
+		out.N = 1 + rng.Intn(3)
+	}
+	return out
+}

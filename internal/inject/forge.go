@@ -9,6 +9,7 @@ import (
 	"opec/internal/mach"
 	"opec/internal/monitor"
 	"opec/internal/run"
+	"opec/internal/trace"
 )
 
 // Forge is the boot-once/fork-many trial engine. A Forge compiles and
@@ -32,6 +33,12 @@ import (
 // trial.
 type Forge struct {
 	App *apps.App
+
+	// Backend selects the execution backend for every forked trial
+	// ("" = interpreter, "xlat" = threaded code). Set it before the
+	// first Run; trials are byte-identical either way, which is exactly
+	// what the fuzzing campaigns' cross-backend identity test asserts.
+	Backend string
 
 	inst *apps.Instance
 	opec *run.OPECContext // exactly one of opec/acesCtx is set
@@ -84,16 +91,41 @@ func (f *Forge) Reset() error {
 	return f.aces.Reset()
 }
 
+// Build returns the compiled OPEC build, nil for an ACES forge.
+func (f *Forge) Build() *core.Build {
+	if f.opec != nil {
+		return f.opec.B
+	}
+	return nil
+}
+
+// Instance returns the booted workload instance. Trials fork from a
+// checkpoint, so its device and memory state is the boot-time state —
+// the fuzzing engine reads its seed corpus (the scripted frame queue)
+// from here.
+func (f *Forge) Instance() *apps.Instance { return f.inst }
+
 // Run executes one trial from the checkpoint. A maxCycles of 0 keeps
 // the instance's own budget.
 func (f *Forge) Run(spec Spec, pol monitor.Policy, maxCycles uint64) (Outcome, error) {
 	if f.opec != nil {
-		return f.runOPEC(spec, pol, maxCycles)
+		return f.runOPEC(spec, pol, maxCycles, nil, false)
 	}
 	return f.runACES(spec, maxCycles)
 }
 
-func (f *Forge) runOPEC(spec Spec, pol monitor.Policy, maxCycles uint64) (out Outcome, err error) {
+// TraceRun is Run with an event trace attached to the forked trial
+// (the forked analogue of TraceOPEC). With cov set, the machine also
+// emits per-block coverage events into the trace — the fuzzing
+// engine's feedback channel. OPEC forges only.
+func (f *Forge) TraceRun(spec Spec, pol monitor.Policy, maxCycles uint64, buf *trace.Buffer, cov bool) (Outcome, error) {
+	if f.opec == nil {
+		return Outcome{}, fmt.Errorf("inject: TraceRun on an ACES forge")
+	}
+	return f.runOPEC(spec, pol, maxCycles, buf, cov)
+}
+
+func (f *Forge) runOPEC(spec Spec, pol monitor.Policy, maxCycles uint64, buf *trace.Buffer, cov bool) (out Outcome, err error) {
 	out.Spec = spec
 	b := f.opec.B
 	fire, state, err := buildFire(spec, f.inst, b.Board, nil)
@@ -115,6 +147,8 @@ func (f *Forge) runOPEC(spec Spec, pol monitor.Policy, maxCycles uint64) (out Ou
 	res, runErr := f.opec.Fork(run.Options{
 		Policy:    pol,
 		MaxCycles: maxCycles,
+		Backend:   f.Backend,
+		Trace:     buf,
 		Arm: func(m *mach.Machine) {
 			// Same arming as the power-on path (TraceOPEC): campaigns run
 			// fully adjudicated. The restore that preceded this call
@@ -122,6 +156,11 @@ func (f *Forge) runOPEC(spec Spec, pol monitor.Policy, maxCycles uint64) (out Ou
 			// after restore, is what keeps a later in-trial restart from
 			// resurrecting elision for the corrupted run.
 			m.InstallProofs(nil)
+			// The assignment (not a conditional set) matters: CovEvents is
+			// host-side machine state the snapshot doesn't rewind, so a
+			// coverage-traced trial must not leak the flag into the next
+			// plain trial on the same forge.
+			m.CovEvents = cov
 			m.Arm(&mach.Injection{Func: trigger, N: spec.N, Fire: fire})
 		},
 	})
@@ -135,6 +174,8 @@ func (f *Forge) runOPEC(spec Spec, pol monitor.Policy, maxCycles uint64) (out Ou
 			out.Restarts = res.Mon.Stats.Restarts
 			out.Quarantines = res.Mon.Stats.Quarantines
 			out.RestartCycles = res.Mon.Stats.RestartCycles
+			out.RejectNonEntry = res.Mon.Stats.GateRejectNonEntry
+			out.RejectQuarantined = res.Mon.Stats.GateRejectQuarantined
 		}
 	}
 	out.Verdict, out.Err = classify(state, out.Restarts+out.Quarantines, runErr, checkErr)
@@ -166,6 +207,7 @@ func (f *Forge) runACES(spec Spec, maxCycles uint64) (out Outcome, err error) {
 	}()
 	res, runErr := f.aces.Fork(run.Options{
 		MaxCycles: maxCycles,
+		Backend:   f.Backend,
 		Arm: func(m *mach.Machine) {
 			m.Arm(&mach.Injection{Func: trigger, N: spec.N, Fire: fire})
 		},

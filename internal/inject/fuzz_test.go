@@ -1,0 +1,60 @@
+package inject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecCodec drives the colon codec with arbitrary text: anything
+// that parses must re-encode to a fixed point of the syntax and decode
+// back to the identical Spec, and nothing may panic. The codec is the
+// replay boundary — every campaign finding crosses it twice (engine →
+// summary line → `opec-run -replay`), so a non-idempotent rendering
+// would silently replay a different trial than the one recorded.
+func FuzzSpecCodec(f *testing.F) {
+	seeds := []string{
+		"store:op_sense:1:KEY:0:0:0xdeadbeef",
+		"flip:op_sense:2:state:4:7:0",
+		"gate:main:1:op_actuate:0:0:0:0xffffffff,0xffffffff",
+		"stack:op_log:1:-:0:0:0",
+		"periph:op_net:3:ETH:16:0:0x1",
+		"frame:main:1:ETH:0:0:0x4:0x03020100",
+		"frame:main:1:ETH:2:0:0x9:0x64636261,0x68676665,0x69",
+		"gate:::0::0:0",
+		"store:f:1:g:4294967295:-1:0xffffffff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		enc := s.String()
+		s2, err := ParseSpec(enc)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", enc, text, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("codec not lossless: %q -> %#v -> %q -> %#v", text, s, enc, s2)
+		}
+		if enc2 := s2.String(); enc2 != enc {
+			t.Fatalf("encoding not a fixed point: %q -> %q", enc, enc2)
+		}
+		if s.Kind == FuzzFrame {
+			// A parsed frame spec need not be decodable (Value can claim
+			// more bytes than Args carry) but decoding must never panic,
+			// and a decodable frame must re-encode to the same payload.
+			frame, err := s.FrameBytes()
+			if err != nil {
+				return
+			}
+			rt := FrameSpec(s.Func, s.N, s.Target, int(s.Off), frame)
+			back, err := rt.FrameBytes()
+			if err != nil || !reflect.DeepEqual(back, frame) {
+				t.Fatalf("frame payload not preserved: %v -> %v (%v)", frame, back, err)
+			}
+		}
+	})
+}

@@ -28,6 +28,11 @@ type Outcome struct {
 	Quarantines uint64
 	// RestartCycles is the total modeled cost of the restarts.
 	RestartCycles uint64
+	// Gate rejections by reason during the trial (OPEC only) — the
+	// monitor's per-reason counters, surfaced per trial so campaigns can
+	// aggregate which defense answered each probe.
+	RejectNonEntry    uint64
+	RejectQuarantined uint64
 }
 
 // RunOPEC executes one trial under OPEC with the given recovery policy.
@@ -88,6 +93,8 @@ func TraceOPEC(app *apps.App, spec Spec, pol monitor.Policy, maxCycles uint64, b
 			out.Restarts = res.Mon.Stats.Restarts
 			out.Quarantines = res.Mon.Stats.Quarantines
 			out.RestartCycles = res.Mon.Stats.RestartCycles
+			out.RejectNonEntry = res.Mon.Stats.GateRejectNonEntry
+			out.RejectQuarantined = res.Mon.Stats.GateRejectQuarantined
 		}
 	}
 	out.Verdict, out.Err = classify(state, out.Restarts+out.Quarantines, runErr, checkErr)
@@ -238,6 +245,34 @@ func buildFire(spec Spec, inst *apps.Instance, board *mach.Board, ab *aces.Build
 		return func(m *mach.Machine) error {
 			st.fired = true
 			m.Bus.RawStore(p.Base+spec.Off, 4, spec.Value)
+			return nil
+		}, st, nil
+
+	case FuzzFrame, FuzzFrames:
+		segs, err := spec.FrameSegs()
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(m *mach.Machine) error {
+			// The hostile peer swaps queued receive frames for its own
+			// bytes. Never an error: a fire error would classify as
+			// CrashedMonitor, but a missing device, out-of-range slot or
+			// frame the MAC's validation rejects are all no-ops the wire
+			// could produce (the frame simply never arrives). `landed`
+			// stays false — whether the hostile frames escape is judged by
+			// what the stack then does with them, not by their delivery.
+			st.fired = true
+			for _, d := range m.Bus.Devices() {
+				if d.Name() != spec.Target {
+					continue
+				}
+				if r, ok := d.(interface{ ReplaceFrame(int, []byte) bool }); ok {
+					for _, seg := range segs {
+						r.ReplaceFrame(seg.Slot, seg.Data)
+					}
+				}
+				break
+			}
 			return nil
 		}, st, nil
 	}

@@ -35,9 +35,22 @@ const (
 	// PeriphCorrupt models peripheral register corruption (EMI/glitch):
 	// a raw write into a device register block.
 	PeriphCorrupt
+	// FuzzFrame models a hostile network peer: the queued receive frame
+	// at slot Off of device Target is replaced with attacker-controlled
+	// bytes before the stack reads it. Value is the frame length in
+	// bytes; Args carry the bytes packed little-endian, four per word —
+	// so the standard colon syntax round-trips arbitrary frames and the
+	// fuzzing engine's findings replay with `opec-run -replay`.
+	FuzzFrame
+	// FuzzFrames is FuzzFrame's multi-segment form: one trial rewrites
+	// several queued frames at once — the accumulated hostile scenarios
+	// coverage-guided search composes. Value is the segment count; Args
+	// carry, per segment, the slot, the byte length, and then the bytes
+	// packed little-endian, four per word.
+	FuzzFrames
 )
 
-var kindNames = [...]string{"store", "flip", "gate", "stack", "periph"}
+var kindNames = [...]string{"store", "flip", "gate", "stack", "periph", "frame", "frames"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -134,6 +147,91 @@ func (s Spec) String() string {
 		}
 	}
 	return b.String()
+}
+
+// FrameSpec builds a FuzzFrame spec carrying the given frame bytes,
+// fired at the n-th entry of trigger and aimed at receive-queue slot
+// `slot` of device target.
+func FrameSpec(trigger string, n int, target string, slot int, frame []byte) Spec {
+	args := make([]uint32, (len(frame)+3)/4)
+	for i, b := range frame {
+		args[i/4] |= uint32(b) << (8 * (i % 4))
+	}
+	return Spec{
+		Kind: FuzzFrame, Func: trigger, N: n, Target: target,
+		Off: uint32(slot), Value: uint32(len(frame)), Args: args,
+	}
+}
+
+// FrameBytes decodes a FuzzFrame spec's payload. It fails when Value
+// claims more bytes than Args carry — the one way the colon syntax can
+// describe an undecodable frame.
+func (s Spec) FrameBytes() ([]byte, error) {
+	n := int(s.Value)
+	if n < 0 || n > 4*len(s.Args) {
+		return nil, fmt.Errorf("inject: frame spec claims %d bytes, args carry %d", n, 4*len(s.Args))
+	}
+	frame := make([]byte, n)
+	for i := range frame {
+		frame[i] = byte(s.Args[i/4] >> (8 * (i % 4)))
+	}
+	return frame, nil
+}
+
+// FrameSeg is one frame replacement within a FuzzFrames trial.
+type FrameSeg struct {
+	Slot int
+	Data []byte
+}
+
+// MultiFrameSpec builds a FuzzFrames spec rewriting every given segment
+// in one trial.
+func MultiFrameSpec(trigger string, n int, target string, segs []FrameSeg) Spec {
+	var args []uint32
+	for _, seg := range segs {
+		args = append(args, uint32(seg.Slot), uint32(len(seg.Data)))
+		w := make([]uint32, (len(seg.Data)+3)/4)
+		for i, b := range seg.Data {
+			w[i/4] |= uint32(b) << (8 * (i % 4))
+		}
+		args = append(args, w...)
+	}
+	return Spec{
+		Kind: FuzzFrames, Func: trigger, N: n, Target: target,
+		Value: uint32(len(segs)), Args: args,
+	}
+}
+
+// FrameSegs decodes a frame-fuzzing spec's payload — a single segment
+// for FuzzFrame, the full list for FuzzFrames. It fails when the
+// claimed lengths outrun Args.
+func (s Spec) FrameSegs() ([]FrameSeg, error) {
+	if s.Kind == FuzzFrame {
+		data, err := s.FrameBytes()
+		if err != nil {
+			return nil, err
+		}
+		return []FrameSeg{{Slot: int(s.Off), Data: data}}, nil
+	}
+	args := s.Args
+	var segs []FrameSeg
+	for len(segs) < int(s.Value) {
+		if len(args) < 2 {
+			return nil, fmt.Errorf("inject: frames spec claims %d segments, args carry %d", s.Value, len(segs))
+		}
+		slot, n := int(args[0]), int(args[1])
+		w := (n + 3) / 4
+		if n < 0 || w < 0 || len(args) < 2+w {
+			return nil, fmt.Errorf("inject: frames spec segment %d claims %d bytes, args carry %d words", len(segs), n, len(args)-2)
+		}
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(args[2+i/4] >> (8 * (i % 4)))
+		}
+		segs = append(segs, FrameSeg{Slot: slot, Data: data})
+		args = args[2+w:]
+	}
+	return segs, nil
 }
 
 // ParseSpec parses the replay syntax produced by Spec.String.

@@ -47,7 +47,7 @@ func (fb *FuncBuilder) Arg(name string) *Param {
 
 // NewBlock appends a new basic block (not yet current).
 func (fb *FuncBuilder) NewBlock(name string) *Block {
-	b := &Block{Name: fmt.Sprintf("%s%d", name, len(fb.F.Blocks)), fn: fb.F}
+	b := &Block{Name: fmt.Sprintf("%s%d", name, len(fb.F.Blocks)), fn: fb.F, idx: len(fb.F.Blocks)}
 	fb.F.Blocks = append(fb.F.Blocks, b)
 	return b
 }

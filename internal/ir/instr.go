@@ -122,8 +122,13 @@ type Block struct {
 	Instrs []*Instr
 	Term   Term
 
-	fn *Function
+	fn  *Function
+	idx int
 }
+
+// Index returns the block's dense position in its function's Blocks
+// slice — the block identity the per-block coverage events carry.
+func (b *Block) Index() int { return b.idx }
 
 func (b *Block) String() string { return b.Name }
 

@@ -169,6 +169,17 @@ func (e *Env) TermStep() {
 // exactly as exec treats tick errors.
 func (e *Env) Tick() error { return e.m.tick() }
 
+// Block records the per-block coverage event for block index bi,
+// exactly as exec does after its tick (no-op unless the machine has a
+// trace attached with CovEvents set). A backend calls it between Tick
+// and the block body so the event's cycle stamp matches the
+// interpreter's.
+func (e *Env) Block(bi int) {
+	if m := e.m; m.Trace != nil && m.CovEvents {
+		m.emitBlock(e.fm.fn, bi)
+	}
+}
+
 // Load performs a fully adjudicated load.
 func (e *Env) Load(addr uint32, size int) (uint32, error) {
 	return e.m.loadChecked(addr, size)

@@ -124,6 +124,15 @@ type Machine struct {
 	// Install with AttachTrace so function names are pre-interned.
 	Trace *trace.Buffer
 
+	// CovEvents opts the traced run into per-block EvBranch events (one
+	// per basic block entered, after the block-boundary tick) — the
+	// branch-coverage feed the fuzzing engine folds into its edge map.
+	// Off by default: block events multiply trace volume and ordinary
+	// traced runs only need the call/gate/fault stream. Both execution
+	// backends emit the identical event sequence at identical cycles, so
+	// coverage-guided campaigns stay byte-identical across backends.
+	CovEvents bool
+
 	// traceIDs caches interned function-name ids by Function.Index(),
 	// filled by AttachTrace.
 	traceIDs []uint32
@@ -279,6 +288,17 @@ func (m *Machine) traceID(fn *ir.Function) uint32 {
 // Clock.Advance, so the event's Dur mirrors the architected cost.
 func (m *Machine) emitExc(kind trace.Kind, class uint32, cost uint64) {
 	m.Trace.Emit(trace.Event{Cycle: m.Clock.Now(), Dur: cost, Kind: kind, Op: -1, Arg: class})
+}
+
+// emitBlock records one per-block coverage event (see CovEvents).
+// Callers guard with m.Trace != nil && m.CovEvents and emit immediately
+// after the block-boundary tick, where the clock is exact in every
+// backend.
+func (m *Machine) emitBlock(fn *ir.Function, idx int) {
+	m.Trace.Emit(trace.Event{
+		Cycle: m.Clock.Now(), Kind: trace.EvBranch, Op: -1,
+		Arg: m.traceID(fn), Arg2: uint32(idx),
+	})
 }
 
 // emitFault records a fault event with the protection unit's region
@@ -453,6 +473,9 @@ func (m *Machine) exec(fr *frame, localBase uint32, fm *funcMeta) (uint32, error
 	for {
 		if err := m.tick(); err != nil {
 			return 0, err
+		}
+		if m.Trace != nil && m.CovEvents {
+			m.emitBlock(fr.fn, blk.Index())
 		}
 		for _, in := range blk.Instrs {
 			if err := m.step(fr, in, localBase, certs, allocaOff); err != nil {

@@ -39,6 +39,12 @@ type Stats struct {
 	SanitizeRejects uint64
 	SvcFaults       uint64
 
+	// Gate rejections by reason, counted unconditionally (the trace
+	// events carrying the same distinction are emitted only when a trace
+	// is attached). The fuzzing campaigns aggregate these per trial.
+	GateRejectNonEntry    uint64 // forged SVC into a non-entry function
+	GateRejectQuarantined uint64 // SVC for an operation the policy disabled
+
 	// Recovery-policy activity (zero under the abort baseline).
 	Restarts      uint64 // operation restarts (RestartOperation policy)
 	Quarantines   uint64 // operations disabled (Quarantine policy)
@@ -52,6 +58,8 @@ func (s *Stats) Counters() []trace.Counter {
 	return []trace.Counter{
 		{Name: "monitor.emulations", Value: s.Emulations},
 		{Name: "monitor.escapes", Value: s.Escapes},
+		{Name: "monitor.gate_reject_nonentry", Value: s.GateRejectNonEntry},
+		{Name: "monitor.gate_reject_quarantined", Value: s.GateRejectQuarantined},
 		{Name: "monitor.periph_remaps", Value: s.PeriphRemaps},
 		{Name: "monitor.ptr_redirects", Value: s.PtrRedirects},
 		{Name: "monitor.quarantines", Value: s.Quarantines},
@@ -370,6 +378,7 @@ func (mon *Monitor) svcEnter(entry *ir.Function, args []uint32) ([]uint32, error
 	b := mon.B
 	next := b.EntryOps[entry]
 	if next == nil {
+		mon.Stats.GateRejectNonEntry++
 		if mon.tr != nil {
 			mon.tr.Emit(trace.Event{
 				Cycle: mon.M.Clock.Now(), Kind: trace.EvGateReject, Op: -1,
@@ -381,6 +390,7 @@ func (mon *Monitor) svcEnter(entry *ir.Function, args []uint32) ([]uint32, error
 	if mon.quarantined[next] {
 		// The operation was disabled by the Quarantine policy: answer
 		// the gate call immediately with the sentinel, never switching.
+		mon.Stats.GateRejectQuarantined++
 		mon.M.Clock.Advance(8)
 		if mon.tr != nil {
 			mon.tr.Emit(trace.Event{

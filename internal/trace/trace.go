@@ -47,13 +47,14 @@ const (
 	EvSanitize          // critical-variable check; Arg = global name id, Arg2 = 0 ok / 1 reject
 	EvPhase             // monitor phase span; Arg = Phase, Dur = cycles
 	EvRecovery          // recovery action; Arg = RecoveryAction, Arg2 = attempt, Dur = cycles
+	EvBranch            // basic-block entry (branch coverage); Arg = function name id, Arg2 = block index
 )
 
 var kindNames = [...]string{
 	"none", "exc-entry", "exc-return", "irq", "fault", "fault-handled",
 	"call", "call-ret", "gate-enter", "gate-exit", "gate-reject",
 	"op-activate", "mpu-region", "mpu-enable", "tlb-inval", "sanitize",
-	"phase", "recovery",
+	"phase", "recovery", "branch",
 }
 
 func (k Kind) String() string {
@@ -338,6 +339,8 @@ func (b *Buffer) renderEvent(e Event) string {
 			a = act[e.Arg]
 		}
 		return fmt.Sprintf("%10d %-13s %s attempt=%d dur=%d", e.Cycle, e.Kind, a, e.Arg2, e.Dur)
+	case EvBranch:
+		return fmt.Sprintf("%10d %-13s fn=%s blk=%d", e.Cycle, e.Kind, b.Name(e.Arg), e.Arg2)
 	}
 	return fmt.Sprintf("%10d %-13s arg=%d arg2=%d op=%d dur=%d", e.Cycle, e.Kind, e.Arg, e.Arg2, e.Op, e.Dur)
 }

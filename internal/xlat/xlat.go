@@ -171,6 +171,7 @@ func (p *prog) run(e *mach.Env) (uint32, error) {
 		if err := e.Tick(); err != nil {
 			return 0, err // unwrapped, as exec treats tick errors
 		}
+		e.Block(bi)
 		b := &p.blocks[bi]
 		for _, s := range b.steps {
 			if err := s(e); err != nil {

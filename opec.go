@@ -32,6 +32,7 @@ import (
 	"opec/internal/apps"
 	"opec/internal/core"
 	"opec/internal/exper"
+	"opec/internal/fuzz"
 	"opec/internal/inject"
 	"opec/internal/ir"
 	"opec/internal/mach"
@@ -91,6 +92,25 @@ type (
 	// RecoveryPolicy configures the monitor's reaction to contained
 	// faults (abort, restart with backoff, quarantine).
 	RecoveryPolicy = monitor.Policy
+	// FuzzOptions configures one coverage-guided fuzzing campaign;
+	// FuzzReport is its deterministic summary.
+	FuzzOptions = fuzz.Options
+	FuzzReport  = fuzz.Report
+)
+
+// Standard fuzzing-campaign shape (the configuration BENCH v7 records).
+const (
+	FuzzSeed   = exper.FuzzSeed
+	FuzzBudget = exper.FuzzBudget
+)
+
+// Fuzzing re-exports.
+var (
+	// RunFuzz executes one campaign (Harness.Fuzz is the harness-shaped
+	// entry point the CLIs use).
+	RunFuzz = fuzz.Run
+	// RenderFuzz prints a campaign summary.
+	RenderFuzz = exper.RenderFuzz
 )
 
 // Campaign trial engines.
