@@ -171,6 +171,10 @@ func main() {
 	}
 
 	if buf != nil {
+		if d := buf.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "opec-run: warning: trace ring dropped %d of %d events — raise -trace-cap for a complete export (counters and drop accounting stay exact)\n",
+				d, buf.Emitted())
+		}
 		// Unified counter snapshot: machine (+ bus, MPU/TLB), monitor or
 		// ACES runtime, and the trace bus itself, in stable sorted order.
 		reg := &opec.CounterRegistry{}

@@ -1,0 +1,153 @@
+package debug
+
+import (
+	"fmt"
+
+	"opec/internal/mach"
+	"opec/internal/trace"
+)
+
+// Keyframer is the checkpointer: a trace.Handler that captures mid-run
+// copy-on-write state frames (mach.CaptureState) every Every cycles
+// and at the stream's causally interesting events — gate entries,
+// faults, recoveries — plus one boot frame at the arming point. Memory
+// is bounded: past Max frames the set is decimated (every second
+// non-boot frame released, the interval stride doubled), so a long run
+// degrades keyframe density, never footprint.
+type Keyframer struct {
+	// Every is the cycle interval between periodic keyframes; Max
+	// bounds how many frames are held before decimation. Both must be
+	// set before Bind.
+	Every uint64
+	Max   int
+
+	m       *mach.Machine
+	n       int // events seen on the stream so far
+	next    uint64
+	stride  uint64
+	frames  []*Keyframe
+	evicted uint64
+}
+
+// Keyframe is one checkpoint: the captured state, its position in the
+// event stream, and why it was taken.
+type Keyframe struct {
+	Cycle uint64
+	// Event is the stream position: the index of the event at whose
+	// emission the frame was captured ("boot" frames: the index the
+	// next event will get). The seek suffix comparison starts here, and
+	// the replay digest check fires at exactly this index.
+	Event  int
+	Reason string // "boot" | "interval" | "gate" | "fault" | "recovery"
+	State  *mach.StateFrame
+}
+
+// Bind attaches the machine and captures the boot keyframe. Called
+// from the run's observer hook (after restore and arming, before
+// execution) — the same point a re-execution's verifier binds at, so
+// boot-frame digests compare at identical machine states.
+func (k *Keyframer) Bind(m *mach.Machine) {
+	k.m = m
+	k.stride = k.Every
+	if k.stride == 0 {
+		k.stride = DefaultKeyframeEvery
+	}
+	if k.Max == 0 {
+		k.Max = DefaultMaxKeyframes
+	}
+	k.capture(m.Clock.Now(), k.n, "boot")
+}
+
+// HandleEvent counts stream position and captures on triggers
+// (trace.Handler). Events arriving before Bind — a recording always
+// attaches its handlers before the run boots its observer — only
+// advance the position counter.
+func (k *Keyframer) HandleEvent(e trace.Event) {
+	idx := k.n
+	k.n++
+	if k.m == nil {
+		return
+	}
+	reason := ""
+	switch e.Kind {
+	case trace.EvGateEnter:
+		reason = "gate"
+	case trace.EvFault:
+		reason = "fault"
+	case trace.EvRecovery:
+		reason = "recovery"
+	default:
+		if e.Cycle >= k.next {
+			reason = "interval"
+		}
+	}
+	if reason == "" {
+		return
+	}
+	k.capture(e.Cycle, idx, reason)
+}
+
+// capture appends a frame and enforces the memory bound.
+func (k *Keyframer) capture(cycle uint64, idx int, reason string) {
+	k.frames = append(k.frames, &Keyframe{
+		Cycle: cycle, Event: idx, Reason: reason, State: k.m.CaptureState(),
+	})
+	k.next = cycle + k.stride
+	for k.Max > 1 && len(k.frames) > k.Max {
+		k.decimate()
+	}
+}
+
+// decimate releases every second non-boot frame and doubles the
+// stride — deterministic eviction that keeps the boot anchor and halves
+// density uniformly across the run so far.
+func (k *Keyframer) decimate() {
+	kept := k.frames[:1] // the boot frame anchors every seek
+	for i := 1; i < len(k.frames); i++ {
+		if (i-1)%2 == 1 {
+			kept = append(kept, k.frames[i])
+		} else {
+			k.frames[i].State.Release()
+			k.evicted++
+		}
+	}
+	k.frames = append([]*Keyframe(nil), kept...)
+	k.stride *= 2
+	k.next = k.frames[len(k.frames)-1].Cycle + k.stride
+}
+
+// Nearest returns the latest keyframe with Cycle <= c, falling back to
+// the boot frame (which exists after Bind).
+func (k *Keyframer) Nearest(c uint64) *Keyframe {
+	best := k.frames[0]
+	for _, f := range k.frames[1:] {
+		if f.Cycle <= c {
+			best = f
+		}
+	}
+	return best
+}
+
+// Frames returns the held keyframes in capture order.
+func (k *Keyframer) Frames() []*Keyframe { return k.frames }
+
+// Render lists the keyframes deterministically.
+func (k *Keyframer) Render() string {
+	var b []byte
+	b = fmt.Appendf(b, "keyframes: %d held, %d evicted, stride %d cycles\n",
+		len(k.frames), k.evicted, k.stride)
+	for i, f := range k.frames {
+		b = fmt.Appendf(b, "  #%-3d cycle=%-10d event=%-6d %-8s state=%s\n",
+			i, f.Cycle, f.Event, f.Reason, f.State.Digest())
+	}
+	return string(b)
+}
+
+// Counters exposes checkpointer observability (trace.CounterSource).
+func (k *Keyframer) Counters() []trace.Counter {
+	return []trace.Counter{
+		{Name: "debug.keyframes.held", Value: uint64(len(k.frames))},
+		{Name: "debug.keyframes.evicted", Value: k.evicted},
+		{Name: "debug.keyframes.stride", Value: k.stride},
+	}
+}

@@ -1,0 +1,178 @@
+// Package debug is the time-travel debugger over the simulator's
+// deterministic replay substrate. It records one run — clean, or any
+// inject/fuzz finding named by its replay spec — into an indexed trace
+// store with keyframe state checkpoints, and then answers causal
+// queries about it: seek to a cycle (re-execute from the boot
+// checkpoint, verify the regenerated stream against the recording and
+// the keyframe digest), data watchpoints over any address range,
+// last-writer backward slices, and blame (walk a fault back to the
+// rogue store that caused it — the §6.1 KEY-overwrite forensics as one
+// command).
+//
+// The design leans on two established invariants rather than fighting
+// the machine's host-stack activation records:
+//
+//   - Forked trials are byte-identical (run.OPECContext / inject.Forge),
+//     so "restore and re-execute forward" is implemented as replay from
+//     the boot checkpoint with fresh observers attached — every query
+//     sees exactly the recorded run.
+//   - Keyframes are mid-run mach.StateFrame captures (copy-on-write,
+//     no quiescence requirement); a seek proves the replay passed
+//     through the keyframe by comparing live StateDigest against the
+//     frame at the same event-stream position, then byte-compares the
+//     rendered trace suffix from the keyframe on.
+package debug
+
+import (
+	"fmt"
+
+	"opec/internal/trace"
+)
+
+// Store is the indexed trace store: the complete event stream of one
+// recorded run (ingested pre-drop via the streaming handler interface,
+// so ring wrap loses nothing), indexed per kind, per domain and per
+// cycle, with the ring's exact drop count preserved as recording
+// metadata.
+type Store struct {
+	buf *trace.Buffer // name table + renderer for the recorded stream
+
+	events  []trace.Event
+	domains []int32 // owning domain per event (active op at emission; -1 pre-activation)
+	opNames map[int32]string
+
+	byKind   map[trace.Kind][]int
+	byDomain map[int32][]int
+
+	curOp       int32
+	lastCycle   uint64
+	regressions uint64
+	dropped     uint64
+	finished    bool
+}
+
+// NewStore attaches a fresh store to buf's live stream. Everything
+// emitted after this call is ingested.
+func NewStore(buf *trace.Buffer) *Store {
+	st := &Store{buf: buf, opNames: map[int32]string{}, curOp: -1}
+	buf.Attach(st)
+	return st
+}
+
+// HandleEvent ingests one event (trace.Handler).
+func (st *Store) HandleEvent(e trace.Event) {
+	if e.Cycle < st.lastCycle {
+		st.regressions++
+	} else {
+		st.lastCycle = e.Cycle
+	}
+	if e.Kind == trace.EvOpActivate {
+		st.curOp = e.Op
+		if _, ok := st.opNames[e.Op]; !ok {
+			st.opNames[e.Op] = st.buf.Name(e.Arg)
+		}
+	}
+	st.events = append(st.events, e)
+	st.domains = append(st.domains, st.curOp)
+}
+
+// Finish seals the recording: builds the kind/domain indexes and
+// asserts stream health. A non-monotonic stream is refused — the
+// per-cycle binary search would misresolve on it, and monotonicity is
+// an invariant of any correctly attached run (see
+// trace.Buffer.CycleRegressions).
+func (st *Store) Finish() error {
+	if st.regressions > 0 {
+		return fmt.Errorf("debug: recorded stream is non-monotonic (%d cycle regressions): a restored machine emitted into a stale buffer", st.regressions)
+	}
+	st.byKind = map[trace.Kind][]int{}
+	st.byDomain = map[int32][]int{}
+	for i, e := range st.events {
+		st.byKind[e.Kind] = append(st.byKind[e.Kind], i)
+		st.byDomain[st.domains[i]] = append(st.byDomain[st.domains[i]], i)
+	}
+	st.dropped = st.buf.Dropped()
+	st.finished = true
+	return nil
+}
+
+// Len returns the number of recorded events.
+func (st *Store) Len() int { return len(st.events) }
+
+// Dropped returns how many events the recording ring overwrote. The
+// store itself is complete (handlers run pre-drop); the count is kept
+// so reports preserve the ring's exact accounting.
+func (st *Store) Dropped() uint64 { return st.dropped }
+
+// Event returns event i.
+func (st *Store) Event(i int) trace.Event { return st.events[i] }
+
+// Domain returns the id of the operation that owned event i (-1 before
+// the first activation).
+func (st *Store) Domain(i int) int32 { return st.domains[i] }
+
+// DomainName resolves a domain id recorded by the stream.
+func (st *Store) DomainName(id int32) string {
+	if n, ok := st.opNames[id]; ok {
+		return n
+	}
+	return "?"
+}
+
+// ByKind returns the indexes of every event of kind k, in stream order.
+func (st *Store) ByKind(k trace.Kind) []int { return st.byKind[k] }
+
+// KindBuckets returns how many kinds have at least one event.
+func (st *Store) KindBuckets() int { return len(st.byKind) }
+
+// DomainBuckets returns how many domains own at least one event.
+func (st *Store) DomainBuckets() int { return len(st.byDomain) }
+
+// IndexAt returns the index of the last event with Cycle <= c, or -1
+// when the stream starts after c. Binary search over the monotonic
+// stream — this is what Finish's monotonicity assertion protects.
+func (st *Store) IndexAt(c uint64) int {
+	lo, hi := 0, len(st.events) // invariant: events[:lo] <= c < events[hi:]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if st.events[mid].Cycle <= c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// LastCycle returns the final event's cycle stamp (0 for an empty
+// recording).
+func (st *Store) LastCycle() uint64 {
+	if len(st.events) == 0 {
+		return 0
+	}
+	return st.events[len(st.events)-1].Cycle
+}
+
+// Render formats event i in the deterministic text-line format.
+func (st *Store) Render(i int) string { return st.buf.RenderEvent(st.events[i]) }
+
+// RenderRange renders events [i, j) one per line — the byte-identity
+// unit seek compares between the recording and a re-execution.
+func (st *Store) RenderRange(i, j int) string {
+	var b []byte
+	for ; i < j; i++ {
+		b = append(b, st.Render(i)...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// Counters exposes the store's index sizes (trace.CounterSource).
+func (st *Store) Counters() []trace.Counter {
+	return []trace.Counter{
+		{Name: "debug.store.events", Value: uint64(len(st.events))},
+		{Name: "debug.store.dropped", Value: st.dropped},
+		{Name: "debug.store.kind_buckets", Value: uint64(len(st.byKind))},
+		{Name: "debug.store.domain_buckets", Value: uint64(len(st.byDomain))},
+	}
+}

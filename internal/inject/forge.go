@@ -109,7 +109,7 @@ func (f *Forge) Instance() *apps.Instance { return f.inst }
 // the instance's own budget.
 func (f *Forge) Run(spec Spec, pol monitor.Policy, maxCycles uint64) (Outcome, error) {
 	if f.opec != nil {
-		return f.runOPEC(spec, pol, maxCycles, nil, false)
+		return f.runOPEC(spec, pol, maxCycles, nil, false, nil)
 	}
 	return f.runACES(spec, maxCycles)
 }
@@ -122,10 +122,25 @@ func (f *Forge) TraceRun(spec Spec, pol monitor.Policy, maxCycles uint64, buf *t
 	if f.opec == nil {
 		return Outcome{}, fmt.Errorf("inject: TraceRun on an ACES forge")
 	}
-	return f.runOPEC(spec, pol, maxCycles, buf, cov)
+	return f.runOPEC(spec, pol, maxCycles, buf, cov, nil)
 }
 
-func (f *Forge) runOPEC(spec Spec, pol monitor.Policy, maxCycles uint64, buf *trace.Buffer, cov bool) (out Outcome, err error) {
+// ObservedRun is TraceRun with a machine observer: after the standard
+// trial arming (restore, proofs cleared, injection armed) and before
+// the run, observe receives the forked machine. The time-travel
+// debugger binds its keyframe checkpointer and data watchpoints here —
+// observation points that must attach after the restore that would
+// otherwise clear them. The observer must not perturb architected
+// state; trials stay byte-identical with and without one. OPEC forges
+// only.
+func (f *Forge) ObservedRun(spec Spec, pol monitor.Policy, maxCycles uint64, buf *trace.Buffer, cov bool, observe func(*mach.Machine)) (Outcome, error) {
+	if f.opec == nil {
+		return Outcome{}, fmt.Errorf("inject: ObservedRun on an ACES forge")
+	}
+	return f.runOPEC(spec, pol, maxCycles, buf, cov, observe)
+}
+
+func (f *Forge) runOPEC(spec Spec, pol monitor.Policy, maxCycles uint64, buf *trace.Buffer, cov bool, observe func(*mach.Machine)) (out Outcome, err error) {
 	out.Spec = spec
 	b := f.opec.B
 	fire, state, err := buildFire(spec, f.inst, b.Board, nil)
@@ -162,6 +177,9 @@ func (f *Forge) runOPEC(spec Spec, pol monitor.Policy, maxCycles uint64, buf *tr
 			// plain trial on the same forge.
 			m.CovEvents = cov
 			m.Arm(&mach.Injection{Func: trigger, N: spec.N, Fire: fire})
+			if observe != nil {
+				observe(m)
+			}
 		},
 	})
 	var checkErr error

@@ -151,6 +151,10 @@ type Bus struct {
 
 	// dwtEnabled gates the cycle counter register.
 	dwtEnabled bool
+
+	// rawWatch, when non-nil, observes raw (check-bypassing) writes —
+	// the watch seam's hardware-level half (watch.go).
+	rawWatch func(addr uint32, size int, val uint32)
 }
 
 // NewBus creates a bus with the given Flash and SRAM sizes.
@@ -339,6 +343,9 @@ func (b *Bus) RawLoad(addr uint32, size int) (uint32, *Fault) {
 
 // RawStore bypasses permission checks.
 func (b *Bus) RawStore(addr uint32, size int, v uint32) *Fault {
+	if b.rawWatch != nil {
+		b.rawWatch(addr, size, v)
+	}
 	switch k, off, d := b.resolve(addr, size); k {
 	case targetFlash:
 		b.flash.writeLE(off, size, v)
@@ -422,6 +429,10 @@ func (b *Bus) CopyMem(dst, src uint32, n int) *Fault {
 			overlapFwd := src >= SRAMBase && dst > src && uint64(dst) < uint64(src)+uint64(n)
 			if !overlapFwd {
 				if dbuf := b.sram.writableView(dOff, n); dbuf != nil {
+					if b.rawWatch != nil {
+						// One footprint call for the bulk move (watch.go).
+						b.rawWatch(dst, n, 0)
+					}
 					copy(dbuf, sbuf)
 					return nil
 				}

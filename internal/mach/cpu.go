@@ -137,6 +137,11 @@ type Machine struct {
 	// filled by AttachTrace.
 	traceIDs []uint32
 
+	// watch, when non-nil, observes every attempted data store issued
+	// through the store seam (watch.go). Nil — the default — keeps the
+	// store hot path at one pointer compare, mirroring Trace.
+	watch func(WatchedStore)
+
 	// Stats.
 	InstrCount   uint64
 	SwitchCount  uint64 // operation/compartment switches observed
@@ -875,6 +880,9 @@ func (m *Machine) storeChecked(addr uint32, size int, v uint32) error {
 	m.Clock.Advance(CostMem)
 	m.proofChecked++
 	f := m.Bus.Store(addr, size, v, m.Privileged)
+	if m.watch != nil {
+		m.notifyStore(addr, size, v, false, f)
+	}
 	if f == nil {
 		return nil
 	}

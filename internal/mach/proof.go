@@ -107,6 +107,9 @@ func (m *Machine) storeProven(addr uint32, size int, v uint32) error {
 	} else {
 		f = m.Bus.StoreProven(addr, size, v, m.Privileged)
 	}
+	if m.watch != nil {
+		m.notifyStore(addr, size, v, true, f)
+	}
 	if f == nil {
 		return nil
 	}

@@ -26,6 +26,8 @@ import (
 //   - Trace attachments: snapshots are taken untraced; Restore detaches
 //     any buffer so the caller re-attaches per trial.
 //   - The armed Injection: Restore disarms; each trial arms its own.
+//   - Watch hooks (watch.go): like traces, observers are per-run
+//     attachments; Restore clears both the store and raw watches.
 //   - Handlers/GlobalAddr: runtime wiring owned by the scheme runtime,
 //     unchanged by execution and so shared by reference.
 
@@ -70,6 +72,7 @@ type Snapshot struct {
 	proofElided, proofChecked           uint64
 	devCacheHits                        uint64
 	tlbHits, tlbMisses, tlbInvals       uint64
+	tlbGen                              uint64
 
 	flashPages, sramPages [][]byte
 
@@ -124,6 +127,7 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 		tlbHits:      b.MPU.tlbHits,
 		tlbMisses:    b.MPU.tlbMisses,
 		tlbInvals:    b.MPU.tlbInvals,
+		tlbGen:       b.MPU.gen,
 		flashPages:   b.flash.snapshotPages(),
 		sramPages:    b.sram.snapshotPages(),
 		mpuEnabled:   b.MPU.Enabled,
@@ -240,6 +244,8 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.inIRQ = false
 	m.inj = nil
 	m.Trace = nil
+	m.watch = nil
+	b.rawWatch = nil
 
 	// Protection unit. These are raw Regions/Enabled writes, so the
 	// micro-TLB and the last-device cache are explicitly invalidated
@@ -249,7 +255,13 @@ func (m *Machine) Restore(s *Snapshot) error {
 	b.MPU.lastEnabled = s.mpuEnabled
 	b.MPU.reconfigs = s.mpuReconfigs
 	b.MPU.Trace = nil
-	b.MPU.Invalidate()
+	// The generation counter is architecturally invisible but leaks into
+	// the trace stream (tlb-inval gen=N), so a replay from the snapshot
+	// must resume it exactly where the recorded run did. Rewinding it is
+	// only safe together with a full entry flush: entries tagged with
+	// later generations would otherwise match the rewound counter.
+	b.MPU.gen = s.tlbGen
+	b.MPU.flush()
 	b.lastDev, b.lastBase, b.lastEnd = nil, 0, 0
 	if s.hasPMP {
 		p := b.Prot.(*PMP)
@@ -330,6 +342,7 @@ func (m *Machine) Fork() *Machine {
 	nm.inj = nil
 	nm.Trace = nil
 	nm.traceIDs = nil
+	nm.watch = nil
 	// A translation cache holds per-machine state; the clone gets its
 	// own (initially empty) engine rather than sharing the parent's.
 	if m.backend != nil {

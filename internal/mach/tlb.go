@@ -72,3 +72,9 @@ func (m *MPU) lookup(addr uint32) *tlbEntry {
 // call it internally; it is exported for callers that mutate Regions
 // directly (tests, exotic backends).
 func (m *MPU) Invalidate() { m.invalidate() }
+
+// flush erases every entry outright. Generation bumps make this
+// unnecessary in normal operation; snapshot restore needs it because it
+// rewinds the generation counter, which would otherwise revalidate
+// entries tagged by the epochs being rewound over.
+func (m *MPU) flush() { m.tlb = [tlbSize]tlbEntry{} }

@@ -1,0 +1,149 @@
+package mach
+
+import (
+	"testing"
+
+	"opec/internal/ir"
+)
+
+// storeModule's main performs one word store into a global.
+func storeModule() *ir.Module {
+	m := ir.NewModule("watch")
+	g := m.AddGlobal(&ir.Global{Name: "tgt", Typ: ir.I32})
+	fb := ir.NewFunc(m, "main", "watch.c", ir.I32)
+	fb.Store(ir.I32, g, ir.CI(0xCAFE))
+	fb.Halt()
+	fb.Ret(ir.CI(0))
+	return m
+}
+
+// TestStoreWatchObservesLandedStore covers the program-store seam: the
+// watch sees the store with its function, value and verdict, and
+// observing changes nothing architected (cycle counts match an
+// unwatched run).
+func TestStoreWatchObservesLandedStore(t *testing.T) {
+	ref := testMachine(t, storeModule())
+	if _, err := ref.Run(ref.Mod.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+
+	m := testMachine(t, storeModule())
+	var seen []WatchedStore
+	m.SetStoreWatch(func(ws WatchedStore) { seen = append(seen, ws) })
+	if _, err := m.Run(m.Mod.MustFunc("main")); err != nil {
+		t.Fatal(err)
+	}
+	tgt, _ := m.GlobalAddr(m.Mod.Globals[0], true)
+	var hit *WatchedStore
+	for i := range seen {
+		if seen[i].Addr == tgt {
+			hit = &seen[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("watch missed the store to %#x (saw %d stores)", tgt, len(seen))
+	}
+	if hit.Val != 0xCAFE || hit.Size != 4 || hit.Fn != "main" || hit.Denied {
+		t.Errorf("watched store = %+v, want val=0xCAFE size=4 fn=main landed", *hit)
+	}
+	if m.Clock.Now() != ref.Clock.Now() {
+		t.Errorf("watched run took %d cycles, unwatched %d — observer is not transparent",
+			m.Clock.Now(), ref.Clock.Now())
+	}
+}
+
+// TestStoreWatchObservesDeniedStore pins the property memory alone
+// cannot provide: a store the MPU refuses still reaches the watch,
+// flagged with the denying fault.
+func TestStoreWatchObservesDeniedStore(t *testing.T) {
+	m := testMachine(t, storeModule())
+	m.Bus.MPU.SetEnabled(true) // no regions + unprivileged = MemManage on SRAM
+	m.Privileged = false
+	var denied *WatchedStore
+	m.SetStoreWatch(func(ws WatchedStore) {
+		if ws.Denied {
+			cp := ws
+			denied = &cp
+		}
+	})
+	m.Run(m.Mod.MustFunc("main")) // faults; the run error is not the point
+	if denied == nil {
+		t.Fatal("denied store never reached the watch")
+	}
+	if denied.FaultKind != FaultMemManage || denied.Privileged {
+		t.Errorf("denied store = %+v, want unprivileged MemManage", *denied)
+	}
+}
+
+// TestRawWatchObservesBusWrites covers the below-protection-unit seam:
+// RawStore and the CopyMem bulk path report their footprint, and
+// Restore clears both hooks.
+func TestRawWatchObservesBusWrites(t *testing.T) {
+	m := testMachine(t, storeModule())
+	var raw [][2]uint32
+	m.Bus.SetRawWatch(func(addr uint32, size int, _ uint32) {
+		raw = append(raw, [2]uint32{addr, uint32(size)})
+	})
+	if f := m.Bus.RawStore(SRAMBase+8, 4, 7); f != nil {
+		t.Fatal(f)
+	}
+	if f := m.Bus.CopyMem(SRAMBase+64, SRAMBase, 32); f != nil {
+		t.Fatal(f)
+	}
+	want := [][2]uint32{{SRAMBase + 8, 4}, {SRAMBase + 64, 32}}
+	if len(raw) != len(want) || raw[0] != want[0] || raw[1] != want[1] {
+		t.Errorf("raw watch saw %v, want %v", raw, want)
+	}
+
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetStoreWatch(func(WatchedStore) {})
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m.watch != nil || m.Bus.rawWatch != nil {
+		t.Error("Restore left watch hooks installed")
+	}
+}
+
+// TestRestoreRewindsTLBGeneration is the replay-determinism regression
+// behind the time-travel debugger: the micro-TLB generation counter
+// leaks into the trace stream (tlb-inval gen=N), so Restore must rewind
+// it to the snapshot's value — and, because rewinding revalidates
+// entries tagged by the epochs rewound over, flush the entries
+// outright. A warm permissive entry from a later generation must not
+// adjudicate after restore.
+func TestRestoreRewindsTLBGeneration(t *testing.T) {
+	m := testMachine(t, storeModule())
+	m.Bus.MPU.SetEnabled(true)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := m.Bus.MPU.gen
+
+	// Advance the generation and warm an entry under a permissive plan.
+	addr := SRAMBase + 0x40
+	m.Bus.MPU.MustSetRegion(0, Region{Enabled: true, Base: SRAMBase, SizeLog2: 10, Perm: APRW})
+	if _, f := m.Bus.Load(addr, 4, false); f != nil {
+		t.Fatalf("warm access under APRW: %v", f)
+	}
+	if m.Bus.MPU.gen == g0 {
+		t.Fatal("region write did not advance the generation")
+	}
+
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m.Bus.MPU.gen != g0 {
+		t.Errorf("restored generation %d, snapshot had %d", m.Bus.MPU.gen, g0)
+	}
+	// The warmed entry carries gen > g0; only a flush keeps it from
+	// resurfacing once the counter climbs back through its epoch.
+	m.Bus.MPU.MustSetRegion(0, Region{Enabled: true, Base: FlashBase, SizeLog2: 10, Perm: APRO})
+	if _, f := m.Bus.Load(addr, 4, false); f == nil || f.Kind != FaultMemManage {
+		t.Errorf("stale permissive TLB entry adjudicated after restore: fault=%v", f)
+	}
+}

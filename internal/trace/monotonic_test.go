@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCycleRegressionCounting pins the monotonicity assertion: a
+// recording whose cycles only advance counts zero regressions; one that
+// jumps backwards — the signature of a machine restored to an earlier
+// checkpoint while still attached to a stale buffer — counts every
+// backward step, and the counter surfaces in the unified registry.
+func TestCycleRegressionCounting(t *testing.T) {
+	b := NewBuffer(8)
+	for _, c := range []uint64{1, 5, 5, 9} {
+		b.Emit(Event{Cycle: c, Kind: EvIRQ, Op: -1})
+	}
+	if got := b.CycleRegressions(); got != 0 {
+		t.Fatalf("monotonic stream counted %d regressions", got)
+	}
+
+	// The restore boundary: the clock rewinds below the high-water mark.
+	b.Emit(Event{Cycle: 2, Kind: EvIRQ, Op: -1})
+	b.Emit(Event{Cycle: 3, Kind: EvIRQ, Op: -1}) // still below 9: regresses too
+	if got := b.CycleRegressions(); got != 2 {
+		t.Fatalf("CycleRegressions() = %d, want 2", got)
+	}
+	b.Emit(Event{Cycle: 12, Kind: EvIRQ, Op: -1})
+	if got := b.CycleRegressions(); got != 2 {
+		t.Fatalf("catching back up counted a regression: %d", got)
+	}
+
+	found := false
+	for _, c := range b.Counters() {
+		if c.Name == "trace.cycle_regressions" {
+			found = true
+			if c.Value != 2 {
+				t.Errorf("counter value %d, want 2", c.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("trace.cycle_regressions missing from Counters()")
+	}
+}
+
+// TestCycleRegressionsNilSafe mirrors the disabled-tracing contract.
+func TestCycleRegressionsNilSafe(t *testing.T) {
+	var b *Buffer
+	if b.CycleRegressions() != 0 {
+		t.Fatal("nil buffer reported regressions")
+	}
+}
+
+// TestRenderEventMatchesRenderText pins that the single-event renderer
+// used by the debugger's indexed store is the same formatting the bulk
+// text export uses — seek's byte-identical suffix comparison depends
+// on it.
+func TestRenderEventMatchesRenderText(t *testing.T) {
+	b := NewBuffer(8)
+	op := b.Intern("Op_A")
+	b.Emit(Event{Cycle: 7, Kind: EvGateEnter, Op: 0, Arg: op})
+	b.Emit(Event{Cycle: 9, Kind: EvFault, Op: 0, Arg: 0x20000000, Arg2: PackFaultInfo(0, true, 3)})
+
+	var lines []string
+	for _, e := range b.Events() {
+		lines = append(lines, b.RenderEvent(e))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	_, want, ok := strings.Cut(b.RenderText(), "\n") // drop the summary header
+	if !ok || got != want {
+		t.Errorf("RenderEvent disagrees with RenderText body:\n%q\nvs\n%q", got, want)
+	}
+}

@@ -166,6 +166,16 @@ type Buffer struct {
 	// importedDrops carries the drop count of a trace reconstructed by
 	// ImportJSONL, whose ring only ever held the surviving events.
 	importedDrops uint64
+	// lastCycle/cycleRegressions assert stream monotonicity: the cycle
+	// clock only advances, so an event stamped earlier than its
+	// predecessor means a restored machine was left attached to a buffer
+	// from before the restore — exactly the bug the Snapshot/Restore
+	// contract (detach on restore, re-attach per trial) exists to
+	// prevent. The regression count is exposed as a counter and the
+	// debugger's indexed store refuses non-monotonic recordings, whose
+	// per-cycle binary search would silently misresolve.
+	lastCycle        uint64
+	cycleRegressions uint64
 }
 
 // DefaultCapacity is the ring size NewBuffer(0) selects.
@@ -216,11 +226,26 @@ func (b *Buffer) Emit(e Event) {
 	if b == nil {
 		return
 	}
+	if e.Cycle < b.lastCycle {
+		b.cycleRegressions++
+	} else {
+		b.lastCycle = e.Cycle
+	}
 	for _, h := range b.sinks {
 		h.HandleEvent(e)
 	}
 	b.ring[b.head%uint64(len(b.ring))] = e
 	b.head++
+}
+
+// CycleRegressions counts events whose cycle stamp went backward
+// relative to their predecessor — zero on any correctly attached run
+// (see the field comment).
+func (b *Buffer) CycleRegressions() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.cycleRegressions
 }
 
 // Len returns the number of events currently held.
@@ -269,6 +294,7 @@ func (b *Buffer) Counters() []Counter {
 	return []Counter{
 		{Name: "trace.events", Value: b.Emitted()},
 		{Name: "trace.dropped", Value: b.Dropped()},
+		{Name: "trace.cycle_regressions", Value: b.CycleRegressions()},
 	}
 }
 
@@ -284,6 +310,12 @@ func (b *Buffer) RenderText() string {
 	}
 	return sb.String()
 }
+
+// RenderEvent formats one event in the deterministic text-render line
+// format, with interned names resolved against this buffer's table —
+// the primitive the time-travel debugger's byte-identity suffix
+// comparison and event listings are built on.
+func (b *Buffer) RenderEvent(e Event) string { return b.renderEvent(e) }
 
 // renderEvent formats one event with interned names resolved.
 func (b *Buffer) renderEvent(e Event) string {

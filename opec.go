@@ -31,6 +31,7 @@ import (
 	"opec/internal/aces"
 	"opec/internal/apps"
 	"opec/internal/core"
+	"opec/internal/debug"
 	"opec/internal/exper"
 	"opec/internal/fuzz"
 	"opec/internal/inject"
@@ -313,6 +314,22 @@ var (
 	ProfileAll = exper.ProfileAll
 	// RenderProfile prints the profiling experiment's tables.
 	RenderProfile = exper.RenderProfile
+)
+
+// Time-travel debugger re-exports (internal/debug, cmd/opec-debug).
+type (
+	// DebugConfig describes one debuggable run: a workload plus an
+	// optional inject/fuzz spec and the checkpointer shape.
+	DebugConfig = debug.Config
+	// DebugSession is one recorded run with its indexed trace store and
+	// keyframe checkpoints, answering seek / watch / last-writer /
+	// blame queries by deterministic re-execution.
+	DebugSession = debug.Session
+)
+
+var (
+	// NewDebugSession boots and records a run for time-travel queries.
+	NewDebugSession = debug.New
 )
 
 // Simulator-throughput baseline (BENCH_mach.json) re-exports.
